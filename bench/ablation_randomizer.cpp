@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: unconstrained coding with data randomization (paper Section
+ * II-D).  Structured data (long zero runs, repeated text) maps to long
+ * homopolymers and skewed GC content without randomization — both are
+ * hostile to synthesis and sequencing.  The randomizer fixes the
+ * distribution at a cost of exactly zero coding density.
+ *
+ * Usage:
+ *   ablation_randomizer
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "codec/randomizer.hh"
+#include "dna/strand.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace dnastore;
+
+namespace
+{
+
+struct Workload
+{
+    std::string name;
+    std::vector<std::uint8_t> data;
+};
+
+void
+measure(const std::vector<std::uint8_t> &data, double &max_run,
+        double &gc, double &runs_over_4)
+{
+    // Chop into 30-byte molecules like the default codec geometry.
+    RunningStats run_stats, gc_stats;
+    std::size_t over4 = 0, molecules = 0;
+    for (std::size_t lo = 0; lo + 30 <= data.size(); lo += 30) {
+        const std::vector<std::uint8_t> chunk(
+            data.begin() + static_cast<long>(lo),
+            data.begin() + static_cast<long>(lo + 30));
+        const Strand s = strand::fromBytes(chunk);
+        const std::size_t run = strand::maxHomopolymerRun(s);
+        run_stats.add(static_cast<double>(run));
+        gc_stats.add(strand::gcContent(s));
+        over4 += run > 4;
+        ++molecules;
+    }
+    max_run = run_stats.max();
+    gc = gc_stats.mean();
+    runs_over_4 = molecules == 0
+        ? 0.0
+        : static_cast<double>(over4) / static_cast<double>(molecules);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Ablation: data randomization for unconstrained "
+                 "coding ===\n\n";
+
+    std::vector<Workload> workloads;
+    workloads.push_back({"zeros", std::vector<std::uint8_t>(6000, 0)});
+    workloads.push_back({"0xFF fill", std::vector<std::uint8_t>(6000, 0xFF)});
+    {
+        std::vector<std::uint8_t> text;
+        const std::string phrase = "ATTACK AT DAWN. ";
+        while (text.size() < 6000)
+            text.insert(text.end(), phrase.begin(), phrase.end());
+        workloads.push_back({"repeated text", std::move(text)});
+    }
+    {
+        std::vector<std::uint8_t> ramp(6000);
+        for (std::size_t i = 0; i < ramp.size(); ++i)
+            ramp[i] = static_cast<std::uint8_t>(i / 24);
+        workloads.push_back({"slow ramp", std::move(ramp)});
+    }
+
+    Table table;
+    table.header({"workload", "variant", "max homopolymer", "mean GC",
+                  "molecules with run>4"});
+
+    Randomizer randomizer;
+    for (const auto &workload : workloads) {
+        double max_run = 0, gc = 0, over4 = 0;
+        measure(workload.data, max_run, gc, over4);
+        table.row({workload.name, "raw", Table::fmt(max_run, 0),
+                   Table::fmt(gc, 3), Table::fmt(over4 * 100, 1) + "%"});
+
+        auto randomized = workload.data;
+        randomizer.apply(randomized);
+        measure(randomized, max_run, gc, over4);
+        table.row({workload.name, "randomized", Table::fmt(max_run, 0),
+                   Table::fmt(gc, 3), Table::fmt(over4 * 100, 1) + "%"});
+    }
+
+    std::cout << table.text()
+              << "\nExpected shape: raw structured data produces "
+                 "molecule-length homopolymers\nand degenerate GC "
+                 "content; randomized variants sit near GC 0.5 with "
+                 "short runs.\n";
+    return 0;
+}

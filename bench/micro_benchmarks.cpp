@@ -1,0 +1,188 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the computational kernels the
+ * pipeline's complexity analysis rests on (paper Section IX-A):
+ * edit-distance variants, signature computation and comparison,
+ * Reed-Solomon coding, alignment, reconstruction and the GRU step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/signature.hh"
+#include "dna/align.hh"
+#include "dna/distance.hh"
+#include "dna/strand.hh"
+#include "ecc/reed_solomon.hh"
+#include "nn/gru.hh"
+#include "reconstruction/bma.hh"
+#include "reconstruction/nw_consensus.hh"
+#include "simulator/iid_channel.hh"
+
+using namespace dnastore;
+
+namespace
+{
+
+std::vector<Strand>
+noisyPair(std::uint64_t seed, std::size_t len, double error)
+{
+    Rng rng(seed);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(error));
+    const Strand s = strand::random(rng, len);
+    return {channel.transmit(s, rng), channel.transmit(s, rng)};
+}
+
+void
+BM_LevenshteinFull(benchmark::State &state)
+{
+    const auto len = static_cast<std::size_t>(state.range(0));
+    const auto pair = noisyPair(1, len, 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(levenshtein(pair[0], pair[1]));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LevenshteinFull)->Range(32, 512)->Complexity();
+
+void
+BM_LevenshteinBanded(benchmark::State &state)
+{
+    const auto len = static_cast<std::size_t>(state.range(0));
+    const auto pair = noisyPair(2, len, 0.06);
+    const std::size_t cutoff = len / 5;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            boundedLevenshtein(pair[0], pair[1], cutoff));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LevenshteinBanded)->Range(32, 512)->Complexity();
+
+void
+BM_LevenshteinMyers(benchmark::State &state)
+{
+    const auto len = static_cast<std::size_t>(state.range(0));
+    const auto pair = noisyPair(12, len, 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(myersLevenshtein(pair[0], pair[1]));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LevenshteinMyers)->Range(32, 512)->Complexity();
+
+void
+BM_SignatureCompute(benchmark::State &state)
+{
+    Rng rng(3);
+    const auto kind = state.range(0) == 0 ? SignatureKind::QGram
+                                          : SignatureKind::WGram;
+    SignatureScheme scheme(kind, rng, 4, 60);
+    const Strand read = strand::random(rng, 132);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheme.compute(read));
+}
+BENCHMARK(BM_SignatureCompute)->Arg(0)->Arg(1);
+
+void
+BM_SignatureDistance(benchmark::State &state)
+{
+    Rng rng(4);
+    const auto kind = state.range(0) == 0 ? SignatureKind::QGram
+                                          : SignatureKind::WGram;
+    SignatureScheme scheme(kind, rng, 4, 60);
+    const auto a = scheme.compute(strand::random(rng, 132));
+    const auto b = scheme.compute(strand::random(rng, 132));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheme.distance(a, b));
+}
+BENCHMARK(BM_SignatureDistance)->Arg(0)->Arg(1);
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    ReedSolomon rs(255, static_cast<std::size_t>(state.range(0)));
+    Rng rng(5);
+    std::vector<std::uint8_t> message(rs.k());
+    for (auto &b : message)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rs.encode(message));
+}
+BENCHMARK(BM_RsEncode)->Arg(223)->Arg(127);
+
+void
+BM_RsDecodeErrors(benchmark::State &state)
+{
+    ReedSolomon rs(255, 223);
+    Rng rng(6);
+    std::vector<std::uint8_t> message(rs.k());
+    for (auto &b : message)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const auto clean = rs.encode(message);
+    const auto errors = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto corrupted = clean;
+        for (const auto pos : rng.sampleIndices(rs.n(), errors))
+            corrupted[pos] ^= 0x5A;
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(rs.decode(corrupted));
+    }
+}
+BENCHMARK(BM_RsDecodeErrors)->Arg(0)->Arg(4)->Arg(16);
+
+void
+BM_GlobalAlign(benchmark::State &state)
+{
+    const auto len = static_cast<std::size_t>(state.range(0));
+    const auto pair = noisyPair(7, len, 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(globalAlign(pair[0], pair[1]));
+}
+BENCHMARK(BM_GlobalAlign)->Range(32, 256);
+
+void
+BM_Reconstruct(benchmark::State &state)
+{
+    Rng rng(8);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.06));
+    const Strand original = strand::random(rng, 120);
+    const auto coverage = static_cast<std::size_t>(state.range(1));
+    std::vector<Strand> cluster;
+    for (std::size_t c = 0; c < coverage; ++c)
+        cluster.push_back(channel.transmit(original, rng));
+
+    BmaReconstructor bma;
+    DoubleSidedBmaReconstructor dbma;
+    NwConsensusReconstructor nw;
+    const Reconstructor *algo = state.range(0) == 0
+        ? static_cast<const Reconstructor *>(&bma)
+        : state.range(0) == 1
+            ? static_cast<const Reconstructor *>(&dbma)
+            : static_cast<const Reconstructor *>(&nw);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(algo->reconstruct(cluster, 120));
+}
+BENCHMARK(BM_Reconstruct)
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({2, 10})
+    ->Args({0, 50})
+    ->Args({1, 50})
+    ->Args({2, 50});
+
+void
+BM_GruStep(benchmark::State &state)
+{
+    const auto hidden = static_cast<std::size_t>(state.range(0));
+    Rng rng(9);
+    nn::GruCell cell(4, hidden, "bench");
+    cell.init(rng, 0.2f);
+    nn::Vec x(4, 0.5f);
+    nn::Vec h(hidden, 0.1f);
+    nn::GruCache cache;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cell.forward(x, h, cache));
+}
+BENCHMARK(BM_GruStep)->Arg(32)->Arg(64)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

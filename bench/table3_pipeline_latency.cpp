@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reproduces paper Table III: per-stage latency of the full pipeline
+ * for every {q-gram, w-gram} x {BMA, DBMA, NWA} module combination at
+ * coverage 10 and coverage 50 (payload length 120 nt, 6% error rate).
+ *
+ * Absolute numbers differ from the paper (their testbed is a 24-core
+ * Xeon and a larger file); the *shape* must hold:
+ *  - encoding cost is identical across combinations;
+ *  - clustering grows with coverage and is slower for w-gram at high
+ *    coverage;
+ *  - DBMA reconstruction costs about twice BMA; NWA is fastest at high
+ *    coverage (it caps the reads it aligns);
+ *  - decoding is small and constant.
+ *
+ * Usage:
+ *   table3_pipeline_latency [--file-bytes=N] [--csv=path]
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "codec/matrix_codec.hh"
+#include "core/pipeline.hh"
+#include "reconstruction/bma.hh"
+#include "reconstruction/nw_consensus.hh"
+#include "simulator/iid_channel.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+using namespace dnastore;
+
+int
+main(int argc, char **argv)
+{
+    const ArgParser args(argc, argv);
+    const std::size_t file_bytes =
+        static_cast<std::size_t>(args.getInt("file-bytes", 50000));
+    const std::string csv_path = args.get("csv", "");
+    const double error_rate = 0.06;
+
+    MatrixCodecConfig codec_cfg;
+    codec_cfg.payload_nt = 120; // the paper's payload length
+    codec_cfg.index_nt = 12;
+    codec_cfg.rs_n = 60;
+    codec_cfg.rs_k = 40;
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(error_rate));
+
+    std::cout << "=== Table III: pipeline latency breakdown (seconds) ==="
+              << "\nfile size " << file_bytes << " bytes, payload 120 nt, "
+              << "error rate 6%\n\n";
+
+    Rng rng(3333);
+    std::vector<std::uint8_t> data(file_bytes);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    BmaReconstructor bma;
+    DoubleSidedBmaReconstructor dbma;
+    NwConsensusReconstructor nwa;
+    const std::vector<std::pair<std::string, const Reconstructor *>>
+        recons = {{"BMA", &bma}, {"DBMA", &dbma}, {"NWA", &nwa}};
+
+    Table table;
+    table.header({"pipeline", "coverage", "encoding", "clustering",
+                  "recon", "decoding", "total", "decode ok"});
+
+    for (const double coverage : {10.0, 50.0}) {
+        for (const SignatureKind kind :
+             {SignatureKind::QGram, SignatureKind::WGram}) {
+            for (const auto &[recon_name, recon] : recons) {
+                auto clu_cfg = RashtchianClustererConfig::forErrorRate(
+                    error_rate, codec_cfg.strandLength());
+                clu_cfg.signature = kind;
+                RashtchianClusterer clusterer(clu_cfg);
+
+                PipelineConfig pipe_cfg;
+                pipe_cfg.coverage = CoverageModel(
+                    coverage, CoverageDistribution::Poisson);
+                pipe_cfg.seed = 7;
+                pipe_cfg.min_cluster_size = 2;
+                Pipeline pipeline({&encoder, &decoder, &channel,
+                                   &clusterer, recon},
+                                  pipe_cfg);
+                const auto result = pipeline.run(data);
+
+                const std::string name =
+                    std::string(kind == SignatureKind::QGram ? "q-gram"
+                                                             : "w-gram") +
+                    " + " + recon_name;
+                table.row({name, Table::fmt(coverage, 0),
+                           Table::fmt(result.latency.encoding, 2),
+                           Table::fmt(result.latency.clustering, 2),
+                           Table::fmt(result.latency.reconstruction, 2),
+                           Table::fmt(result.latency.decoding, 2),
+                           Table::fmt(result.latency.total() -
+                                          result.latency.simulation,
+                                      2),
+                           result.report.ok && result.report.data == data
+                               ? "yes"
+                               : "NO"});
+                std::cout << "finished " << name << " @ coverage "
+                          << coverage << "\n";
+            }
+        }
+    }
+
+    std::cout << "\n" << table.text();
+    if (!csv_path.empty() && table.writeCsv(csv_path))
+        std::cout << "wrote " << csv_path << "\n";
+    std::cout << "\n(Totals exclude the simulation stage, which has no "
+                 "wetlab counterpart in the paper's table.)\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+#include "accuracy.hh"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dnastore
+{
+
+double
+clusteringAccuracy(const Clustering &clustering,
+                   const std::vector<std::uint32_t> &origin, double gamma)
+{
+    if (gamma <= 0.0 || gamma > 1.0)
+        throw std::invalid_argument("clusteringAccuracy: gamma out of range");
+
+    // True cluster sizes.
+    std::unordered_map<std::uint32_t, std::size_t> true_size;
+    for (std::uint32_t o : origin)
+        ++true_size[o];
+    if (true_size.empty())
+        return 0.0;
+
+    // A true cluster is recovered when some output cluster is pure (all
+    // reads share its origin) and covers >= gamma of its reads.
+    std::unordered_set<std::uint32_t> recovered;
+    for (const auto &cluster : clustering.clusters) {
+        if (cluster.empty())
+            continue;
+        const std::uint32_t first = origin.at(cluster.front());
+        bool pure = true;
+        for (std::uint32_t read : cluster) {
+            if (origin.at(read) != first) {
+                pure = false;
+                break;
+            }
+        }
+        if (!pure)
+            continue;
+        const double covered = static_cast<double>(cluster.size());
+        const double total =
+            static_cast<double>(true_size.at(first));
+        if (covered + 1e-12 >= gamma * total)
+            recovered.insert(first);
+    }
+    return static_cast<double>(recovered.size()) /
+        static_cast<double>(true_size.size());
+}
+
+} // namespace dnastore

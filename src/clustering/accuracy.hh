@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Clustering accuracy against simulation ground truth, following the
+ * A_gamma metric of Rashtchian et al.: a true cluster counts as
+ * recovered when some output cluster contains at least a gamma fraction
+ * of its reads and no reads from any other true cluster.
+ */
+
+#ifndef DNASTORE_CLUSTERING_ACCURACY_HH
+#define DNASTORE_CLUSTERING_ACCURACY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/clusterer.hh"
+
+namespace dnastore
+{
+
+/**
+ * A_gamma accuracy.
+ *
+ * @param clustering Output clusters (indices into the read list).
+ * @param origin     Ground-truth strand id per read.
+ * @param gamma      Required completeness fraction in (0, 1].
+ */
+double clusteringAccuracy(const Clustering &clustering,
+                          const std::vector<std::uint32_t> &origin,
+                          double gamma = 1.0);
+
+} // namespace dnastore
+
+#endif // DNASTORE_CLUSTERING_ACCURACY_HH

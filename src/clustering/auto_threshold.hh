@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Automatic configuration of the clustering thresholds (paper Section
+ * VI-B, Figure 5).  Signature distances between a small read sample and
+ * a larger one form a bimodal histogram: a low mode of same-cluster
+ * pairs and a high mode of unrelated pairs.  theta_low is placed inside
+ * the low mode (merge without edit-distance check), theta_high before
+ * the high mode (reject without check); only the gray zone in between
+ * pays for an edit-distance comparison.
+ */
+
+#ifndef DNASTORE_CLUSTERING_AUTO_THRESHOLD_HH
+#define DNASTORE_CLUSTERING_AUTO_THRESHOLD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/signature.hh"
+#include "dna/strand.hh"
+#include "util/stats.hh"
+
+namespace dnastore
+{
+
+/** Sampling knobs for auto-threshold estimation. */
+struct AutoThresholdConfig
+{
+    std::size_t small_sample = 40;  //!< "Handful" of probe reads.
+    std::size_t large_sample = 400; //!< Reads each probe is compared to.
+    std::size_t smoothing_radius = 2;
+};
+
+/** The estimated thresholds plus the evidence behind them. */
+struct Thresholds
+{
+    std::int64_t low = 0;   //!< <= low: merge without edit check.
+    std::int64_t high = 0;  //!< >= high: reject without edit check.
+    Histogram histogram{1}; //!< Distance histogram (Fig. 5 material).
+    std::int64_t valley = 0;    //!< Bin separating the two modes.
+    std::int64_t main_peak = 0; //!< Mode of unrelated-pair distances.
+};
+
+/**
+ * Estimate thresholds by sampling signature distances between reads
+ * (paper Section VI-B).  Deterministic given @p rng state.
+ */
+Thresholds
+autoConfigureThresholds(const std::vector<Strand> &reads,
+                        const SignatureScheme &scheme, Rng &rng,
+                        const AutoThresholdConfig &config = {});
+
+} // namespace dnastore
+
+#endif // DNASTORE_CLUSTERING_AUTO_THRESHOLD_HH

@@ -1,0 +1,174 @@
+#include "clusterer.hh"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "clustering/union_find.hh"
+#include "dna/distance.hh"
+#include "util/thread_pool.hh"
+#include "util/timer.hh"
+
+namespace dnastore
+{
+
+RashtchianClustererConfig
+RashtchianClustererConfig::forErrorRate(double error_rate,
+                                        std::size_t read_length)
+{
+    RashtchianClustererConfig cfg;
+    const double expected_gap =
+        2.0 * error_rate * static_cast<double>(read_length);
+    cfg.edit_threshold = static_cast<std::size_t>(
+        expected_gap + 3.0 * std::sqrt(expected_gap) + 0.5);
+    if (error_rate > 0.10) {
+        cfg.key_len = 4;
+        cfg.rounds = 96;
+    }
+    return cfg;
+}
+
+RashtchianClusterer::RashtchianClusterer(RashtchianClustererConfig config)
+    : cfg(config), rng(config.seed)
+{
+}
+
+std::string
+RashtchianClusterer::name() const
+{
+    return std::string("rashtchian/") + signatureKindName(cfg.signature);
+}
+
+Clustering
+RashtchianClusterer::cluster(const std::vector<Strand> &reads)
+{
+    last_stats = Stats{};
+    Clustering result;
+    if (reads.empty())
+        return result;
+    if (reads.size() == 1) {
+        result.clusters = {{0}};
+        return result;
+    }
+
+    const SignatureScheme scheme(cfg.signature, rng, cfg.q, cfg.num_grams);
+
+    // Signature pre-calculation (reported separately in Table II).
+    WallTimer sig_timer;
+    std::vector<Signature> signatures(reads.size());
+    std::unique_ptr<ThreadPool> pool;
+    if (cfg.num_threads > 1)
+        pool = std::make_unique<ThreadPool>(cfg.num_threads);
+    if (pool) {
+        pool->parallelFor(0, reads.size(), [&](std::size_t i) {
+            signatures[i] = scheme.compute(reads[i]);
+        });
+    } else {
+        for (std::size_t i = 0; i < reads.size(); ++i)
+            signatures[i] = scheme.compute(reads[i]);
+    }
+    last_stats.signature_seconds = sig_timer.seconds();
+
+    // Thresholds: user-provided or auto-configured from a sample.
+    std::int64_t theta_low = cfg.theta_low;
+    std::int64_t theta_high = cfg.theta_high;
+    if (theta_low < 0 || theta_high < 0) {
+        const Thresholds auto_thresholds =
+            autoConfigureThresholds(reads, scheme, rng, cfg.auto_threshold);
+        if (theta_low < 0)
+            theta_low = auto_thresholds.low;
+        if (theta_high < 0)
+            theta_high = auto_thresholds.high;
+    }
+    last_stats.theta_low = theta_low;
+    last_stats.theta_high = theta_high;
+
+    WallTimer merge_timer;
+    UnionFind dsu(reads.size());
+    std::mutex dsu_mutex;
+    std::atomic<std::size_t> sig_comparisons{0};
+    std::atomic<std::size_t> edit_calls{0};
+    std::atomic<std::size_t> merges{0};
+
+    for (std::size_t round = 0; round < cfg.rounds; ++round) {
+        ++last_stats.rounds_run;
+
+        // One random representative per current cluster.
+        auto groups = dsu.groups();
+        const Strand anchor = strand::random(rng, cfg.anchor_len);
+
+        // Partition representatives by the key_len bases following the
+        // anchor's first occurrence.
+        std::unordered_map<std::string, std::vector<std::uint32_t>>
+            partitions;
+        partitions.reserve(groups.size() / 2 + 1);
+        for (const auto &group : groups) {
+            const std::uint32_t rep =
+                group[rng.below(group.size())];
+            const Strand &read = reads[rep];
+            const auto pos = read.find(anchor);
+            if (pos == Strand::npos)
+                continue; // cluster sits this round out
+            const std::size_t key_start = pos + cfg.anchor_len;
+            if (key_start + cfg.key_len > read.size())
+                continue;
+            partitions[read.substr(key_start, cfg.key_len)].push_back(rep);
+        }
+
+        std::vector<std::vector<std::uint32_t>> buckets;
+        buckets.reserve(partitions.size());
+        for (auto &[key, members] : partitions) {
+            if (members.size() > 1)
+                buckets.push_back(std::move(members));
+        }
+
+        auto process_bucket = [&](std::size_t b) {
+            const auto &members = buckets[b];
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                for (std::size_t j = i + 1; j < members.size(); ++j) {
+                    const std::uint32_t a = members[i];
+                    const std::uint32_t c = members[j];
+                    {
+                        std::lock_guard<std::mutex> lock(dsu_mutex);
+                        if (dsu.connected(a, c))
+                            continue;
+                    }
+                    sig_comparisons.fetch_add(1, std::memory_order_relaxed);
+                    const std::int64_t d =
+                        scheme.distance(signatures[a], signatures[c]);
+                    bool do_merge = false;
+                    if (d <= theta_low) {
+                        do_merge = true;
+                    } else if (d < theta_high) {
+                        edit_calls.fetch_add(1, std::memory_order_relaxed);
+                        do_merge = withinEditDistance(reads[a], reads[c],
+                                                      cfg.edit_threshold);
+                    }
+                    if (do_merge) {
+                        std::lock_guard<std::mutex> lock(dsu_mutex);
+                        dsu.merge(a, c);
+                        merges.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+            }
+        };
+
+        if (pool) {
+            pool->parallelFor(0, buckets.size(), process_bucket);
+        } else {
+            for (std::size_t b = 0; b < buckets.size(); ++b)
+                process_bucket(b);
+        }
+    }
+
+    last_stats.clustering_seconds = merge_timer.seconds();
+    last_stats.signature_comparisons = sig_comparisons.load();
+    last_stats.edit_distance_calls = edit_calls.load();
+    last_stats.merges = merges.load();
+
+    result.clusters = dsu.groups();
+    return result;
+}
+
+} // namespace dnastore

@@ -1,0 +1,88 @@
+#include "signature.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dna/qgram.hh"
+
+namespace dnastore
+{
+
+const char *
+signatureKindName(SignatureKind kind)
+{
+    return kind == SignatureKind::QGram ? "q-gram" : "w-gram";
+}
+
+SignatureScheme::SignatureScheme(SignatureKind kind, Rng &rng, std::size_t q,
+                                 std::size_t num_grams)
+    : kind_(kind), probes(randomQGramSet(rng, q, num_grams))
+{
+}
+
+SignatureScheme::SignatureScheme(SignatureKind kind,
+                                 std::vector<std::string> probes_in)
+    : kind_(kind), probes(std::move(probes_in))
+{
+    if (probes.empty())
+        throw std::invalid_argument("SignatureScheme: empty probe set");
+}
+
+Signature
+SignatureScheme::compute(const std::string &read) const
+{
+    Signature sig;
+    sig.values.resize(probes.size());
+    const std::size_t q = probes.front().size();
+
+    if (kind_ == SignatureKind::QGram) {
+        // One pass over the read collecting its q-grams, then O(1)
+        // membership probes: presence bits don't need positions.
+        std::unordered_set<std::string_view> present;
+        if (read.size() >= q)
+            present.reserve(read.size() - q + 1);
+        for (std::size_t i = 0; i + q <= read.size(); ++i)
+            present.insert(std::string_view(read).substr(i, q));
+        for (std::size_t p = 0; p < probes.size(); ++p)
+            sig.values[p] = present.count(probes[p]) ? 1 : 0;
+        return sig;
+    }
+
+    // w-gram: record the first occurrence position of every q-gram of
+    // the read (paper Section VI-C: costlier to compute and store than
+    // presence bits), then look the probes up.
+    std::unordered_map<std::string_view, std::int32_t> first_pos;
+    if (read.size() >= q)
+        first_pos.reserve(read.size() - q + 1);
+    for (std::size_t i = 0; i + q <= read.size(); ++i) {
+        first_pos.emplace(std::string_view(read).substr(i, q),
+                          static_cast<std::int32_t>(i));
+    }
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        const auto it = first_pos.find(probes[p]);
+        sig.values[p] = it == first_pos.end() ? -1 : it->second;
+    }
+    return sig;
+}
+
+std::int64_t
+SignatureScheme::distance(const Signature &a, const Signature &b) const
+{
+    if (a.values.size() != b.values.size())
+        throw std::invalid_argument("SignatureScheme: dimension mismatch");
+    std::int64_t total = 0;
+    if (kind_ == SignatureKind::QGram) {
+        for (std::size_t i = 0; i < a.values.size(); ++i)
+            total += a.values[i] != b.values[i];
+    } else {
+        for (std::size_t i = 0; i < a.values.size(); ++i)
+            total += std::abs(static_cast<std::int64_t>(a.values[i]) -
+                              static_cast<std::int64_t>(b.values[i]));
+    }
+    return total;
+}
+
+} // namespace dnastore

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Disjoint-set forest used by the iterative merge clustering (paper
+ * Section VI-A): every read starts as a singleton cluster and similar
+ * clusters are merged round by round.
+ */
+
+#ifndef DNASTORE_CLUSTERING_UNION_FIND_HH
+#define DNASTORE_CLUSTERING_UNION_FIND_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dnastore
+{
+
+/** Union-find with path halving and union by size. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t count);
+
+    /** Representative of the set containing x. */
+    std::size_t find(std::size_t x);
+
+    /** Merge the sets of a and b; returns the surviving root. */
+    std::size_t merge(std::size_t a, std::size_t b);
+
+    /** True if a and b share a set. */
+    bool connected(std::size_t a, std::size_t b);
+
+    /** Size of the set containing x. */
+    std::size_t sizeOf(std::size_t x);
+
+    /** Number of elements. */
+    std::size_t count() const { return parent.size(); }
+
+    /** Number of distinct sets. */
+    std::size_t numSets() const { return sets; }
+
+    /** Materialise the sets as index groups (roots own their group). */
+    std::vector<std::vector<std::uint32_t>> groups();
+
+  private:
+    std::vector<std::uint32_t> parent;
+    std::vector<std::uint32_t> size;
+    std::size_t sets;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_CLUSTERING_UNION_FIND_HH

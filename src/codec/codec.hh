@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Module interfaces for the encoding/decoding step of the pipeline
+ * (paper Sections III and IV).  Any encoder/decoder implementing these
+ * interfaces can be slotted into the Pipeline; the toolkit ships the
+ * Organick-style matrix codec with Baseline, Gini and DNAMapper layouts.
+ */
+
+#ifndef DNASTORE_CODEC_CODEC_HH
+#define DNASTORE_CODEC_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dna/strand.hh"
+
+namespace dnastore
+{
+
+/**
+ * Outcome of decoding a set of reconstructed strands back into a file.
+ */
+struct DecodeReport
+{
+    bool ok = false;                 //!< Header valid and CRC matched.
+    std::vector<std::uint8_t> data;  //!< Recovered file contents.
+
+    std::size_t total_rows = 0;      //!< RS codewords processed.
+    std::size_t failed_rows = 0;     //!< Codewords RS could not correct.
+    /** (unit, row) of every failed codeword, for reliability analyses. */
+    std::vector<std::pair<std::size_t, std::size_t>> failed_row_ids;
+    std::size_t corrected_errors = 0; //!< RS symbol errors fixed.
+    std::size_t erased_columns = 0;  //!< Missing molecules (erasures).
+    std::size_t malformed_strands = 0; //!< Wrong length / bad index field.
+    std::size_t conflicting_strands = 0; //!< Duplicate-index disagreements.
+};
+
+/**
+ * Encoding module interface: binary data in, DNA strands out.  Each
+ * strand carries its index field; primers are attached later, at the
+ * pool level.
+ */
+class FileEncoder
+{
+  public:
+    virtual ~FileEncoder() = default;
+
+    /** Encode a file into index-tagged payload strands. */
+    virtual std::vector<Strand>
+    encode(const std::vector<std::uint8_t> &data) const = 0;
+
+    /**
+     * Number of encoding units a file of the given size occupies, when
+     * the scheme has such a notion (0 = unknown; decoders then infer it
+     * from the observed indices).
+     */
+    virtual std::size_t unitsForSize(std::size_t) const { return 0; }
+
+    /** Human-readable module name (for reports). */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Decoding module interface: reconstructed strands in, binary data out.
+ */
+class FileDecoder
+{
+  public:
+    virtual ~FileDecoder() = default;
+
+    /**
+     * Decode reconstructed strands.
+     *
+     * @param strands Reconstructed index+payload strands (any order,
+     *                duplicates allowed).
+     * @param expected_units Number of encoding units the file was
+     *                encoded into, when known (0 = infer from indices).
+     */
+    virtual DecodeReport
+    decode(const std::vector<Strand> &strands,
+           std::size_t expected_units = 0) const = 0;
+
+    /** Human-readable module name (for reports). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_CODEC_CODEC_HH

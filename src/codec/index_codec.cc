@@ -1,0 +1,40 @@
+#include "index_codec.hh"
+
+#include <stdexcept>
+
+namespace dnastore
+{
+
+IndexCodec::IndexCodec(std::size_t num_bases) : num_bases(num_bases)
+{
+    if (num_bases == 0 || num_bases > 32)
+        throw std::invalid_argument("IndexCodec: width must be in [1, 32]");
+}
+
+std::uint64_t
+IndexCodec::maxIndex() const
+{
+    if (num_bases >= 32)
+        return ~0ULL;
+    return (1ULL << (2 * num_bases)) - 1;
+}
+
+Strand
+IndexCodec::encode(std::uint64_t index) const
+{
+    return strand::encodeNumber(index, num_bases);
+}
+
+std::optional<std::uint64_t>
+IndexCodec::decode(const Strand &s) const
+{
+    if (s.size() < num_bases)
+        return std::nullopt;
+    try {
+        return strand::decodeNumber(s.substr(0, num_bases));
+    } catch (const std::invalid_argument &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace dnastore

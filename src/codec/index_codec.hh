@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-width nucleotide index field (paper Section II-C).  Molecules in
+ * a pool have no physical order, so every strand carries an internal
+ * address that places its payload within the file.
+ */
+
+#ifndef DNASTORE_CODEC_INDEX_CODEC_HH
+#define DNASTORE_CODEC_INDEX_CODEC_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "dna/strand.hh"
+
+namespace dnastore
+{
+
+/**
+ * Encodes a molecule index as a fixed number of nucleotides (2 bits per
+ * base, big-endian).
+ */
+class IndexCodec
+{
+  public:
+    /**
+     * @param num_bases Index field width in nucleotides (1..32).
+     * Throws std::invalid_argument when out of range.
+     */
+    explicit IndexCodec(std::size_t num_bases);
+
+    /** Index field width in nucleotides. */
+    std::size_t width() const { return num_bases; }
+
+    /** Largest representable index. */
+    std::uint64_t maxIndex() const;
+
+    /** Encode an index; throws std::invalid_argument if it can't fit. */
+    Strand encode(std::uint64_t index) const;
+
+    /**
+     * Decode the index from the first width() bases of a strand.
+     * Returns std::nullopt if the strand is too short or contains
+     * non-ACGT characters in the index field.
+     */
+    std::optional<std::uint64_t> decode(const Strand &strand) const;
+
+  private:
+    std::size_t num_bases;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_CODEC_INDEX_CODEC_HH

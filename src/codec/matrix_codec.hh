@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The Organick-style matrix codec (paper Section IV) with three layout
+ * schemes:
+ *
+ *  - Baseline: molecules are columns of an encoding-unit matrix and
+ *    every row is a Reed-Solomon codeword (Organick et al.).  Lost
+ *    molecules become erasures in every row; insertions/deletions inside
+ *    a molecule surface as substitution errors in the affected rows.
+ *  - Gini: codewords are laid out diagonally, so the unreliable middle
+ *    strand positions produced by double-sided BMA are spread evenly
+ *    across all codewords instead of concentrating in the middle rows.
+ *  - DNAMapper: data bytes carry priority classes, and higher-priority
+ *    bytes are mapped onto more reliable strand positions, degrading
+ *    quality-tolerant data first when rows fail.
+ *
+ * A 20-byte header (magic, version, scheme, payload length, CRC-32) is
+ * replicated at the start of every encoding unit — the decoder recovers
+ * it by byte-wise majority vote across units and verifies end-to-end
+ * integrity with the CRC.
+ */
+
+#ifndef DNASTORE_CODEC_MATRIX_CODEC_HH
+#define DNASTORE_CODEC_MATRIX_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/codec.hh"
+#include "codec/index_codec.hh"
+#include "codec/randomizer.hh"
+#include "ecc/reed_solomon.hh"
+
+namespace dnastore
+{
+
+/** Matrix layout variants (paper Sections IV-A/B/C). */
+enum class LayoutScheme : std::uint8_t
+{
+    Baseline = 0,
+    Gini = 1,
+    DNAMapper = 2,
+};
+
+/** Name of a layout scheme. */
+const char *layoutSchemeName(LayoutScheme scheme);
+
+/**
+ * Shared configuration of the matrix encoder/decoder pair.  A file is
+ * split into encoding units of rs_n molecules (rs_k data + rs_n - rs_k
+ * ECC); each molecule payload holds payload_nt/4 bytes, one per matrix
+ * row.
+ */
+struct MatrixCodecConfig
+{
+    std::size_t payload_nt = 120; //!< Payload nucleotides (multiple of 4).
+    std::size_t index_nt = 12;    //!< Index field width in nucleotides.
+    std::size_t rs_n = 96;        //!< Columns (molecules) per unit, <= 255.
+    std::size_t rs_k = 64;        //!< Data columns per unit.
+    std::uint64_t randomizer_seed = 0x0dd5eedULL;
+    LayoutScheme scheme = LayoutScheme::Baseline;
+
+    /**
+     * DNAMapper only: priority class per payload byte (lower value =
+     * more important).  Must match the encoded data length; empty means
+     * identity mapping (DNAMapper degenerates to Baseline).
+     */
+    std::vector<std::uint32_t> priorities;
+
+    /**
+     * DNAMapper only: matrix rows listed most-reliable first.  Empty
+     * selects the double-sided-BMA default, where reliability decreases
+     * toward the middle of the strand.
+     */
+    std::vector<std::size_t> row_reliability_order;
+
+    /** Bytes stored per molecule payload (= matrix rows). */
+    std::size_t bytesPerMolecule() const { return payload_nt / 4; }
+    /** Total strand length (index + payload). */
+    std::size_t strandLength() const { return index_nt + payload_nt; }
+    /** Data bytes per encoding unit. */
+    std::size_t unitDataBytes() const { return rs_k * bytesPerMolecule(); }
+
+    /** Throws std::invalid_argument on inconsistent parameters. */
+    void validate() const;
+
+    /** Rows in most-reliable-first order (explicit or DBMA default). */
+    std::vector<std::size_t> effectiveRowOrder() const;
+};
+
+/** Matrix encoder: file bytes to index-tagged strands. */
+class MatrixEncoder : public FileEncoder
+{
+  public:
+    explicit MatrixEncoder(MatrixCodecConfig config);
+
+    std::vector<Strand>
+    encode(const std::vector<std::uint8_t> &data) const override;
+
+    std::string name() const override;
+
+    /** Units needed for a file of the given size. */
+    std::size_t unitsForSize(std::size_t data_size) const override;
+
+    const MatrixCodecConfig &config() const { return cfg; }
+
+  private:
+    MatrixCodecConfig cfg;
+    ReedSolomon rs;
+    Randomizer randomizer;
+    IndexCodec index_codec;
+};
+
+/** Matrix decoder: reconstructed strands back to file bytes. */
+class MatrixDecoder : public FileDecoder
+{
+  public:
+    explicit MatrixDecoder(MatrixCodecConfig config);
+
+    DecodeReport decode(const std::vector<Strand> &strands,
+                        std::size_t expected_units = 0) const override;
+
+    std::string name() const override;
+
+    const MatrixCodecConfig &config() const { return cfg; }
+
+  private:
+    std::size_t inferUnits(
+        const std::vector<std::vector<std::vector<std::uint8_t>>> &) const;
+
+    MatrixCodecConfig cfg;
+    ReedSolomon rs;
+    Randomizer randomizer;
+    IndexCodec index_codec;
+};
+
+namespace detail
+{
+
+/**
+ * Build the DNAMapper source permutation: sourceOf[slot] is the stream
+ * position whose byte is stored in physical slot `slot`.  Exposed for
+ * testing.
+ *
+ * @param stream_size Padded stream length (units * unitDataBytes).
+ * @param header_size Bytes of header replica at each unit front
+ *                    (always priority class 0).
+ * @param data_size   Total payload bytes across units.
+ * @param priorities  Priority class per payload byte (empty = one class).
+ * @param cfg         Codec geometry (rows per molecule, columns).
+ */
+std::vector<std::size_t>
+dnaMapperPermutation(std::size_t stream_size, std::size_t header_size,
+                     std::size_t data_size,
+                     const std::vector<std::uint32_t> &priorities,
+                     const MatrixCodecConfig &cfg);
+
+} // namespace detail
+
+} // namespace dnastore
+
+#endif // DNASTORE_CODEC_MATRIX_CODEC_HH

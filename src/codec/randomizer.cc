@@ -1,0 +1,29 @@
+#include "randomizer.hh"
+
+#include "util/random.hh"
+
+namespace dnastore
+{
+
+void
+Randomizer::apply(std::vector<std::uint8_t> &data) const
+{
+    SplitMix64 stream(seed);
+    std::size_t i = 0;
+    while (i + 8 <= data.size()) {
+        std::uint64_t word = stream.next();
+        for (int b = 0; b < 8; ++b) {
+            data[i++] ^= static_cast<std::uint8_t>(word);
+            word >>= 8;
+        }
+    }
+    if (i < data.size()) {
+        std::uint64_t word = stream.next();
+        while (i < data.size()) {
+            data[i++] ^= static_cast<std::uint8_t>(word);
+            word >>= 8;
+        }
+    }
+}
+
+} // namespace dnastore

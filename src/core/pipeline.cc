@@ -1,0 +1,145 @@
+#include "pipeline.hh"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "clustering/accuracy.hh"
+#include "simulator/sequencing_run.hh"
+#include "util/timer.hh"
+
+namespace dnastore
+{
+
+Pipeline::Pipeline(PipelineModules modules, PipelineConfig config)
+    : mods(modules), cfg(std::move(config)), rng(cfg.seed)
+{
+}
+
+PipelineResult
+Pipeline::run(const std::vector<std::uint8_t> &data)
+{
+    if (!mods.encoder || !mods.decoder || !mods.channel || !mods.clusterer ||
+        !mods.reconstructor) {
+        throw std::invalid_argument("Pipeline: missing module");
+    }
+
+    PipelineResult result;
+    WallTimer timer;
+
+    // Stage 1: encoding (+ ECC).
+    timer.reset();
+    const std::vector<Strand> encoded = mods.encoder->encode(data);
+    result.latency.encoding = timer.seconds();
+    result.encoded_strands = encoded.size();
+    if (encoded.empty())
+        return result;
+    const std::size_t strand_length = encoded.front().size();
+
+    // Stage 2: wetlab simulation (synthesis, storage, sequencing).
+    timer.reset();
+    const SequencingRun run =
+        simulateSequencing(encoded, *mods.channel, cfg.coverage, rng);
+    result.latency.simulation = timer.seconds();
+    result.reads = run.reads.size();
+    result.dropped_strands = run.dropped_strands;
+
+    // Stage 3: clustering.
+    timer.reset();
+    const Clustering clustering = mods.clusterer->cluster(run.reads);
+    result.latency.clustering = timer.seconds();
+    result.clusters = clustering.numClusters();
+    result.clustering_accuracy = clusteringAccuracy(clustering, run.origin);
+
+    // Stage 4: trace reconstruction.
+    timer.reset();
+    std::vector<std::vector<Strand>> groups;
+    std::vector<std::vector<std::uint32_t>> group_origins;
+    groups.reserve(clustering.clusters.size());
+    for (const auto &cluster : clustering.clusters) {
+        if (cluster.size() < cfg.min_cluster_size)
+            continue;
+        std::vector<Strand> reads;
+        std::vector<std::uint32_t> origins;
+        reads.reserve(cluster.size());
+        for (std::uint32_t idx : cluster) {
+            reads.push_back(run.reads[idx]);
+            origins.push_back(run.origin[idx]);
+        }
+        groups.push_back(std::move(reads));
+        group_origins.push_back(std::move(origins));
+    }
+    const std::vector<Strand> reconstructed = reconstructAll(
+        *mods.reconstructor, groups, strand_length, cfg.num_threads);
+    result.latency.reconstruction = timer.seconds();
+
+    // Ground-truth reconstruction quality: a cluster reconstructs
+    // "perfectly" when its consensus equals the encoded strand that a
+    // majority of its reads came from.
+    std::size_t perfect = 0;
+    for (std::size_t g = 0; g < reconstructed.size(); ++g) {
+        std::unordered_map<std::uint32_t, std::size_t> votes;
+        for (std::uint32_t origin : group_origins[g])
+            ++votes[origin];
+        std::uint32_t majority = group_origins[g].front();
+        std::size_t best = 0;
+        for (const auto &[origin, count] : votes) {
+            if (count > best) {
+                best = count;
+                majority = origin;
+            }
+        }
+        if (reconstructed[g] == encoded[majority])
+            ++perfect;
+    }
+    result.perfect_reconstructions = encoded.empty()
+        ? 0.0
+        : static_cast<double>(perfect) /
+            static_cast<double>(encoded.size());
+
+    // Stage 5: decoding and error correction.
+    timer.reset();
+    result.report = mods.decoder->decode(
+        reconstructed, mods.encoder->unitsForSize(data.size()));
+    result.latency.decoding = timer.seconds();
+    return result;
+}
+
+PipelineResult
+Pipeline::runFromReads(const std::vector<Strand> &reads,
+                       std::size_t strand_length, std::size_t expected_units)
+{
+    if (!mods.decoder || !mods.clusterer || !mods.reconstructor)
+        throw std::invalid_argument("Pipeline: missing module");
+
+    PipelineResult result;
+    result.reads = reads.size();
+    WallTimer timer;
+
+    timer.reset();
+    const Clustering clustering = mods.clusterer->cluster(reads);
+    result.latency.clustering = timer.seconds();
+    result.clusters = clustering.numClusters();
+
+    timer.reset();
+    std::vector<std::vector<Strand>> groups;
+    groups.reserve(clustering.clusters.size());
+    for (const auto &cluster : clustering.clusters) {
+        if (cluster.size() < cfg.min_cluster_size)
+            continue;
+        std::vector<Strand> group;
+        group.reserve(cluster.size());
+        for (std::uint32_t idx : cluster)
+            group.push_back(reads[idx]);
+        groups.push_back(std::move(group));
+    }
+    const std::vector<Strand> reconstructed = reconstructAll(
+        *mods.reconstructor, groups, strand_length, cfg.num_threads);
+    result.latency.reconstruction = timer.seconds();
+
+    timer.reset();
+    result.report = mods.decoder->decode(reconstructed, expected_units);
+    result.latency.decoding = timer.seconds();
+    return result;
+}
+
+} // namespace dnastore

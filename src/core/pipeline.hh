@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The end-to-end pipeline (paper Section III): Encoding -> Simulation
+ * -> Clustering -> Trace Reconstruction -> Decoding & Error Correction.
+ * Every stage is a swappable module passed in by reference; the
+ * pipeline wires them together, times each stage (Table III), and can
+ * evaluate intermediate quality against simulation ground truth.
+ */
+
+#ifndef DNASTORE_CORE_PIPELINE_HH
+#define DNASTORE_CORE_PIPELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clustering/clusterer.hh"
+#include "codec/codec.hh"
+#include "reconstruction/reconstructor.hh"
+#include "simulator/channel.hh"
+#include "simulator/coverage.hh"
+
+namespace dnastore
+{
+
+/** Per-stage wall-clock latency (Table III rows). */
+struct StageLatency
+{
+    double encoding = 0.0;
+    double simulation = 0.0;
+    double clustering = 0.0;
+    double reconstruction = 0.0;
+    double decoding = 0.0;
+
+    double
+    total() const
+    {
+        return encoding + simulation + clustering + reconstruction +
+            decoding;
+    }
+};
+
+/** Everything a pipeline run produces. */
+struct PipelineResult
+{
+    DecodeReport report;       //!< Final decode outcome.
+    StageLatency latency;
+
+    std::size_t encoded_strands = 0;
+    std::size_t reads = 0;
+    std::size_t clusters = 0;
+    std::size_t dropped_strands = 0;
+
+    /** A_1 accuracy vs ground truth (simulated runs only). */
+    double clustering_accuracy = 0.0;
+    /** Fraction of encoded strands reconstructed exactly. */
+    double perfect_reconstructions = 0.0;
+};
+
+/** Module wiring for one pipeline instance. */
+struct PipelineModules
+{
+    const FileEncoder *encoder = nullptr;
+    const FileDecoder *decoder = nullptr;
+    const Channel *channel = nullptr;
+    Clusterer *clusterer = nullptr;
+    const Reconstructor *reconstructor = nullptr;
+};
+
+/** Pipeline-level knobs. */
+struct PipelineConfig
+{
+    CoverageModel coverage{10.0};
+    std::size_t num_threads = 1; //!< Reconstruction parallelism.
+    std::uint64_t seed = 0x91e1157ULL; //!< Simulation RNG seed.
+    /** Clusters smaller than this are discarded before reconstruction. */
+    std::size_t min_cluster_size = 1;
+};
+
+/**
+ * The end-to-end DNA storage pipeline.  Modules are borrowed, not
+ * owned, and must outlive the pipeline.
+ */
+class Pipeline
+{
+  public:
+    Pipeline(PipelineModules modules, PipelineConfig config);
+
+    /**
+     * Encode @p data, run it through the simulated wetlab, cluster,
+     * reconstruct and decode.  Throws std::invalid_argument when a
+     * required module is missing.
+     */
+    PipelineResult run(const std::vector<std::uint8_t> &data);
+
+    /**
+     * Variant that skips the simulation stage and consumes externally
+     * produced reads (e.g. preprocessed wetlab FASTQ, Section VIII).
+     * @p expected_units may be 0 (infer from indices).
+     */
+    PipelineResult runFromReads(const std::vector<Strand> &reads,
+                                std::size_t strand_length,
+                                std::size_t expected_units = 0);
+
+  private:
+    PipelineModules mods;
+    PipelineConfig cfg;
+    Rng rng;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_CORE_PIPELINE_HH

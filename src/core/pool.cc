@@ -1,0 +1,38 @@
+#include "pool.hh"
+
+namespace dnastore
+{
+
+void
+DnaPool::store(const PrimerPair &key,
+               const std::vector<Strand> &payload_strands)
+{
+    molecules.reserve(molecules.size() + payload_strands.size());
+    forward_tags.reserve(forward_tags.size() + payload_strands.size());
+    for (const Strand &payload : payload_strands) {
+        molecules.push_back(attachPrimers(key, payload));
+        forward_tags.push_back(key.forward);
+    }
+}
+
+PcrProduct
+amplify(const DnaPool &pool, const PrimerPair &key, Rng &rng,
+        const PcrConfig &config)
+{
+    PcrProduct product;
+    const auto &molecules = pool.all();
+    const auto &tags = pool.tags();
+    for (std::size_t i = 0; i < molecules.size(); ++i) {
+        if (tags[i] == key.forward) {
+            product.molecules.push_back(molecules[i]);
+            ++product.on_target;
+        } else if (config.off_target_rate > 0.0 &&
+                   rng.chance(config.off_target_rate)) {
+            product.molecules.push_back(molecules[i]);
+            ++product.off_target;
+        }
+    }
+    return product;
+}
+
+} // namespace dnastore

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The DNA pool as a key-value store (paper Section II-F): a pair of PCR
+ * primers is the key; all molecules tagged with that pair form the
+ * value.  PCR amplification selects the molecules of one file for
+ * sequencing, implementing random access in constant chemical time.
+ */
+
+#ifndef DNASTORE_CORE_POOL_HH
+#define DNASTORE_CORE_POOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/primer.hh"
+#include "dna/strand.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+
+/** A test tube of primer-tagged molecules from any number of files. */
+class DnaPool
+{
+  public:
+    /** Attach the key's primers to each payload strand and store them. */
+    void store(const PrimerPair &key,
+               const std::vector<Strand> &payload_strands);
+
+    /** Number of stored molecules (all files). */
+    std::size_t size() const { return molecules.size(); }
+
+    /** All molecules, tagged (for whole-pool sequencing). */
+    const std::vector<Strand> &all() const { return molecules; }
+
+    /** Forward primer of the pair each molecule was stored under. */
+    const std::vector<Strand> &tags() const { return forward_tags; }
+
+  private:
+    std::vector<Strand> molecules;
+    std::vector<Strand> forward_tags;
+};
+
+/** Knobs of the PCR random-access simulation. */
+struct PcrConfig
+{
+    /**
+     * Probability that a molecule of *another* file leaks into the
+     * amplified product (off-target amplification / contamination).
+     */
+    double off_target_rate = 0.0;
+};
+
+/** Result of a PCR amplification. */
+struct PcrProduct
+{
+    std::vector<Strand> molecules; //!< Tagged molecules, primers intact.
+    std::size_t on_target = 0;
+    std::size_t off_target = 0;
+};
+
+/**
+ * Simulate PCR selection of a file: every molecule stored under @p key
+ * is amplified; other molecules leak in at the configured off-target
+ * rate.
+ */
+PcrProduct amplify(const DnaPool &pool, const PrimerPair &key, Rng &rng,
+                   const PcrConfig &config = {});
+
+} // namespace dnastore
+
+#endif // DNASTORE_CORE_POOL_HH

@@ -1,0 +1,146 @@
+#include "text_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dnastore
+{
+
+namespace
+{
+
+bool
+getCleanLine(std::istream &in, std::string &line)
+{
+    if (!std::getline(in, line))
+        return false;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return true;
+}
+
+} // namespace
+
+std::vector<Strand>
+readStrandLines(std::istream &in)
+{
+    std::vector<Strand> strands;
+    std::string line;
+    while (getCleanLine(in, line)) {
+        if (!line.empty())
+            strands.push_back(line);
+    }
+    return strands;
+}
+
+std::vector<Strand>
+readStrandFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open strand file: " + path);
+    return readStrandLines(in);
+}
+
+void
+writeStrandLines(std::ostream &out, const std::vector<Strand> &strands)
+{
+    for (const Strand &s : strands)
+        out << s << '\n';
+}
+
+void
+writeStrandFile(const std::string &path, const std::vector<Strand> &strands)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open strand file for write: " +
+                                 path);
+    writeStrandLines(out, strands);
+    if (!out)
+        throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::vector<Strand>>
+readClusterLines(std::istream &in)
+{
+    std::vector<std::vector<Strand>> clusters;
+    std::vector<Strand> current;
+    std::string line;
+    while (getCleanLine(in, line)) {
+        if (line.empty()) {
+            if (!current.empty()) {
+                clusters.push_back(std::move(current));
+                current.clear();
+            }
+        } else {
+            current.push_back(line);
+        }
+    }
+    if (!current.empty())
+        clusters.push_back(std::move(current));
+    return clusters;
+}
+
+std::vector<std::vector<Strand>>
+readClusterFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open cluster file: " + path);
+    return readClusterLines(in);
+}
+
+void
+writeClusterLines(std::ostream &out,
+                  const std::vector<std::vector<Strand>> &clusters)
+{
+    bool first = true;
+    for (const auto &cluster : clusters) {
+        if (!first)
+            out << '\n';
+        first = false;
+        for (const Strand &s : cluster)
+            out << s << '\n';
+    }
+}
+
+void
+writeClusterFile(const std::string &path,
+                 const std::vector<std::vector<Strand>> &clusters)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open cluster file for write: " +
+                                 path);
+    writeClusterLines(out, clusters);
+    if (!out)
+        throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::uint8_t>
+readBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open file: " + path);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeBinaryFile(const std::string &path,
+                const std::vector<std::uint8_t> &data)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open file for write: " + path);
+    out.write(reinterpret_cast<const char *>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out)
+        throw std::runtime_error("write failed: " + path);
+}
+
+} // namespace dnastore

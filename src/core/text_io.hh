@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text interchange formats used by the command-line tool so that
+ * each pipeline stage can run standalone and be chained through files
+ * (paper Section III: modules usable individually):
+ *
+ *  - strand list: one ACGT sequence per line;
+ *  - cluster list: groups of sequences separated by blank lines.
+ */
+
+#ifndef DNASTORE_CORE_TEXT_IO_HH
+#define DNASTORE_CORE_TEXT_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dna/strand.hh"
+
+namespace dnastore
+{
+
+/** Read one sequence per line; blank lines are skipped. */
+std::vector<Strand> readStrandLines(std::istream &in);
+
+/** Read a strand-list file; throws std::runtime_error if unreadable. */
+std::vector<Strand> readStrandFile(const std::string &path);
+
+/** Write one sequence per line. */
+void writeStrandLines(std::ostream &out, const std::vector<Strand> &strands);
+
+/** Write a strand-list file; throws std::runtime_error on failure. */
+void writeStrandFile(const std::string &path,
+                     const std::vector<Strand> &strands);
+
+/** Read blank-line-separated clusters of sequences. */
+std::vector<std::vector<Strand>> readClusterLines(std::istream &in);
+
+/** Read a cluster file; throws std::runtime_error if unreadable. */
+std::vector<std::vector<Strand>> readClusterFile(const std::string &path);
+
+/** Write clusters separated by blank lines. */
+void writeClusterLines(std::ostream &out,
+                       const std::vector<std::vector<Strand>> &clusters);
+
+/** Write a cluster file; throws std::runtime_error on failure. */
+void writeClusterFile(const std::string &path,
+                      const std::vector<std::vector<Strand>> &clusters);
+
+/** Read a whole binary file; throws std::runtime_error if unreadable. */
+std::vector<std::uint8_t> readBinaryFile(const std::string &path);
+
+/** Write a whole binary file; throws std::runtime_error on failure. */
+void writeBinaryFile(const std::string &path,
+                     const std::vector<std::uint8_t> &data);
+
+} // namespace dnastore
+
+#endif // DNASTORE_CORE_TEXT_IO_HH

@@ -1,0 +1,300 @@
+#include "align.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "base.hh"
+
+namespace dnastore
+{
+
+PairwiseAlignment
+globalAlign(const std::string &a, const std::string &b,
+            const AlignScores &scores)
+{
+    const std::size_t n = a.size(), m = b.size();
+    // dp[i][j]: best score aligning a[0..i) with b[0..j).
+    std::vector<int> dp((n + 1) * (m + 1));
+    std::vector<std::uint8_t> trace((n + 1) * (m + 1));
+    auto at = [m](std::size_t i, std::size_t j) { return i * (m + 1) + j; };
+    enum : std::uint8_t { FromDiag = 0, FromUp = 1, FromLeft = 2 };
+
+    dp[at(0, 0)] = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        dp[at(i, 0)] = static_cast<int>(i) * scores.gap;
+        trace[at(i, 0)] = FromUp;
+    }
+    for (std::size_t j = 1; j <= m; ++j) {
+        dp[at(0, j)] = static_cast<int>(j) * scores.gap;
+        trace[at(0, j)] = FromLeft;
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            const int diag = dp[at(i - 1, j - 1)] +
+                (a[i - 1] == b[j - 1] ? scores.match : scores.mismatch);
+            const int up = dp[at(i - 1, j)] + scores.gap;
+            const int left = dp[at(i, j - 1)] + scores.gap;
+            int best = diag;
+            std::uint8_t dir = FromDiag;
+            if (up > best) {
+                best = up;
+                dir = FromUp;
+            }
+            if (left > best) {
+                best = left;
+                dir = FromLeft;
+            }
+            dp[at(i, j)] = best;
+            trace[at(i, j)] = dir;
+        }
+    }
+
+    PairwiseAlignment out;
+    out.score = dp[at(n, m)];
+    std::size_t i = n, j = m;
+    std::string ra, rb;
+    while (i > 0 || j > 0) {
+        const std::uint8_t dir = trace[at(i, j)];
+        if (i > 0 && j > 0 && dir == FromDiag) {
+            ra.push_back(a[--i]);
+            rb.push_back(b[--j]);
+        } else if (i > 0 && (dir == FromUp || j == 0)) {
+            ra.push_back(a[--i]);
+            rb.push_back('-');
+        } else {
+            ra.push_back('-');
+            rb.push_back(b[--j]);
+        }
+    }
+    std::reverse(ra.begin(), ra.end());
+    std::reverse(rb.begin(), rb.end());
+    out.aligned_a = std::move(ra);
+    out.aligned_b = std::move(rb);
+    return out;
+}
+
+std::vector<EditOp>
+classifyEdits(const std::string &reference, const std::string &read,
+              const AlignScores &scores)
+{
+    const PairwiseAlignment aln = globalAlign(reference, read, scores);
+    std::vector<EditOp> ops;
+    ops.reserve(aln.aligned_a.size());
+    std::size_t ref_pos = 0;
+    for (std::size_t i = 0; i < aln.aligned_a.size(); ++i) {
+        const char rc = aln.aligned_a[i];
+        const char qc = aln.aligned_b[i];
+        if (rc == '-') {
+            ops.push_back({EditKind::Insertion, ref_pos, '-', qc});
+        } else if (qc == '-') {
+            ops.push_back({EditKind::Deletion, ref_pos, rc, '-'});
+            ++ref_pos;
+        } else if (rc == qc) {
+            ops.push_back({EditKind::Match, ref_pos, rc, qc});
+            ++ref_pos;
+        } else {
+            ops.push_back({EditKind::Substitution, ref_pos, rc, qc});
+            ++ref_pos;
+        }
+    }
+    return ops;
+}
+
+ProfileMsa::ProfileMsa(const AlignScores &scores) : scores(scores)
+{
+}
+
+double
+ProfileMsa::columnScore(const Column &col, std::uint8_t code) const
+{
+    assert(reads_added > 0);
+    std::uint32_t bases = 0;
+    for (int b = 0; b < kNumBases; ++b)
+        bases += col.counts[b];
+    const double matches = col.counts[code];
+    const double mismatches = static_cast<double>(bases) - matches;
+    const double gaps = col.counts[4];
+    return (matches * scores.match + mismatches * scores.mismatch +
+            gaps * scores.gap) /
+        static_cast<double>(reads_added);
+}
+
+double
+ProfileMsa::columnGapScore(const Column &col) const
+{
+    assert(reads_added > 0);
+    std::uint32_t bases = 0;
+    for (int b = 0; b < kNumBases; ++b)
+        bases += col.counts[b];
+    // Gap against an existing gap costs nothing; against a base, the gap
+    // penalty.
+    return (static_cast<double>(bases) * scores.gap) /
+        static_cast<double>(reads_added);
+}
+
+void
+ProfileMsa::addRead(const std::string &read)
+{
+    std::vector<std::uint8_t> codes(read.size());
+    for (std::size_t i = 0; i < read.size(); ++i) {
+        const std::uint8_t code = charToCode(read[i]);
+        if (code == 0xff)
+            throw std::invalid_argument("ProfileMsa: non-ACGT character");
+        codes[i] = code;
+    }
+
+    if (reads_added == 0) {
+        columns.resize(read.size());
+        for (std::size_t i = 0; i < read.size(); ++i)
+            columns[i].counts[codes[i]] = 1;
+        reads_added = 1;
+        return;
+    }
+
+    const std::size_t m = columns.size();
+    const std::size_t n = read.size();
+    std::vector<double> dp((m + 1) * (n + 1));
+    std::vector<std::uint8_t> trace((m + 1) * (n + 1));
+    auto at = [n](std::size_t i, std::size_t j) { return i * (n + 1) + j; };
+    enum : std::uint8_t { FromDiag = 0, FromUp = 1, FromLeft = 2 };
+
+    dp[at(0, 0)] = 0.0;
+    for (std::size_t i = 1; i <= m; ++i) {
+        dp[at(i, 0)] = dp[at(i - 1, 0)] + columnGapScore(columns[i - 1]);
+        trace[at(i, 0)] = FromUp;
+    }
+    for (std::size_t j = 1; j <= n; ++j) {
+        // Inserting a new column: every existing read takes a gap.
+        dp[at(0, j)] = dp[at(0, j - 1)] + scores.gap;
+        trace[at(0, j)] = FromLeft;
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+        const Column &col = columns[i - 1];
+        const double gap_here = columnGapScore(col);
+        for (std::size_t j = 1; j <= n; ++j) {
+            const double diag =
+                dp[at(i - 1, j - 1)] + columnScore(col, codes[j - 1]);
+            const double up = dp[at(i - 1, j)] + gap_here;
+            const double left = dp[at(i, j - 1)] + scores.gap;
+            double best = diag;
+            std::uint8_t dir = FromDiag;
+            if (up > best) {
+                best = up;
+                dir = FromUp;
+            }
+            if (left > best) {
+                best = left;
+                dir = FromLeft;
+            }
+            dp[at(i, j)] = best;
+            trace[at(i, j)] = dir;
+        }
+    }
+
+    // Traceback, collecting operations front-to-back after a reverse.
+    struct Step { std::uint8_t dir; std::size_t col; std::uint8_t code; };
+    std::vector<Step> steps;
+    steps.reserve(m + n);
+    std::size_t i = m, j = n;
+    while (i > 0 || j > 0) {
+        const std::uint8_t dir = trace[at(i, j)];
+        if (i > 0 && j > 0 && dir == FromDiag) {
+            --i;
+            --j;
+            steps.push_back({FromDiag, i, codes[j]});
+        } else if (i > 0 && (dir == FromUp || j == 0)) {
+            --i;
+            steps.push_back({FromUp, i, 0});
+        } else {
+            --j;
+            steps.push_back({FromLeft, 0, codes[j]});
+        }
+    }
+    std::reverse(steps.begin(), steps.end());
+
+    std::vector<Column> merged;
+    merged.reserve(columns.size() + n);
+    for (const Step &step : steps) {
+        switch (step.dir) {
+          case FromDiag: {
+            Column col = columns[step.col];
+            ++col.counts[step.code];
+            merged.push_back(col);
+            break;
+          }
+          case FromUp: {
+            Column col = columns[step.col];
+            ++col.counts[4]; // read gaps this column
+            merged.push_back(col);
+            break;
+          }
+          case FromLeft: {
+            Column col;
+            col.counts[step.code] = 1;
+            col.counts[4] = static_cast<std::uint32_t>(reads_added);
+            merged.push_back(col);
+            break;
+          }
+        }
+    }
+    columns = std::move(merged);
+    ++reads_added;
+}
+
+std::string
+ProfileMsa::consensus(std::size_t expected_length) const
+{
+    struct Pick
+    {
+        char base;
+        std::uint32_t gaps;
+        std::size_t order;
+    };
+    std::vector<Pick> picks;
+    picks.reserve(columns.size());
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        const Column &col = columns[i];
+        int best_base = 0;
+        for (int b = 1; b < kNumBases; ++b)
+            if (col.counts[b] > col.counts[best_base])
+                best_base = b;
+        // A column is kept if some base strictly beats the gap count; ties
+        // favour keeping the base so sparse coverage does not erase data.
+        if (col.counts[best_base] == 0 ||
+            col.counts[4] > col.counts[best_base]) {
+            continue;
+        }
+        picks.push_back({baseToChar(static_cast<std::uint8_t>(best_base)),
+                         col.counts[4], i});
+    }
+
+    if (expected_length > 0 && picks.size() > expected_length) {
+        // Drop the x most indel-heavy columns (paper Section VII-C).
+        const std::size_t x = picks.size() - expected_length;
+        std::vector<std::size_t> idx(picks.size());
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&picks](std::size_t a, std::size_t b) {
+                             return picks[a].gaps > picks[b].gaps;
+                         });
+        std::vector<bool> drop(picks.size(), false);
+        for (std::size_t i = 0; i < x; ++i)
+            drop[idx[i]] = true;
+        std::string out;
+        out.reserve(expected_length);
+        for (std::size_t i = 0; i < picks.size(); ++i)
+            if (!drop[i])
+                out.push_back(picks[i].base);
+        return out;
+    }
+
+    std::string out;
+    out.reserve(picks.size());
+    for (const Pick &pick : picks)
+        out.push_back(pick.base);
+    return out;
+}
+
+} // namespace dnastore

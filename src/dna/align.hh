@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Global sequence alignment (Needleman-Wunsch).  Used for:
+ *  - pairwise alignment of clean/noisy strand pairs when fitting
+ *    data-driven channel models;
+ *  - classifying realised channel errors for evaluation;
+ *  - the profile-based multiple sequence alignment that underlies the
+ *    Needleman-Wunsch consensus reconstructor (paper Section VII-C).
+ */
+
+#ifndef DNASTORE_DNA_ALIGN_HH
+#define DNASTORE_DNA_ALIGN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnastore
+{
+
+/** Alignment scoring parameters (match/mismatch/gap, higher is better). */
+struct AlignScores
+{
+    int match = 2;
+    int mismatch = -1;
+    int gap = -2;
+};
+
+/**
+ * Result of a pairwise global alignment: both sequences padded with '-'
+ * to equal length, plus the alignment score.
+ */
+struct PairwiseAlignment
+{
+    std::string aligned_a;
+    std::string aligned_b;
+    int score = 0;
+};
+
+/**
+ * Needleman-Wunsch global alignment of a and b.
+ * O(|a|*|b|) time and memory (traceback matrix).
+ */
+PairwiseAlignment
+globalAlign(const std::string &a, const std::string &b,
+            const AlignScores &scores = AlignScores{});
+
+/** Edit-operation kinds observed in an alignment. */
+enum class EditKind : std::uint8_t { Match, Substitution, Insertion, Deletion };
+
+/**
+ * One edit event derived from an alignment, positioned on the *reference*
+ * (clean) sequence.  Insertions carry the inserted character; deletions
+ * the deleted reference character.
+ */
+struct EditOp
+{
+    EditKind kind;
+    /** Index into the reference sequence (for insertions: the gap slot). */
+    std::size_t ref_pos;
+    char ref_char;  //!< Reference character ('-' for insertions).
+    char read_char; //!< Read character ('-' for deletions).
+};
+
+/**
+ * Classify per-position edits between a reference and a read using a
+ * global alignment.  Matches are included so callers can compute
+ * per-position error rates directly.
+ */
+std::vector<EditOp>
+classifyEdits(const std::string &reference, const std::string &read,
+              const AlignScores &scores = AlignScores{});
+
+/**
+ * A column-profile multiple sequence alignment.  Reads are aligned one at
+ * a time against the evolving profile; each column stores counts of
+ * A/C/G/T and gap.  This is the portable stand-in for a SIMD partial-order
+ * aligner: same algorithmic shape (global alignment to a growing MSA,
+ * majority-vote consensus, indel-heavy column trimming), scalar
+ * implementation.
+ */
+class ProfileMsa
+{
+  public:
+    explicit ProfileMsa(const AlignScores &scores = AlignScores{});
+
+    /** Add a read to the MSA (first read seeds the profile). */
+    void addRead(const std::string &read);
+
+    /** Number of reads added. */
+    std::size_t numReads() const { return reads_added; }
+
+    /** Number of alignment columns. */
+    std::size_t numColumns() const { return columns.size(); }
+
+    /** Count of base code b (0..3) in column col. */
+    std::uint32_t
+    baseCount(std::size_t col, std::uint8_t code) const
+    {
+        return columns.at(col).counts[code];
+    }
+
+    /** Count of gaps in column col. */
+    std::uint32_t
+    gapCount(std::size_t col) const
+    {
+        return columns.at(col).counts[4];
+    }
+
+    /**
+     * Majority-vote consensus:
+     *  - columns whose majority is a gap are dropped;
+     *  - if the result still exceeds expected_length (nonzero), the excess
+     *    columns with the highest gap (indel) counts are dropped, as per
+     *    paper Section VII-C.
+     */
+    std::string consensus(std::size_t expected_length = 0) const;
+
+  private:
+    struct Column
+    {
+        // counts[0..3] = A,C,G,T; counts[4] = gap.
+        std::array<std::uint32_t, 5> counts{};
+    };
+
+    /** Score of aligning read char code c against a column (profile avg). */
+    double columnScore(const Column &col, std::uint8_t code) const;
+
+    /** Penalty for a gap in the read against a column. */
+    double columnGapScore(const Column &col) const;
+
+    AlignScores scores;
+    std::vector<Column> columns;
+    std::size_t reads_added = 0;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_DNA_ALIGN_HH

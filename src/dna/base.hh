@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The DNA alphabet {A, C, G, T}: conversions between characters and 2-bit
+ * codes, complements, and validity checks.  Unconstrained coding maps two
+ * payload bits per nucleotide (paper Section II-D), so the 2-bit code is
+ * the fundamental unit the codecs work in.
+ */
+
+#ifndef DNASTORE_DNA_BASE_HH
+#define DNASTORE_DNA_BASE_HH
+
+#include <cstdint>
+
+namespace dnastore
+{
+
+/** Number of distinct nucleotides. */
+inline constexpr int kNumBases = 4;
+
+/** 2-bit nucleotide code: A=0, C=1, G=2, T=3. */
+enum class Base : std::uint8_t { A = 0, C = 1, G = 2, T = 3 };
+
+/** Character for a 2-bit code (code masked to two bits). */
+constexpr char
+baseToChar(std::uint8_t code)
+{
+    constexpr char table[4] = {'A', 'C', 'G', 'T'};
+    return table[code & 0x3];
+}
+
+/** Character for a Base. */
+constexpr char
+baseToChar(Base b)
+{
+    return baseToChar(static_cast<std::uint8_t>(b));
+}
+
+/** True if c is one of A/C/G/T (upper case). */
+constexpr bool
+isBaseChar(char c)
+{
+    return c == 'A' || c == 'C' || c == 'G' || c == 'T';
+}
+
+/**
+ * 2-bit code for a nucleotide character; accepts lower case.
+ * Returns 0xff for non-ACGT characters.
+ */
+constexpr std::uint8_t
+charToCode(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return 0;
+      case 'C': case 'c': return 1;
+      case 'G': case 'g': return 2;
+      case 'T': case 't': return 3;
+      default: return 0xff;
+    }
+}
+
+/** Watson-Crick complement of a nucleotide character (A<->T, C<->G). */
+constexpr char
+complementChar(char c)
+{
+    switch (c) {
+      case 'A': return 'T';
+      case 'T': return 'A';
+      case 'C': return 'G';
+      case 'G': return 'C';
+      case 'a': return 't';
+      case 't': return 'a';
+      case 'c': return 'g';
+      case 'g': return 'c';
+      default: return c;
+    }
+}
+
+} // namespace dnastore
+
+#endif // DNASTORE_DNA_BASE_HH

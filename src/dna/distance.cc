@@ -1,0 +1,196 @@
+#include "distance.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace dnastore
+{
+
+std::size_t
+hammingDistance(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("hammingDistance: length mismatch");
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        d += a[i] != b[i];
+    return d;
+}
+
+std::size_t
+levenshtein(const std::string &a, const std::string &b)
+{
+    // Keep the shorter string along the row to bound memory.
+    const std::string &rows = a.size() >= b.size() ? a : b;
+    const std::string &cols = a.size() >= b.size() ? b : a;
+    const std::size_t m = cols.size();
+
+    std::vector<std::size_t> prev(m + 1), curr(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+
+    for (std::size_t i = 1; i <= rows.size(); ++i) {
+        curr[0] = i;
+        const char ri = rows[i - 1];
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t sub = prev[j - 1] + (ri != cols[j - 1]);
+            const std::size_t del = prev[j] + 1;
+            const std::size_t ins = curr[j - 1] + 1;
+            curr[j] = std::min({sub, del, ins});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+std::size_t
+boundedLevenshtein(const std::string &a, const std::string &b,
+                   std::size_t max_distance)
+{
+    const std::size_t la = a.size(), lb = b.size();
+    const std::size_t len_gap = la > lb ? la - lb : lb - la;
+    if (len_gap > max_distance)
+        return max_distance + 1;
+    if (max_distance == 0)
+        return a == b ? 0 : 1;
+
+    // Ukkonen's band: only cells with |i - j| <= max_distance can hold a
+    // value <= max_distance.
+    const std::string &rows = la >= lb ? a : b;
+    const std::string &cols = la >= lb ? b : a;
+    const std::size_t m = cols.size();
+    const std::size_t big = max_distance + 1;
+
+    std::vector<std::size_t> prev(m + 1, big), curr(m + 1, big);
+    for (std::size_t j = 0; j <= std::min(m, max_distance); ++j)
+        prev[j] = j;
+
+    for (std::size_t i = 1; i <= rows.size(); ++i) {
+        const std::size_t lo = i > max_distance ? i - max_distance : 0;
+        const std::size_t hi = std::min(m, i + max_distance);
+        if (lo >= 1)
+            curr[lo - 1] = big; // stale cell from two rows ago
+        curr[lo] = big;
+        if (lo == 0)
+            curr[0] = std::min<std::size_t>(i, big);
+        std::size_t row_best = curr[lo];
+        const char ri = rows[i - 1];
+        for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+            const std::size_t sub = prev[j - 1] + (ri != cols[j - 1]);
+            const std::size_t del = prev[j] + 1;
+            const std::size_t ins = curr[j - 1] + 1;
+            const std::size_t cell = std::min({sub, del, ins, big});
+            curr[j] = cell;
+            row_best = std::min(row_best, cell);
+        }
+        if (hi + 1 <= m)
+            curr[hi + 1] = big; // fence for next row's j-1 access
+        if (row_best > max_distance)
+            return max_distance + 1; // whole band exceeded; can't recover
+        std::swap(prev, curr);
+    }
+    return std::min(prev[m], big);
+}
+
+std::size_t
+myersLevenshtein(const std::string &a, const std::string &b)
+{
+    // Pattern = shorter string (vertical axis): cost is
+    // O(ceil(m/64) * n) word operations.
+    const std::string &pattern = a.size() <= b.size() ? a : b;
+    const std::string &text = a.size() <= b.size() ? b : a;
+    const std::size_t m = pattern.size();
+    const std::size_t n = text.size();
+    if (m == 0)
+        return n;
+
+    constexpr std::size_t w = 64;
+    const std::size_t blocks = (m + w - 1) / w;
+
+    // Peq[c][j]: bit i of block j set iff pattern[j*64 + i] == c.
+    std::array<std::vector<std::uint64_t>, 256> peq_storage;
+    std::vector<std::uint64_t> zero_block(blocks, 0);
+    // Only materialise rows for characters that occur (strands use a
+    // tiny alphabet).
+    std::array<std::vector<std::uint64_t> *, 256> peq{};
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto c = static_cast<unsigned char>(pattern[i]);
+        if (!peq[c]) {
+            peq_storage[c].assign(blocks, 0);
+            peq[c] = &peq_storage[c];
+        }
+        (*peq[c])[i / w] |= 1ULL << (i % w);
+    }
+
+    std::vector<std::uint64_t> vp(blocks, ~0ULL), vn(blocks, 0);
+    std::size_t score = m;
+    const std::uint64_t last_mask = 1ULL << ((m - 1) % w);
+    const std::size_t last = blocks - 1;
+
+    for (std::size_t j = 0; j < n; ++j) {
+        const auto c = static_cast<unsigned char>(text[j]);
+        const std::vector<std::uint64_t> &eq_row =
+            peq[c] ? *peq[c] : zero_block;
+
+        std::uint64_t add_carry = 0;
+        // Horizontal deltas shift left across blocks; block 0's
+        // incoming +1 encodes the top boundary row D[0][j] = j.
+        std::uint64_t hp_carry = 1, hn_carry = 0;
+        for (std::size_t blk = 0; blk < blocks; ++blk) {
+            const std::uint64_t eq = eq_row[blk];
+            const std::uint64_t xv = eq | vn[blk];
+
+            // (Eq & VP) + VP with carry propagation across blocks.
+            const std::uint64_t and_term = eq & vp[blk];
+            std::uint64_t sum = and_term + vp[blk];
+            std::uint64_t carry_out = sum < and_term;
+            const std::uint64_t sum2 = sum + add_carry;
+            carry_out += sum2 < sum;
+            sum = sum2;
+            add_carry = carry_out;
+
+            const std::uint64_t xh = (sum ^ vp[blk]) | eq;
+            std::uint64_t hp = vn[blk] | ~(xh | vp[blk]);
+            std::uint64_t hn = vp[blk] & xh;
+
+            if (blk == last) {
+                if (hp & last_mask)
+                    ++score;
+                else if (hn & last_mask)
+                    --score;
+            }
+
+            const std::uint64_t hp_out = hp >> (w - 1);
+            const std::uint64_t hn_out = hn >> (w - 1);
+            hp = (hp << 1) | hp_carry;
+            hn = (hn << 1) | hn_carry;
+            hp_carry = hp_out;
+            hn_carry = hn_out;
+
+            vp[blk] = hn | ~(xv | hp);
+            vn[blk] = hp & xv;
+        }
+    }
+    return score;
+}
+
+bool
+withinEditDistance(const std::string &a, const std::string &b,
+                   std::size_t max_distance)
+{
+    const std::size_t gap = a.size() > b.size() ? a.size() - b.size()
+                                                : b.size() - a.size();
+    if (gap > max_distance)
+        return false;
+    // Tight thresholds: the banded DP touches O(k * min_len) cells.
+    // Wide thresholds: Myers' kernel is flat in k and wins.
+    if (max_distance <= 8)
+        return boundedLevenshtein(a, b, max_distance) <= max_distance;
+    return myersLevenshtein(a, b) <= max_distance;
+}
+
+} // namespace dnastore

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * String distances used throughout the pipeline.  Levenshtein (edit)
+ * distance is the similarity metric for clustering and for evaluating
+ * reconstruction quality (paper Section II-E); the banded variant bounds
+ * the work when the caller only needs to know whether two reads are
+ * within a merge threshold.
+ */
+
+#ifndef DNASTORE_DNA_DISTANCE_HH
+#define DNASTORE_DNA_DISTANCE_HH
+
+#include <cstddef>
+#include <string>
+
+namespace dnastore
+{
+
+/**
+ * Hamming distance between equal-length strings.
+ * Throws std::invalid_argument on length mismatch.
+ */
+std::size_t hammingDistance(const std::string &a, const std::string &b);
+
+/**
+ * Exact Levenshtein (edit) distance: minimum number of single-character
+ * insertions, deletions and substitutions transforming a into b.
+ * O(|a|*|b|) time, O(min(|a|,|b|)) space.
+ */
+std::size_t levenshtein(const std::string &a, const std::string &b);
+
+/**
+ * Banded Levenshtein distance with cutoff.  Returns the exact distance if
+ * it is <= max_distance, otherwise returns max_distance + 1.  Runs in
+ * O(max_distance * min(|a|,|b|)) time.
+ */
+std::size_t boundedLevenshtein(const std::string &a, const std::string &b,
+                               std::size_t max_distance);
+
+/**
+ * Myers' bit-parallel Levenshtein distance (blocked variant, Hyyro's
+ * formulation): exact global edit distance in
+ * O(ceil(min_len/64) * max_len) word operations.  This is the fast
+ * kernel behind the clustering module's gray-zone comparisons, where
+ * thresholds are too wide for the banded algorithm to win.
+ */
+std::size_t myersLevenshtein(const std::string &a, const std::string &b);
+
+/**
+ * Convenience: true iff levenshtein(a, b) <= max_distance.  Dispatches
+ * between the banded DP (cheap for tight thresholds) and Myers'
+ * bit-parallel kernel (cheaper for wide ones).
+ */
+bool withinEditDistance(const std::string &a, const std::string &b,
+                        std::size_t max_distance);
+
+} // namespace dnastore
+
+#endif // DNASTORE_DNA_DISTANCE_HH

@@ -1,0 +1,55 @@
+#include "qgram.hh"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "strand.hh"
+
+namespace dnastore
+{
+
+std::vector<std::string>
+distinctQGrams(const std::string &s, std::size_t q)
+{
+    std::vector<std::string> out;
+    if (q == 0 || s.size() < q)
+        return out;
+    std::unordered_set<std::string> seen;
+    for (std::size_t i = 0; i + q <= s.size(); ++i) {
+        std::string gram = s.substr(i, q);
+        if (seen.insert(gram).second)
+            out.push_back(std::move(gram));
+    }
+    return out;
+}
+
+std::vector<std::string>
+randomQGramSet(Rng &rng, std::size_t q, std::size_t num_grams)
+{
+    if (q == 0)
+        throw std::invalid_argument("randomQGramSet: q must be positive");
+    // 4^q possible grams; reject when the request cannot be satisfied.
+    const double capacity = std::pow(4.0, static_cast<double>(q));
+    if (static_cast<double>(num_grams) > capacity)
+        throw std::invalid_argument("randomQGramSet: num_grams exceeds 4^q");
+
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> out;
+    out.reserve(num_grams);
+    while (out.size() < num_grams) {
+        std::string gram = strand::random(rng, q);
+        if (seen.insert(gram).second)
+            out.push_back(std::move(gram));
+    }
+    return out;
+}
+
+std::int32_t
+firstOccurrence(const std::string &s, const std::string &pattern)
+{
+    const auto pos = s.find(pattern);
+    return pos == std::string::npos ? -1 : static_cast<std::int32_t>(pos);
+}
+
+} // namespace dnastore

@@ -1,0 +1,139 @@
+#include "strand.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "base.hh"
+
+namespace dnastore
+{
+namespace strand
+{
+
+bool
+isValid(const Strand &s)
+{
+    return std::all_of(s.begin(), s.end(),
+                       [](char c) { return isBaseChar(c); });
+}
+
+Strand
+random(Rng &rng, std::size_t length)
+{
+    Strand s(length, 'A');
+    for (auto &c : s)
+        c = baseToChar(static_cast<std::uint8_t>(rng.below(4)));
+    return s;
+}
+
+double
+gcContent(const Strand &s)
+{
+    if (s.empty())
+        return 0.0;
+    const auto gc = std::count_if(s.begin(), s.end(), [](char c) {
+        return c == 'G' || c == 'C' || c == 'g' || c == 'c';
+    });
+    return static_cast<double>(gc) / static_cast<double>(s.size());
+}
+
+std::size_t
+maxHomopolymerRun(const Strand &s)
+{
+    std::size_t best = 0;
+    std::size_t run = 0;
+    char prev = '\0';
+    for (char c : s) {
+        run = (c == prev) ? run + 1 : 1;
+        prev = c;
+        best = std::max(best, run);
+    }
+    return best;
+}
+
+Strand
+reverseComplement(const Strand &s)
+{
+    Strand out(s.size(), 'A');
+    for (std::size_t i = 0; i < s.size(); ++i)
+        out[i] = complementChar(s[s.size() - 1 - i]);
+    return out;
+}
+
+Strand
+fromBytes(const std::vector<std::uint8_t> &bytes)
+{
+    Strand s;
+    s.reserve(bytes.size() * 4);
+    for (std::uint8_t byte : bytes) {
+        s.push_back(baseToChar(static_cast<std::uint8_t>(byte >> 6)));
+        s.push_back(baseToChar(static_cast<std::uint8_t>(byte >> 4)));
+        s.push_back(baseToChar(static_cast<std::uint8_t>(byte >> 2)));
+        s.push_back(baseToChar(byte));
+    }
+    return s;
+}
+
+std::vector<std::uint8_t>
+toBytes(const Strand &s)
+{
+    if (s.size() % 4 != 0)
+        throw std::invalid_argument("toBytes: length not a multiple of 4");
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(s.size() / 4);
+    for (std::size_t i = 0; i < s.size(); i += 4) {
+        std::uint8_t byte = 0;
+        for (std::size_t j = 0; j < 4; ++j) {
+            const std::uint8_t code = charToCode(s[i + j]);
+            if (code == 0xff)
+                throw std::invalid_argument("toBytes: non-ACGT character");
+            byte = static_cast<std::uint8_t>((byte << 2) | code);
+        }
+        bytes.push_back(byte);
+    }
+    return bytes;
+}
+
+Strand
+encodeNumber(std::uint64_t value, std::size_t num_bases)
+{
+    if (num_bases < 32 && (value >> (2 * num_bases)) != 0)
+        throw std::invalid_argument("encodeNumber: value does not fit");
+    Strand s(num_bases, 'A');
+    for (std::size_t i = 0; i < num_bases; ++i) {
+        const std::size_t shift = 2 * (num_bases - 1 - i);
+        const std::uint8_t code = shift < 64
+            ? static_cast<std::uint8_t>((value >> shift) & 0x3)
+            : 0;
+        s[i] = baseToChar(code);
+    }
+    return s;
+}
+
+std::uint64_t
+decodeNumber(const Strand &s)
+{
+    std::uint64_t value = 0;
+    for (char c : s) {
+        const std::uint8_t code = charToCode(c);
+        if (code == 0xff)
+            throw std::invalid_argument("decodeNumber: non-ACGT character");
+        value = (value << 2) | code;
+    }
+    return value;
+}
+
+std::vector<std::size_t>
+mismatchPositions(const Strand &a, const Strand &b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("mismatchPositions: length mismatch");
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i])
+            out.push_back(i);
+    return out;
+}
+
+} // namespace strand
+} // namespace dnastore

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Arithmetic in GF(2^8) with the primitive polynomial
+ * x^8 + x^4 + x^3 + x^2 + 1 (0x11D), plus dense polynomial helpers.
+ * This is the field underlying the outer Reed-Solomon code of the
+ * storage architecture (paper Section IV).
+ *
+ * Polynomials are stored little-endian: coefficient i multiplies x^i.
+ */
+
+#ifndef DNASTORE_ECC_GF256_HH
+#define DNASTORE_ECC_GF256_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dnastore
+{
+namespace gf256
+{
+
+/** The generator element alpha = 0x02. */
+inline constexpr std::uint8_t kAlpha = 0x02;
+
+/** Field addition (= subtraction): XOR. */
+constexpr std::uint8_t
+add(std::uint8_t a, std::uint8_t b)
+{
+    return a ^ b;
+}
+
+/** Field multiplication via log/antilog tables. */
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/** Field division a / b; throws std::domain_error if b == 0. */
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/** alpha^power (power taken mod 255, may be negative). */
+std::uint8_t alphaPow(int power);
+
+/** Discrete log base alpha; throws std::domain_error for 0. */
+int logOf(std::uint8_t a);
+
+/** Multiplicative inverse; throws std::domain_error for 0. */
+std::uint8_t inverse(std::uint8_t a);
+
+/** a^power for non-negative power. */
+std::uint8_t pow(std::uint8_t a, unsigned power);
+
+/** Dense little-endian polynomial over GF(256). */
+using Poly = std::vector<std::uint8_t>;
+
+/** Degree of p (-1 for the zero polynomial). */
+int degree(const Poly &p);
+
+/** Remove trailing (high-degree) zero coefficients. */
+void trim(Poly &p);
+
+/** p + q. */
+Poly polyAdd(const Poly &p, const Poly &q);
+
+/** p * q (schoolbook). */
+Poly polyMul(const Poly &p, const Poly &q);
+
+/** p scaled by a field constant. */
+Poly polyScale(const Poly &p, std::uint8_t c);
+
+/** p mod x^k (truncate to the k low-order coefficients). */
+Poly polyModXk(const Poly &p, std::size_t k);
+
+/** Evaluate p at x (Horner). */
+std::uint8_t polyEval(const Poly &p, std::uint8_t x);
+
+/** Formal derivative of p (char-2: even-power terms vanish). */
+Poly polyDerivative(const Poly &p);
+
+/**
+ * Division with remainder: p = q * d + r, deg r < deg d.
+ * Throws std::domain_error if d is zero.
+ */
+void polyDivMod(const Poly &p, const Poly &d, Poly &q, Poly &r);
+
+} // namespace gf256
+} // namespace dnastore
+
+#endif // DNASTORE_ECC_GF256_HH

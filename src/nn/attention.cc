@@ -1,0 +1,124 @@
+#include "attention.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+
+Attention::Attention(std::size_t state_size, std::size_t ann_size,
+                     std::size_t attn_size, const std::string &name)
+    : attn_size(attn_size),
+      wa(attn_size, state_size, name + ".wa"),
+      ua(attn_size, ann_size, name + ".ua"),
+      va(attn_size, 1, name + ".va")
+{
+}
+
+void
+Attention::init(Rng &rng, float scale)
+{
+    for (Param *p : params())
+        p->init(rng, scale);
+}
+
+void
+Attention::registerParams(Adam &opt)
+{
+    for (Param *p : params())
+        opt.add(p);
+}
+
+std::vector<Param *>
+Attention::params()
+{
+    return {&wa, &ua, &va};
+}
+
+std::vector<Vec>
+Attention::precompute(const std::vector<Vec> &annotations) const
+{
+    std::vector<Vec> pre(annotations.size());
+    for (std::size_t i = 0; i < annotations.size(); ++i)
+        matVec(ua.value, annotations[i], pre[i]);
+    return pre;
+}
+
+Vec
+Attention::forward(const Vec &s_prev, const std::vector<Vec> &annotations,
+                   const std::vector<Vec> &pre, AttentionCache &cache) const
+{
+    const std::size_t count = annotations.size();
+    cache.s_prev = s_prev;
+    cache.t.resize(count);
+
+    Vec q;
+    matVec(wa.value, s_prev, q);
+
+    Vec scores(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Vec &t_i = cache.t[i];
+        t_i.resize(attn_size);
+        float score = 0.0f;
+        for (std::size_t a = 0; a < attn_size; ++a) {
+            t_i[a] = std::tanh(q[a] + pre[i][a]);
+            score += va.value(a, 0) * t_i[a];
+        }
+        scores[i] = score;
+    }
+    softmaxInPlace(scores);
+    cache.alpha = scores;
+
+    const std::size_t ann_size = annotations.empty()
+        ? 0
+        : annotations.front().size();
+    Vec context(ann_size, 0.0f);
+    for (std::size_t i = 0; i < count; ++i)
+        axpy(context, annotations[i], cache.alpha[i]);
+    return context;
+}
+
+void
+Attention::backward(const AttentionCache &cache,
+                    const std::vector<Vec> &annotations, const Vec &dcontext,
+                    Vec &ds_prev, std::vector<Vec> &dann)
+{
+    const std::size_t count = annotations.size();
+
+    // Context is an alpha-weighted sum of annotations.
+    Vec dalpha(count, 0.0f);
+    for (std::size_t i = 0; i < count; ++i) {
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < dcontext.size(); ++k)
+            acc += dcontext[k] * annotations[i][k];
+        dalpha[i] = acc;
+        axpy(dann[i], dcontext, cache.alpha[i]);
+    }
+
+    // Softmax backward.
+    float dot = 0.0f;
+    for (std::size_t i = 0; i < count; ++i)
+        dot += cache.alpha[i] * dalpha[i];
+    Vec dscore(count);
+    for (std::size_t i = 0; i < count; ++i)
+        dscore[i] = cache.alpha[i] * (dalpha[i] - dot);
+
+    // Scores: e_i = v^T t_i, t_i = tanh(q + pre_i).
+    Vec dq(attn_size, 0.0f);
+    Vec da(attn_size);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Vec &t_i = cache.t[i];
+        for (std::size_t a = 0; a < attn_size; ++a) {
+            va.grad(a, 0) += dscore[i] * t_i[a];
+            da[a] = dscore[i] * va.value(a, 0) * (1.0f - t_i[a] * t_i[a]);
+            dq[a] += da[a];
+        }
+        addOuter(ua.grad, da, annotations[i]);
+        matTVecAdd(ua.value, da, dann[i]);
+    }
+
+    addOuter(wa.grad, dq, cache.s_prev);
+    matTVecAdd(wa.value, dq, ds_prev);
+}
+
+} // namespace nn
+} // namespace dnastore

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bahdanau (additive) attention with manual backpropagation (paper
+ * Section V-B, Figure 4).  For each decoder step, encoder annotations
+ * are scored against the previous decoder state and a weighted average
+ * is passed on as the context vector:
+ *
+ *   e_i   = v^T tanh(W_a s_{t-1} + U_a h_i)
+ *   alpha = softmax(e)
+ *   c_t   = sum_i alpha_i h_i
+ */
+
+#ifndef DNASTORE_NN_ATTENTION_HH
+#define DNASTORE_NN_ATTENTION_HH
+
+#include <vector>
+
+#include "nn/param.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+
+/** Per-step cache for the backward pass. */
+struct AttentionCache
+{
+    Vec s_prev;
+    Vec alpha;
+    std::vector<Vec> t; //!< tanh(q + pre_i) per annotation.
+};
+
+/**
+ * Additive attention layer.  Annotation projections (U_a h_i) depend
+ * only on the encoder output, so they are computed once per sequence
+ * via precompute() and shared by all decoder steps.
+ */
+class Attention
+{
+  public:
+    /**
+     * @param state_size Decoder hidden size (s_{t-1}).
+     * @param ann_size   Annotation size (2H for a bi-GRU encoder).
+     * @param attn_size  Scoring space dimensionality.
+     */
+    Attention(std::size_t state_size, std::size_t ann_size,
+              std::size_t attn_size, const std::string &name);
+
+    void init(Rng &rng, float scale);
+    void registerParams(Adam &opt);
+    std::vector<Param *> params();
+
+    /** Precompute U_a h_i for every annotation of a sequence. */
+    std::vector<Vec>
+    precompute(const std::vector<Vec> &annotations) const;
+
+    /**
+     * One attention step: returns the context vector; fills @p cache.
+     * @p pre must come from precompute() on the same annotations.
+     */
+    Vec forward(const Vec &s_prev, const std::vector<Vec> &annotations,
+                const std::vector<Vec> &pre, AttentionCache &cache) const;
+
+    /**
+     * Backward: given dLoss/dcontext, accumulate into ds_prev and the
+     * per-annotation gradients dann (both pre-sized).
+     */
+    void backward(const AttentionCache &cache,
+                  const std::vector<Vec> &annotations, const Vec &dcontext,
+                  Vec &ds_prev, std::vector<Vec> &dann);
+
+  private:
+    std::size_t attn_size;
+
+  public:
+    Param wa; //!< [A x state]
+    Param ua; //!< [A x ann]
+    Param va; //!< [A x 1]
+};
+
+} // namespace nn
+} // namespace dnastore
+
+#endif // DNASTORE_NN_ATTENTION_HH

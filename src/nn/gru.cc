@@ -1,0 +1,117 @@
+#include "gru.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+
+GruCell::GruCell(std::size_t input_size, std::size_t hidden_size,
+                 const std::string &name)
+    : input_size(input_size), hidden_size(hidden_size),
+      wz(hidden_size, input_size, name + ".wz"),
+      wr(hidden_size, input_size, name + ".wr"),
+      wn(hidden_size, input_size, name + ".wn"),
+      uz(hidden_size, hidden_size, name + ".uz"),
+      ur(hidden_size, hidden_size, name + ".ur"),
+      un(hidden_size, hidden_size, name + ".un"),
+      bz(hidden_size, 1, name + ".bz"),
+      br(hidden_size, 1, name + ".br"),
+      bn(hidden_size, 1, name + ".bn")
+{
+}
+
+void
+GruCell::init(Rng &rng, float scale)
+{
+    for (Param *p : params())
+        p->init(rng, scale);
+}
+
+void
+GruCell::registerParams(Adam &opt)
+{
+    for (Param *p : params())
+        opt.add(p);
+}
+
+std::vector<Param *>
+GruCell::params()
+{
+    return {&wz, &wr, &wn, &uz, &ur, &un, &bz, &br, &bn};
+}
+
+Vec
+GruCell::forward(const Vec &x, const Vec &h_prev, GruCache &cache) const
+{
+    const std::size_t h_size = hidden_size;
+    cache.x = x;
+    cache.h_prev = h_prev;
+
+    Vec az, ar, an_x, tmp;
+    matVec(wz.value, x, az);
+    matVec(uz.value, h_prev, tmp);
+    axpy(az, tmp);
+    matVec(wr.value, x, ar);
+    matVec(ur.value, h_prev, tmp);
+    axpy(ar, tmp);
+    matVec(wn.value, x, an_x);
+    matVec(un.value, h_prev, cache.un_h);
+
+    cache.z.resize(h_size);
+    cache.r.resize(h_size);
+    cache.n.resize(h_size);
+    Vec h(h_size);
+    for (std::size_t i = 0; i < h_size; ++i) {
+        cache.z[i] = sigmoidf(az[i] + bz.value(i, 0));
+        cache.r[i] = sigmoidf(ar[i] + br.value(i, 0));
+        const float a_n =
+            an_x[i] + cache.r[i] * cache.un_h[i] + bn.value(i, 0);
+        cache.n[i] = std::tanh(a_n);
+        h[i] = (1.0f - cache.z[i]) * cache.n[i] + cache.z[i] * h_prev[i];
+    }
+    return h;
+}
+
+void
+GruCell::backward(const GruCache &cache, const Vec &dh, Vec &dx, Vec &dh_prev)
+{
+    const std::size_t h_size = hidden_size;
+    Vec da_n(h_size), da_z(h_size), da_r(h_size), dr(h_size);
+
+    for (std::size_t i = 0; i < h_size; ++i) {
+        const float dn = dh[i] * (1.0f - cache.z[i]);
+        const float dz = dh[i] * (cache.h_prev[i] - cache.n[i]);
+        dh_prev[i] += dh[i] * cache.z[i];
+        da_n[i] = dn * (1.0f - cache.n[i] * cache.n[i]);
+        da_z[i] = dz * cache.z[i] * (1.0f - cache.z[i]);
+        dr[i] = da_n[i] * cache.un_h[i];
+        da_r[i] = dr[i] * cache.r[i] * (1.0f - cache.r[i]);
+    }
+
+    // n-gate parameters: the hidden path is gated by r.
+    Vec da_n_gated(h_size);
+    for (std::size_t i = 0; i < h_size; ++i)
+        da_n_gated[i] = da_n[i] * cache.r[i];
+
+    addOuter(wn.grad, da_n, cache.x);
+    addOuter(un.grad, da_n_gated, cache.h_prev);
+    addOuter(wz.grad, da_z, cache.x);
+    addOuter(uz.grad, da_z, cache.h_prev);
+    addOuter(wr.grad, da_r, cache.x);
+    addOuter(ur.grad, da_r, cache.h_prev);
+    for (std::size_t i = 0; i < h_size; ++i) {
+        bn.grad(i, 0) += da_n[i];
+        bz.grad(i, 0) += da_z[i];
+        br.grad(i, 0) += da_r[i];
+    }
+
+    matTVecAdd(wn.value, da_n, dx);
+    matTVecAdd(wz.value, da_z, dx);
+    matTVecAdd(wr.value, da_r, dx);
+    matTVecAdd(un.value, da_n_gated, dh_prev);
+    matTVecAdd(uz.value, da_z, dh_prev);
+    matTVecAdd(ur.value, da_r, dh_prev);
+}
+
+} // namespace nn
+} // namespace dnastore

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A Gated Recurrent Unit cell (Cho et al.) with manual backpropagation.
+ * GRUs are chosen over LSTMs following the paper (Section V-B), which
+ * cites their resistance to overfitting.  Formulation:
+ *
+ *   z_t = sigmoid(W_z x_t + U_z h_{t-1} + b_z)
+ *   r_t = sigmoid(W_r x_t + U_r h_{t-1} + b_r)
+ *   n_t = tanh(W_n x_t + r_t .* (U_n h_{t-1}) + b_n)
+ *   h_t = (1 - z_t) .* n_t + z_t .* h_{t-1}
+ */
+
+#ifndef DNASTORE_NN_GRU_HH
+#define DNASTORE_NN_GRU_HH
+
+#include <vector>
+
+#include "nn/param.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+
+/** Per-timestep activations kept for the backward pass. */
+struct GruCache
+{
+    Vec x;      //!< Input.
+    Vec h_prev; //!< Previous hidden state.
+    Vec z, r, n;
+    Vec un_h;   //!< U_n h_{t-1} before gating by r.
+};
+
+/** One GRU cell; reusable across timesteps (weights are shared). */
+class GruCell
+{
+  public:
+    GruCell(std::size_t input_size, std::size_t hidden_size,
+            const std::string &name);
+
+    /** Initialise all parameters uniform(-scale, scale). */
+    void init(Rng &rng, float scale);
+
+    /** Register parameters with an optimizer. */
+    void registerParams(Adam &opt);
+
+    /** Collect raw parameter pointers (for tests / serialisation). */
+    std::vector<Param *> params();
+
+    std::size_t inputSize() const { return input_size; }
+    std::size_t hiddenSize() const { return hidden_size; }
+
+    /**
+     * One step forward.  @p cache is filled for use by backward().
+     * Returns h_t (size hidden_size).
+     */
+    Vec forward(const Vec &x, const Vec &h_prev, GruCache &cache) const;
+
+    /**
+     * One step backward.  @p dh is dLoss/dh_t; the input and previous-
+     * hidden gradients are *accumulated* into dx and dh_prev (which must
+     * be pre-sized and may carry gradients from other consumers).
+     * Parameter gradients accumulate into the cell's Param::grad.
+     */
+    void backward(const GruCache &cache, const Vec &dh, Vec &dx,
+                  Vec &dh_prev);
+
+  private:
+    std::size_t input_size;
+    std::size_t hidden_size;
+
+  public:
+    Param wz, wr, wn; //!< [H x I]
+    Param uz, ur, un; //!< [H x H]
+    Param bz, br, bn; //!< [H x 1]
+};
+
+} // namespace nn
+} // namespace dnastore
+
+#endif // DNASTORE_NN_GRU_HH

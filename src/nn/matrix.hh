@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the seq2seq channel model (paper
+ * Section V-B).  Everything is float, row-major, and sized for hidden
+ * dimensions in the tens-to-hundreds range; the training loops in
+ * seq2seq.cc dominate runtime, so these kernels stay simple and let the
+ * compiler vectorise.
+ */
+
+#ifndef DNASTORE_NN_MATRIX_HH
+#define DNASTORE_NN_MATRIX_HH
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+
+using Vec = std::vector<float>;
+
+/** Row-major dense matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    float &operator()(std::size_t r, std::size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    float operator()(std::size_t r, std::size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const float *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    Vec &raw() { return data_; }
+    const Vec &raw() const { return data_; }
+
+    void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+    /** Uniform(-scale, scale) init. */
+    void
+    randomInit(Rng &rng, float scale)
+    {
+        for (float &v : data_)
+            v = static_cast<float>(rng.uniform(-scale, scale));
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    Vec data_;
+};
+
+/** out = M * x  (out sized M.rows()). */
+inline void
+matVec(const Matrix &m, const Vec &x, Vec &out)
+{
+    assert(x.size() == m.cols());
+    out.assign(m.rows(), 0.0f);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const float *row = m.rowPtr(r);
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            acc += row[c] * x[c];
+        out[r] = acc;
+    }
+}
+
+/** out += M^T * x  (out sized M.cols()). */
+inline void
+matTVecAdd(const Matrix &m, const Vec &x, Vec &out)
+{
+    assert(x.size() == m.rows());
+    assert(out.size() == m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const float *row = m.rowPtr(r);
+        const float xv = x[r];
+        if (xv == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            out[c] += row[c] * xv;
+    }
+}
+
+/** grad += a * b^T  (rank-1 accumulation). */
+inline void
+addOuter(Matrix &grad, const Vec &a, const Vec &b)
+{
+    assert(a.size() == grad.rows() && b.size() == grad.cols());
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+        float *row = grad.rowPtr(r);
+        const float av = a[r];
+        if (av == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < grad.cols(); ++c)
+            row[c] += av * b[c];
+    }
+}
+
+/** out += x (element-wise). */
+inline void
+axpy(Vec &out, const Vec &x, float alpha = 1.0f)
+{
+    assert(out.size() == x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] += alpha * x[i];
+}
+
+inline float
+sigmoidf(float v)
+{
+    return 1.0f / (1.0f + std::exp(-v));
+}
+
+/** Numerically stable in-place softmax. */
+inline void
+softmaxInPlace(Vec &v)
+{
+    float peak = v[0];
+    for (float x : v)
+        peak = std::max(peak, x);
+    float total = 0.0f;
+    for (float &x : v) {
+        x = std::exp(x - peak);
+        total += x;
+    }
+    for (float &x : v)
+        x /= total;
+}
+
+} // namespace nn
+} // namespace dnastore
+
+#endif // DNASTORE_NN_MATRIX_HH

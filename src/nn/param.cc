@@ -1,0 +1,64 @@
+#include "param.hh"
+
+#include <cmath>
+
+namespace dnastore
+{
+namespace nn
+{
+
+Adam::Adam() = default;
+
+Adam::Adam(Config config) : cfg(config)
+{
+}
+
+void
+Adam::step()
+{
+    ++t;
+
+    if (cfg.clip_norm > 0.0f) {
+        double norm_sq = 0.0;
+        for (const Param *p : params)
+            for (float g : p->grad.raw())
+                norm_sq += static_cast<double>(g) * g;
+        const double norm = std::sqrt(norm_sq);
+        if (norm > cfg.clip_norm) {
+            const float scale = static_cast<float>(cfg.clip_norm / norm);
+            for (Param *p : params)
+                for (float &g : p->grad.raw())
+                    g *= scale;
+        }
+    }
+
+    const float correction1 =
+        1.0f - std::pow(cfg.beta1, static_cast<float>(t));
+    const float correction2 =
+        1.0f - std::pow(cfg.beta2, static_cast<float>(t));
+
+    for (Param *p : params) {
+        Vec &value = p->value.raw();
+        Vec &grad = p->grad.raw();
+        Vec &m = p->m.raw();
+        Vec &v = p->v.raw();
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            m[i] = cfg.beta1 * m[i] + (1.0f - cfg.beta1) * grad[i];
+            v[i] = cfg.beta2 * v[i] + (1.0f - cfg.beta2) * grad[i] * grad[i];
+            const float m_hat = m[i] / correction1;
+            const float v_hat = v[i] / correction2;
+            value[i] -= cfg.lr * m_hat / (std::sqrt(v_hat) + cfg.eps);
+            grad[i] = 0.0f;
+        }
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (Param *p : params)
+        p->grad.zero();
+}
+
+} // namespace nn
+} // namespace dnastore

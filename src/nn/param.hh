@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A trainable parameter: value, gradient and Adam moment buffers, all
+ * the same shape.  Modules register their parameters with the optimizer
+ * by pointer, so one Adam step updates the whole model.
+ */
+
+#ifndef DNASTORE_NN_PARAM_HH
+#define DNASTORE_NN_PARAM_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+
+/** One trainable tensor with its gradient and Adam state. */
+struct Param
+{
+    Param() = default;
+    Param(std::size_t rows, std::size_t cols, std::string name = "")
+        : value(rows, cols), grad(rows, cols), m(rows, cols), v(rows, cols),
+          name(std::move(name))
+    {
+    }
+
+    void
+    init(Rng &rng, float scale)
+    {
+        value.randomInit(rng, scale);
+        grad.zero();
+        m.zero();
+        v.zero();
+    }
+
+    std::size_t size() const { return value.raw().size(); }
+
+    Matrix value;
+    Matrix grad;
+    Matrix m; //!< Adam first moment.
+    Matrix v; //!< Adam second moment.
+    std::string name;
+};
+
+/** Adam optimizer over a set of registered parameters. */
+class Adam
+{
+  public:
+    struct Config
+    {
+        float lr = 1e-3f;
+        float beta1 = 0.9f;
+        float beta2 = 0.999f;
+        float eps = 1e-8f;
+        float clip_norm = 5.0f; //!< Global gradient-norm clip (0 = off).
+    };
+
+    Adam();
+    explicit Adam(Config config);
+
+    /** Register a parameter (must outlive the optimizer). */
+    void add(Param *param) { params.push_back(param); }
+
+    /** Apply one update and zero all gradients. */
+    void step();
+
+    /** Zero gradients without updating. */
+    void zeroGrad();
+
+    const Config &config() const { return cfg; }
+    void setLearningRate(float lr) { cfg.lr = lr; }
+
+  private:
+    Config cfg;
+    std::vector<Param *> params;
+    std::size_t t = 0;
+};
+
+} // namespace nn
+} // namespace dnastore
+
+#endif // DNASTORE_NN_PARAM_HH

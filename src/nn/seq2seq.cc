@@ -1,0 +1,480 @@
+#include "seq2seq.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "dna/base.hh"
+#include "dna/distance.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+
+namespace
+{
+
+std::vector<std::size_t>
+tokenise(const Strand &s)
+{
+    std::vector<std::size_t> tokens;
+    tokens.reserve(s.size() + 1);
+    for (char c : s) {
+        const std::uint8_t code = charToCode(c);
+        if (code == 0xff)
+            throw std::invalid_argument("Seq2Seq: non-ACGT character");
+        tokens.push_back(code);
+    }
+    return tokens;
+}
+
+} // namespace
+
+/** Activation record for one (clean, noisy) training pair. */
+struct Seq2Seq::Forward
+{
+    // Encoder.
+    std::vector<Vec> enc_inputs;          //!< One-hot clean bases.
+    std::vector<GruCache> fwd_caches;
+    std::vector<GruCache> bwd_caches;
+    std::vector<Vec> annotations;         //!< [2H] per position.
+    std::vector<Vec> attn_pre;            //!< U_a h_i per position.
+    Vec ann_mean;
+    Vec s0_pre;                           //!< W_init * mean + b (pre-tanh).
+    Vec s0;
+
+    // Decoder (teacher forcing).
+    std::vector<std::size_t> targets;     //!< Output tokens incl. EOS.
+    std::vector<Vec> dec_inputs;          //!< One-hot(dec vocab) per step.
+    std::vector<AttentionCache> attn_caches;
+    std::vector<GruCache> dec_caches;
+    std::vector<Vec> contexts;            //!< [2H] per step.
+    std::vector<Vec> states;              //!< s_1..s_T, [H].
+    std::vector<Vec> probs;               //!< Softmax outputs per step.
+};
+
+Seq2Seq::Seq2Seq(const Seq2SeqConfig &config)
+    : cfg(config),
+      enc_fwd(kInVocab, cfg.hidden, "enc_fwd"),
+      enc_bwd(kInVocab, cfg.hidden, "enc_bwd"),
+      dec(kDecVocab + 2 * cfg.hidden, cfg.hidden, "dec"),
+      attn(cfg.hidden, 2 * cfg.hidden, cfg.attention, "attn"),
+      w_init(cfg.hidden, 2 * cfg.hidden, "w_init"),
+      b_init(cfg.hidden, 1, "b_init"),
+      w_out(kOutVocab, 3 * cfg.hidden, "w_out"),
+      b_out(kOutVocab, 1, "b_out"),
+      opt(cfg.adam)
+{
+    Rng rng(cfg.seed);
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(cfg.hidden));
+    enc_fwd.init(rng, scale);
+    enc_bwd.init(rng, scale);
+    dec.init(rng, scale);
+    attn.init(rng, scale);
+    w_init.init(rng, scale);
+    b_init.init(rng, scale);
+    w_out.init(rng, scale);
+    b_out.init(rng, scale);
+
+    enc_fwd.registerParams(opt);
+    enc_bwd.registerParams(opt);
+    dec.registerParams(opt);
+    attn.registerParams(opt);
+    opt.add(&w_init);
+    opt.add(&b_init);
+    opt.add(&w_out);
+    opt.add(&b_out);
+}
+
+std::vector<Param *>
+Seq2Seq::allParams()
+{
+    std::vector<Param *> out;
+    for (Param *p : enc_fwd.params())
+        out.push_back(p);
+    for (Param *p : enc_bwd.params())
+        out.push_back(p);
+    for (Param *p : dec.params())
+        out.push_back(p);
+    for (Param *p : attn.params())
+        out.push_back(p);
+    out.push_back(&w_init);
+    out.push_back(&b_init);
+    out.push_back(&w_out);
+    out.push_back(&b_out);
+    return out;
+}
+
+void
+Seq2Seq::encode(const Strand &clean, Forward &fwd) const
+{
+    const auto tokens = tokenise(clean);
+    const std::size_t len = tokens.size();
+    if (len == 0)
+        throw std::invalid_argument("Seq2Seq: empty clean strand");
+    const std::size_t h_size = cfg.hidden;
+
+    fwd.enc_inputs.assign(len, Vec(kInVocab, 0.0f));
+    for (std::size_t i = 0; i < len; ++i)
+        fwd.enc_inputs[i][tokens[i]] = 1.0f;
+
+    fwd.fwd_caches.resize(len);
+    fwd.bwd_caches.resize(len);
+    fwd.annotations.assign(len, Vec(2 * h_size, 0.0f));
+
+    Vec h(h_size, 0.0f);
+    for (std::size_t i = 0; i < len; ++i) {
+        h = enc_fwd.forward(fwd.enc_inputs[i], h, fwd.fwd_caches[i]);
+        std::copy(h.begin(), h.end(), fwd.annotations[i].begin());
+    }
+    h.assign(h_size, 0.0f);
+    for (std::size_t r = 0; r < len; ++r) {
+        const std::size_t i = len - 1 - r;
+        h = enc_bwd.forward(fwd.enc_inputs[i], h, fwd.bwd_caches[i]);
+        std::copy(h.begin(), h.end(),
+                  fwd.annotations[i].begin() + static_cast<long>(h_size));
+    }
+
+    fwd.attn_pre = attn.precompute(fwd.annotations);
+
+    fwd.ann_mean.assign(2 * h_size, 0.0f);
+    for (const Vec &ann : fwd.annotations)
+        axpy(fwd.ann_mean, ann);
+    for (float &v : fwd.ann_mean)
+        v /= static_cast<float>(len);
+
+    matVec(w_init.value, fwd.ann_mean, fwd.s0_pre);
+    fwd.s0.resize(h_size);
+    for (std::size_t i = 0; i < h_size; ++i)
+        fwd.s0[i] = std::tanh(fwd.s0_pre[i] + b_init.value(i, 0));
+}
+
+double
+Seq2Seq::runForward(const Strand &clean,
+                    const std::vector<std::size_t> &targets,
+                    Forward &fwd) const
+{
+    encode(clean, fwd);
+    fwd.targets = targets;
+
+    const std::size_t steps = targets.size();
+    const std::size_t h_size = cfg.hidden;
+    fwd.dec_inputs.resize(steps);
+    fwd.attn_caches.resize(steps);
+    fwd.dec_caches.resize(steps);
+    fwd.contexts.resize(steps);
+    fwd.states.resize(steps);
+    fwd.probs.resize(steps);
+
+    double nll = 0.0;
+    const Vec *state = &fwd.s0;
+    for (std::size_t t = 0; t < steps; ++t) {
+        fwd.contexts[t] = attn.forward(*state, fwd.annotations, fwd.attn_pre,
+                                       fwd.attn_caches[t]);
+
+        Vec &x = fwd.dec_inputs[t];
+        x.assign(kDecVocab + 2 * h_size, 0.0f);
+        const std::size_t in_token = t == 0 ? kTokenBos : targets[t - 1];
+        x[in_token] = 1.0f;
+        std::copy(fwd.contexts[t].begin(), fwd.contexts[t].end(),
+                  x.begin() + static_cast<long>(kDecVocab));
+
+        fwd.states[t] = dec.forward(x, *state, fwd.dec_caches[t]);
+        state = &fwd.states[t];
+
+        // Output projection over [s_t ; context_t].
+        Vec out_in(3 * h_size);
+        std::copy(fwd.states[t].begin(), fwd.states[t].end(),
+                  out_in.begin());
+        std::copy(fwd.contexts[t].begin(), fwd.contexts[t].end(),
+                  out_in.begin() + static_cast<long>(h_size));
+        Vec logits;
+        matVec(w_out.value, out_in, logits);
+        for (std::size_t v = 0; v < kOutVocab; ++v)
+            logits[v] += b_out.value(v, 0);
+        softmaxInPlace(logits);
+        fwd.probs[t] = logits;
+        const float p = std::max(fwd.probs[t][targets[t]], 1e-12f);
+        nll -= std::log(static_cast<double>(p));
+    }
+    return nll / static_cast<double>(steps);
+}
+
+void
+Seq2Seq::runBackward(const Forward &fwd, double grad_scale)
+{
+    const std::size_t steps = fwd.targets.size();
+    const std::size_t len = fwd.annotations.size();
+    const std::size_t h_size = cfg.hidden;
+    const float scale =
+        static_cast<float>(grad_scale / static_cast<double>(steps));
+
+    std::vector<Vec> dstates(steps + 1, Vec(h_size, 0.0f)); // s_0..s_T
+    std::vector<Vec> dann(len, Vec(2 * h_size, 0.0f));
+
+    for (std::size_t t = steps; t-- > 0;) {
+        // Output layer backward.
+        Vec dlogits(kOutVocab);
+        for (std::size_t v = 0; v < kOutVocab; ++v) {
+            dlogits[v] = scale * (fwd.probs[t][v] -
+                                  (v == fwd.targets[t] ? 1.0f : 0.0f));
+        }
+        Vec out_in(3 * h_size);
+        std::copy(fwd.states[t].begin(), fwd.states[t].end(),
+                  out_in.begin());
+        std::copy(fwd.contexts[t].begin(), fwd.contexts[t].end(),
+                  out_in.begin() + static_cast<long>(h_size));
+        addOuter(w_out.grad, dlogits, out_in);
+        for (std::size_t v = 0; v < kOutVocab; ++v)
+            b_out.grad(v, 0) += dlogits[v];
+        Vec dout_in(3 * h_size, 0.0f);
+        matTVecAdd(w_out.value, dlogits, dout_in);
+
+        Vec dcontext(2 * h_size, 0.0f);
+        for (std::size_t i = 0; i < h_size; ++i) {
+            dstates[t + 1][i] += dout_in[i];
+            dcontext[i] += dout_in[h_size + i];
+            dcontext[h_size + i] += dout_in[2 * h_size + i];
+        }
+
+        // Decoder GRU backward (x = [token one-hot ; context]).
+        Vec dx(kDecVocab + 2 * h_size, 0.0f);
+        dec.backward(fwd.dec_caches[t], dstates[t + 1], dx, dstates[t]);
+        for (std::size_t i = 0; i < 2 * h_size; ++i)
+            dcontext[i] += dx[kDecVocab + i];
+
+        // Attention backward feeds the previous state and annotations.
+        attn.backward(fwd.attn_caches[t], fwd.annotations, dcontext,
+                      dstates[t], dann);
+    }
+
+    // Initial state s_0 = tanh(W_init * mean(ann) + b_init).
+    Vec da0(h_size);
+    for (std::size_t i = 0; i < h_size; ++i)
+        da0[i] = dstates[0][i] * (1.0f - fwd.s0[i] * fwd.s0[i]);
+    addOuter(w_init.grad, da0, fwd.ann_mean);
+    for (std::size_t i = 0; i < h_size; ++i)
+        b_init.grad(i, 0) += da0[i];
+    Vec dmean(2 * h_size, 0.0f);
+    matTVecAdd(w_init.value, da0, dmean);
+    const float inv_len = 1.0f / static_cast<float>(len);
+    for (std::size_t i = 0; i < len; ++i)
+        axpy(dann[i], dmean, inv_len);
+
+    // Encoder backward: forward chain (top half of each annotation).
+    Vec scratch_dx(kInVocab, 0.0f);
+    Vec carry(h_size, 0.0f);
+    for (std::size_t i = len; i-- > 0;) {
+        Vec dh(h_size);
+        for (std::size_t k = 0; k < h_size; ++k)
+            dh[k] = dann[i][k] + carry[k];
+        Vec dh_prev(h_size, 0.0f);
+        std::fill(scratch_dx.begin(), scratch_dx.end(), 0.0f);
+        enc_fwd.backward(fwd.fwd_caches[i], dh, scratch_dx, dh_prev);
+        carry = std::move(dh_prev);
+    }
+
+    // Backward chain (bottom half); the chain runs right-to-left, so its
+    // gradient propagates left-to-right.
+    carry.assign(h_size, 0.0f);
+    for (std::size_t i = 0; i < len; ++i) {
+        Vec dh(h_size);
+        for (std::size_t k = 0; k < h_size; ++k)
+            dh[k] = dann[i][h_size + k] + carry[k];
+        Vec dh_prev(h_size, 0.0f);
+        std::fill(scratch_dx.begin(), scratch_dx.end(), 0.0f);
+        enc_bwd.backward(fwd.bwd_caches[i], dh, scratch_dx, dh_prev);
+        carry = std::move(dh_prev);
+    }
+}
+
+double
+Seq2Seq::loss(const Strand &clean, const Strand &noisy) const
+{
+    auto targets = tokenise(noisy);
+    targets.push_back(kTokenEos);
+    Forward fwd;
+    return runForward(clean, targets, fwd);
+}
+
+double
+Seq2Seq::accumulate(const Strand &clean, const Strand &noisy,
+                    double grad_scale)
+{
+    auto targets = tokenise(noisy);
+    targets.push_back(kTokenEos);
+    Forward fwd;
+    const double nll = runForward(clean, targets, fwd);
+    runBackward(fwd, grad_scale);
+    return nll;
+}
+
+double
+Seq2Seq::trainBatch(const std::vector<StrandPair> &pairs,
+                    const std::vector<std::size_t> &indices)
+{
+    if (indices.empty())
+        return 0.0;
+    const double grad_scale = 1.0 / static_cast<double>(indices.size());
+    double total = 0.0;
+    for (std::size_t idx : indices) {
+        const StrandPair &pair = pairs.at(idx);
+        total += accumulate(pair.clean, pair.noisy, grad_scale);
+    }
+    opt.step();
+    return total / static_cast<double>(indices.size());
+}
+
+double
+Seq2Seq::train(const std::vector<StrandPair> &pairs, std::size_t epochs,
+               std::size_t batch_size, Rng &rng, double lr_decay)
+{
+    if (pairs.empty() || batch_size == 0)
+        return 0.0;
+    double epoch_loss = 0.0;
+    std::vector<std::size_t> order(pairs.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        if (epoch > 0 && lr_decay != 1.0) {
+            opt.setLearningRate(
+                opt.config().lr * static_cast<float>(lr_decay));
+        }
+        rng.shuffle(order);
+        epoch_loss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t lo = 0; lo < order.size(); lo += batch_size) {
+            const std::size_t hi = std::min(order.size(), lo + batch_size);
+            std::vector<std::size_t> batch(order.begin() + static_cast<long>(lo),
+                                           order.begin() + static_cast<long>(hi));
+            epoch_loss += trainBatch(pairs, batch);
+            ++batches;
+        }
+        epoch_loss /= static_cast<double>(batches);
+    }
+    return epoch_loss;
+}
+
+double
+Seq2Seq::evaluate(const std::vector<StrandPair> &pairs) const
+{
+    if (pairs.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const StrandPair &pair : pairs)
+        total += loss(pair.clean, pair.noisy);
+    return total / static_cast<double>(pairs.size());
+}
+
+double
+Seq2Seq::calibrateTemperature(const std::vector<Strand> &probe_cleans,
+                              double target_rate, Rng &rng,
+                              std::size_t samples_per_clean)
+{
+    if (probe_cleans.empty() || target_rate <= 0.0)
+        return 1.0;
+    auto sampled_rate = [&](double temperature) {
+        double total = 0.0, positions = 0.0;
+        for (const Strand &clean : probe_cleans) {
+            for (std::size_t s = 0; s < samples_per_clean; ++s) {
+                const Strand read = sample(clean, rng, temperature);
+                total += static_cast<double>(levenshtein(clean, read));
+                positions += static_cast<double>(clean.size());
+            }
+        }
+        return positions > 0 ? total / positions : 0.0;
+    };
+    // The sampled error rate grows monotonically with temperature;
+    // bisect on log-temperature.
+    double lo = 0.3, hi = 1.6;
+    for (int iter = 0; iter < 6; ++iter) {
+        const double mid = std::sqrt(lo * hi);
+        if (sampled_rate(mid) > target_rate)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return std::sqrt(lo * hi);
+}
+
+Strand
+Seq2Seq::sample(const Strand &clean, Rng &rng, double temperature) const
+{
+    Forward fwd;
+    encode(clean, fwd);
+    const std::size_t h_size = cfg.hidden;
+    const std::size_t max_len =
+        clean.size() * cfg.max_output_percent / 100 + 4;
+
+    Strand out;
+    Vec state = fwd.s0;
+    std::size_t prev_token = kTokenBos;
+    AttentionCache attn_cache;
+    GruCache dec_cache;
+    while (out.size() < max_len) {
+        const Vec context = attn.forward(state, fwd.annotations,
+                                         fwd.attn_pre, attn_cache);
+        Vec x(kDecVocab + 2 * h_size, 0.0f);
+        x[prev_token] = 1.0f;
+        std::copy(context.begin(), context.end(),
+                  x.begin() + static_cast<long>(kDecVocab));
+        state = dec.forward(x, state, dec_cache);
+
+        Vec out_in(3 * h_size);
+        std::copy(state.begin(), state.end(), out_in.begin());
+        std::copy(context.begin(), context.end(),
+                  out_in.begin() + static_cast<long>(h_size));
+        Vec logits;
+        matVec(w_out.value, out_in, logits);
+        for (std::size_t v = 0; v < kOutVocab; ++v) {
+            logits[v] = (logits[v] + b_out.value(v, 0)) /
+                static_cast<float>(temperature);
+        }
+        softmaxInPlace(logits);
+
+        std::vector<double> weights(logits.begin(), logits.end());
+        const std::size_t token = rng.weightedIndex(weights);
+        if (token == kTokenEos)
+            break;
+        out.push_back(baseToChar(static_cast<std::uint8_t>(token)));
+        prev_token = token;
+    }
+    return out;
+}
+
+bool
+Seq2Seq::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    auto *self = const_cast<Seq2Seq *>(this);
+    for (Param *p : self->allParams()) {
+        const auto &raw = p->value.raw();
+        out.write(reinterpret_cast<const char *>(raw.data()),
+                  static_cast<std::streamsize>(raw.size() * sizeof(float)));
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+Seq2Seq::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    for (Param *p : allParams()) {
+        auto &raw = p->value.raw();
+        in.read(reinterpret_cast<char *>(raw.data()),
+                static_cast<std::streamsize>(raw.size() * sizeof(float)));
+        if (!in)
+            return false;
+    }
+    return true;
+}
+
+} // namespace nn
+} // namespace dnastore

@@ -1,0 +1,174 @@
+#include "bma.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "dna/base.hh"
+
+namespace dnastore
+{
+
+namespace detail
+{
+
+namespace
+{
+
+/** Most frequent base across all reads (fallback consensus filler). */
+char
+dominantBase(const std::vector<Strand> &reads)
+{
+    std::array<std::size_t, 4> counts{};
+    for (const Strand &read : reads) {
+        for (char c : read) {
+            const std::uint8_t code = charToCode(c);
+            if (code != 0xff)
+                ++counts[code];
+        }
+    }
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < 4; ++b)
+        if (counts[b] > counts[best])
+            best = b;
+    return baseToChar(static_cast<std::uint8_t>(best));
+}
+
+} // namespace
+
+Strand
+bmaForward(const std::vector<Strand> &reads, std::size_t target_length,
+           const BmaConfig &cfg)
+{
+    const char fallback = reads.empty() ? 'A' : dominantBase(reads);
+    std::vector<std::size_t> ptr(reads.size(), 0);
+    Strand consensus;
+    consensus.reserve(target_length);
+
+    while (consensus.size() < target_length) {
+        // Majority vote over the bases at the current pointers.
+        std::array<std::size_t, 4> votes{};
+        bool any = false;
+        for (std::size_t i = 0; i < reads.size(); ++i) {
+            if (ptr[i] >= reads[i].size())
+                continue;
+            const std::uint8_t code = charToCode(reads[i][ptr[i]]);
+            if (code == 0xff)
+                continue;
+            ++votes[code];
+            any = true;
+        }
+        if (!any) {
+            consensus.push_back(fallback);
+            continue;
+        }
+        std::size_t m_code = 0;
+        for (std::size_t b = 1; b < 4; ++b)
+            if (votes[b] > votes[m_code])
+                m_code = b;
+        const char m = baseToChar(static_cast<std::uint8_t>(m_code));
+
+        // Lookahead hints: the majority of what agreeing reads expose at
+        // the next few offsets, i.e. the likely next consensus
+        // characters.  Disagreeing reads are re-aligned against these.
+        std::array<char, 4> hints{};
+        std::size_t num_hints = std::min<std::size_t>(cfg.lookahead, 4);
+        for (std::size_t k = 1; k <= num_hints; ++k) {
+            std::array<std::size_t, 4> next_votes{};
+            for (std::size_t i = 0; i < reads.size(); ++i) {
+                const std::size_t p = ptr[i];
+                if (p >= reads[i].size() || reads[i][p] != m)
+                    continue;
+                if (p + k < reads[i].size()) {
+                    const std::uint8_t code = charToCode(reads[i][p + k]);
+                    if (code != 0xff)
+                        ++next_votes[code];
+                }
+            }
+            std::size_t best_votes = 0;
+            char hint = '\0';
+            for (std::size_t b = 0; b < 4; ++b) {
+                if (next_votes[b] > best_votes) {
+                    best_votes = next_votes[b];
+                    hint = baseToChar(static_cast<std::uint8_t>(b));
+                }
+            }
+            hints[k - 1] = hint;
+        }
+
+        // Advance pointers, re-aligning disagreeing reads via lookahead:
+        // score the substitution / deletion / insertion hypotheses by
+        // how well the read's upcoming bases match the expected next
+        // consensus characters, and adjust the pointer per the winner.
+        for (std::size_t i = 0; i < reads.size(); ++i) {
+            const std::size_t p = ptr[i];
+            const Strand &read = reads[i];
+            if (p >= read.size())
+                continue;
+            if (read[p] == m) {
+                ++ptr[i];
+                continue;
+            }
+            auto hypothesis_score = [&](std::size_t first_offset) {
+                // Compare read[p + first_offset + k] against hints[k].
+                int score = 0;
+                for (std::size_t k = 0; k < num_hints; ++k) {
+                    const std::size_t pos = p + first_offset + k;
+                    if (hints[k] == '\0' || pos >= read.size())
+                        break;
+                    score += read[pos] == hints[k] ? 1 : -1;
+                }
+                return score;
+            };
+            // Substitution: read[p] replaced m; the following bases line
+            // up with the hints starting at p+1.
+            const int sub_score = hypothesis_score(1);
+            // Deletion: m is missing from this read; read[p] itself
+            // should match the *next* consensus character.
+            const int del_score = hypothesis_score(0);
+            // Insertion: read[p] is extra; read[p+1] should be m and the
+            // bases after it line up with the hints.
+            int ins_score = -1;
+            if (p + 1 < read.size() && read[p + 1] == m)
+                ins_score = 1 + hypothesis_score(2);
+
+            if (ins_score > sub_score && ins_score > del_score)
+                ptr[i] = p + 2; // drop the insertion, consume m
+            else if (del_score > sub_score)
+                ; // hold: read[p] aligns with the next consensus char
+            else
+                ++ptr[i]; // substitution (default on ties)
+        }
+
+        consensus.push_back(m);
+    }
+    return consensus;
+}
+
+} // namespace detail
+
+Strand
+BmaReconstructor::reconstruct(const std::vector<Strand> &reads,
+                              std::size_t expected_length) const
+{
+    return detail::bmaForward(reads, expected_length, cfg);
+}
+
+Strand
+DoubleSidedBmaReconstructor::reconstruct(const std::vector<Strand> &reads,
+                                         std::size_t expected_length) const
+{
+    const std::size_t left_len = (expected_length + 1) / 2;
+    const std::size_t right_len = expected_length - left_len;
+
+    const Strand left = detail::bmaForward(reads, left_len, cfg);
+
+    std::vector<Strand> reversed(reads.size());
+    for (std::size_t i = 0; i < reads.size(); ++i)
+        reversed[i] = Strand(reads[i].rbegin(), reads[i].rend());
+    Strand right = detail::bmaForward(reversed, right_len, cfg);
+    std::reverse(right.begin(), right.end());
+
+    return left + right;
+}
+
+} // namespace dnastore

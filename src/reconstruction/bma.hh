@@ -1,0 +1,82 @@
+/**
+ * @file
+ * BMA-lookahead trace reconstruction (paper Section VII-A, following
+ * Organick et al.) and its double-sided variant (Section VII-B).
+ *
+ * Single-sided BMA builds the consensus left to right with one pointer
+ * per read; reads that disagree with the majority are re-aligned by a
+ * small lookahead that guesses whether an insertion, deletion or
+ * substitution occurred.  Misalignment propagates rightward, so later
+ * indexes reconstruct less reliably.  Double-sided BMA runs the same
+ * procedure from both ends to the middle, halving the propagation depth
+ * and concentrating the residual errors mid-strand.
+ */
+
+#ifndef DNASTORE_RECONSTRUCTION_BMA_HH
+#define DNASTORE_RECONSTRUCTION_BMA_HH
+
+#include "reconstruction/reconstructor.hh"
+
+namespace dnastore
+{
+
+/** Tunables shared by the BMA variants. */
+struct BmaConfig
+{
+    /**
+     * Lookahead window (in bases) used to score the insertion /
+     * deletion / substitution hypotheses when a read disagrees with the
+     * majority: the read's upcoming bases are matched against the
+     * likely next consensus characters.
+     */
+    std::size_t lookahead = 3;
+};
+
+/** Single-sided (left-to-right) BMA-lookahead. */
+class BmaReconstructor : public Reconstructor
+{
+  public:
+    explicit BmaReconstructor(BmaConfig config = {}) : cfg(config) {}
+
+    Strand reconstruct(const std::vector<Strand> &reads,
+                       std::size_t expected_length) const override;
+
+    std::string name() const override { return "bma"; }
+
+  private:
+    BmaConfig cfg;
+};
+
+/** Double-sided BMA: forward for the left half, backward for the right. */
+class DoubleSidedBmaReconstructor : public Reconstructor
+{
+  public:
+    explicit DoubleSidedBmaReconstructor(BmaConfig config = {}) : cfg(config)
+    {
+    }
+
+    Strand reconstruct(const std::vector<Strand> &reads,
+                       std::size_t expected_length) const override;
+
+    std::string name() const override { return "double-sided-bma"; }
+
+  private:
+    BmaConfig cfg;
+};
+
+namespace detail
+{
+
+/**
+ * Core left-to-right BMA producing target_length consensus characters.
+ * Exposed so the double-sided variant and the tests can drive it
+ * directly.
+ */
+Strand bmaForward(const std::vector<Strand> &reads,
+                  std::size_t target_length, const BmaConfig &cfg);
+
+} // namespace detail
+
+} // namespace dnastore
+
+#endif // DNASTORE_RECONSTRUCTION_BMA_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Needleman-Wunsch consensus reconstruction (paper Section VII-C): the
+ * cluster's reads are combined into a multiple sequence alignment by
+ * global alignment against an evolving column profile (the portable
+ * counterpart of the SIMD partial-order aligner the paper builds on);
+ * the consensus is the per-column majority vote, and if it exceeds the
+ * expected strand length, the x most indel-heavy columns are dropped.
+ */
+
+#ifndef DNASTORE_RECONSTRUCTION_NW_CONSENSUS_HH
+#define DNASTORE_RECONSTRUCTION_NW_CONSENSUS_HH
+
+#include "dna/align.hh"
+#include "reconstruction/reconstructor.hh"
+
+namespace dnastore
+{
+
+/** Tunables of the NW consensus reconstructor. */
+struct NwConsensusConfig
+{
+    AlignScores scores{1, -1, -1};
+    /**
+     * Cap on the reads aligned per cluster (0 = no cap).  Alignment
+     * cost grows linearly in reads, and beyond a few dozen reads the
+     * consensus no longer improves; the cap keeps high-coverage runs
+     * fast (cf. Table III, where NWA wins at coverage 50).
+     */
+    std::size_t max_reads = 32;
+    /**
+     * Polishing passes: each pass re-aligns every read against the
+     * current consensus and re-votes per consensus position, washing
+     * out the order-dependence of the incremental profile build.
+     */
+    std::size_t refine_passes = 0;
+};
+
+/** Profile-MSA Needleman-Wunsch consensus. */
+class NwConsensusReconstructor : public Reconstructor
+{
+  public:
+    explicit NwConsensusReconstructor(NwConsensusConfig config = {})
+        : cfg(config)
+    {
+    }
+
+    Strand reconstruct(const std::vector<Strand> &reads,
+                       std::size_t expected_length) const override;
+
+    std::string name() const override { return "needleman-wunsch"; }
+
+  private:
+    NwConsensusConfig cfg;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_RECONSTRUCTION_NW_CONSENSUS_HH

@@ -1,0 +1,26 @@
+#include "reconstructor.hh"
+
+#include "util/thread_pool.hh"
+
+namespace dnastore
+{
+
+std::vector<Strand>
+reconstructAll(const Reconstructor &algo,
+               const std::vector<std::vector<Strand>> &clusters,
+               std::size_t expected_length, std::size_t num_threads)
+{
+    std::vector<Strand> out(clusters.size());
+    if (num_threads > 1) {
+        ThreadPool pool(num_threads);
+        pool.parallelFor(0, clusters.size(), [&](std::size_t i) {
+            out[i] = algo.reconstruct(clusters[i], expected_length);
+        });
+    } else {
+        for (std::size_t i = 0; i < clusters.size(); ++i)
+            out[i] = algo.reconstruct(clusters[i], expected_length);
+    }
+    return out;
+}
+
+} // namespace dnastore

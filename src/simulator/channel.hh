@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Module interface for the wetlab simulation step (paper Section V).
+ * A Channel models the noise introduced by synthesis, storage and
+ * sequencing: it transforms one clean encoded strand into one noisy
+ * read.  Coverage (how many reads each strand receives) is modelled
+ * separately by CoverageModel so channels stay composable.
+ */
+
+#ifndef DNASTORE_SIMULATOR_CHANNEL_HH
+#define DNASTORE_SIMULATOR_CHANNEL_HH
+
+#include <string>
+
+#include "dna/strand.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+
+/** One synthesis+storage+sequencing noise process. */
+class Channel
+{
+  public:
+    virtual ~Channel() = default;
+
+    /** Produce one noisy read of a clean strand. */
+    virtual Strand transmit(const Strand &clean, Rng &rng) const = 0;
+
+    /** Human-readable module name (for reports). */
+    virtual std::string name() const = 0;
+};
+
+/** A channel that introduces no errors (for module isolation tests). */
+class PerfectChannel : public Channel
+{
+  public:
+    Strand
+    transmit(const Strand &clean, Rng &) const override
+    {
+        return clean;
+    }
+
+    std::string name() const override { return "perfect"; }
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_CHANNEL_HH

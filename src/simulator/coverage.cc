@@ -1,0 +1,50 @@
+#include "coverage.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnastore
+{
+
+CoverageModel::CoverageModel(double mean, CoverageDistribution shape,
+                             double dropout)
+    : mu(mean), dist(shape), dropout(dropout)
+{
+    if (mean <= 0.0)
+        throw std::invalid_argument("CoverageModel: mean must be positive");
+    if (dropout < 0.0 || dropout >= 1.0)
+        throw std::invalid_argument("CoverageModel: dropout out of range");
+}
+
+std::uint64_t
+CoverageModel::draw(Rng &rng) const
+{
+    if (dropout > 0.0 && rng.chance(dropout))
+        return 0;
+    switch (dist) {
+      case CoverageDistribution::Fixed:
+        return static_cast<std::uint64_t>(mu + 0.5);
+      case CoverageDistribution::Poisson:
+        return rng.poisson(mu);
+      case CoverageDistribution::LogNormalSkew: {
+        // Log-normal with sigma 0.6, mu chosen so the mean matches.
+        constexpr double sigma = 0.6;
+        const double mu_log = std::log(mu) - sigma * sigma / 2.0;
+        return static_cast<std::uint64_t>(rng.logNormal(mu_log, sigma) + 0.5);
+      }
+    }
+    return 0;
+}
+
+std::string
+CoverageModel::shapeName() const
+{
+    switch (dist) {
+      case CoverageDistribution::Fixed: return "fixed";
+      case CoverageDistribution::Poisson: return "poisson";
+      case CoverageDistribution::LogNormalSkew: return "lognormal";
+    }
+    return "unknown";
+}
+
+} // namespace dnastore

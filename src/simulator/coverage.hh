@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sequencing coverage models (paper Section II-E): how many noisy reads
+ * each synthesized strand receives.  Real sequencing runs produce a
+ * skewed distribution of reads per molecule, including complete
+ * dropouts, which the decoder sees as erasures.
+ */
+
+#ifndef DNASTORE_SIMULATOR_COVERAGE_HH
+#define DNASTORE_SIMULATOR_COVERAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.hh"
+
+namespace dnastore
+{
+
+/** Shape of the reads-per-strand distribution. */
+enum class CoverageDistribution
+{
+    Fixed,         //!< Exactly mean reads for every strand.
+    Poisson,       //!< Poisson(mean): the classic shotgun model.
+    LogNormalSkew, //!< Log-normal with matched mean: heavy-tailed runs.
+};
+
+/** Reads-per-strand model. */
+class CoverageModel
+{
+  public:
+    /**
+     * @param mean     Average reads per strand (> 0).
+     * @param shape    Distribution family.
+     * @param dropout  Probability a strand yields no reads at all,
+     *                 applied before drawing the count.
+     */
+    CoverageModel(double mean,
+                  CoverageDistribution shape = CoverageDistribution::Fixed,
+                  double dropout = 0.0);
+
+    /** Draw the number of reads for one strand. */
+    std::uint64_t draw(Rng &rng) const;
+
+    double mean() const { return mu; }
+    double dropoutRate() const { return dropout; }
+    CoverageDistribution shape() const { return dist; }
+    std::string shapeName() const;
+
+  private:
+    double mu;
+    CoverageDistribution dist;
+    double dropout;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_COVERAGE_HH

@@ -1,0 +1,129 @@
+#include "error_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dna/align.hh"
+
+namespace dnastore
+{
+
+ChannelErrorProfile
+measureChannelErrors(const std::vector<Strand> &clean,
+                     const std::vector<Strand> &reads)
+{
+    if (clean.size() != reads.size())
+        throw std::invalid_argument("measureChannelErrors: size mismatch");
+
+    std::size_t max_len = 0;
+    for (const Strand &s : clean)
+        max_len = std::max(max_len, s.size());
+
+    std::vector<double> subs(max_len, 0), dels(max_len, 0),
+        ins(max_len + 1, 0), visits(max_len, 0);
+    double events = 0.0, positions = 0.0, read_len = 0.0;
+
+    for (std::size_t p = 0; p < clean.size(); ++p) {
+        const auto ops = classifyEdits(clean[p], reads[p]);
+        for (const EditOp &op : ops) {
+            switch (op.kind) {
+              case EditKind::Match:
+                break;
+              case EditKind::Substitution:
+                subs[op.ref_pos] += 1;
+                events += 1;
+                break;
+              case EditKind::Deletion:
+                dels[op.ref_pos] += 1;
+                events += 1;
+                break;
+              case EditKind::Insertion:
+                ins[op.ref_pos] += 1;
+                events += 1;
+                break;
+            }
+        }
+        for (std::size_t i = 0; i < clean[p].size(); ++i)
+            visits[i] += 1;
+        positions += static_cast<double>(clean[p].size());
+        read_len += static_cast<double>(reads[p].size());
+    }
+
+    ChannelErrorProfile profile;
+    profile.substitution_rate.resize(max_len, 0.0);
+    profile.deletion_rate.resize(max_len, 0.0);
+    profile.insertion_rate.resize(max_len + 1, 0.0);
+    for (std::size_t i = 0; i < max_len; ++i) {
+        if (visits[i] > 0) {
+            profile.substitution_rate[i] = subs[i] / visits[i];
+            profile.deletion_rate[i] = dels[i] / visits[i];
+            profile.insertion_rate[i] = ins[i] / visits[i];
+        }
+    }
+    if (!clean.empty()) {
+        profile.mean_error_rate = positions > 0 ? events / positions : 0.0;
+        profile.mean_read_length =
+            read_len / static_cast<double>(reads.size());
+    }
+    return profile;
+}
+
+ReconstructionProfile
+measureReconstruction(const std::vector<Strand> &originals,
+                      const std::vector<Strand> &reconstructed)
+{
+    if (originals.size() != reconstructed.size())
+        throw std::invalid_argument("measureReconstruction: size mismatch");
+
+    std::size_t max_len = 0;
+    for (const Strand &s : originals)
+        max_len = std::max(max_len, s.size());
+
+    std::vector<double> errors(max_len, 0), visits(max_len, 0);
+    ReconstructionProfile profile;
+    profile.total_strands = originals.size();
+
+    for (std::size_t p = 0; p < originals.size(); ++p) {
+        const Strand &orig = originals[p];
+        const Strand &rec = reconstructed[p];
+        bool perfect = rec.size() == orig.size();
+        for (std::size_t i = 0; i < orig.size(); ++i) {
+            visits[i] += 1;
+            const bool wrong = i >= rec.size() || rec[i] != orig[i];
+            if (wrong) {
+                errors[i] += 1;
+                perfect = false;
+            }
+        }
+        profile.perfect_strands += perfect;
+    }
+
+    profile.error_rate.resize(max_len, 0.0);
+    double total_err = 0, total_visits = 0;
+    for (std::size_t i = 0; i < max_len; ++i) {
+        if (visits[i] > 0)
+            profile.error_rate[i] = errors[i] / visits[i];
+        total_err += errors[i];
+        total_visits += visits[i];
+    }
+    profile.mean_error_rate =
+        total_visits > 0 ? total_err / total_visits : 0.0;
+    return profile;
+}
+
+double
+profileDeviation(const ReconstructionProfile &test,
+                 const ReconstructionProfile &reference)
+{
+    const std::size_t len =
+        std::min(test.error_rate.size(), reference.error_rate.size());
+    if (len == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < len; ++i)
+        sum += std::abs(test.error_rate[i] - reference.error_rate[i]);
+    return sum / static_cast<double>(len);
+}
+
+} // namespace dnastore

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error-profile measurement (paper Section V-A, metrics (i)-(iv)).
+ * Profiles are computed either on raw channel output (via alignment of
+ * clean/noisy pairs) or on reconstruction output (per-index mismatch
+ * rate between original and reconstructed strands), which is the
+ * pipeline-level fidelity metric the paper argues for.
+ */
+
+#ifndef DNASTORE_SIMULATOR_ERROR_PROFILE_HH
+#define DNASTORE_SIMULATOR_ERROR_PROFILE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dna/strand.hh"
+
+namespace dnastore
+{
+
+/** Per-index channel error rates measured from aligned read pairs. */
+struct ChannelErrorProfile
+{
+    std::vector<double> substitution_rate; //!< Per reference index.
+    std::vector<double> deletion_rate;     //!< Per reference index.
+    std::vector<double> insertion_rate;    //!< Per reference gap slot.
+    double mean_error_rate = 0.0;          //!< All events / all positions.
+    double mean_read_length = 0.0;
+};
+
+/**
+ * Align each (clean, read) pair and accumulate per-index error rates.
+ * clean.size() must equal reads.size(); pairs are aligned index-wise.
+ */
+ChannelErrorProfile
+measureChannelErrors(const std::vector<Strand> &clean,
+                     const std::vector<Strand> &reads);
+
+/**
+ * Per-index reconstruction error profile (paper metric (i)): fraction
+ * of strands whose reconstructed base at index i differs from the
+ * original.  Reconstructed strands shorter than the original count as
+ * errors at the missing indexes.
+ */
+struct ReconstructionProfile
+{
+    std::vector<double> error_rate;   //!< Per index, metric (i).
+    double mean_error_rate = 0.0;     //!< Metric (ii).
+    std::size_t perfect_strands = 0;  //!< Metric (iv).
+    std::size_t total_strands = 0;
+};
+
+ReconstructionProfile
+measureReconstruction(const std::vector<Strand> &originals,
+                      const std::vector<Strand> &reconstructed);
+
+/**
+ * Metric (iii): mean absolute per-index difference between two
+ * reconstruction profiles (a simulator under test vs the reference).
+ * Profiles are compared index-wise up to the shorter length.
+ */
+double profileDeviation(const ReconstructionProfile &test,
+                        const ReconstructionProfile &reference);
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_ERROR_PROFILE_HH

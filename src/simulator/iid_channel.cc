@@ -1,0 +1,43 @@
+#include "iid_channel.hh"
+
+#include <stdexcept>
+
+#include "dna/base.hh"
+
+namespace dnastore
+{
+
+IidChannel::IidChannel(IidChannelConfig config) : cfg(config)
+{
+    if (cfg.p_insertion < 0 || cfg.p_deletion < 0 || cfg.p_substitution < 0 ||
+        cfg.total() > 1.0) {
+        throw std::invalid_argument("IidChannel: invalid probabilities");
+    }
+}
+
+Strand
+IidChannel::transmit(const Strand &clean, Rng &rng) const
+{
+    Strand read;
+    read.reserve(clean.size() + 8);
+    for (char c : clean) {
+        // One trial per index: insertion places a random base before the
+        // current one; deletion drops it; substitution replaces it with a
+        // different base.
+        if (rng.chance(cfg.p_insertion))
+            read.push_back(baseToChar(static_cast<std::uint8_t>(rng.below(4))));
+        if (rng.chance(cfg.p_deletion))
+            continue;
+        if (rng.chance(cfg.p_substitution)) {
+            const std::uint8_t original = charToCode(c);
+            const std::uint8_t replacement = static_cast<std::uint8_t>(
+                (original + 1 + rng.below(3)) & 0x3);
+            read.push_back(baseToChar(replacement));
+        } else {
+            read.push_back(c);
+        }
+    }
+    return read;
+}
+
+} // namespace dnastore

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The generalized i.i.d. insertion/deletion/substitution channel of
+ * Rashtchian et al. (paper Section V-A): at every index of the input
+ * strand an insertion, deletion or substitution occurs independently
+ * with user-specified probabilities.  This is the naive baseline
+ * simulation most DNA-storage research uses, and the one the paper
+ * shows to be unrealistically easy to reconstruct from.
+ */
+
+#ifndef DNASTORE_SIMULATOR_IID_CHANNEL_HH
+#define DNASTORE_SIMULATOR_IID_CHANNEL_HH
+
+#include "simulator/channel.hh"
+
+namespace dnastore
+{
+
+/** Per-index error probabilities of the i.i.d. channel. */
+struct IidChannelConfig
+{
+    double p_insertion = 0.01;
+    double p_deletion = 0.01;
+    double p_substitution = 0.01;
+
+    /** Split a total per-index error rate evenly across the 3 types. */
+    static IidChannelConfig
+    fromTotalErrorRate(double total)
+    {
+        return {total / 3.0, total / 3.0, total / 3.0};
+    }
+
+    double total() const { return p_insertion + p_deletion + p_substitution; }
+};
+
+/** Rashtchian-style i.i.d. IDS channel. */
+class IidChannel : public Channel
+{
+  public:
+    explicit IidChannel(IidChannelConfig config = {});
+
+    Strand transmit(const Strand &clean, Rng &rng) const override;
+
+    std::string name() const override { return "iid-rashtchian"; }
+
+    const IidChannelConfig &config() const { return cfg; }
+
+  private:
+    IidChannelConfig cfg;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_IID_CHANNEL_HH

@@ -1,0 +1,209 @@
+#include "markov_channel.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dna/align.hh"
+#include "dna/base.hh"
+
+namespace dnastore
+{
+
+MarkovChannel::MarkovChannel(MarkovChannelModel model) : mdl(model)
+{
+}
+
+MarkovChannelModel
+MarkovChannel::fit(const std::vector<Strand> &clean,
+                   const std::vector<Strand> &noisy)
+{
+    if (clean.size() != noisy.size())
+        throw std::invalid_argument("MarkovChannel::fit: size mismatch");
+    if (clean.empty())
+        throw std::invalid_argument("MarkovChannel::fit: no pairs");
+
+    MarkovChannelModel model;
+    using Counts = MarkovChannelModel::Cell;
+    std::array<std::array<Counts, 4>, MarkovChannelModel::kBuckets> counts{};
+    std::array<std::array<double, 4>, MarkovChannelModel::kBuckets>
+        visits{};
+    std::array<std::array<double, 4>, 4> sub_counts{};
+    double del_events = 0, del_continuations = 0;
+    double ins_events = 0, ins_stutters = 0;
+    std::vector<double> read_rates;
+    read_rates.reserve(clean.size());
+
+    for (std::size_t p = 0; p < clean.size(); ++p) {
+        const auto ops = classifyEdits(clean[p], noisy[p]);
+        const std::size_t len = clean[p].size();
+        double errors = 0;
+        bool prev_was_deletion = false;
+        char prev_read_char = '\0';
+        for (const EditOp &op : ops) {
+            const std::size_t bucket =
+                MarkovChannelModel::bucketOf(op.ref_pos, len);
+            switch (op.kind) {
+              case EditKind::Match: {
+                const std::uint8_t code = charToCode(op.ref_char);
+                visits[bucket][code] += 1;
+                prev_was_deletion = false;
+                prev_read_char = op.read_char;
+                break;
+              }
+              case EditKind::Substitution: {
+                const std::uint8_t from = charToCode(op.ref_char);
+                const std::uint8_t to = charToCode(op.read_char);
+                visits[bucket][from] += 1;
+                counts[bucket][from].p_substitution += 1;
+                sub_counts[from][to] += 1;
+                errors += 1;
+                prev_was_deletion = false;
+                prev_read_char = op.read_char;
+                break;
+              }
+              case EditKind::Deletion: {
+                const std::uint8_t code = charToCode(op.ref_char);
+                visits[bucket][code] += 1;
+                if (prev_was_deletion) {
+                    del_continuations += 1;
+                } else {
+                    counts[bucket][code].p_deletion += 1;
+                }
+                del_events += 1;
+                errors += 1;
+                prev_was_deletion = true;
+                break;
+              }
+              case EditKind::Insertion: {
+                // Attribute the insertion to the base that follows it,
+                // when there is one.
+                const std::size_t anchor =
+                    std::min(op.ref_pos, len > 0 ? len - 1 : 0);
+                const std::uint8_t code =
+                    len > 0 ? charToCode(clean[p][anchor]) : 0;
+                counts[bucket][code].p_insertion += 1;
+                ins_events += 1;
+                ins_stutters += op.read_char == prev_read_char;
+                errors += 1;
+                prev_was_deletion = false;
+                prev_read_char = op.read_char;
+                break;
+              }
+            }
+        }
+        if (len > 0)
+            read_rates.push_back(errors / static_cast<double>(len));
+    }
+
+    for (std::size_t b = 0; b < MarkovChannelModel::kBuckets; ++b) {
+        for (int base = 0; base < 4; ++base) {
+            const auto i = static_cast<std::size_t>(base);
+            const double v = std::max(visits[b][i], 1.0);
+            model.cells[b][i].p_substitution =
+                counts[b][i].p_substitution / v;
+            model.cells[b][i].p_deletion = counts[b][i].p_deletion / v;
+            model.cells[b][i].p_insertion = counts[b][i].p_insertion / v;
+        }
+    }
+    for (int from = 0; from < 4; ++from) {
+        const auto f = static_cast<std::size_t>(from);
+        double row = 0;
+        for (int to = 0; to < 4; ++to)
+            row += sub_counts[f][static_cast<std::size_t>(to)];
+        for (int to = 0; to < 4; ++to) {
+            const auto t = static_cast<std::size_t>(to);
+            model.sub_matrix[f][t] = row > 0
+                ? sub_counts[f][t] / row
+                : (from == to ? 0.0 : 1.0 / 3.0);
+        }
+    }
+    model.burst_continuation =
+        del_events > 0 ? del_continuations / del_events : 0.0;
+    model.stutter_fraction =
+        ins_events > 0 ? ins_stutters / ins_events : 0.5;
+
+    // Per-read quality spread: sigma of log(rate / mean_rate).
+    double mean_rate = 0;
+    for (double r : read_rates)
+        mean_rate += r;
+    mean_rate /= static_cast<double>(read_rates.size());
+    if (mean_rate > 0) {
+        double var = 0;
+        std::size_t n = 0;
+        for (double r : read_rates) {
+            if (r <= 0)
+                continue;
+            const double l = std::log(r / mean_rate);
+            var += l * l;
+            ++n;
+        }
+        model.read_sigma = n > 1 ? std::sqrt(var / static_cast<double>(n))
+                                 : 0.0;
+    }
+    return model;
+}
+
+Strand
+MarkovChannel::transmit(const Strand &clean, Rng &rng) const
+{
+    // Per-read quality factor, normalised to mean 1.
+    double factor = 1.0;
+    if (mdl.read_sigma > 0) {
+        factor = rng.logNormal(-mdl.read_sigma * mdl.read_sigma / 2.0,
+                               mdl.read_sigma);
+    }
+
+    Strand read;
+    read.reserve(clean.size() + 8);
+    const std::size_t len = clean.size();
+    std::size_t i = 0;
+    while (i < len) {
+        const char c = clean[i];
+        const std::uint8_t code = charToCode(c);
+        if (code == 0xff) {
+            read.push_back(c);
+            ++i;
+            continue;
+        }
+        const auto &cell =
+            mdl.cells[MarkovChannelModel::bucketOf(i, len)][code];
+
+        if (rng.chance(std::min(1.0, cell.p_insertion * factor))) {
+            char inserted;
+            if (!read.empty() && rng.chance(mdl.stutter_fraction))
+                inserted = read.back();
+            else
+                inserted = baseToChar(static_cast<std::uint8_t>(rng.below(4)));
+            read.push_back(inserted);
+        }
+        if (rng.chance(std::min(1.0, cell.p_deletion * factor))) {
+            ++i;
+            while (i < len && rng.chance(mdl.burst_continuation))
+                ++i;
+            continue;
+        }
+        if (rng.chance(std::min(1.0, cell.p_substitution * factor))) {
+            std::vector<double> weights(4);
+            for (int to = 0; to < 4; ++to)
+                weights[static_cast<std::size_t>(to)] =
+                    mdl.sub_matrix[code][static_cast<std::size_t>(to)];
+            weights[code] = 0.0;
+            double total = 0;
+            for (double w : weights)
+                total += w;
+            std::uint8_t target;
+            if (total <= 0)
+                target = static_cast<std::uint8_t>((code + 1) & 3);
+            else
+                target = static_cast<std::uint8_t>(rng.weightedIndex(weights));
+            read.push_back(baseToChar(target));
+        } else {
+            read.push_back(c);
+        }
+        ++i;
+    }
+    return read;
+}
+
+} // namespace dnastore

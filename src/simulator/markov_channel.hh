@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A learned statistical channel: position- and context-dependent error
+ * rates with burst deletions, fitted from paired clean/noisy strands.
+ * This is the cheap data-driven alternative to the seq2seq model (an
+ * ablation point in DESIGN.md): it captures the first-order structure
+ * of a real channel — positional ramp, context bias, bursts, per-read
+ * quality spread — without sequence-level memory.
+ */
+
+#ifndef DNASTORE_SIMULATOR_MARKOV_CHANNEL_HH
+#define DNASTORE_SIMULATOR_MARKOV_CHANNEL_HH
+
+#include <array>
+#include <vector>
+
+#include "simulator/channel.hh"
+
+namespace dnastore
+{
+
+/** Fitted parameters of the Markov channel. */
+struct MarkovChannelModel
+{
+    /** Number of relative-position buckets along the strand. */
+    static constexpr std::size_t kBuckets = 12;
+
+    /** Per (bucket, base) event rates. */
+    struct Cell
+    {
+        double p_substitution = 0.0;
+        double p_deletion = 0.0;
+        double p_insertion = 0.0;
+    };
+    std::array<std::array<Cell, 4>, kBuckets> cells{};
+
+    /** Substitution target distribution [from][to]. */
+    std::array<std::array<double, 4>, 4> sub_matrix{};
+
+    /** Probability a deletion burst continues past each base. */
+    double burst_continuation = 0.0;
+
+    /** Probability an insertion duplicates the preceding read base. */
+    double stutter_fraction = 0.5;
+
+    /** Log-normal parameters of per-read quality (normalised mean 1). */
+    double read_sigma = 0.0;
+
+    /** Bucket of reference position i in a strand of length len. */
+    static std::size_t
+    bucketOf(std::size_t i, std::size_t len)
+    {
+        if (len == 0)
+            return 0;
+        const std::size_t b = i * kBuckets / len;
+        return b < kBuckets ? b : kBuckets - 1;
+    }
+};
+
+/**
+ * Channel driven by a MarkovChannelModel.  Use fit() to learn the model
+ * from paired data produced by a reference channel (or real data).
+ */
+class MarkovChannel : public Channel
+{
+  public:
+    explicit MarkovChannel(MarkovChannelModel model);
+
+    /**
+     * Fit a model from paired clean/noisy strands via global alignment.
+     * clean.size() must equal noisy.size().
+     */
+    static MarkovChannelModel fit(const std::vector<Strand> &clean,
+                                  const std::vector<Strand> &noisy);
+
+    Strand transmit(const Strand &clean, Rng &rng) const override;
+
+    std::string name() const override { return "markov-learned"; }
+
+    const MarkovChannelModel &model() const { return mdl; }
+
+  private:
+    MarkovChannelModel mdl;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_MARKOV_CHANNEL_HH

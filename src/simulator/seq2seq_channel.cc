@@ -1,0 +1,29 @@
+#include "seq2seq_channel.hh"
+
+namespace dnastore
+{
+
+Seq2SeqChannel::Seq2SeqChannel(Seq2SeqChannelConfig config)
+    : cfg(config), net(cfg.model)
+{
+}
+
+double
+Seq2SeqChannel::train(const std::vector<nn::StrandPair> &pairs, Rng &rng)
+{
+    return net.train(pairs, cfg.epochs, cfg.batch_size, rng);
+}
+
+double
+Seq2SeqChannel::evaluate(const std::vector<nn::StrandPair> &pairs) const
+{
+    return net.evaluate(pairs);
+}
+
+Strand
+Seq2SeqChannel::transmit(const Strand &clean, Rng &rng) const
+{
+    return net.sample(clean, rng, cfg.sample_temperature);
+}
+
+} // namespace dnastore

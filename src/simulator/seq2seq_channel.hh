@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The data-driven RNN channel of paper Section V-B: a GRU+attention
+ * sequence-to-sequence model trained on paired clean/noisy strands
+ * (from real wetlab data, or here from the virtual wetlab), then
+ * sampled auto-regressively to generate noisy reads whose error
+ * structure matches the training channel.
+ */
+
+#ifndef DNASTORE_SIMULATOR_SEQ2SEQ_CHANNEL_HH
+#define DNASTORE_SIMULATOR_SEQ2SEQ_CHANNEL_HH
+
+#include "nn/seq2seq.hh"
+#include "simulator/channel.hh"
+
+namespace dnastore
+{
+
+/** Training knobs for the seq2seq channel. */
+struct Seq2SeqChannelConfig
+{
+    nn::Seq2SeqConfig model{};
+    std::size_t epochs = 8;
+    std::size_t batch_size = 8;
+    double sample_temperature = 1.0;
+};
+
+/** Channel backed by a trained seq2seq model. */
+class Seq2SeqChannel : public Channel
+{
+  public:
+    explicit Seq2SeqChannel(Seq2SeqChannelConfig config = {});
+
+    /**
+     * Train the underlying model on paired data; returns the final
+     * epoch's mean per-token NLL.
+     */
+    double train(const std::vector<nn::StrandPair> &pairs, Rng &rng);
+
+    /** Mean NLL on held-out pairs. */
+    double evaluate(const std::vector<nn::StrandPair> &pairs) const;
+
+    Strand transmit(const Strand &clean, Rng &rng) const override;
+
+    std::string name() const override { return "rnn-seq2seq"; }
+
+    nn::Seq2Seq &model() { return net; }
+    const nn::Seq2Seq &model() const { return net; }
+
+    /** Adjust the sampling temperature (e.g. after calibration). */
+    void
+    setSampleTemperature(double temperature)
+    {
+        cfg.sample_temperature = temperature;
+    }
+
+  private:
+    Seq2SeqChannelConfig cfg;
+    nn::Seq2Seq net;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_SEQ2SEQ_CHANNEL_HH

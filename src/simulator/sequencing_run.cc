@@ -1,0 +1,38 @@
+#include "sequencing_run.hh"
+
+#include <numeric>
+
+namespace dnastore
+{
+
+SequencingRun
+simulateSequencing(const std::vector<Strand> &strands, const Channel &channel,
+                   const CoverageModel &coverage, Rng &rng, bool shuffle)
+{
+    SequencingRun run;
+    for (std::size_t s = 0; s < strands.size(); ++s) {
+        const std::uint64_t copies = coverage.draw(rng);
+        if (copies == 0)
+            ++run.dropped_strands;
+        for (std::uint64_t copy = 0; copy < copies; ++copy) {
+            run.reads.push_back(channel.transmit(strands[s], rng));
+            run.origin.push_back(static_cast<std::uint32_t>(s));
+        }
+    }
+    if (shuffle) {
+        std::vector<std::size_t> perm(run.reads.size());
+        std::iota(perm.begin(), perm.end(), 0);
+        rng.shuffle(perm);
+        std::vector<Strand> reads(run.reads.size());
+        std::vector<std::uint32_t> origin(run.origin.size());
+        for (std::size_t i = 0; i < perm.size(); ++i) {
+            reads[i] = std::move(run.reads[perm[i]]);
+            origin[i] = run.origin[perm[i]];
+        }
+        run.reads = std::move(reads);
+        run.origin = std::move(origin);
+    }
+    return run;
+}
+
+} // namespace dnastore

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Drives one simulated wetlab round trip: replicates every encoded
+ * strand according to a coverage model, pushes each copy through a
+ * Channel, and shuffles the resulting reads — exactly what a sequencer
+ * hands back (paper Sections III and V).  Ground-truth origins are kept
+ * alongside for evaluating clustering and reconstruction.
+ */
+
+#ifndef DNASTORE_SIMULATOR_SEQUENCING_RUN_HH
+#define DNASTORE_SIMULATOR_SEQUENCING_RUN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "simulator/channel.hh"
+#include "simulator/coverage.hh"
+
+namespace dnastore
+{
+
+/** The output of a simulated synthesis+sequencing round trip. */
+struct SequencingRun
+{
+    /** Noisy reads, in shuffled (sequencer) order. */
+    std::vector<Strand> reads;
+    /**
+     * Ground truth: origin[i] is the index of the encoded strand that
+     * produced reads[i].  Available only in simulation; used by the
+     * evaluation harness, never by the pipeline itself.
+     */
+    std::vector<std::uint32_t> origin;
+    /** Number of strands that received zero reads (dropouts). */
+    std::size_t dropped_strands = 0;
+};
+
+/**
+ * Simulate sequencing of @p strands through @p channel with coverage
+ * drawn from @p coverage.  Reads are shuffled unless @p shuffle is
+ * false (useful for deterministic unit tests).
+ */
+SequencingRun
+simulateSequencing(const std::vector<Strand> &strands, const Channel &channel,
+                   const CoverageModel &coverage, Rng &rng,
+                   bool shuffle = true);
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_SEQUENCING_RUN_HH

@@ -1,0 +1,81 @@
+#include "solqc_channel.hh"
+
+#include <stdexcept>
+
+#include "dna/base.hh"
+
+namespace dnastore
+{
+
+SolqcChannelConfig
+SolqcChannelConfig::fromTotalErrorRate(double total)
+{
+    SolqcChannelConfig cfg;
+    double mean = 0.0;
+    for (int b = 0; b < 4; ++b) {
+        mean += cfg.p_pre_insertion[static_cast<std::size_t>(b)];
+        mean += cfg.p_deletion[static_cast<std::size_t>(b)];
+        mean += cfg.p_substitution[static_cast<std::size_t>(b)];
+    }
+    mean /= 4.0;
+    const double scale = total / mean;
+    for (int b = 0; b < 4; ++b) {
+        cfg.p_pre_insertion[static_cast<std::size_t>(b)] *= scale;
+        cfg.p_deletion[static_cast<std::size_t>(b)] *= scale;
+        cfg.p_substitution[static_cast<std::size_t>(b)] *= scale;
+    }
+    return cfg;
+}
+
+SolqcChannel::SolqcChannel(SolqcChannelConfig config) : cfg(config)
+{
+    for (int b = 0; b < 4; ++b) {
+        const auto i = static_cast<std::size_t>(b);
+        if (cfg.p_pre_insertion[i] < 0 || cfg.p_deletion[i] < 0 ||
+            cfg.p_substitution[i] < 0 ||
+            cfg.p_pre_insertion[i] + cfg.p_deletion[i] +
+                    cfg.p_substitution[i] > 1.0) {
+            throw std::invalid_argument("SolqcChannel: invalid probabilities");
+        }
+    }
+}
+
+Strand
+SolqcChannel::transmit(const Strand &clean, Rng &rng) const
+{
+    Strand read;
+    read.reserve(clean.size() + 8);
+    for (char c : clean) {
+        const std::uint8_t code = charToCode(c);
+        if (code == 0xff) {
+            read.push_back(c);
+            continue;
+        }
+        // Pre-insertion only: a duplicate-biased random base *before*
+        // the current one.  No post-insertions, matching SOLQC's model.
+        if (rng.chance(cfg.p_pre_insertion[code])) {
+            const bool duplicate = rng.chance(0.5);
+            const std::uint8_t inserted = duplicate
+                ? code
+                : static_cast<std::uint8_t>(rng.below(4));
+            read.push_back(baseToChar(inserted));
+        }
+        if (rng.chance(cfg.p_deletion[code]))
+            continue;
+        if (rng.chance(cfg.p_substitution[code])) {
+            std::vector<double> weights(4);
+            for (int to = 0; to < 4; ++to)
+                weights[static_cast<std::size_t>(to)] =
+                    cfg.sub_matrix[code][static_cast<std::size_t>(to)];
+            weights[code] = 0.0;
+            const std::uint8_t target =
+                static_cast<std::uint8_t>(rng.weightedIndex(weights));
+            read.push_back(baseToChar(target));
+        } else {
+            read.push_back(c);
+        }
+    }
+    return read;
+}
+
+} // namespace dnastore

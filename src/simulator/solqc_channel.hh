@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SOLQC-style probabilistic channel (paper Section V-A): error
+ * probabilities are conditioned on the nucleotide being processed, with
+ * a per-nucleotide substitution matrix, and insertions are modelled as
+ * *pre*-insertions only.  The paper notes that this asymmetry makes
+ * forward reconstruction noticeably harder than reverse reconstruction,
+ * which our fidelity benchmark reproduces.
+ */
+
+#ifndef DNASTORE_SIMULATOR_SOLQC_CHANNEL_HH
+#define DNASTORE_SIMULATOR_SOLQC_CHANNEL_HH
+
+#include <array>
+
+#include "simulator/channel.hh"
+
+namespace dnastore
+{
+
+/** Per-nucleotide error rates of the SOLQC-style channel. */
+struct SolqcChannelConfig
+{
+    /** Pre-insertion probability conditioned on the current base. */
+    std::array<double, 4> p_pre_insertion{0.008, 0.010, 0.012, 0.009};
+    /** Deletion probability conditioned on the current base. */
+    std::array<double, 4> p_deletion{0.010, 0.012, 0.014, 0.011};
+    /** Substitution probability conditioned on the current base. */
+    std::array<double, 4> p_substitution{0.009, 0.011, 0.010, 0.012};
+    /**
+     * Substitution target distribution sub_matrix[from][to]; diagonal
+     * entries are ignored and rows need not be normalised.
+     */
+    std::array<std::array<double, 4>, 4> sub_matrix{{
+        {0.0, 0.2, 0.6, 0.2},   // A -> G transition favoured
+        {0.2, 0.0, 0.2, 0.6},   // C -> T transition favoured
+        {0.6, 0.2, 0.0, 0.2},   // G -> A transition favoured
+        {0.2, 0.6, 0.2, 0.0},   // T -> C transition favoured
+    }};
+
+    /** Scale all event probabilities so the mean total matches `total`. */
+    static SolqcChannelConfig fromTotalErrorRate(double total);
+};
+
+/** Nucleotide-conditioned channel with pre-insertions only. */
+class SolqcChannel : public Channel
+{
+  public:
+    explicit SolqcChannel(SolqcChannelConfig config = {});
+
+    Strand transmit(const Strand &clean, Rng &rng) const override;
+
+    std::string name() const override { return "solqc"; }
+
+    const SolqcChannelConfig &config() const { return cfg; }
+
+  private:
+    SolqcChannelConfig cfg;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_SOLQC_CHANNEL_HH

@@ -1,0 +1,115 @@
+#include "virtual_wetlab.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dna/base.hh"
+
+namespace dnastore
+{
+
+VirtualWetlabChannel::VirtualWetlabChannel(VirtualWetlabConfig config)
+    : cfg(config)
+{
+    if (cfg.base_error_rate < 0 || cfg.base_error_rate > 0.5)
+        throw std::invalid_argument(
+            "VirtualWetlabChannel: base_error_rate out of range");
+    if (cfg.w_deletion < 0 || cfg.w_insertion < 0 || cfg.w_substitution < 0 ||
+        cfg.w_deletion + cfg.w_insertion + cfg.w_substitution <= 0) {
+        throw std::invalid_argument(
+            "VirtualWetlabChannel: invalid event weights");
+    }
+}
+
+Strand
+VirtualWetlabChannel::transmit(const Strand &clean, Rng &rng) const
+{
+    // Per-read quality: tier plus log-normal jitter.
+    double read_factor =
+        rng.logNormal(0.0, cfg.read_jitter_sigma);
+    if (rng.chance(cfg.bad_read_fraction))
+        read_factor *= cfg.bad_read_multiplier;
+
+    const double len =
+        static_cast<double>(std::max<std::size_t>(clean.size(), 1));
+
+    Strand read;
+    read.reserve(clean.size() + 8);
+    std::size_t i = 0;
+    std::size_t run = 0; // current homopolymer run length ending at i-1
+    char prev = '\0';
+    while (i < clean.size()) {
+        const char c = clean[i];
+        run = (c == prev) ? run + 1 : 1;
+        prev = c;
+
+        // Position profile: elevated start, ramp toward the 3' end.
+        const double x = static_cast<double>(i) / len;
+        double position_factor = 1.0 + cfg.end_ramp * std::pow(x, 1.5);
+        if (i < 4)
+            position_factor += cfg.start_bump;
+
+        double rate = cfg.base_error_rate * read_factor * position_factor;
+        rate = std::min(rate, 0.75);
+
+        if (!rng.chance(rate)) {
+            read.push_back(c);
+            ++i;
+            continue;
+        }
+
+        // An error happens here; pick its type.
+        double w_del = cfg.w_deletion;
+        if (run >= 3)
+            w_del *= cfg.homopolymer_factor;
+        const double pick =
+            rng.uniform() * (w_del + cfg.w_insertion + cfg.w_substitution);
+        if (pick < w_del) {
+            // Deletion burst: drop this base and, with geometric
+            // continuation, the following ones.
+            ++i;
+            while (i < clean.size() && rng.chance(cfg.burst_continuation)) {
+                prev = clean[i];
+                ++i;
+            }
+            run = 0;
+            continue;
+        }
+        if (pick < w_del + cfg.w_insertion) {
+            // Stutter insertion (usually duplicates the previous base).
+            char inserted;
+            if (!read.empty() && rng.chance(cfg.stutter_fraction))
+                inserted = read.back();
+            else
+                inserted = baseToChar(static_cast<std::uint8_t>(rng.below(4)));
+            read.push_back(inserted);
+            // The current base is emitted as well (pre-insertion).
+            read.push_back(c);
+            ++i;
+            continue;
+        }
+        // Substitution: context-dependent, transition-biased.
+        const std::uint8_t code = charToCode(c);
+        std::uint8_t target;
+        // Transitions (A<->G, C<->T) are 3x likelier than transversions.
+        const std::uint8_t transition = static_cast<std::uint8_t>(code ^ 0x2);
+        if (rng.chance(0.6)) {
+            target = transition;
+        } else {
+            target = static_cast<std::uint8_t>((code + 1 + rng.below(3)) & 3);
+        }
+        // Context: after G or C, substitutions skew harder to transitions.
+        if (i > 0 && (clean[i - 1] == 'G' || clean[i - 1] == 'C') &&
+            rng.chance(0.3)) {
+            target = transition;
+        }
+        if (target == code)
+            target = static_cast<std::uint8_t>((code + 1) & 3);
+        read.push_back(baseToChar(target));
+        ++i;
+    }
+    return read;
+}
+
+} // namespace dnastore

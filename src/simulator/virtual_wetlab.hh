@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The virtual wetlab: a deliberately complex reference channel that
+ * stands in for real synthesis+Nanopore sequencing data (see DESIGN.md,
+ * Substitutions).  The paper evaluates simulator fidelity against a real
+ * 270K-read dataset; we do not have that dataset, so this channel plays
+ * the role of the physical wetlab.  It is used ONLY to generate the
+ * "real" datasets that other simulators are judged against and to
+ * produce training pairs for the data-driven models — the models under
+ * test never see its internals.
+ *
+ * Error structure, chosen to mirror what wetlab studies report:
+ *  - per-read quality tiers (a fraction of reads are much noisier);
+ *  - error rate ramps up toward the 3' end and is slightly elevated at
+ *    the very start of the strand;
+ *  - substitutions are context-dependent (more likely after G/C) and
+ *    transition-biased;
+ *  - deletions come in bursts with geometric lengths and are more likely
+ *    inside homopolymer runs;
+ *  - insertions are mostly stutter (duplications of the previous base).
+ */
+
+#ifndef DNASTORE_SIMULATOR_VIRTUAL_WETLAB_HH
+#define DNASTORE_SIMULATOR_VIRTUAL_WETLAB_HH
+
+#include "simulator/channel.hh"
+
+namespace dnastore
+{
+
+/** Tunable knobs of the virtual wetlab channel. */
+struct VirtualWetlabConfig
+{
+    /** Baseline per-position error rate of a good read (all types). */
+    double base_error_rate = 0.10;
+    /** Fraction of reads drawn from the noisy tier. */
+    double bad_read_fraction = 0.15;
+    /** Error-rate multiplier for noisy-tier reads. */
+    double bad_read_multiplier = 2.2;
+    /** Sigma of the per-read log-normal quality jitter. */
+    double read_jitter_sigma = 0.25;
+    /** Relative weights of deletion / insertion / substitution events. */
+    double w_deletion = 0.45;
+    double w_insertion = 0.20;
+    double w_substitution = 0.35;
+    /** Continuation probability of a deletion burst. */
+    double burst_continuation = 0.30;
+    /** Multiplier on deletion rate inside homopolymer runs (>= 3). */
+    double homopolymer_factor = 2.0;
+    /** Strength of the 3'-end ramp (1.0 = rate doubles by the end). */
+    double end_ramp = 1.2;
+    /** Elevated error multiplier over the first few bases. */
+    double start_bump = 0.5;
+    /** Probability an insertion duplicates the previous base. */
+    double stutter_fraction = 0.7;
+};
+
+/** The hidden reference channel ("real" wetlab). */
+class VirtualWetlabChannel : public Channel
+{
+  public:
+    explicit VirtualWetlabChannel(VirtualWetlabConfig config = {});
+
+    Strand transmit(const Strand &clean, Rng &rng) const override;
+
+    std::string name() const override { return "virtual-wetlab"; }
+
+    const VirtualWetlabConfig &config() const { return cfg; }
+
+  private:
+    VirtualWetlabConfig cfg;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_SIMULATOR_VIRTUAL_WETLAB_HH

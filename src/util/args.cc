@@ -1,0 +1,78 @@
+#include "args.hh"
+
+#include <stdexcept>
+
+namespace dnastore
+{
+
+ArgParser::ArgParser(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positionals.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            options[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            options[arg] = argv[++i];
+        } else {
+            options[arg] = "true";
+        }
+    }
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return options.count(name) > 0;
+}
+
+std::string
+ArgParser::get(const std::string &name, const std::string &fallback) const
+{
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name, std::int64_t fallback) const
+{
+    const auto it = options.find(name);
+    if (it == options.end())
+        return fallback;
+    try {
+        return std::stoll(it->second);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("--" + name + " expects an integer, got '"
+                                    + it->second + "'");
+    }
+}
+
+double
+ArgParser::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = options.find(name);
+    if (it == options.end())
+        return fallback;
+    try {
+        return std::stod(it->second);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("--" + name + " expects a number, got '"
+                                    + it->second + "'");
+    }
+}
+
+bool
+ArgParser::getBool(const std::string &name, bool fallback) const
+{
+    const auto it = options.find(name);
+    if (it == options.end())
+        return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+} // namespace dnastore

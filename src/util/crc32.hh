@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) used to verify end-to-end integrity of
+ * decoded files.
+ */
+
+#ifndef DNASTORE_UTIL_CRC32_HH
+#define DNASTORE_UTIL_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnastore
+{
+
+/** CRC-32 of a byte buffer (reflected, init/final 0xFFFFFFFF). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/** CRC-32 of a byte vector. */
+std::uint32_t crc32(const std::vector<std::uint8_t> &data);
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_CRC32_HH

@@ -1,0 +1,49 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace dnastore
+{
+
+namespace
+{
+
+std::atomic<LogLevel> global_level{LogLevel::Info};
+std::mutex output_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO ";
+      case LogLevel::Warn: return "WARN ";
+      case LogLevel::Error: return "ERROR";
+      default: return "?????";
+    }
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(output_mutex);
+    std::cerr << "[" << levelName(level) << "] " << message << '\n';
+}
+
+} // namespace dnastore

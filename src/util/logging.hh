@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal leveled logging.  Defaults to Info; benches lower it to Warn to
+ * keep table output clean.
+ */
+
+#ifndef DNASTORE_UTIL_LOGGING_HH
+#define DNASTORE_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace dnastore
+{
+
+/** Log severity, ordered. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global log threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Emit a message at the given level (thread-safe line output). */
+void logMessage(LogLevel level, const std::string &message);
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Debug)
+        logMessage(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Info)
+        logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Warn)
+        logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logError(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Error)
+        logMessage(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_LOGGING_HH

@@ -1,0 +1,110 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dnastore
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    if (n == 1) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void
+Histogram::add(std::int64_t value)
+{
+    if (bins.empty())
+        return;
+    std::int64_t idx = value;
+    if (idx < 0)
+        idx = 0;
+    if (idx >= static_cast<std::int64_t>(bins.size()))
+        idx = static_cast<std::int64_t>(bins.size()) - 1;
+    ++bins[static_cast<std::size_t>(idx)];
+    ++total;
+}
+
+std::vector<double>
+Histogram::smoothed(std::size_t radius) const
+{
+    std::vector<double> out(bins.size(), 0.0);
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        const std::size_t lo = i >= radius ? i - radius : 0;
+        const std::size_t hi = std::min(bins.size() - 1, i + radius);
+        double sum = 0.0;
+        for (std::size_t j = lo; j <= hi; ++j)
+            sum += static_cast<double>(bins[j]);
+        out[i] = sum / static_cast<double>(hi - lo + 1);
+    }
+    return out;
+}
+
+std::string
+Histogram::render(std::size_t max_width, bool skip_empty_tail) const
+{
+    std::uint64_t peak = 0;
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        peak = std::max(peak, bins[i]);
+        if (bins[i] > 0)
+            last = i;
+    }
+    const std::size_t end = skip_empty_tail ? last + 1 : bins.size();
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < end; ++i) {
+        const std::size_t width = peak == 0
+            ? 0
+            : static_cast<std::size_t>(
+                  static_cast<double>(bins[i]) / static_cast<double>(peak) *
+                  static_cast<double>(max_width));
+        os << (i < 10 ? "  " : i < 100 ? " " : "") << i << " |";
+        for (std::size_t w = 0; w < width; ++w)
+            os << '#';
+        os << ' ' << bins[i] << '\n';
+    }
+    return os.str();
+}
+
+} // namespace dnastore

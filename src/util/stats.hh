@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Streaming statistics and histograms used throughout the evaluation
+ * harness (error-rate profiles, signature distance distributions, ...).
+ */
+
+#ifndef DNASTORE_UTIL_STATS_HH
+#define DNASTORE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnastore
+{
+
+/**
+ * Welford-style running mean/variance with min/max tracking.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations. */
+    std::size_t count() const { return n; }
+
+    /** Mean of observations (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Unbiased sample variance (0 when n < 2). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/** Percentile of a (copied and sorted) sample; p in [0, 100]. */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * Fixed-width integer histogram over [0, num_bins).  Out-of-range values
+ * are clamped into the edge bins.  Used for the signature-distance plot
+ * that drives automatic clustering threshold selection (paper Fig. 5).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t num_bins) : bins(num_bins, 0) {}
+
+    /** Count one value (clamped into range). */
+    void add(std::int64_t value);
+
+    std::size_t numBins() const { return bins.size(); }
+    std::uint64_t bin(std::size_t i) const { return bins.at(i); }
+    std::uint64_t totalCount() const { return total; }
+
+    /** Counts smoothed with a centred moving average of given radius. */
+    std::vector<double> smoothed(std::size_t radius) const;
+
+    /** Render a terminal bar chart, one row per bin. */
+    std::string
+    render(std::size_t max_width = 60, bool skip_empty_tail = true) const;
+
+  private:
+    std::vector<std::uint64_t> bins;
+    std::uint64_t total = 0;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_STATS_HH

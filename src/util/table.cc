@@ -1,0 +1,109 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace dnastore
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::text() const
+{
+    std::vector<std::size_t> widths(head.size(), 0);
+    auto widen = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    std::ostringstream os;
+    auto emit = [&os, &widths](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+            if (i + 1 < widths.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+    if (!head.empty()) {
+        emit(head);
+        std::size_t line = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            line += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(line, '-') << '\n';
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    auto emit = [&os, &quote](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            os << quote(cells[i]);
+        }
+        os << '\n';
+    };
+    if (!head.empty())
+        emit(head);
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << csv();
+    return static_cast<bool>(out);
+}
+
+} // namespace dnastore

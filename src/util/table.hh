@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Aligned-text and CSV table rendering for the benchmark harness, so that
+ * each bench binary can print rows in the same layout the paper's tables
+ * use.
+ */
+
+#ifndef DNASTORE_UTIL_TABLE_HH
+#define DNASTORE_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dnastore
+{
+
+/**
+ * Collects rows of string cells and renders them either as an aligned
+ * monospace table or as CSV.
+ */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with fixed precision. */
+    static std::string fmt(double value, int precision = 4);
+
+    /** Format any integer type. */
+    template <typename T>
+        requires std::is_integral_v<T>
+    static std::string
+    fmt(T value)
+    {
+        return std::to_string(value);
+    }
+
+    /** Render as aligned text with a separator under the header. */
+    std::string text() const;
+
+    /** Render as CSV. */
+    std::string csv() const;
+
+    /** Write CSV to a file; returns false on I/O failure. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_TABLE_HH

@@ -1,0 +1,81 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+
+namespace dnastore
+{
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
+    workers.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            available.wait(lock, [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty())
+                return; // stopping and drained
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &fn)
+{
+    parallelChunks(begin, end,
+                   [&fn](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i)
+                           fn(i);
+                   });
+}
+
+void
+ThreadPool::parallelChunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    const std::size_t total = end - begin;
+    // Over-decompose a little so uneven work balances out.
+    const std::size_t chunks = std::min(total, size() * 4);
+    const std::size_t chunk_size = (total + chunks - 1) / chunks;
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t lo = begin; lo < end; lo += chunk_size) {
+        const std::size_t hi = std::min(end, lo + chunk_size);
+        futures.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
+    }
+    // get() rethrows the first failure after all chunks complete.
+    for (auto &future : futures)
+        future.get();
+}
+
+} // namespace dnastore

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A small fixed-size thread pool used by the clustering and reconstruction
+ * modules.  Tasks are arbitrary callables; parallelFor provides chunked
+ * data-parallel loops with exception propagation.
+ */
+
+#ifndef DNASTORE_UTIL_THREAD_POOL_HH
+#define DNASTORE_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dnastore
+{
+
+/**
+ * Fixed-size worker pool.  Construction spawns the workers; destruction
+ * drains outstanding tasks and joins them.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; 0 means hardware_concurrency()
+     *                    (at least 1).
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers.size(); }
+
+    /**
+     * Enqueue a callable; returns a future for its result.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using Result = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (stopping)
+                throw std::runtime_error("submit on stopped ThreadPool");
+            tasks.emplace([task] { (*task)(); });
+        }
+        available.notify_one();
+        return future;
+    }
+
+    /**
+     * Run fn(i) for every i in [begin, end), distributing contiguous chunks
+     * over the pool.  Blocks until all iterations finish; rethrows the
+     * first exception raised by any chunk.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Run fn(chunk_begin, chunk_end) over contiguous ranges covering
+     * [begin, end).  Useful when per-chunk setup matters (e.g. a
+     * per-thread Rng stream).
+     */
+    void parallelChunks(
+        std::size_t begin, std::size_t end,
+        const std::function<void(std::size_t, std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+    std::mutex mutex;
+    std::condition_variable available;
+    bool stopping = false;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_THREAD_POOL_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the pipeline latency benchmarks.
+ */
+
+#ifndef DNASTORE_UTIL_TIMER_HH
+#define DNASTORE_UTIL_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace dnastore
+{
+
+/** Simple wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Seconds elapsed since construction/reset. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** Milliseconds elapsed since construction/reset. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+/**
+ * Accumulates elapsed time across multiple start/stop intervals,
+ * e.g. to attribute time to a pipeline stage entered repeatedly.
+ */
+class StageTimer
+{
+  public:
+    /** Begin an interval. */
+    void begin() { interval.reset(); }
+
+    /** End the current interval, adding it to the accumulated total. */
+    void end() { total += interval.seconds(); }
+
+    /** Accumulated seconds over all closed intervals. */
+    double seconds() const { return total; }
+
+    /** Drop all accumulated time. */
+    void reset() { total = 0.0; }
+
+  private:
+    WallTimer interval;
+    double total = 0.0;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_TIMER_HH

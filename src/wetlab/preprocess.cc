@@ -1,0 +1,88 @@
+#include "preprocess.hh"
+
+#include "dna/distance.hh"
+
+namespace dnastore
+{
+
+namespace
+{
+
+/**
+ * Decide the orientation of a read relative to a primer pair.
+ * Returns 0 = forward, 1 = reverse (needs flip), -1 = unrecognised.
+ */
+int
+classifyOrientation(const Strand &read, const PrimerPair &pair,
+                    std::size_t max_edit)
+{
+    if (read.size() < pair.forward.size())
+        return -1;
+    const std::string prefix = read.substr(0, pair.forward.size());
+    const std::size_t d_fwd =
+        boundedLevenshtein(prefix, pair.forward, max_edit);
+
+    const Strand rc_rev = strand::reverseComplement(pair.reverse);
+    const std::string prefix_rc = read.substr(0, rc_rev.size());
+    const std::size_t d_rev = boundedLevenshtein(prefix_rc, rc_rev, max_edit);
+
+    if (d_fwd > max_edit && d_rev > max_edit)
+        return -1;
+    return d_fwd <= d_rev ? 0 : 1;
+}
+
+} // namespace
+
+PreprocessResult
+preprocessReads(const std::vector<Strand> &raw_reads, const PrimerPair &pair,
+                const WetlabPreprocessConfig &config)
+{
+    PreprocessResult result;
+    result.total = raw_reads.size();
+    for (const Strand &raw : raw_reads) {
+        const int orientation =
+            classifyOrientation(raw, pair, config.primer_max_edit);
+        if (orientation < 0) {
+            ++result.rejected;
+            continue;
+        }
+        Strand oriented = orientation == 0
+            ? raw
+            : strand::reverseComplement(raw);
+        if (orientation == 1)
+            ++result.flipped;
+        const auto payload =
+            stripPrimers(pair, oriented, config.primer_max_edit);
+        if (!payload) {
+            ++result.rejected;
+            continue;
+        }
+        result.reads.push_back(*payload);
+    }
+    return result;
+}
+
+PreprocessResult
+preprocessFastq(const std::vector<FastqRecord> &records,
+                const PrimerPair &pair, const WetlabPreprocessConfig &config)
+{
+    std::vector<Strand> raw;
+    raw.reserve(records.size());
+    for (const FastqRecord &rec : records)
+        raw.push_back(rec.sequence);
+    return preprocessReads(raw, pair, config);
+}
+
+std::vector<FastqRecord>
+readsToFastq(const std::vector<Strand> &reads, const std::string &id_prefix)
+{
+    std::vector<FastqRecord> records;
+    records.reserve(reads.size());
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+        records.push_back({id_prefix + "_" + std::to_string(i), reads[i],
+                           std::string(reads[i].size(), 'I')});
+    }
+    return records;
+}
+
+} // namespace dnastore

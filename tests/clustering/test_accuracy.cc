@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the A_gamma clustering accuracy metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clustering/accuracy.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(Accuracy, PerfectClusteringScoresOne)
+{
+    Clustering clustering;
+    clustering.clusters = {{0, 1, 2}, {3, 4}, {5}};
+    const std::vector<std::uint32_t> origin = {0, 0, 0, 1, 1, 2};
+    EXPECT_DOUBLE_EQ(clusteringAccuracy(clustering, origin, 1.0), 1.0);
+}
+
+TEST(Accuracy, MixedClusterCountsAsLost)
+{
+    Clustering clustering;
+    clustering.clusters = {{0, 1, 3}, {2}, {4}};
+    const std::vector<std::uint32_t> origin = {0, 0, 0, 1, 1};
+    // Cluster {0,1,3} mixes origins 0 and 1 -> impure; {2} is pure but
+    // covers 1/3 of origin 0; {4} covers 1/2 of origin 1.
+    EXPECT_DOUBLE_EQ(clusteringAccuracy(clustering, origin, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clusteringAccuracy(clustering, origin, 0.5), 0.5);
+    EXPECT_NEAR(clusteringAccuracy(clustering, origin, 0.3), 1.0, 1e-12);
+}
+
+TEST(Accuracy, SplitClustersFailAtGammaOne)
+{
+    Clustering clustering;
+    clustering.clusters = {{0}, {1}, {2, 3}};
+    const std::vector<std::uint32_t> origin = {0, 0, 1, 1};
+    EXPECT_DOUBLE_EQ(clusteringAccuracy(clustering, origin, 1.0), 0.5);
+    // At gamma 0.5, a half-covering pure cluster is enough.
+    EXPECT_DOUBLE_EQ(clusteringAccuracy(clustering, origin, 0.5), 1.0);
+}
+
+TEST(Accuracy, EmptyOriginYieldsZero)
+{
+    Clustering clustering;
+    EXPECT_DOUBLE_EQ(clusteringAccuracy(clustering, {}, 1.0), 0.0);
+}
+
+TEST(Accuracy, GammaValidation)
+{
+    Clustering clustering;
+    const std::vector<std::uint32_t> origin = {0};
+    EXPECT_THROW(clusteringAccuracy(clustering, origin, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(clusteringAccuracy(clustering, origin, 1.5),
+                 std::invalid_argument);
+}
+
+TEST(Accuracy, DuplicateOutputClustersDoNotDoubleCount)
+{
+    Clustering clustering;
+    clustering.clusters = {{0}, {1}};
+    const std::vector<std::uint32_t> origin = {0, 0};
+    // Two pure half-clusters; at gamma 0.5 the origin counts once.
+    EXPECT_DOUBLE_EQ(clusteringAccuracy(clustering, origin, 0.5), 1.0);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the online greedy clustering module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clustering/accuracy.hh"
+#include "clustering/greedy_clusterer.hh"
+#include "simulator/iid_channel.hh"
+#include "simulator/sequencing_run.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+SequencingRun
+makeWorkload(Rng &rng, std::size_t num_strands, double error_rate,
+             double coverage)
+{
+    std::vector<Strand> strands;
+    for (std::size_t i = 0; i < num_strands; ++i)
+        strands.push_back(strand::random(rng, 130));
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(error_rate));
+    CoverageModel cov(coverage, CoverageDistribution::Poisson);
+    return simulateSequencing(strands, channel, cov, rng);
+}
+
+TEST(GreedyClusterer, EmptyAndSingleton)
+{
+    GreedyOnlineClusterer clusterer({});
+    EXPECT_EQ(clusterer.cluster({}).numClusters(), 0u);
+    const auto single = clusterer.cluster({"ACGTACGTACGT"});
+    ASSERT_EQ(single.numClusters(), 1u);
+}
+
+TEST(GreedyClusterer, PerfectReadsClusterWell)
+{
+    Rng rng(1);
+    std::vector<Strand> strands;
+    for (int i = 0; i < 100; ++i)
+        strands.push_back(strand::random(rng, 130));
+    PerfectChannel channel;
+    CoverageModel coverage(5.0);
+    const auto run = simulateSequencing(strands, channel, coverage, rng);
+    GreedyOnlineClusterer clusterer({});
+    const auto clustering = clusterer.cluster(run.reads);
+    EXPECT_GT(clusteringAccuracy(clustering, run.origin, 0.9), 0.9);
+}
+
+TEST(GreedyClusterer, ReasonableAccuracyAtModerateError)
+{
+    Rng rng(2);
+    const auto run = makeWorkload(rng, 300, 0.06, 10.0);
+    GreedyOnlineClusterer clusterer({});
+    const auto clustering = clusterer.cluster(run.reads);
+    // The single-pass scheme trades accuracy for memory/passes; it must
+    // still be clearly useful.
+    EXPECT_GT(clusteringAccuracy(clustering, run.origin, 0.5), 0.6);
+}
+
+TEST(GreedyClusterer, ClustersPartitionReads)
+{
+    Rng rng(3);
+    const auto run = makeWorkload(rng, 100, 0.06, 6.0);
+    GreedyOnlineClusterer clusterer({});
+    const auto clustering = clusterer.cluster(run.reads);
+    std::vector<bool> seen(run.reads.size(), false);
+    std::size_t total = 0;
+    for (const auto &cluster : clustering.clusters) {
+        for (std::uint32_t idx : cluster) {
+            ASSERT_LT(idx, run.reads.size());
+            EXPECT_FALSE(seen[idx]);
+            seen[idx] = true;
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, run.reads.size());
+}
+
+TEST(GreedyClusterer, StatsPopulated)
+{
+    Rng rng(4);
+    const auto run = makeWorkload(rng, 100, 0.06, 6.0);
+    GreedyOnlineClusterer clusterer({});
+    const auto clustering = clusterer.cluster(run.reads);
+    const auto &stats = clusterer.stats();
+    EXPECT_EQ(stats.clusters_created, clustering.numClusters());
+    EXPECT_GT(stats.signature_comparisons, 0u);
+    EXPECT_GE(stats.seconds, 0.0);
+}
+
+TEST(GreedyClusterer, WorksWithWGramSignatures)
+{
+    Rng rng(5);
+    const auto run = makeWorkload(rng, 150, 0.06, 8.0);
+    GreedyClustererConfig cfg;
+    cfg.signature = SignatureKind::WGram;
+    GreedyOnlineClusterer clusterer(cfg);
+    const auto clustering = clusterer.cluster(run.reads);
+    EXPECT_GT(clusteringAccuracy(clustering, run.origin, 0.5), 0.5);
+    EXPECT_EQ(clusterer.name(), "greedy-online/w-gram");
+}
+
+TEST(GreedyClusterer, SwapsIntoPipelineInterface)
+{
+    // The point of the module system: a Clusterer* is a Clusterer*.
+    GreedyClustererConfig cfg;
+    GreedyOnlineClusterer greedy(cfg);
+    Clusterer *module = &greedy;
+    Rng rng(6);
+    const auto run = makeWorkload(rng, 50, 0.03, 5.0);
+    const auto clustering = module->cluster(run.reads);
+    EXPECT_GT(clustering.numClusters(), 0u);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the disjoint-set forest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clustering/union_find.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(UnionFind, StartsAsSingletons)
+{
+    UnionFind uf(5);
+    EXPECT_EQ(uf.numSets(), 5u);
+    EXPECT_EQ(uf.count(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(uf.find(i), i);
+        EXPECT_EQ(uf.sizeOf(i), 1u);
+    }
+}
+
+TEST(UnionFind, MergeConnects)
+{
+    UnionFind uf(6);
+    uf.merge(0, 1);
+    uf.merge(2, 3);
+    EXPECT_TRUE(uf.connected(0, 1));
+    EXPECT_TRUE(uf.connected(2, 3));
+    EXPECT_FALSE(uf.connected(0, 2));
+    EXPECT_EQ(uf.numSets(), 4u);
+    uf.merge(1, 3);
+    EXPECT_TRUE(uf.connected(0, 2));
+    EXPECT_EQ(uf.numSets(), 3u);
+    EXPECT_EQ(uf.sizeOf(0), 4u);
+}
+
+TEST(UnionFind, MergeIsIdempotent)
+{
+    UnionFind uf(3);
+    uf.merge(0, 1);
+    const std::size_t sets = uf.numSets();
+    uf.merge(0, 1);
+    uf.merge(1, 0);
+    EXPECT_EQ(uf.numSets(), sets);
+}
+
+TEST(UnionFind, GroupsPartitionElements)
+{
+    UnionFind uf(10);
+    uf.merge(0, 5);
+    uf.merge(5, 9);
+    uf.merge(2, 3);
+    auto groups = uf.groups();
+    EXPECT_EQ(groups.size(), uf.numSets());
+    std::size_t total = 0;
+    for (const auto &g : groups)
+        total += g.size();
+    EXPECT_EQ(total, 10u);
+    // The {0,5,9} group must appear as one unit.
+    bool found = false;
+    for (const auto &g : groups) {
+        if (g.size() == 3) {
+            found = true;
+            EXPECT_EQ(g[0], 0u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(UnionFind, TransitiveChains)
+{
+    UnionFind uf(1000);
+    for (std::size_t i = 0; i + 1 < 1000; ++i)
+        uf.merge(i, i + 1);
+    EXPECT_EQ(uf.numSets(), 1u);
+    EXPECT_TRUE(uf.connected(0, 999));
+    EXPECT_EQ(uf.sizeOf(500), 1000u);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the nucleotide index field codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/index_codec.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(IndexCodec, WidthValidation)
+{
+    EXPECT_THROW(IndexCodec(0), std::invalid_argument);
+    EXPECT_THROW(IndexCodec(33), std::invalid_argument);
+    EXPECT_NO_THROW(IndexCodec(1));
+    EXPECT_NO_THROW(IndexCodec(32));
+}
+
+TEST(IndexCodec, MaxIndex)
+{
+    EXPECT_EQ(IndexCodec(1).maxIndex(), 3u);
+    EXPECT_EQ(IndexCodec(4).maxIndex(), 255u);
+    EXPECT_EQ(IndexCodec(12).maxIndex(), (1ULL << 24) - 1);
+    EXPECT_EQ(IndexCodec(32).maxIndex(), ~0ULL);
+}
+
+TEST(IndexCodec, RoundTripSweep)
+{
+    IndexCodec codec(8);
+    for (std::uint64_t index : {0ULL, 1ULL, 255ULL, 4096ULL, 65535ULL}) {
+        const Strand s = codec.encode(index);
+        EXPECT_EQ(s.size(), 8u);
+        const auto decoded = codec.decode(s);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, index);
+    }
+}
+
+TEST(IndexCodec, DecodeUsesPrefixOnly)
+{
+    IndexCodec codec(4);
+    const Strand tagged = codec.encode(200) + "GGGGTTTT";
+    const auto decoded = codec.decode(tagged);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, 200u);
+}
+
+TEST(IndexCodec, DecodeFailsOnShortOrInvalid)
+{
+    IndexCodec codec(6);
+    EXPECT_FALSE(codec.decode("ACG").has_value());
+    EXPECT_FALSE(codec.decode("ACGNAC").has_value());
+}
+
+TEST(IndexCodec, EncodeOverflowThrows)
+{
+    IndexCodec codec(2);
+    EXPECT_THROW(codec.encode(16), std::invalid_argument);
+    EXPECT_NO_THROW(codec.encode(15));
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the matrix codec: Baseline, Gini and DNAMapper layouts,
+ * damage tolerance, header integrity and unit inference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codec/matrix_codec.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+MatrixCodecConfig
+smallConfig(LayoutScheme scheme)
+{
+    MatrixCodecConfig cfg;
+    cfg.payload_nt = 48; // 12 rows
+    cfg.index_nt = 8;
+    cfg.rs_n = 24;
+    cfg.rs_k = 16;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+randomData(Rng &rng, std::size_t size)
+{
+    std::vector<std::uint8_t> data(size);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return data;
+}
+
+TEST(MatrixCodecConfig, Validation)
+{
+    MatrixCodecConfig cfg = smallConfig(LayoutScheme::Baseline);
+    EXPECT_NO_THROW(cfg.validate());
+
+    auto bad = cfg;
+    bad.payload_nt = 50; // not a multiple of 4
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = cfg;
+    bad.rs_k = bad.rs_n;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = cfg;
+    bad.rs_n = 300;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = cfg;
+    bad.index_nt = 0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = cfg;
+    bad.row_reliability_order = {0, 1}; // wrong size
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = cfg;
+    bad.row_reliability_order.assign(bad.bytesPerMolecule(), 0); // dup
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(MatrixCodecConfig, DerivedGeometry)
+{
+    const auto cfg = smallConfig(LayoutScheme::Baseline);
+    EXPECT_EQ(cfg.bytesPerMolecule(), 12u);
+    EXPECT_EQ(cfg.strandLength(), 56u);
+    EXPECT_EQ(cfg.unitDataBytes(), 16u * 12u);
+}
+
+TEST(MatrixCodecConfig, DefaultRowOrderPrefersEdges)
+{
+    auto cfg = smallConfig(LayoutScheme::DNAMapper);
+    const auto order = cfg.effectiveRowOrder();
+    ASSERT_EQ(order.size(), 12u);
+    // First entries are edge rows, last entries are middle rows.
+    EXPECT_TRUE(order.front() == 0 || order.front() == 11);
+    EXPECT_TRUE(order.back() == 5 || order.back() == 6);
+    std::set<std::size_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), 12u);
+}
+
+class SchemeTest : public ::testing::TestWithParam<LayoutScheme>
+{
+};
+
+TEST_P(SchemeTest, LosslessRoundTrip)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+    for (std::size_t size : {0u, 1u, 100u, 1000u, 5000u}) {
+        auto cfg = smallConfig(GetParam());
+        const auto data = randomData(rng, size);
+        if (GetParam() == LayoutScheme::DNAMapper) {
+            cfg.priorities.resize(size);
+            for (std::size_t i = 0; i < size; ++i)
+                cfg.priorities[i] = static_cast<std::uint32_t>(i % 3);
+        }
+        MatrixEncoder encoder(cfg);
+        MatrixDecoder decoder(cfg);
+        const auto strands = encoder.encode(data);
+        EXPECT_EQ(strands.size(),
+                  encoder.unitsForSize(size) * cfg.rs_n);
+        for (const auto &s : strands)
+            EXPECT_EQ(s.size(), cfg.strandLength());
+        const auto report = decoder.decode(strands);
+        EXPECT_TRUE(report.ok) << "size=" << size;
+        EXPECT_EQ(report.data, data);
+        EXPECT_EQ(report.failed_rows, 0u);
+    }
+}
+
+TEST_P(SchemeTest, SurvivesDroppedAndCorruptedStrands)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 50);
+    auto cfg = smallConfig(GetParam());
+    cfg.rs_k = 14; // extra parity so random damage stays within budget
+    const auto data = randomData(rng, 3000);
+    if (GetParam() == LayoutScheme::DNAMapper) {
+        cfg.priorities.assign(data.size(), 0);
+    }
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    const auto strands = encoder.encode(data);
+
+    std::vector<Strand> damaged;
+    for (const auto &s : strands) {
+        if (rng.chance(0.08))
+            continue; // molecule lost -> erasure
+        Strand t = s;
+        if (rng.chance(0.05)) {
+            const std::size_t pos =
+                cfg.index_nt + rng.below(cfg.payload_nt);
+            t[pos] = t[pos] == 'A' ? 'C' : 'A';
+        }
+        damaged.push_back(t);
+    }
+    const auto report =
+        decoder.decode(damaged, encoder.unitsForSize(data.size()));
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.data, data);
+    EXPECT_GT(report.erased_columns, 0u);
+}
+
+TEST_P(SchemeTest, DuplicateStrandsResolvedByMajority)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+    auto cfg = smallConfig(GetParam());
+    const auto data = randomData(rng, 500);
+    if (GetParam() == LayoutScheme::DNAMapper)
+        cfg.priorities.assign(data.size(), 0);
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    const auto strands = encoder.encode(data);
+
+    // Duplicate every strand 3x; corrupt one copy of each.
+    std::vector<Strand> noisy;
+    for (const auto &s : strands) {
+        noisy.push_back(s);
+        noisy.push_back(s);
+        Strand bad = s;
+        bad[cfg.index_nt + 1] = bad[cfg.index_nt + 1] == 'G' ? 'T' : 'G';
+        noisy.push_back(bad);
+    }
+    const auto report = decoder.decode(noisy);
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.data, data);
+    EXPECT_GT(report.conflicting_strands, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, SchemeTest,
+                         ::testing::Values(LayoutScheme::Baseline,
+                                           LayoutScheme::Gini,
+                                           LayoutScheme::DNAMapper));
+
+TEST(MatrixCodec, MalformedStrandsAreCountedNotFatal)
+{
+    Rng rng(1);
+    const auto cfg = smallConfig(LayoutScheme::Baseline);
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    const auto data = randomData(rng, 400);
+    auto strands = encoder.encode(data);
+    strands.push_back("ACGT");                        // wrong length
+    strands.push_back(Strand(cfg.strandLength(), 'A')); // stray index 0 dup
+    const auto report =
+        decoder.decode(strands, encoder.unitsForSize(data.size()));
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.data, data);
+    EXPECT_GE(report.malformed_strands, 1u);
+}
+
+TEST(MatrixCodec, TotalLossReportsFailure)
+{
+    const auto cfg = smallConfig(LayoutScheme::Baseline);
+    MatrixDecoder decoder(cfg);
+    const auto report = decoder.decode({}, 0);
+    EXPECT_FALSE(report.ok);
+    EXPECT_TRUE(report.data.empty());
+}
+
+TEST(MatrixCodec, MassiveDamageFailsGracefully)
+{
+    Rng rng(2);
+    const auto cfg = smallConfig(LayoutScheme::Baseline);
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    const auto data = randomData(rng, 2000);
+    auto strands = encoder.encode(data);
+    // Keep only a quarter of the molecules: far beyond erasure budget.
+    strands.resize(strands.size() / 4);
+    const auto report =
+        decoder.decode(strands, encoder.unitsForSize(data.size()));
+    EXPECT_FALSE(report.ok);
+    EXPECT_GT(report.failed_rows, 0u);
+}
+
+TEST(MatrixCodec, UnitInferenceMatchesExplicit)
+{
+    Rng rng(3);
+    const auto cfg = smallConfig(LayoutScheme::Baseline);
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    const auto data = randomData(rng, 2500); // multiple units
+    const auto strands = encoder.encode(data);
+    const auto inferred = decoder.decode(strands, 0);
+    const auto explicit_units =
+        decoder.decode(strands, encoder.unitsForSize(data.size()));
+    EXPECT_TRUE(inferred.ok);
+    EXPECT_TRUE(explicit_units.ok);
+    EXPECT_EQ(inferred.data, explicit_units.data);
+}
+
+TEST(MatrixCodec, CorruptIndexCannotInflateFile)
+{
+    Rng rng(4);
+    const auto cfg = smallConfig(LayoutScheme::Baseline);
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    const auto data = randomData(rng, 1000);
+    auto strands = encoder.encode(data);
+    // One strand claims a ridiculous index (e.g. unit 1000).
+    IndexCodec index_codec(cfg.index_nt);
+    strands.push_back(index_codec.encode(1000 * cfg.rs_n + 5) +
+                      Strand(cfg.payload_nt, 'A'));
+    const auto report = decoder.decode(strands, 0);
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.data, data);
+}
+
+TEST(MatrixCodec, DnaMapperPrioritiesMustMatchLength)
+{
+    auto cfg = smallConfig(LayoutScheme::DNAMapper);
+    cfg.priorities = {0, 1, 2};
+    MatrixEncoder encoder(cfg);
+    EXPECT_THROW(encoder.encode(std::vector<std::uint8_t>(10)),
+                 std::invalid_argument);
+}
+
+TEST(MatrixCodec, DnaMapperPermutationIsBijection)
+{
+    auto cfg = smallConfig(LayoutScheme::DNAMapper);
+    std::vector<std::uint32_t> priorities(500);
+    for (std::size_t i = 0; i < priorities.size(); ++i)
+        priorities[i] = static_cast<std::uint32_t>((i * 7) % 5);
+    const std::size_t stream = 3 * cfg.unitDataBytes();
+    const auto perm = detail::dnaMapperPermutation(stream, 20, 500,
+                                                   priorities, cfg);
+    ASSERT_EQ(perm.size(), stream);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), stream);
+}
+
+TEST(MatrixCodec, DnaMapperPlacesHeaderInMostReliableSlots)
+{
+    auto cfg = smallConfig(LayoutScheme::DNAMapper);
+    const std::size_t rows = cfg.bytesPerMolecule();
+    const auto order = cfg.effectiveRowOrder();
+    const std::size_t stream = cfg.unitDataBytes();
+    const auto perm =
+        detail::dnaMapperPermutation(stream, 20, stream - 20 - 10, {}, cfg);
+    // Find where header positions (< 20) landed; they must occupy slots
+    // whose row is among the most reliable rows.
+    std::set<std::size_t> best_rows(order.begin(),
+                                    order.begin() + 4);
+    std::size_t header_in_best = 0;
+    for (std::size_t slot = 0; slot < perm.size(); ++slot) {
+        if (perm[slot] < 20 && best_rows.count(slot % rows))
+            ++header_in_best;
+    }
+    EXPECT_GE(header_in_best, 18u); // nearly all header bytes
+}
+
+TEST(MatrixCodec, HeaderReplicationSurvivesOneRuinedUnit)
+{
+    // The header is replicated per unit and majority-voted: butchering
+    // every row of one unit must not take the whole file down with it.
+    Rng rng(6);
+    const auto cfg = smallConfig(LayoutScheme::Baseline);
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    const auto data = randomData(rng, 3 * cfg.rs_k * 12); // several units
+    auto strands = encoder.encode(data);
+    const std::size_t units = encoder.unitsForSize(data.size());
+    ASSERT_GE(units, 3u);
+
+    // Ruin unit 0 completely: garbage payloads, valid indexes.
+    for (std::size_t c = 0; c < cfg.rs_n; ++c) {
+        Strand &s = strands[c];
+        for (std::size_t i = cfg.index_nt; i < s.size(); ++i)
+            s[i] = "ACGT"[rng.below(4)];
+    }
+    const auto report = decoder.decode(strands, units);
+    // Unit 0's data is lost (failed rows), but the header majority from
+    // the other units still frames the file: data has the right size
+    // and the tail units are intact.
+    EXPECT_FALSE(report.ok); // CRC fails: unit 0 contents are garbage
+    ASSERT_EQ(report.data.size(), data.size());
+    const std::size_t unit_payload = cfg.unitDataBytes() - 20;
+    for (std::size_t i = unit_payload; i < data.size(); ++i)
+        EXPECT_EQ(report.data[i], data[i]) << "tail byte " << i;
+    EXPECT_GT(report.failed_rows, 0u);
+}
+
+TEST(MatrixCodec, FailedRowIdsMatchCount)
+{
+    Rng rng(7);
+    const auto cfg = smallConfig(LayoutScheme::Baseline);
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    const auto data = randomData(rng, 1000);
+    auto strands = encoder.encode(data);
+    strands.resize(strands.size() / 3); // massive loss
+    const auto report =
+        decoder.decode(strands, encoder.unitsForSize(data.size()));
+    EXPECT_EQ(report.failed_row_ids.size(), report.failed_rows);
+    for (const auto &[unit, row] : report.failed_row_ids) {
+        EXPECT_LT(unit, encoder.unitsForSize(data.size()));
+        EXPECT_LT(row, cfg.bytesPerMolecule());
+    }
+}
+
+TEST(MatrixCodec, UnitTooSmallForHeaderThrows)
+{
+    MatrixCodecConfig cfg;
+    cfg.payload_nt = 8; // 2 rows
+    cfg.index_nt = 4;
+    cfg.rs_n = 8;
+    cfg.rs_k = 4; // unit data = 8 bytes < 20-byte header
+    EXPECT_THROW(MatrixEncoder{cfg}, std::invalid_argument);
+    EXPECT_THROW(MatrixDecoder{cfg}, std::invalid_argument);
+}
+
+TEST(MatrixCodec, GiniSpreadsColumnDamageAcrossRows)
+{
+    // Corrupt one full physical row (the same payload position in every
+    // molecule).  Baseline concentrates the damage into one codeword per
+    // unit (12 symbol errors in a single row); Gini spreads it across
+    // all rows (~1 error each), which RS can absorb with far less
+    // margin.
+    Rng rng(5);
+    MatrixCodecConfig cfg = smallConfig(LayoutScheme::Gini);
+    cfg.rs_k = 20; // parity 4: can fix 2 errors/row, not 12
+    const auto data = randomData(rng, 1000);
+
+    MatrixCodecConfig base_cfg = cfg;
+    base_cfg.scheme = LayoutScheme::Baseline;
+
+    for (bool gini : {false, true}) {
+        const auto &use_cfg = gini ? cfg : base_cfg;
+        MatrixEncoder encoder(use_cfg);
+        MatrixDecoder decoder(use_cfg);
+        auto strands = encoder.encode(data);
+        // Hit physical row 6 (payload byte 6) of every molecule: flip
+        // its 4 nucleotides.
+        for (auto &s : strands) {
+            for (std::size_t nt = 0; nt < 4; ++nt) {
+                const std::size_t pos = use_cfg.index_nt + 6 * 4 + nt;
+                s[pos] = s[pos] == 'A' ? 'C' : 'A';
+            }
+        }
+        const auto report =
+            decoder.decode(strands, encoder.unitsForSize(data.size()));
+        if (gini) {
+            EXPECT_TRUE(report.ok) << "gini should absorb row damage";
+            EXPECT_EQ(report.data, data);
+        } else {
+            EXPECT_FALSE(report.ok)
+                << "baseline concentrates row damage beyond RS capacity";
+        }
+    }
+}
+
+} // namespace
+} // namespace dnastore

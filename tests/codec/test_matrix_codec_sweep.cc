@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Property sweep for the matrix codec across geometries: every
+ * (payload, rs_n, rs_k, scheme) combination must round-trip losslessly,
+ * respect its strand-count arithmetic, and survive erasures up to the
+ * RS budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/matrix_codec.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+struct Geometry
+{
+    std::size_t payload_nt;
+    std::size_t rs_n;
+    std::size_t rs_k;
+    LayoutScheme scheme;
+};
+
+void
+PrintTo(const Geometry &g, std::ostream *os)
+{
+    *os << "payload=" << g.payload_nt << " rs=(" << g.rs_n << ","
+        << g.rs_k << ") scheme=" << layoutSchemeName(g.scheme);
+}
+
+class GeometrySweepTest : public ::testing::TestWithParam<Geometry>
+{
+  protected:
+    MatrixCodecConfig
+    config() const
+    {
+        const Geometry g = GetParam();
+        MatrixCodecConfig cfg;
+        cfg.payload_nt = g.payload_nt;
+        cfg.index_nt = 10;
+        cfg.rs_n = g.rs_n;
+        cfg.rs_k = g.rs_k;
+        cfg.scheme = g.scheme;
+        return cfg;
+    }
+};
+
+TEST_P(GeometrySweepTest, LosslessRoundTrip)
+{
+    const auto cfg = config();
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    Rng rng(cfg.payload_nt * 1000 + cfg.rs_n);
+    std::vector<std::uint8_t> data(
+        1 + rng.below(3 * cfg.unitDataBytes()));
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    const auto strands = encoder.encode(data);
+    EXPECT_EQ(strands.size() % cfg.rs_n, 0u);
+    for (const auto &s : strands) {
+        EXPECT_EQ(s.size(), cfg.strandLength());
+        EXPECT_TRUE(strand::isValid(s));
+    }
+    const auto report = decoder.decode(strands);
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.data, data);
+}
+
+TEST_P(GeometrySweepTest, SurvivesErasuresUpToBudget)
+{
+    const auto cfg = config();
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    Rng rng(cfg.payload_nt * 7 + cfg.rs_k);
+    std::vector<std::uint8_t> data(cfg.unitDataBytes());
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    auto strands = encoder.encode(data);
+    const std::size_t units = encoder.unitsForSize(data.size());
+    // Drop exactly the erasure budget from the first unit.
+    const std::size_t parity = cfg.rs_n - cfg.rs_k;
+    std::vector<Strand> kept;
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < strands.size(); ++i) {
+        if (i < cfg.rs_n && dropped < parity && i % 2 == 0) {
+            ++dropped;
+            continue;
+        }
+        kept.push_back(strands[i]);
+    }
+    ASSERT_EQ(dropped, std::min(parity, (cfg.rs_n + 1) / 2));
+    const auto report = decoder.decode(kept, units);
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.data, data);
+}
+
+TEST_P(GeometrySweepTest, OneMoreErasureThanBudgetFailsLoudly)
+{
+    const auto cfg = config();
+    if (cfg.rs_n - cfg.rs_k + 1 > cfg.rs_n / 2)
+        GTEST_SKIP() << "cannot drop that many even-indexed columns";
+    MatrixEncoder encoder(cfg);
+    MatrixDecoder decoder(cfg);
+    Rng rng(cfg.payload_nt + cfg.rs_k * 3);
+    std::vector<std::uint8_t> data(cfg.unitDataBytes() / 2);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    auto strands = encoder.encode(data);
+    // Drop parity + 1 distinct columns of unit 0.
+    const std::size_t to_drop = cfg.rs_n - cfg.rs_k + 1;
+    std::vector<Strand> kept(strands.begin() + static_cast<long>(to_drop),
+                             strands.end());
+    const auto report =
+        decoder.decode(kept, encoder.unitsForSize(data.size()));
+    // Erasures beyond the budget must surface as failed rows; with all
+    // rows of unit 0 unrecoverable the CRC check fails.
+    EXPECT_FALSE(report.ok);
+    EXPECT_GT(report.failed_rows, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweepTest,
+    ::testing::Values(
+        Geometry{48, 24, 16, LayoutScheme::Baseline},
+        Geometry{48, 24, 16, LayoutScheme::Gini},
+        Geometry{48, 24, 16, LayoutScheme::DNAMapper},
+        Geometry{120, 60, 40, LayoutScheme::Baseline},
+        Geometry{120, 60, 40, LayoutScheme::Gini},
+        Geometry{120, 255, 223, LayoutScheme::Baseline},
+        Geometry{120, 255, 223, LayoutScheme::Gini},
+        Geometry{32, 96, 64, LayoutScheme::Baseline},
+        Geometry{32, 96, 64, LayoutScheme::Gini},
+        Geometry{200, 30, 10, LayoutScheme::Baseline},
+        Geometry{200, 30, 10, LayoutScheme::Gini},
+        Geometry{96, 12, 4, LayoutScheme::Baseline},
+        Geometry{96, 12, 4, LayoutScheme::DNAMapper}));
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for primer library design, tagging and fuzzy stripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/primer.hh"
+#include "dna/distance.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(PrimerLibrary, DesignSatisfiesConstraints)
+{
+    Rng rng(1);
+    PrimerConstraints cons;
+    cons.length = 20;
+    cons.min_hamming = 8;
+    const auto lib = PrimerLibrary::design(rng, 8, cons);
+    ASSERT_EQ(lib.size(), 8u);
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        const Strand &p = lib.primer(i);
+        EXPECT_EQ(p.size(), cons.length);
+        EXPECT_GE(strand::gcContent(p), cons.min_gc);
+        EXPECT_LE(strand::gcContent(p), cons.max_gc);
+        EXPECT_LE(strand::maxHomopolymerRun(p), cons.max_homopolymer);
+        for (std::size_t j = i + 1; j < lib.size(); ++j) {
+            EXPECT_GE(hammingDistance(p, lib.primer(j)), cons.min_hamming);
+            EXPECT_GE(hammingDistance(strand::reverseComplement(p),
+                                      lib.primer(j)),
+                      cons.min_hamming);
+        }
+    }
+}
+
+TEST(PrimerLibrary, PairForSlices)
+{
+    Rng rng(2);
+    const auto lib = PrimerLibrary::design(rng, 4);
+    const auto pair0 = lib.pairFor(0);
+    const auto pair1 = lib.pairFor(1);
+    EXPECT_EQ(pair0.forward, lib.primer(0));
+    EXPECT_EQ(pair0.reverse, lib.primer(1));
+    EXPECT_EQ(pair1.forward, lib.primer(2));
+    EXPECT_EQ(pair1.reverse, lib.primer(3));
+    EXPECT_EQ(lib.numPairs(), 2u);
+    EXPECT_THROW(lib.pairFor(2), std::out_of_range);
+}
+
+TEST(PrimerLibrary, ConstructorRejectsInvalidPrimers)
+{
+    EXPECT_THROW(PrimerLibrary({"ACGN"}), std::invalid_argument);
+    EXPECT_THROW(PrimerLibrary({""}), std::invalid_argument);
+}
+
+TEST(PrimerLibrary, MatchPrefixIdentifiesPrimerAndOrientation)
+{
+    Rng rng(3);
+    const auto lib = PrimerLibrary::design(rng, 4);
+    const Strand payload = strand::random(rng, 60);
+
+    // Forward orientation: read starts with primer 2.
+    const Strand fwd_read = lib.primer(2) + payload;
+    const auto fwd = lib.matchPrefix(fwd_read, 3);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_EQ(fwd->primer_id, 2u);
+    EXPECT_FALSE(fwd->reverse_complement);
+
+    // Reverse orientation: read starts with revcomp(primer 3).
+    const Strand rc_read =
+        strand::reverseComplement(lib.primer(3)) + payload;
+    const auto rc = lib.matchPrefix(rc_read, 3);
+    ASSERT_TRUE(rc.has_value());
+    EXPECT_EQ(rc->primer_id, 3u);
+    EXPECT_TRUE(rc->reverse_complement);
+}
+
+TEST(PrimerLibrary, MatchPrefixToleratesErrors)
+{
+    Rng rng(4);
+    const auto lib = PrimerLibrary::design(rng, 2);
+    Strand read = lib.primer(0) + strand::random(rng, 40);
+    read[5] = read[5] == 'A' ? 'C' : 'A'; // one substitution in primer
+    read.erase(10, 1);                    // one deletion in primer
+    const auto match = lib.matchPrefix(read, 4);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->primer_id, 0u);
+    EXPECT_LE(match->distance, 4u);
+}
+
+TEST(PrimerLibrary, MatchPrefixRejectsGarbage)
+{
+    Rng rng(5);
+    const auto lib = PrimerLibrary::design(rng, 2);
+    // A random read is unlikely to be within edit distance 2 of a
+    // designed primer.
+    const auto match = lib.matchPrefix(strand::random(rng, 60), 2);
+    EXPECT_FALSE(match.has_value());
+}
+
+TEST(Primers, AttachComposesLayout)
+{
+    const PrimerPair pair{"AAAACCCC", "GGGGTTTT"};
+    const Strand tagged = attachPrimers(pair, "ACGT");
+    EXPECT_EQ(tagged, "AAAACCCCACGTGGGGTTTT");
+}
+
+TEST(Primers, StripRecoversPayloadExactly)
+{
+    Rng rng(6);
+    const auto lib = PrimerLibrary::design(rng, 2);
+    const auto pair = lib.pairFor(0);
+    const Strand payload = strand::random(rng, 80);
+    const auto stripped = stripPrimers(pair, attachPrimers(pair, payload), 3);
+    ASSERT_TRUE(stripped.has_value());
+    EXPECT_EQ(*stripped, payload);
+}
+
+TEST(Primers, StripToleratesPrimerErrors)
+{
+    Rng rng(7);
+    const auto lib = PrimerLibrary::design(rng, 2);
+    const auto pair = lib.pairFor(0);
+    const Strand payload = strand::random(rng, 80);
+    Strand tagged = attachPrimers(pair, payload);
+    tagged[3] = tagged[3] == 'A' ? 'G' : 'A';      // error in fwd primer
+    tagged.erase(tagged.size() - 5, 1);            // error in rev primer
+    const auto stripped = stripPrimers(pair, tagged, 4);
+    ASSERT_TRUE(stripped.has_value());
+    // The payload must survive intact (errors were in the primers).
+    EXPECT_EQ(*stripped, payload);
+}
+
+TEST(Primers, StripRejectsForeignStrand)
+{
+    Rng rng(8);
+    const auto lib = PrimerLibrary::design(rng, 4);
+    const auto pair = lib.pairFor(0);
+    const auto other = lib.pairFor(1);
+    const Strand tagged = attachPrimers(other, strand::random(rng, 80));
+    EXPECT_FALSE(stripPrimers(pair, tagged, 3).has_value());
+}
+
+TEST(Primers, StripRejectsTooShortStrand)
+{
+    const PrimerPair pair{"AAAACCCCGGGGTTTTACGT", "TTTTGGGGCCCCAAAATGCA"};
+    EXPECT_FALSE(stripPrimers(pair, "ACGT", 3).has_value());
+}
+
+} // namespace
+} // namespace dnastore

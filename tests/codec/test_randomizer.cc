@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the XOR keystream randomizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/randomizer.hh"
+#include "dna/strand.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(Randomizer, IsInvolution)
+{
+    Rng rng(1);
+    Randomizer r(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::uint8_t> data(rng.below(100));
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const auto original = data;
+        r.apply(data);
+        r.apply(data);
+        EXPECT_EQ(data, original);
+    }
+}
+
+TEST(Randomizer, IsDeterministicPerSeed)
+{
+    std::vector<std::uint8_t> a(64, 0), b(64, 0);
+    Randomizer(7).apply(a);
+    Randomizer(7).apply(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Randomizer, DifferentSeedsDiffer)
+{
+    std::vector<std::uint8_t> a(64, 0), b(64, 0);
+    Randomizer(1).apply(a);
+    Randomizer(2).apply(b);
+    EXPECT_NE(a, b);
+}
+
+TEST(Randomizer, HandlesOddLengths)
+{
+    for (std::size_t len : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 17u}) {
+        std::vector<std::uint8_t> data(len, 0xAA);
+        const auto original = data;
+        Randomizer r(3);
+        r.apply(data);
+        r.apply(data);
+        EXPECT_EQ(data, original) << "len=" << len;
+    }
+}
+
+TEST(Randomizer, BreaksHomopolymers)
+{
+    // All-zero data maps to poly-A strands; randomization must bring
+    // the maximum homopolymer run down to something sequencer-friendly.
+    std::vector<std::uint8_t> data(2000, 0);
+    const Strand before = strand::fromBytes(data);
+    EXPECT_EQ(strand::maxHomopolymerRun(before), before.size());
+
+    Randomizer r(99);
+    r.apply(data);
+    const Strand after = strand::fromBytes(data);
+    EXPECT_LE(strand::maxHomopolymerRun(after), 12u);
+    EXPECT_NEAR(strand::gcContent(after), 0.5, 0.05);
+}
+
+TEST(Randomizer, AppliedIsFunctionalForm)
+{
+    Randomizer r(5);
+    std::vector<std::uint8_t> data = {1, 2, 3};
+    auto copy = data;
+    r.apply(copy);
+    EXPECT_EQ(r.applied(data), copy);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the end-to-end pipeline wiring: module combinations,
+ * latency accounting, ground-truth metrics and failure handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/matrix_codec.hh"
+#include "core/pipeline.hh"
+#include "reconstruction/bma.hh"
+#include "reconstruction/nw_consensus.hh"
+#include "simulator/iid_channel.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+MatrixCodecConfig
+testCodecConfig(LayoutScheme scheme = LayoutScheme::Baseline)
+{
+    MatrixCodecConfig cfg;
+    cfg.payload_nt = 60; // 15 rows
+    cfg.index_nt = 10;
+    cfg.rs_n = 30;
+    cfg.rs_k = 20;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+randomData(Rng &rng, std::size_t size)
+{
+    std::vector<std::uint8_t> data(size);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return data;
+}
+
+TEST(Pipeline, MissingModulesThrow)
+{
+    PipelineConfig cfg;
+    Pipeline pipeline({}, cfg);
+    EXPECT_THROW(pipeline.run({1, 2, 3}), std::invalid_argument);
+    EXPECT_THROW(pipeline.runFromReads({}, 70), std::invalid_argument);
+}
+
+struct Combo
+{
+    LayoutScheme scheme;
+    SignatureKind signature;
+    int reconstructor; // 0 = BMA, 1 = DBMA, 2 = NW
+};
+
+class PipelineComboTest : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(PipelineComboTest, RoundTripsAFile)
+{
+    const Combo combo = GetParam();
+    const auto codec_cfg = testCodecConfig(combo.scheme);
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.05));
+
+    RashtchianClustererConfig clu_cfg;
+    clu_cfg.signature = combo.signature;
+    RashtchianClusterer clusterer(clu_cfg);
+
+    BmaReconstructor bma;
+    DoubleSidedBmaReconstructor dbma;
+    NwConsensusReconstructor nw;
+    const Reconstructor *recon = combo.reconstructor == 0
+        ? static_cast<const Reconstructor *>(&bma)
+        : combo.reconstructor == 1
+            ? static_cast<const Reconstructor *>(&dbma)
+            : static_cast<const Reconstructor *>(&nw);
+
+    PipelineConfig cfg;
+    cfg.coverage = CoverageModel(10.0, CoverageDistribution::Poisson);
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, recon},
+                      cfg);
+
+    Rng rng(77);
+    const auto data = randomData(rng, 4000);
+    const auto result = pipeline.run(data);
+    EXPECT_TRUE(result.report.ok);
+    EXPECT_EQ(result.report.data, data);
+    EXPECT_GT(result.encoded_strands, 0u);
+    EXPECT_GT(result.reads, result.encoded_strands);
+    EXPECT_GT(result.clustering_accuracy, 0.7);
+    EXPECT_GT(result.perfect_reconstructions, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, PipelineComboTest,
+    ::testing::Values(
+        Combo{LayoutScheme::Baseline, SignatureKind::QGram, 0},
+        Combo{LayoutScheme::Baseline, SignatureKind::QGram, 1},
+        Combo{LayoutScheme::Baseline, SignatureKind::QGram, 2},
+        Combo{LayoutScheme::Baseline, SignatureKind::WGram, 1},
+        Combo{LayoutScheme::Gini, SignatureKind::QGram, 1},
+        Combo{LayoutScheme::Gini, SignatureKind::WGram, 2},
+        Combo{LayoutScheme::DNAMapper, SignatureKind::QGram, 1}));
+
+TEST(Pipeline, LatencyCoversAllStages)
+{
+    const auto codec_cfg = testCodecConfig();
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.03));
+    RashtchianClusterer clusterer({});
+    DoubleSidedBmaReconstructor recon;
+    PipelineConfig cfg;
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, &recon},
+                      cfg);
+    Rng rng(5);
+    const auto result = pipeline.run(randomData(rng, 2000));
+    EXPECT_GT(result.latency.total(), 0.0);
+    EXPECT_GE(result.latency.encoding, 0.0);
+    EXPECT_GE(result.latency.clustering, 0.0);
+    EXPECT_GE(result.latency.reconstruction, 0.0);
+    EXPECT_GE(result.latency.decoding, 0.0);
+}
+
+TEST(Pipeline, ExtremeDropoutFailsGracefully)
+{
+    const auto codec_cfg = testCodecConfig();
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.03));
+    RashtchianClusterer clusterer({});
+    DoubleSidedBmaReconstructor recon;
+    PipelineConfig cfg;
+    cfg.coverage = CoverageModel(2.0, CoverageDistribution::Fixed, 0.7);
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, &recon},
+                      cfg);
+    Rng rng(6);
+    const auto data = randomData(rng, 4000);
+    const auto result = pipeline.run(data);
+    // 70% molecule dropout is far beyond the erasure budget.
+    EXPECT_FALSE(result.report.ok);
+    EXPECT_GT(result.dropped_strands, 0u);
+    EXPECT_GT(result.report.failed_rows, 0u);
+}
+
+TEST(Pipeline, MinClusterSizeFiltersJunk)
+{
+    const auto codec_cfg = testCodecConfig();
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.05));
+    RashtchianClusterer clusterer({});
+    DoubleSidedBmaReconstructor recon;
+    PipelineConfig cfg;
+    cfg.coverage = CoverageModel(10.0);
+    cfg.min_cluster_size = 2;
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, &recon},
+                      cfg);
+    Rng rng(7);
+    const auto data = randomData(rng, 3000);
+    const auto result = pipeline.run(data);
+    EXPECT_TRUE(result.report.ok);
+    EXPECT_EQ(result.report.data, data);
+}
+
+TEST(Pipeline, RunFromReadsDecodesPreparedReads)
+{
+    const auto codec_cfg = testCodecConfig();
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.04));
+    RashtchianClusterer clusterer({});
+    NwConsensusReconstructor recon;
+
+    Rng rng(8);
+    const auto data = randomData(rng, 3000);
+    const auto strands = encoder.encode(data);
+    // Simulate sequencing outside the pipeline (e.g. real FASTQ data).
+    std::vector<Strand> reads;
+    for (const auto &s : strands)
+        for (int c = 0; c < 8; ++c)
+            reads.push_back(channel.transmit(s, rng));
+
+    PipelineConfig cfg;
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, &recon},
+                      cfg);
+    const auto result = pipeline.runFromReads(
+        reads, codec_cfg.strandLength(),
+        encoder.unitsForSize(data.size()));
+    EXPECT_TRUE(result.report.ok);
+    EXPECT_EQ(result.report.data, data);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the DNA pool key-value store and PCR amplification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pool.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : rng(21), lib(PrimerLibrary::design(rng, 6))
+    {
+    }
+
+    Rng rng;
+    PrimerLibrary lib;
+};
+
+TEST(DnaPool, StoreAttachesPrimers)
+{
+    Fixture f;
+    const auto pair = f.lib.pairFor(0);
+    DnaPool pool;
+    const Strand payload = strand::random(f.rng, 50);
+    pool.store(pair, {payload});
+    ASSERT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.all()[0], pair.forward + payload + pair.reverse);
+}
+
+TEST(DnaPool, AmplifySelectsOnlyTargetFile)
+{
+    Fixture f;
+    DnaPool pool;
+    std::vector<Strand> file_a, file_b;
+    for (int i = 0; i < 30; ++i) {
+        file_a.push_back(strand::random(f.rng, 40));
+        file_b.push_back(strand::random(f.rng, 40));
+    }
+    pool.store(f.lib.pairFor(0), file_a);
+    pool.store(f.lib.pairFor(1), file_b);
+    EXPECT_EQ(pool.size(), 60u);
+
+    const auto product = amplify(pool, f.lib.pairFor(0), f.rng);
+    EXPECT_EQ(product.on_target, 30u);
+    EXPECT_EQ(product.off_target, 0u);
+    ASSERT_EQ(product.molecules.size(), 30u);
+    const auto pair = f.lib.pairFor(0);
+    for (const auto &mol : product.molecules) {
+        EXPECT_EQ(mol.substr(0, pair.forward.size()), pair.forward);
+    }
+}
+
+TEST(DnaPool, OffTargetLeakage)
+{
+    Fixture f;
+    DnaPool pool;
+    std::vector<Strand> file_a(50, strand::random(f.rng, 40));
+    std::vector<Strand> file_b(5000, strand::random(f.rng, 40));
+    pool.store(f.lib.pairFor(0), file_a);
+    pool.store(f.lib.pairFor(1), file_b);
+
+    PcrConfig cfg;
+    cfg.off_target_rate = 0.01;
+    const auto product = amplify(pool, f.lib.pairFor(0), f.rng, cfg);
+    EXPECT_EQ(product.on_target, 50u);
+    EXPECT_NEAR(static_cast<double>(product.off_target), 50.0, 30.0);
+}
+
+TEST(DnaPool, AmplifyUnknownKeyIsEmpty)
+{
+    Fixture f;
+    DnaPool pool;
+    pool.store(f.lib.pairFor(0), {strand::random(f.rng, 40)});
+    const auto product = amplify(pool, f.lib.pairFor(2), f.rng);
+    EXPECT_TRUE(product.molecules.empty());
+}
+
+} // namespace
+} // namespace dnastore

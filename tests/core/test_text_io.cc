@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the plain-text interchange formats used by the CLI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/text_io.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(TextIo, StrandLinesRoundTrip)
+{
+    const std::vector<Strand> strands = {"ACGT", "GGCC", "A"};
+    std::ostringstream out;
+    writeStrandLines(out, strands);
+    std::istringstream in(out.str());
+    EXPECT_EQ(readStrandLines(in), strands);
+}
+
+TEST(TextIo, StrandLinesSkipBlanksAndCr)
+{
+    std::istringstream in("ACGT\r\n\nGG\n\n");
+    const auto strands = readStrandLines(in);
+    ASSERT_EQ(strands.size(), 2u);
+    EXPECT_EQ(strands[0], "ACGT");
+    EXPECT_EQ(strands[1], "GG");
+}
+
+TEST(TextIo, ClusterLinesRoundTrip)
+{
+    const std::vector<std::vector<Strand>> clusters = {
+        {"ACGT", "ACGA"},
+        {"TTTT"},
+        {"GG", "GC", "GA"},
+    };
+    std::ostringstream out;
+    writeClusterLines(out, clusters);
+    std::istringstream in(out.str());
+    EXPECT_EQ(readClusterLines(in), clusters);
+}
+
+TEST(TextIo, ClusterLinesToleratesTrailingBlanks)
+{
+    std::istringstream in("AC\nAG\n\n\nTT\n\n");
+    const auto clusters = readClusterLines(in);
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_EQ(clusters[0].size(), 2u);
+    EXPECT_EQ(clusters[1].size(), 1u);
+}
+
+TEST(TextIo, EmptyInputs)
+{
+    std::istringstream in1(""), in2("");
+    EXPECT_TRUE(readStrandLines(in1).empty());
+    EXPECT_TRUE(readClusterLines(in2).empty());
+}
+
+TEST(TextIo, BinaryFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/text_io_bin.dat";
+    std::vector<std::uint8_t> data(257);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    writeBinaryFile(path, data);
+    EXPECT_EQ(readBinaryFile(path), data);
+}
+
+TEST(TextIo, MissingFilesThrow)
+{
+    EXPECT_THROW(readStrandFile("/no/such/strands.txt"),
+                 std::runtime_error);
+    EXPECT_THROW(readClusterFile("/no/such/clusters.txt"),
+                 std::runtime_error);
+    EXPECT_THROW(readBinaryFile("/no/such/file.bin"), std::runtime_error);
+}
+
+TEST(TextIo, StrandFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/text_io_strands.txt";
+    const std::vector<Strand> strands = {"ACGTAC", "GGTTAA"};
+    writeStrandFile(path, strands);
+    EXPECT_EQ(readStrandFile(path), strands);
+}
+
+TEST(TextIo, ClusterFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/text_io_clusters.txt";
+    const std::vector<std::vector<Strand>> clusters = {{"AC"}, {"GT", "GA"}};
+    writeClusterFile(path, clusters);
+    EXPECT_EQ(readClusterFile(path), clusters);
+}
+
+} // namespace
+} // namespace dnastore

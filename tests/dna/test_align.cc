@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for pairwise global alignment, edit classification and the
+ * profile multiple sequence alignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dna/align.hh"
+#include "dna/distance.hh"
+#include "dna/strand.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(GlobalAlign, IdenticalStrings)
+{
+    const auto aln = globalAlign("ACGT", "ACGT");
+    EXPECT_EQ(aln.aligned_a, "ACGT");
+    EXPECT_EQ(aln.aligned_b, "ACGT");
+    EXPECT_EQ(aln.score, 8); // 4 matches x 2
+}
+
+TEST(GlobalAlign, EmptySequences)
+{
+    const auto aln = globalAlign("", "ACG");
+    EXPECT_EQ(aln.aligned_a, "---");
+    EXPECT_EQ(aln.aligned_b, "ACG");
+    const auto both_empty = globalAlign("", "");
+    EXPECT_EQ(both_empty.aligned_a, "");
+    EXPECT_EQ(both_empty.score, 0);
+}
+
+TEST(GlobalAlign, AlignedLengthsMatch)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Strand a = strand::random(rng, rng.below(40));
+        const Strand b = strand::random(rng, rng.below(40));
+        const auto aln = globalAlign(a, b);
+        EXPECT_EQ(aln.aligned_a.size(), aln.aligned_b.size());
+        // Removing gaps recovers the originals.
+        std::string ra, rb;
+        for (char c : aln.aligned_a)
+            if (c != '-')
+                ra.push_back(c);
+        for (char c : aln.aligned_b)
+            if (c != '-')
+                rb.push_back(c);
+        EXPECT_EQ(ra, a);
+        EXPECT_EQ(rb, b);
+    }
+}
+
+TEST(GlobalAlign, NoDoubleGapColumns)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Strand a = strand::random(rng, rng.below(30));
+        const Strand b = strand::random(rng, rng.below(30));
+        const auto aln = globalAlign(a, b);
+        for (std::size_t i = 0; i < aln.aligned_a.size(); ++i)
+            EXPECT_FALSE(aln.aligned_a[i] == '-' && aln.aligned_b[i] == '-');
+    }
+}
+
+TEST(ClassifyEdits, PerfectCopyIsAllMatches)
+{
+    const auto ops = classifyEdits("ACGTAC", "ACGTAC");
+    EXPECT_EQ(ops.size(), 6u);
+    for (const auto &op : ops)
+        EXPECT_EQ(op.kind, EditKind::Match);
+}
+
+TEST(ClassifyEdits, DetectsSubstitution)
+{
+    const auto ops = classifyEdits("AAAA", "AATA");
+    std::size_t subs = 0;
+    for (const auto &op : ops)
+        subs += op.kind == EditKind::Substitution;
+    EXPECT_EQ(subs, 1u);
+}
+
+TEST(ClassifyEdits, DetectsDeletionPosition)
+{
+    const auto ops = classifyEdits("ACGTTT", "AGTTT"); // C deleted
+    std::size_t dels = 0;
+    for (const auto &op : ops) {
+        if (op.kind == EditKind::Deletion) {
+            ++dels;
+            EXPECT_EQ(op.ref_char, 'C');
+            EXPECT_EQ(op.ref_pos, 1u);
+        }
+    }
+    EXPECT_EQ(dels, 1u);
+}
+
+TEST(ClassifyEdits, DetectsInsertion)
+{
+    const auto ops = classifyEdits("AACC", "AAGCC"); // G inserted
+    std::size_t ins = 0;
+    for (const auto &op : ops) {
+        if (op.kind == EditKind::Insertion) {
+            ++ins;
+            EXPECT_EQ(op.read_char, 'G');
+        }
+    }
+    EXPECT_EQ(ins, 1u);
+}
+
+TEST(ClassifyEdits, EditCountMatchesLevenshteinApprox)
+{
+    // The alignment minimises score, not edit count, but with the
+    // default scores each edit costs and the op count upper-bounds the
+    // edit distance.
+    Rng rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Strand a = strand::random(rng, 20 + rng.below(20));
+        const Strand b = strand::random(rng, 20 + rng.below(20));
+        const auto ops = classifyEdits(a, b);
+        std::size_t edits = 0;
+        for (const auto &op : ops)
+            edits += op.kind != EditKind::Match;
+        EXPECT_GE(edits, levenshtein(a, b));
+    }
+}
+
+TEST(ProfileMsa, SingleReadConsensusIsItself)
+{
+    ProfileMsa msa;
+    msa.addRead("ACGTACGT");
+    EXPECT_EQ(msa.consensus(), "ACGTACGT");
+    EXPECT_EQ(msa.numReads(), 1u);
+    EXPECT_EQ(msa.numColumns(), 8u);
+}
+
+TEST(ProfileMsa, MajorityWinsOnSubstitutions)
+{
+    ProfileMsa msa;
+    msa.addRead("ACGTACGT");
+    msa.addRead("ACGAACGT"); // sub at index 3
+    msa.addRead("ACGTACGT");
+    EXPECT_EQ(msa.consensus(), "ACGTACGT");
+}
+
+TEST(ProfileMsa, RecoversFromIndels)
+{
+    ProfileMsa msa;
+    msa.addRead("ACGTACGTAC");
+    msa.addRead("ACGACGTAC");   // deletion
+    msa.addRead("ACGTTACGTAC"); // insertion
+    msa.addRead("ACGTACGTAC");
+    EXPECT_EQ(msa.consensus(10), "ACGTACGTAC");
+}
+
+TEST(ProfileMsa, TrimsToExpectedLength)
+{
+    ProfileMsa msa;
+    msa.addRead("AACCGGTTAA");
+    msa.addRead("AACCGGTTAAT"); // one trailing insertion
+    const auto consensus = msa.consensus(10);
+    EXPECT_EQ(consensus.size(), 10u);
+}
+
+TEST(ProfileMsa, RejectsInvalidCharacters)
+{
+    ProfileMsa msa;
+    EXPECT_THROW(msa.addRead("ACGN"), std::invalid_argument);
+}
+
+TEST(ProfileMsa, ManyNoisyReadsConverge)
+{
+    Rng rng(4);
+    const Strand original = strand::random(rng, 60);
+    ProfileMsa msa;
+    for (int r = 0; r < 12; ++r) {
+        Strand read = original;
+        // One random substitution per read.
+        const std::size_t i = rng.below(read.size());
+        read[i] = read[i] == 'A' ? 'C' : 'A';
+        msa.addRead(read);
+    }
+    EXPECT_EQ(msa.consensus(60), original);
+}
+
+} // namespace
+} // namespace dnastore

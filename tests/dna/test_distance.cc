@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for Hamming and Levenshtein distances, including metric axioms
+ * and agreement between the banded and exact algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dna/distance.hh"
+#include "dna/strand.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(Hamming, KnownCases)
+{
+    EXPECT_EQ(hammingDistance("", ""), 0u);
+    EXPECT_EQ(hammingDistance("ACGT", "ACGT"), 0u);
+    EXPECT_EQ(hammingDistance("ACGT", "ACGA"), 1u);
+    EXPECT_EQ(hammingDistance("AAAA", "TTTT"), 4u);
+}
+
+TEST(Hamming, LengthMismatchThrows)
+{
+    EXPECT_THROW(hammingDistance("A", "AA"), std::invalid_argument);
+}
+
+TEST(Levenshtein, KnownCases)
+{
+    EXPECT_EQ(levenshtein("", ""), 0u);
+    EXPECT_EQ(levenshtein("", "ACG"), 3u);
+    EXPECT_EQ(levenshtein("ACG", ""), 3u);
+    EXPECT_EQ(levenshtein("kitten", "sitting"), 3u);
+    EXPECT_EQ(levenshtein("ACGT", "AGT"), 1u);
+    EXPECT_EQ(levenshtein("ACGT", "ACGTT"), 1u);
+    EXPECT_EQ(levenshtein("ACGT", "TGCA"), 4u);
+}
+
+TEST(Levenshtein, SymmetryProperty)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        const Strand a = strand::random(rng, rng.below(40));
+        const Strand b = strand::random(rng, rng.below(40));
+        EXPECT_EQ(levenshtein(a, b), levenshtein(b, a));
+    }
+}
+
+TEST(Levenshtein, IdentityProperty)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Strand a = strand::random(rng, rng.below(60));
+        EXPECT_EQ(levenshtein(a, a), 0u);
+    }
+}
+
+TEST(Levenshtein, TriangleInequality)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Strand a = strand::random(rng, rng.below(25));
+        const Strand b = strand::random(rng, rng.below(25));
+        const Strand c = strand::random(rng, rng.below(25));
+        EXPECT_LE(levenshtein(a, c),
+                  levenshtein(a, b) + levenshtein(b, c));
+    }
+}
+
+TEST(Levenshtein, SingleEditDistancesAreOne)
+{
+    Rng rng(4);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Strand a = strand::random(rng, 20 + rng.below(20));
+        // Substitution.
+        Strand sub = a;
+        const std::size_t i = rng.below(a.size());
+        sub[i] = sub[i] == 'A' ? 'C' : 'A';
+        EXPECT_EQ(levenshtein(a, sub), 1u);
+        // Deletion.
+        Strand del = a;
+        del.erase(rng.below(del.size()), 1);
+        EXPECT_EQ(levenshtein(a, del), 1u);
+        // Insertion.
+        Strand ins = a;
+        ins.insert(rng.below(ins.size() + 1), 1, 'G');
+        EXPECT_EQ(levenshtein(a, ins), 1u);
+    }
+}
+
+class BoundedLevenshteinTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BoundedLevenshteinTest, AgreesWithExact)
+{
+    const std::size_t max_distance = GetParam();
+    Rng rng(100 + max_distance);
+    for (int trial = 0; trial < 300; ++trial) {
+        const Strand a = strand::random(rng, rng.below(50));
+        const Strand b = strand::random(rng, rng.below(50));
+        const std::size_t exact = levenshtein(a, b);
+        const std::size_t banded = boundedLevenshtein(a, b, max_distance);
+        if (exact <= max_distance)
+            EXPECT_EQ(banded, exact) << a << " vs " << b;
+        else
+            EXPECT_EQ(banded, max_distance + 1) << a << " vs " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, BoundedLevenshteinTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21, 40));
+
+TEST(BoundedLevenshtein, NearbyStringsFoundCheaply)
+{
+    Rng rng(5);
+    const Strand a = strand::random(rng, 200);
+    Strand b = a;
+    b[50] = b[50] == 'A' ? 'C' : 'A';
+    b.erase(120, 1);
+    EXPECT_EQ(boundedLevenshtein(a, b, 5), 2u);
+}
+
+TEST(WithinEditDistance, MatchesBoundedResult)
+{
+    EXPECT_TRUE(withinEditDistance("ACGT", "ACGA", 1));
+    EXPECT_FALSE(withinEditDistance("ACGT", "TGCA", 3));
+    EXPECT_TRUE(withinEditDistance("ACGT", "TGCA", 4));
+}
+
+class MyersLengthTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MyersLengthTest, AgreesWithReferenceDp)
+{
+    const std::size_t len = GetParam();
+    Rng rng(9000 + len);
+    for (int trial = 0; trial < 60; ++trial) {
+        const Strand a = strand::random(rng, rng.below(len + 1));
+        const Strand b = strand::random(rng, rng.below(len + 1));
+        EXPECT_EQ(myersLevenshtein(a, b), levenshtein(a, b))
+            << "a=" << a << " b=" << b;
+    }
+}
+
+// Lengths straddling the 64-bit block boundaries of the bit-parallel
+// kernel (1 block, exactly 1 block, 2 blocks, 3+ blocks).
+INSTANTIATE_TEST_SUITE_P(BlockBoundaries, MyersLengthTest,
+                         ::testing::Values(1, 8, 63, 64, 65, 127, 128,
+                                           129, 200, 300));
+
+TEST(MyersLevenshtein, EdgeCases)
+{
+    EXPECT_EQ(myersLevenshtein("", ""), 0u);
+    EXPECT_EQ(myersLevenshtein("", "ACGT"), 4u);
+    EXPECT_EQ(myersLevenshtein("ACGT", ""), 4u);
+    EXPECT_EQ(myersLevenshtein("kitten", "sitting"), 3u);
+    const Strand s(200, 'A');
+    EXPECT_EQ(myersLevenshtein(s, s), 0u);
+    EXPECT_EQ(myersLevenshtein(s, Strand(200, 'T')), 200u);
+}
+
+TEST(MyersLevenshtein, NearbyLongStrings)
+{
+    Rng rng(10);
+    const Strand a = strand::random(rng, 500);
+    Strand b = a;
+    b[100] = b[100] == 'A' ? 'C' : 'A';
+    b.erase(300, 2);
+    b.insert(400, "GT");
+    EXPECT_EQ(myersLevenshtein(a, b), levenshtein(a, b));
+}
+
+TEST(BoundedLevenshtein, LengthGapShortCircuits)
+{
+    // Distance is at least the length difference.
+    EXPECT_EQ(boundedLevenshtein("A", "AAAAAAAA", 3), 4u);
+}
+
+} // namespace
+} // namespace dnastore

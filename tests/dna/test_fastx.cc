@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for FASTA/FASTQ parsing and serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dna/fastx.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(Fastq, RoundTrip)
+{
+    std::vector<FastqRecord> records = {
+        {"read1", "ACGT", "IIII"},
+        {"read2 extra info", "GGCC", "!!!!"},
+    };
+    std::ostringstream out;
+    writeFastq(out, records);
+    std::istringstream in(out.str());
+    const auto parsed = readFastq(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].id, "read1");
+    EXPECT_EQ(parsed[0].sequence, "ACGT");
+    EXPECT_EQ(parsed[0].quality, "IIII");
+    EXPECT_EQ(parsed[1].id, "read2 extra info");
+}
+
+TEST(Fastq, ToleratesCrlfAndBlankLines)
+{
+    std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII\r\n\n@r2\nGG\n+\nII\n");
+    const auto parsed = readFastq(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].sequence, "ACGT");
+    EXPECT_EQ(parsed[1].sequence, "GG");
+}
+
+TEST(Fastq, RejectsMissingAtSign)
+{
+    std::istringstream in("r1\nACGT\n+\nIIII\n");
+    EXPECT_THROW(readFastq(in), std::runtime_error);
+}
+
+TEST(Fastq, RejectsTruncatedRecord)
+{
+    std::istringstream in("@r1\nACGT\n+\n");
+    EXPECT_THROW(readFastq(in), std::runtime_error);
+}
+
+TEST(Fastq, RejectsLengthMismatch)
+{
+    std::istringstream in("@r1\nACGT\n+\nIII\n");
+    EXPECT_THROW(readFastq(in), std::runtime_error);
+}
+
+TEST(Fastq, RejectsMissingPlus)
+{
+    std::istringstream in("@r1\nACGT\nIIII\nIIII\n");
+    EXPECT_THROW(readFastq(in), std::runtime_error);
+}
+
+TEST(Fastq, EmptyInputIsEmpty)
+{
+    std::istringstream in("");
+    EXPECT_TRUE(readFastq(in).empty());
+}
+
+TEST(Fastq, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/test_roundtrip.fastq";
+    std::vector<FastqRecord> records = {{"x", "ACGTACGT", "IIIIIIII"}};
+    writeFastqFile(path, records);
+    const auto parsed = readFastqFile(path);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].sequence, "ACGTACGT");
+}
+
+TEST(Fastq, MissingFileThrows)
+{
+    EXPECT_THROW(readFastqFile("/no/such/file.fastq"), std::runtime_error);
+}
+
+TEST(Fasta, RoundTripWithWrapping)
+{
+    std::vector<FastaRecord> records = {
+        {"seq1", std::string(200, 'A')},
+        {"seq2", "ACGT"},
+    };
+    std::ostringstream out;
+    writeFasta(out, records);
+    std::istringstream in(out.str());
+    const auto parsed = readFasta(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].sequence, std::string(200, 'A'));
+    EXPECT_EQ(parsed[1].sequence, "ACGT");
+}
+
+TEST(Fasta, MultiLineSequencesJoined)
+{
+    std::istringstream in(">a\nACG\nTTT\n>b\nGG\n");
+    const auto parsed = readFasta(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].sequence, "ACGTTT");
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows)
+{
+    std::istringstream in("ACGT\n>a\n");
+    EXPECT_THROW(readFasta(in), std::runtime_error);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for q-gram extraction helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dna/qgram.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(DistinctQGrams, EnumeratesInFirstOccurrenceOrder)
+{
+    const auto grams = distinctQGrams("AABAA", 2);
+    ASSERT_EQ(grams.size(), 3u);
+    EXPECT_EQ(grams[0], "AA");
+    EXPECT_EQ(grams[1], "AB");
+    EXPECT_EQ(grams[2], "BA");
+}
+
+TEST(DistinctQGrams, EdgeCases)
+{
+    EXPECT_TRUE(distinctQGrams("ACG", 4).empty());
+    EXPECT_TRUE(distinctQGrams("ACG", 0).empty());
+    const auto whole = distinctQGrams("ACG", 3);
+    ASSERT_EQ(whole.size(), 1u);
+    EXPECT_EQ(whole[0], "ACG");
+}
+
+TEST(RandomQGramSet, ProducesDistinctGramsOfRightLength)
+{
+    Rng rng(1);
+    const auto set = randomQGramSet(rng, 4, 50);
+    EXPECT_EQ(set.size(), 50u);
+    std::set<std::string> unique(set.begin(), set.end());
+    EXPECT_EQ(unique.size(), 50u);
+    for (const auto &gram : set)
+        EXPECT_EQ(gram.size(), 4u);
+}
+
+TEST(RandomQGramSet, FullAlphabetCoverage)
+{
+    Rng rng(2);
+    // Request every possible 2-gram: must terminate and return all 16.
+    const auto set = randomQGramSet(rng, 2, 16);
+    std::set<std::string> unique(set.begin(), set.end());
+    EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(RandomQGramSet, RejectsImpossibleRequests)
+{
+    Rng rng(3);
+    EXPECT_THROW(randomQGramSet(rng, 2, 17), std::invalid_argument);
+    EXPECT_THROW(randomQGramSet(rng, 0, 1), std::invalid_argument);
+}
+
+TEST(FirstOccurrence, FindsAndMisses)
+{
+    EXPECT_EQ(firstOccurrence("ACGTACGT", "GTA"), 2);
+    EXPECT_EQ(firstOccurrence("ACGTACGT", "TTT"), -1);
+    EXPECT_EQ(firstOccurrence("ACGT", "ACGT"), 0);
+    EXPECT_EQ(firstOccurrence("", "A"), -1);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for strand utilities: packing, complements, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dna/base.hh"
+#include "dna/strand.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(Base, CharCodeRoundTrip)
+{
+    for (std::uint8_t code = 0; code < 4; ++code)
+        EXPECT_EQ(charToCode(baseToChar(code)), code);
+}
+
+TEST(Base, LowerCaseAccepted)
+{
+    EXPECT_EQ(charToCode('a'), charToCode('A'));
+    EXPECT_EQ(charToCode('t'), charToCode('T'));
+}
+
+TEST(Base, InvalidCharRejected)
+{
+    EXPECT_EQ(charToCode('N'), 0xff);
+    EXPECT_EQ(charToCode('-'), 0xff);
+}
+
+TEST(Base, ComplementPairs)
+{
+    EXPECT_EQ(complementChar('A'), 'T');
+    EXPECT_EQ(complementChar('T'), 'A');
+    EXPECT_EQ(complementChar('C'), 'G');
+    EXPECT_EQ(complementChar('G'), 'C');
+}
+
+TEST(Strand, IsValid)
+{
+    EXPECT_TRUE(strand::isValid("ACGT"));
+    EXPECT_TRUE(strand::isValid(""));
+    EXPECT_FALSE(strand::isValid("ACGN"));
+    EXPECT_FALSE(strand::isValid("acgt")); // lower case is not canonical
+}
+
+TEST(Strand, RandomHasRequestedLengthAndAlphabet)
+{
+    Rng rng(1);
+    const Strand s = strand::random(rng, 500);
+    EXPECT_EQ(s.size(), 500u);
+    EXPECT_TRUE(strand::isValid(s));
+}
+
+TEST(Strand, RandomIsRoughlyBalanced)
+{
+    Rng rng(2);
+    const Strand s = strand::random(rng, 20000);
+    EXPECT_NEAR(strand::gcContent(s), 0.5, 0.02);
+}
+
+TEST(Strand, GcContent)
+{
+    EXPECT_DOUBLE_EQ(strand::gcContent("GGCC"), 1.0);
+    EXPECT_DOUBLE_EQ(strand::gcContent("AATT"), 0.0);
+    EXPECT_DOUBLE_EQ(strand::gcContent("ACGT"), 0.5);
+    EXPECT_DOUBLE_EQ(strand::gcContent(""), 0.0);
+}
+
+TEST(Strand, MaxHomopolymerRun)
+{
+    EXPECT_EQ(strand::maxHomopolymerRun(""), 0u);
+    EXPECT_EQ(strand::maxHomopolymerRun("ACGT"), 1u);
+    EXPECT_EQ(strand::maxHomopolymerRun("AAACC"), 3u);
+    EXPECT_EQ(strand::maxHomopolymerRun("CCAAAA"), 4u);
+}
+
+TEST(Strand, ReverseComplementKnown)
+{
+    EXPECT_EQ(strand::reverseComplement("ACGT"), "ACGT");
+    EXPECT_EQ(strand::reverseComplement("AACG"), "CGTT");
+}
+
+TEST(Strand, ReverseComplementIsInvolution)
+{
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        const Strand s = strand::random(rng, 1 + rng.below(200));
+        EXPECT_EQ(strand::reverseComplement(strand::reverseComplement(s)),
+                  s);
+    }
+}
+
+TEST(Strand, BytesRoundTrip)
+{
+    Rng rng(4);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::uint8_t> data(rng.below(64));
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const Strand s = strand::fromBytes(data);
+        EXPECT_EQ(s.size(), data.size() * 4);
+        EXPECT_EQ(strand::toBytes(s), data);
+    }
+}
+
+TEST(Strand, FromBytesKnownPattern)
+{
+    // 0b00011011 = A C G T.
+    EXPECT_EQ(strand::fromBytes({0x1B}), "ACGT");
+    EXPECT_EQ(strand::fromBytes({0x00}), "AAAA");
+    EXPECT_EQ(strand::fromBytes({0xFF}), "TTTT");
+}
+
+TEST(Strand, ToBytesRejectsBadInput)
+{
+    EXPECT_THROW(strand::toBytes("ACG"), std::invalid_argument);
+    EXPECT_THROW(strand::toBytes("ACGN"), std::invalid_argument);
+}
+
+class NumberWidthTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(NumberWidthTest, EncodeDecodeRoundTrip)
+{
+    const std::size_t width = GetParam();
+    Rng rng(width);
+    const std::uint64_t cap = width >= 32
+        ? ~0ULL
+        : (1ULL << (2 * width)) - 1;
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::uint64_t value =
+            cap == ~0ULL ? rng.next() : rng.below(cap + 1);
+        const Strand s = strand::encodeNumber(value, width);
+        EXPECT_EQ(s.size(), width);
+        EXPECT_EQ(strand::decodeNumber(s), value);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NumberWidthTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 31, 32));
+
+TEST(Strand, EncodeNumberOverflowThrows)
+{
+    EXPECT_THROW(strand::encodeNumber(4, 1), std::invalid_argument);
+    EXPECT_THROW(strand::encodeNumber(256, 4), std::invalid_argument);
+    EXPECT_NO_THROW(strand::encodeNumber(255, 4));
+}
+
+TEST(Strand, DecodeNumberRejectsBadChars)
+{
+    EXPECT_THROW(strand::decodeNumber("ACZ"), std::invalid_argument);
+}
+
+TEST(Strand, MismatchPositions)
+{
+    const auto pos = strand::mismatchPositions("ACGT", "AGGA");
+    ASSERT_EQ(pos.size(), 2u);
+    EXPECT_EQ(pos[0], 1u);
+    EXPECT_EQ(pos[1], 3u);
+    EXPECT_THROW(strand::mismatchPositions("A", "AC"),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace dnastore

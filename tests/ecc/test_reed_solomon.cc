@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the Reed-Solomon codec: systematic encoding, errors-and-
+ * erasures decoding up to capacity, and failure reporting beyond it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/reed_solomon.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+randomMessage(Rng &rng, std::size_t k)
+{
+    std::vector<std::uint8_t> msg(k);
+    for (auto &b : msg)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return msg;
+}
+
+TEST(ReedSolomon, RejectsBadParameters)
+{
+    EXPECT_THROW(ReedSolomon(0, 0), std::invalid_argument);
+    EXPECT_THROW(ReedSolomon(256, 10), std::invalid_argument);
+    EXPECT_THROW(ReedSolomon(10, 10), std::invalid_argument);
+    EXPECT_THROW(ReedSolomon(10, 0), std::invalid_argument);
+    EXPECT_NO_THROW(ReedSolomon(255, 223));
+}
+
+TEST(ReedSolomon, EncodeIsSystematic)
+{
+    Rng rng(1);
+    ReedSolomon rs(60, 40);
+    const auto msg = randomMessage(rng, 40);
+    const auto cw = rs.encode(msg);
+    ASSERT_EQ(cw.size(), 60u);
+    for (std::size_t i = 0; i < 40; ++i)
+        EXPECT_EQ(cw[i], msg[i]);
+    EXPECT_TRUE(rs.isCodeword(cw));
+    EXPECT_EQ(rs.message(cw), msg);
+}
+
+TEST(ReedSolomon, EncodeWrongSizeThrows)
+{
+    ReedSolomon rs(20, 10);
+    EXPECT_THROW(rs.encode(std::vector<std::uint8_t>(9)),
+                 std::invalid_argument);
+}
+
+TEST(ReedSolomon, CleanCodewordDecodesTrivially)
+{
+    Rng rng(2);
+    ReedSolomon rs(40, 20);
+    auto cw = rs.encode(randomMessage(rng, 20));
+    const auto original = cw;
+    const auto result = rs.decode(cw);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.errors, 0u);
+    EXPECT_EQ(cw, original);
+}
+
+struct RsParams
+{
+    std::size_t n;
+    std::size_t k;
+};
+
+class RsRoundTripTest : public ::testing::TestWithParam<RsParams>
+{
+};
+
+TEST_P(RsRoundTripTest, CorrectsUpToCapacityErrors)
+{
+    const auto [n, k] = GetParam();
+    ReedSolomon rs(n, k);
+    Rng rng(n * 1000 + k);
+    const std::size_t t = rs.correctionCapacity();
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto msg = randomMessage(rng, k);
+        const auto clean = rs.encode(msg);
+        auto corrupted = clean;
+        const std::size_t num_errors = rng.below(t + 1);
+        const auto positions = rng.sampleIndices(n, num_errors);
+        for (const std::size_t pos : positions)
+            corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto result = rs.decode(corrupted);
+        ASSERT_TRUE(result.ok) << "n=" << n << " k=" << k
+                               << " errors=" << num_errors;
+        EXPECT_EQ(corrupted, clean);
+        EXPECT_EQ(result.errors, num_errors);
+    }
+}
+
+TEST_P(RsRoundTripTest, CorrectsFullErasureBudget)
+{
+    const auto [n, k] = GetParam();
+    ReedSolomon rs(n, k);
+    Rng rng(n * 77 + k);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto msg = randomMessage(rng, k);
+        const auto clean = rs.encode(msg);
+        auto corrupted = clean;
+        const auto erasures = rng.sampleIndices(n, n - k);
+        for (const std::size_t pos : erasures)
+            corrupted[pos] = static_cast<std::uint8_t>(rng.below(256));
+        const auto result = rs.decode(corrupted, erasures);
+        ASSERT_TRUE(result.ok);
+        EXPECT_EQ(corrupted, clean);
+        EXPECT_EQ(result.erasures, n - k);
+    }
+}
+
+TEST_P(RsRoundTripTest, CorrectsMixedErrorsAndErasures)
+{
+    const auto [n, k] = GetParam();
+    ReedSolomon rs(n, k);
+    Rng rng(n * 31 + k);
+    const std::size_t parity = n - k;
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto msg = randomMessage(rng, k);
+        const auto clean = rs.encode(msg);
+        auto corrupted = clean;
+        // 2e + r <= n - k.
+        const std::size_t r = rng.below(parity + 1);
+        const std::size_t e = (parity - r) / 2 == 0
+            ? 0
+            : rng.below((parity - r) / 2 + 1);
+        const auto positions = rng.sampleIndices(n, r + e);
+        const std::vector<std::size_t> erasures(positions.begin(),
+                                                positions.begin() +
+                                                    static_cast<long>(r));
+        for (const std::size_t pos : positions)
+            corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto result = rs.decode(corrupted, erasures);
+        ASSERT_TRUE(result.ok) << "n=" << n << " k=" << k << " e=" << e
+                               << " r=" << r;
+        EXPECT_EQ(corrupted, clean);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RsRoundTripTest,
+    ::testing::Values(RsParams{255, 223}, RsParams{255, 127},
+                      RsParams{96, 64}, RsParams{60, 40}, RsParams{30, 10},
+                      RsParams{15, 11}, RsParams{10, 8}, RsParams{5, 1},
+                      RsParams{2, 1}));
+
+TEST(ReedSolomon, BeyondCapacityIsDetectedOrMiscorrected)
+{
+    // With > t errors RS either fails (ok=false) or lands on a different
+    // valid codeword; it must never crash, and an ok result must be a
+    // codeword.
+    ReedSolomon rs(20, 16); // t = 2
+    Rng rng(5);
+    std::size_t failures = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        auto cw = rs.encode(randomMessage(rng, 16));
+        for (const std::size_t pos : rng.sampleIndices(20, 5))
+            cw[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto result = rs.decode(cw);
+        if (!result.ok)
+            ++failures;
+        else
+            EXPECT_TRUE(rs.isCodeword(cw));
+    }
+    // Most overloads should be detected.
+    EXPECT_GT(failures, 100u);
+}
+
+TEST(ReedSolomon, TooManyErasuresFails)
+{
+    ReedSolomon rs(20, 16);
+    Rng rng(6);
+    auto cw = rs.encode(randomMessage(rng, 16));
+    std::vector<std::size_t> erasures = {0, 1, 2, 3, 4};
+    for (const std::size_t pos : erasures)
+        cw[pos] = 0;
+    const auto result = rs.decode(cw, erasures);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(ReedSolomon, ErasurePositionsOutOfRangeThrow)
+{
+    ReedSolomon rs(20, 16);
+    std::vector<std::uint8_t> cw(20, 0);
+    EXPECT_THROW(rs.decode(cw, {20}), std::invalid_argument);
+}
+
+TEST(ReedSolomon, WrongCodewordSizeThrows)
+{
+    ReedSolomon rs(20, 16);
+    std::vector<std::uint8_t> cw(19, 0);
+    EXPECT_THROW(rs.decode(cw), std::invalid_argument);
+}
+
+TEST(ReedSolomon, DuplicateErasuresAreDeduplicated)
+{
+    Rng rng(7);
+    ReedSolomon rs(20, 14);
+    const auto clean = rs.encode(randomMessage(rng, 14));
+    auto corrupted = clean;
+    corrupted[3] ^= 0x55;
+    const auto result = rs.decode(corrupted, {3, 3, 3});
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(corrupted, clean);
+    EXPECT_EQ(result.erasures, 1u);
+}
+
+TEST(ReedSolomon, AllZeroMessage)
+{
+    ReedSolomon rs(16, 8);
+    const std::vector<std::uint8_t> msg(8, 0);
+    auto cw = rs.encode(msg);
+    EXPECT_EQ(cw, std::vector<std::uint8_t>(16, 0));
+    cw[5] = 9;
+    const auto result = rs.decode(cw);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(cw, std::vector<std::uint8_t>(16, 0));
+}
+
+TEST(ReedSolomon, CapacityAccessors)
+{
+    ReedSolomon rs(255, 223);
+    EXPECT_EQ(rs.n(), 255u);
+    EXPECT_EQ(rs.k(), 223u);
+    EXPECT_EQ(rs.parity(), 32u);
+    EXPECT_EQ(rs.correctionCapacity(), 16u);
+}
+
+} // namespace
+} // namespace dnastore

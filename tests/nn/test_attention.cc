@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Gradient checks and invariants for the additive attention layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/attention.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+namespace
+{
+
+double
+forwardLoss(const Attention &attn, const Vec &s_prev,
+            const std::vector<Vec> &annotations, const Vec &w)
+{
+    AttentionCache cache;
+    const auto pre = attn.precompute(annotations);
+    const Vec ctx = attn.forward(s_prev, annotations, pre, cache);
+    double loss = 0;
+    for (std::size_t i = 0; i < ctx.size(); ++i)
+        loss += static_cast<double>(w[i]) * ctx[i];
+    return loss;
+}
+
+std::vector<Vec>
+makeAnnotations(Rng &rng, std::size_t count, std::size_t size)
+{
+    std::vector<Vec> anns(count, Vec(size));
+    for (auto &ann : anns)
+        for (auto &v : ann)
+            v = static_cast<float>(rng.uniform(-1, 1));
+    return anns;
+}
+
+TEST(Attention, WeightsFormDistribution)
+{
+    Rng rng(1);
+    Attention attn(4, 6, 5, "t");
+    attn.init(rng, 0.5f);
+    const auto anns = makeAnnotations(rng, 7, 6);
+    const Vec s_prev = {0.1f, -0.3f, 0.2f, 0.4f};
+    AttentionCache cache;
+    const auto pre = attn.precompute(anns);
+    const Vec ctx = attn.forward(s_prev, anns, pre, cache);
+    EXPECT_EQ(ctx.size(), 6u);
+    float total = 0;
+    for (float a : cache.alpha) {
+        EXPECT_GE(a, 0.0f);
+        total += a;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(Attention, ContextIsConvexCombination)
+{
+    // With identical annotations, the context equals that annotation
+    // regardless of the weights.
+    Rng rng(2);
+    Attention attn(3, 4, 4, "t");
+    attn.init(rng, 0.5f);
+    Vec ann = {0.5f, -0.25f, 0.75f, 0.1f};
+    std::vector<Vec> anns(5, ann);
+    AttentionCache cache;
+    const auto pre = attn.precompute(anns);
+    const Vec s_prev = {0.3f, 0.1f, -0.2f};
+    const Vec ctx = attn.forward(s_prev, anns, pre, cache);
+    for (std::size_t i = 0; i < ann.size(); ++i)
+        EXPECT_NEAR(ctx[i], ann[i], 1e-5f);
+}
+
+TEST(Attention, GradientsMatchFiniteDifferences)
+{
+    Rng rng(3);
+    Attention attn(3, 4, 5, "t");
+    attn.init(rng, 0.6f);
+    auto anns = makeAnnotations(rng, 6, 4);
+    Vec s_prev = {0.2f, -0.4f, 0.5f};
+    Vec w = {0.8f, -0.6f, 1.2f, -0.9f};
+
+    AttentionCache cache;
+    const auto pre = attn.precompute(anns);
+    attn.forward(s_prev, anns, pre, cache);
+    Vec ds_prev(3, 0.0f);
+    std::vector<Vec> dann(6, Vec(4, 0.0f));
+    for (Param *p : attn.params())
+        p->grad.zero();
+    attn.backward(cache, anns, w, ds_prev, dann);
+
+    const float eps = 1e-3f;
+
+    for (Param *p : attn.params()) {
+        auto &val = p->value.raw();
+        for (int rep = 0; rep < 5; ++rep) {
+            const std::size_t i = rng.below(val.size());
+            const float orig = val[i];
+            val[i] = orig + eps;
+            const double up = forwardLoss(attn, s_prev, anns, w);
+            val[i] = orig - eps;
+            const double down = forwardLoss(attn, s_prev, anns, w);
+            val[i] = orig;
+            EXPECT_NEAR(p->grad.raw()[i], (up - down) / (2 * eps), 2e-2)
+                << p->name << "[" << i << "]";
+        }
+    }
+
+    for (std::size_t i = 0; i < s_prev.size(); ++i) {
+        const float orig = s_prev[i];
+        s_prev[i] = orig + eps;
+        const double up = forwardLoss(attn, s_prev, anns, w);
+        s_prev[i] = orig - eps;
+        const double down = forwardLoss(attn, s_prev, anns, w);
+        s_prev[i] = orig;
+        EXPECT_NEAR(ds_prev[i], (up - down) / (2 * eps), 2e-2);
+    }
+
+    // Annotation gradients (note: annotations feed both the scores via
+    // precompute and the context sum).
+    for (int rep = 0; rep < 6; ++rep) {
+        const std::size_t a = rng.below(anns.size());
+        const std::size_t i = rng.below(anns[a].size());
+        const float orig = anns[a][i];
+        anns[a][i] = orig + eps;
+        const double up = forwardLoss(attn, s_prev, anns, w);
+        anns[a][i] = orig - eps;
+        const double down = forwardLoss(attn, s_prev, anns, w);
+        anns[a][i] = orig;
+        EXPECT_NEAR(dann[a][i], (up - down) / (2 * eps), 2e-2)
+            << "ann[" << a << "][" << i << "]";
+    }
+}
+
+} // namespace
+} // namespace nn
+} // namespace dnastore

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Finite-difference gradient checks and behavioural tests for the GRU
+ * cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gru.hh"
+
+namespace dnastore
+{
+namespace nn
+{
+namespace
+{
+
+/** Loss = sum_i w_i * h_i for a fixed weight vector. */
+double
+forwardLoss(GruCell &cell, const Vec &x, const Vec &h_prev, const Vec &w)
+{
+    GruCache cache;
+    const Vec h = cell.forward(x, h_prev, cache);
+    double loss = 0;
+    for (std::size_t i = 0; i < h.size(); ++i)
+        loss += static_cast<double>(w[i]) * h[i];
+    return loss;
+}
+
+TEST(GruCell, OutputShapeAndDeterminism)
+{
+    Rng rng(1);
+    GruCell cell(3, 5, "t");
+    cell.init(rng, 0.5f);
+    const Vec x = {0.1f, -0.2f, 0.3f};
+    const Vec h0(5, 0.0f);
+    GruCache c1, c2;
+    const Vec h1 = cell.forward(x, h0, c1);
+    const Vec h2 = cell.forward(x, h0, c2);
+    EXPECT_EQ(h1.size(), 5u);
+    EXPECT_EQ(h1, h2);
+}
+
+TEST(GruCell, HiddenStateIsBounded)
+{
+    // h is a convex combination of h_prev and tanh(...), so |h| <= 1
+    // when |h_prev| <= 1.
+    Rng rng(2);
+    GruCell cell(4, 8, "t");
+    cell.init(rng, 1.0f);
+    Vec h(8, 0.0f);
+    for (int t = 0; t < 50; ++t) {
+        Vec x(4);
+        for (auto &v : x)
+            v = static_cast<float>(rng.uniform(-1, 1));
+        GruCache cache;
+        h = cell.forward(x, h, cache);
+        for (float v : h)
+            EXPECT_LE(std::abs(v), 1.0f);
+    }
+}
+
+TEST(GruCell, GradientsMatchFiniteDifferences)
+{
+    Rng rng(3);
+    GruCell cell(3, 4, "t");
+    cell.init(rng, 0.6f);
+
+    Vec x = {0.3f, -0.5f, 0.8f};
+    Vec h_prev = {0.1f, -0.2f, 0.4f, -0.3f};
+    Vec w = {0.7f, -1.1f, 0.4f, 0.9f}; // loss weights
+
+    // Analytic gradients.
+    GruCache cache;
+    cell.forward(x, h_prev, cache);
+    Vec dx(3, 0.0f), dh_prev(4, 0.0f);
+    for (Param *p : cell.params())
+        p->grad.zero();
+    cell.backward(cache, w, dx, dh_prev);
+
+    const float eps = 1e-3f;
+
+    // Parameter gradients.
+    for (Param *p : cell.params()) {
+        auto &val = p->value.raw();
+        for (int rep = 0; rep < 4; ++rep) {
+            const std::size_t i = rng.below(val.size());
+            const float orig = val[i];
+            val[i] = orig + eps;
+            const double up = forwardLoss(cell, x, h_prev, w);
+            val[i] = orig - eps;
+            const double down = forwardLoss(cell, x, h_prev, w);
+            val[i] = orig;
+            const double fd = (up - down) / (2 * eps);
+            EXPECT_NEAR(p->grad.raw()[i], fd, 2e-2)
+                << p->name << "[" << i << "]";
+        }
+    }
+
+    // Input gradient.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const float orig = x[i];
+        x[i] = orig + eps;
+        const double up = forwardLoss(cell, x, h_prev, w);
+        x[i] = orig - eps;
+        const double down = forwardLoss(cell, x, h_prev, w);
+        x[i] = orig;
+        EXPECT_NEAR(dx[i], (up - down) / (2 * eps), 2e-2);
+    }
+
+    // Previous-hidden gradient.
+    for (std::size_t i = 0; i < h_prev.size(); ++i) {
+        const float orig = h_prev[i];
+        h_prev[i] = orig + eps;
+        const double up = forwardLoss(cell, x, h_prev, w);
+        h_prev[i] = orig - eps;
+        const double down = forwardLoss(cell, x, h_prev, w);
+        h_prev[i] = orig;
+        EXPECT_NEAR(dh_prev[i], (up - down) / (2 * eps), 2e-2);
+    }
+}
+
+TEST(GruCell, BackwardAccumulates)
+{
+    Rng rng(4);
+    GruCell cell(2, 3, "t");
+    cell.init(rng, 0.5f);
+    const Vec x = {0.2f, -0.4f};
+    const Vec h0 = {0.0f, 0.1f, -0.1f};
+    GruCache cache;
+    cell.forward(x, h0, cache);
+
+    Vec dh = {1.0f, 1.0f, 1.0f};
+    Vec dx1(2, 0.0f), dhp1(3, 0.0f);
+    for (Param *p : cell.params())
+        p->grad.zero();
+    cell.backward(cache, dh, dx1, dhp1);
+    const float once = cell.wz.grad(0, 0);
+
+    cell.backward(cache, dh, dx1, dhp1);
+    EXPECT_NEAR(cell.wz.grad(0, 0), 2 * once, 1e-6);
+}
+
+TEST(Adam, StepDecreasesSimpleQuadratic)
+{
+    // Minimise f(w) = (w - 3)^2 with Adam on a 1x1 parameter.
+    Param w(1, 1, "w");
+    w.value(0, 0) = 0.0f;
+    Adam::Config cfg;
+    cfg.lr = 0.1f;
+    Adam opt(cfg);
+    opt.add(&w);
+    for (int iter = 0; iter < 300; ++iter) {
+        w.grad(0, 0) = 2.0f * (w.value(0, 0) - 3.0f);
+        opt.step();
+    }
+    EXPECT_NEAR(w.value(0, 0), 3.0f, 0.05f);
+}
+
+TEST(Adam, ClipBoundsGradientNorm)
+{
+    Param w(1, 2, "w");
+    Adam::Config cfg;
+    cfg.lr = 1.0f;
+    cfg.clip_norm = 1.0f;
+    Adam opt(cfg);
+    opt.add(&w);
+    w.grad(0, 0) = 300.0f;
+    w.grad(0, 1) = 400.0f;
+    opt.step();
+    // With clipping to norm 1 and Adam normalisation, the first step
+    // magnitude is bounded by lr.
+    EXPECT_LE(std::abs(w.value(0, 0)), 1.01f);
+    EXPECT_LE(std::abs(w.value(0, 1)), 1.01f);
+}
+
+TEST(Adam, ZeroGradClears)
+{
+    Param w(2, 2, "w");
+    Adam opt;
+    opt.add(&w);
+    w.grad(1, 1) = 5.0f;
+    opt.zeroGrad();
+    EXPECT_EQ(w.grad(1, 1), 0.0f);
+}
+
+} // namespace
+} // namespace nn
+} // namespace dnastore

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for BMA-lookahead and double-sided BMA trace reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reconstruction/bma.hh"
+#include "simulator/error_profile.hh"
+#include "simulator/iid_channel.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+std::vector<std::vector<Strand>>
+makeClusters(Rng &rng, const Channel &channel, std::size_t count,
+             std::size_t coverage, std::size_t length,
+             std::vector<Strand> &originals)
+{
+    std::vector<std::vector<Strand>> clusters;
+    for (std::size_t i = 0; i < count; ++i) {
+        const Strand s = strand::random(rng, length);
+        originals.push_back(s);
+        std::vector<Strand> reads;
+        for (std::size_t c = 0; c < coverage; ++c)
+            reads.push_back(channel.transmit(s, rng));
+        clusters.push_back(std::move(reads));
+    }
+    return clusters;
+}
+
+TEST(Bma, CleanReadsReproduceExactly)
+{
+    Rng rng(1);
+    const Strand s = strand::random(rng, 100);
+    const std::vector<Strand> reads(7, s);
+    BmaReconstructor bma;
+    EXPECT_EQ(bma.reconstruct(reads, 100), s);
+    DoubleSidedBmaReconstructor dbma;
+    EXPECT_EQ(dbma.reconstruct(reads, 100), s);
+}
+
+TEST(Bma, OutputLengthAlwaysMatchesExpected)
+{
+    Rng rng(2);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.1));
+    BmaReconstructor bma;
+    DoubleSidedBmaReconstructor dbma;
+    for (int trial = 0; trial < 20; ++trial) {
+        const Strand s = strand::random(rng, 80);
+        std::vector<Strand> reads;
+        for (int c = 0; c < 6; ++c)
+            reads.push_back(channel.transmit(s, rng));
+        EXPECT_EQ(bma.reconstruct(reads, 80).size(), 80u);
+        EXPECT_EQ(dbma.reconstruct(reads, 80).size(), 80u);
+    }
+}
+
+TEST(Bma, SingleCleanReadCopies)
+{
+    BmaReconstructor bma;
+    EXPECT_EQ(bma.reconstruct({"ACGTACGT"}, 8), "ACGTACGT");
+}
+
+TEST(Bma, MajorityOverridesSingleSubstitution)
+{
+    BmaReconstructor bma;
+    const std::vector<Strand> reads = {"ACGTACGT", "ACGAACGT", "ACGTACGT"};
+    EXPECT_EQ(bma.reconstruct(reads, 8), "ACGTACGT");
+}
+
+TEST(Bma, RealignsAfterDeletion)
+{
+    BmaReconstructor bma;
+    // Middle read lost index 2 ('G').
+    const std::vector<Strand> reads = {"ACGTACGTAA", "ACTACGTAA",
+                                       "ACGTACGTAA"};
+    EXPECT_EQ(bma.reconstruct(reads, 10), "ACGTACGTAA");
+}
+
+TEST(Bma, RealignsAfterInsertion)
+{
+    BmaReconstructor bma;
+    const std::vector<Strand> reads = {"ACGTACGTAA", "ACTGTACGTAA",
+                                       "ACGTACGTAA"};
+    EXPECT_EQ(bma.reconstruct(reads, 10), "ACGTACGTAA");
+}
+
+TEST(Bma, EmptyClusterFillsDeterministically)
+{
+    BmaReconstructor bma;
+    const Strand out = bma.reconstruct({}, 12);
+    EXPECT_EQ(out.size(), 12u);
+    EXPECT_TRUE(strand::isValid(out));
+}
+
+TEST(Bma, HighAccuracyAtLowError)
+{
+    Rng rng(3);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.03));
+    std::vector<Strand> originals;
+    const auto clusters =
+        makeClusters(rng, channel, 300, 10, 120, originals);
+    BmaReconstructor bma;
+    std::vector<Strand> reconstructed;
+    for (const auto &cluster : clusters)
+        reconstructed.push_back(bma.reconstruct(cluster, 120));
+    const auto profile = measureReconstruction(originals, reconstructed);
+    EXPECT_GT(profile.perfect_strands, 280u);
+}
+
+TEST(Bma, ErrorGrowsAlongTheStrand)
+{
+    // Paper Section VII-A: misalignment propagates rightward.
+    Rng rng(4);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.09));
+    std::vector<Strand> originals;
+    const auto clusters =
+        makeClusters(rng, channel, 400, 10, 120, originals);
+    BmaReconstructor bma;
+    std::vector<Strand> reconstructed;
+    for (const auto &cluster : clusters)
+        reconstructed.push_back(bma.reconstruct(cluster, 120));
+    const auto profile = measureReconstruction(originals, reconstructed);
+    double head = 0, tail = 0;
+    for (std::size_t i = 0; i < 30; ++i) {
+        head += profile.error_rate[i];
+        tail += profile.error_rate[90 + i];
+    }
+    EXPECT_GT(tail, head * 2.0);
+}
+
+TEST(DoubleSidedBma, ConcentratesErrorsInTheMiddle)
+{
+    // Paper Section VII-B / Fig. 6: DBMA halves the propagation depth
+    // and peaks mid-strand.
+    Rng rng(5);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.09));
+    std::vector<Strand> originals;
+    const auto clusters =
+        makeClusters(rng, channel, 400, 10, 120, originals);
+    DoubleSidedBmaReconstructor dbma;
+    std::vector<Strand> reconstructed;
+    for (const auto &cluster : clusters)
+        reconstructed.push_back(dbma.reconstruct(cluster, 120));
+    const auto profile = measureReconstruction(originals, reconstructed);
+    double edges = 0, middle = 0;
+    for (std::size_t i = 0; i < 20; ++i) {
+        edges += profile.error_rate[i] + profile.error_rate[119 - i];
+        middle += profile.error_rate[50 + i];
+    }
+    EXPECT_GT(middle, edges);
+}
+
+TEST(DoubleSidedBma, BeatsSingleSidedOnMeanError)
+{
+    Rng rng(6);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.09));
+    std::vector<Strand> originals;
+    const auto clusters =
+        makeClusters(rng, channel, 300, 10, 120, originals);
+    BmaReconstructor bma;
+    DoubleSidedBmaReconstructor dbma;
+    std::vector<Strand> rec_bma, rec_dbma;
+    for (const auto &cluster : clusters) {
+        rec_bma.push_back(bma.reconstruct(cluster, 120));
+        rec_dbma.push_back(dbma.reconstruct(cluster, 120));
+    }
+    const auto p_bma = measureReconstruction(originals, rec_bma);
+    const auto p_dbma = measureReconstruction(originals, rec_dbma);
+    EXPECT_LT(p_dbma.mean_error_rate, p_bma.mean_error_rate);
+}
+
+TEST(DoubleSidedBma, OddLengthSplitsCorrectly)
+{
+    Rng rng(7);
+    const Strand s = strand::random(rng, 99);
+    const std::vector<Strand> reads(5, s);
+    DoubleSidedBmaReconstructor dbma;
+    EXPECT_EQ(dbma.reconstruct(reads, 99), s);
+}
+
+TEST(ReconstructAll, ParallelMatchesSequential)
+{
+    Rng rng(8);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.06));
+    std::vector<Strand> originals;
+    const auto clusters =
+        makeClusters(rng, channel, 60, 8, 100, originals);
+    BmaReconstructor bma;
+    const auto seq = reconstructAll(bma, clusters, 100, 1);
+    const auto par = reconstructAll(bma, clusters, 100, 4);
+    EXPECT_EQ(seq, par);
+}
+
+} // namespace
+} // namespace dnastore

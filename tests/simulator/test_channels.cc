@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the i.i.d., SOLQC and virtual-wetlab channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dna/align.hh"
+#include "dna/distance.hh"
+#include "reconstruction/bma.hh"
+#include "simulator/error_profile.hh"
+#include "simulator/iid_channel.hh"
+#include "simulator/solqc_channel.hh"
+#include "simulator/virtual_wetlab.hh"
+#include "util/stats.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(PerfectChannel, IsIdentity)
+{
+    PerfectChannel channel;
+    Rng rng(1);
+    const Strand s = strand::random(rng, 100);
+    EXPECT_EQ(channel.transmit(s, rng), s);
+}
+
+TEST(IidChannel, ZeroRatesAreIdentity)
+{
+    IidChannel channel({0.0, 0.0, 0.0});
+    Rng rng(2);
+    for (int i = 0; i < 20; ++i) {
+        const Strand s = strand::random(rng, 80);
+        EXPECT_EQ(channel.transmit(s, rng), s);
+    }
+}
+
+TEST(IidChannel, RejectsInvalidProbabilities)
+{
+    EXPECT_THROW(IidChannel({-0.1, 0, 0}), std::invalid_argument);
+    EXPECT_THROW(IidChannel({0.5, 0.4, 0.2}), std::invalid_argument);
+}
+
+TEST(IidChannel, DeletionOnlyShortens)
+{
+    IidChannel channel({0.0, 0.2, 0.0});
+    Rng rng(3);
+    const Strand s = strand::random(rng, 2000);
+    const Strand read = channel.transmit(s, rng);
+    EXPECT_LT(read.size(), s.size());
+    EXPECT_NEAR(static_cast<double>(read.size()),
+                static_cast<double>(s.size()) * 0.8,
+                s.size() * 0.05);
+}
+
+TEST(IidChannel, InsertionOnlyLengthens)
+{
+    IidChannel channel({0.2, 0.0, 0.0});
+    Rng rng(4);
+    const Strand s = strand::random(rng, 2000);
+    const Strand read = channel.transmit(s, rng);
+    EXPECT_GT(read.size(), s.size());
+}
+
+TEST(IidChannel, SubstitutionOnlyPreservesLength)
+{
+    IidChannel channel({0.0, 0.0, 0.1});
+    Rng rng(5);
+    const Strand s = strand::random(rng, 3000);
+    const Strand read = channel.transmit(s, rng);
+    ASSERT_EQ(read.size(), s.size());
+    const std::size_t diff = hammingDistance(s, read);
+    EXPECT_NEAR(static_cast<double>(diff), 300.0, 60.0);
+    // Substitutions never keep the original base.
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != read[i])
+            EXPECT_TRUE(strand::isValid(Strand(1, read[i])));
+    }
+}
+
+TEST(IidChannel, TotalRateSplitsEvenly)
+{
+    const auto cfg = IidChannelConfig::fromTotalErrorRate(0.09);
+    EXPECT_DOUBLE_EQ(cfg.p_insertion, 0.03);
+    EXPECT_DOUBLE_EQ(cfg.p_deletion, 0.03);
+    EXPECT_DOUBLE_EQ(cfg.p_substitution, 0.03);
+    EXPECT_NEAR(cfg.total(), 0.09, 1e-12);
+}
+
+TEST(IidChannel, MeasuredRateMatchesConfigured)
+{
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.06));
+    Rng rng(6);
+    std::vector<Strand> clean, reads;
+    for (int i = 0; i < 100; ++i) {
+        clean.push_back(strand::random(rng, 150));
+        reads.push_back(channel.transmit(clean.back(), rng));
+    }
+    const auto profile = measureChannelErrors(clean, reads);
+    EXPECT_NEAR(profile.mean_error_rate, 0.06, 0.015);
+}
+
+TEST(SolqcChannel, PreservesLengthStatistically)
+{
+    SolqcChannel channel;
+    Rng rng(7);
+    double in_len = 0, out_len = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Strand s = strand::random(rng, 120);
+        const Strand read = channel.transmit(s, rng);
+        in_len += static_cast<double>(s.size());
+        out_len += static_cast<double>(read.size());
+    }
+    // Insertion and deletion rates are similar, so the mean length
+    // should stay within a few percent.
+    EXPECT_NEAR(out_len / in_len, 1.0, 0.05);
+}
+
+TEST(SolqcChannel, TotalRateScalingWorks)
+{
+    const auto cfg = SolqcChannelConfig::fromTotalErrorRate(0.12);
+    SolqcChannel channel(cfg);
+    Rng rng(8);
+    std::vector<Strand> clean, reads;
+    for (int i = 0; i < 150; ++i) {
+        clean.push_back(strand::random(rng, 150));
+        reads.push_back(channel.transmit(clean.back(), rng));
+    }
+    const auto profile = measureChannelErrors(clean, reads);
+    EXPECT_NEAR(profile.mean_error_rate, 0.12, 0.03);
+}
+
+TEST(SolqcChannel, PreInsertionAsymmetryMakesForwardHarder)
+{
+    // Paper Section V-A: SOLQC models pre-insertions but not
+    // post-insertions, which makes forward reconstruction harder than
+    // reverse.  Deterministic under the fixed seed.
+    Rng rng(3);
+    SolqcChannel channel(SolqcChannelConfig::fromTotalErrorRate(0.09));
+    BmaReconstructor bma;
+    std::size_t forward_perfect = 0, reverse_perfect = 0;
+    for (int i = 0; i < 300; ++i) {
+        const Strand s = strand::random(rng, 110);
+        std::vector<Strand> reads, reversed;
+        for (int c = 0; c < 8; ++c) {
+            const Strand r = channel.transmit(s, rng);
+            reads.push_back(r);
+            reversed.emplace_back(r.rbegin(), r.rend());
+        }
+        forward_perfect += bma.reconstruct(reads, s.size()) == s;
+        Strand rev = bma.reconstruct(reversed, s.size());
+        std::reverse(rev.begin(), rev.end());
+        reverse_perfect += rev == s;
+    }
+    EXPECT_GT(reverse_perfect, forward_perfect);
+}
+
+TEST(SolqcChannel, RejectsNegativeRates)
+{
+    SolqcChannelConfig cfg;
+    cfg.p_deletion[2] = -0.1;
+    EXPECT_THROW(SolqcChannel{cfg}, std::invalid_argument);
+}
+
+TEST(VirtualWetlab, ErrorRateRampsTowardEnd)
+{
+    VirtualWetlabChannel channel;
+    Rng rng(9);
+    std::vector<Strand> clean, reads;
+    for (int i = 0; i < 600; ++i) {
+        clean.push_back(strand::random(rng, 120));
+        reads.push_back(channel.transmit(clean.back(), rng));
+    }
+    const auto profile = measureChannelErrors(clean, reads);
+    // Compare mean error rate of the first vs last quarter of indexes.
+    double head = 0, tail = 0;
+    for (std::size_t i = 0; i < 30; ++i) {
+        head += profile.substitution_rate[i] + profile.deletion_rate[i];
+        tail += profile.substitution_rate[90 + i] +
+            profile.deletion_rate[90 + i];
+    }
+    EXPECT_GT(tail, head * 1.3);
+}
+
+TEST(VirtualWetlab, ReadQualityVariesAcrossReads)
+{
+    VirtualWetlabChannel channel;
+    Rng rng(10);
+    const Strand s = strand::random(rng, 150);
+    RunningStats per_read_rate;
+    for (int i = 0; i < 300; ++i) {
+        const Strand read = channel.transmit(s, rng);
+        per_read_rate.add(
+            static_cast<double>(levenshtein(s, read)) /
+            static_cast<double>(s.size()));
+    }
+    // The tiered quality model must produce a wide spread relative to a
+    // binomial channel (stddev well above mean/5).
+    EXPECT_GT(per_read_rate.stddev(), per_read_rate.mean() / 5.0);
+}
+
+TEST(VirtualWetlab, DeletionBurstsExist)
+{
+    VirtualWetlabConfig cfg;
+    cfg.base_error_rate = 0.08;
+    VirtualWetlabChannel channel(cfg);
+    Rng rng(11);
+    std::size_t multi_deletion_events = 0;
+    for (int i = 0; i < 300; ++i) {
+        const Strand s = strand::random(rng, 150);
+        const Strand read = channel.transmit(s, rng);
+        const auto ops = classifyEdits(s, read);
+        std::size_t run = 0;
+        for (const auto &op : ops) {
+            if (op.kind == EditKind::Deletion) {
+                ++run;
+                if (run >= 2) {
+                    ++multi_deletion_events;
+                    break;
+                }
+            } else {
+                run = 0;
+            }
+        }
+    }
+    EXPECT_GT(multi_deletion_events, 30u);
+}
+
+TEST(VirtualWetlab, RejectsBadConfig)
+{
+    VirtualWetlabConfig cfg;
+    cfg.base_error_rate = 0.9;
+    EXPECT_THROW(VirtualWetlabChannel{cfg}, std::invalid_argument);
+    VirtualWetlabConfig weights;
+    weights.w_deletion = weights.w_insertion = weights.w_substitution = 0;
+    EXPECT_THROW(VirtualWetlabChannel{weights}, std::invalid_argument);
+}
+
+TEST(Channels, NamesAreStable)
+{
+    EXPECT_EQ(IidChannel().name(), "iid-rashtchian");
+    EXPECT_EQ(SolqcChannel().name(), "solqc");
+    EXPECT_EQ(VirtualWetlabChannel().name(), "virtual-wetlab");
+    EXPECT_EQ(PerfectChannel().name(), "perfect");
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the reads-per-strand coverage models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simulator/coverage.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(CoverageModel, FixedIsExact)
+{
+    CoverageModel model(10.0);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(model.draw(rng), 10u);
+}
+
+TEST(CoverageModel, PoissonMeanMatches)
+{
+    CoverageModel model(8.0, CoverageDistribution::Poisson);
+    Rng rng(2);
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(model.draw(rng));
+    EXPECT_NEAR(total / n, 8.0, 0.2);
+}
+
+TEST(CoverageModel, LogNormalMeanMatchesAndIsSkewed)
+{
+    CoverageModel model(10.0, CoverageDistribution::LogNormalSkew);
+    Rng rng(3);
+    double total = 0;
+    std::uint64_t peak = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto draw = model.draw(rng);
+        total += static_cast<double>(draw);
+        peak = std::max(peak, draw);
+    }
+    EXPECT_NEAR(total / n, 10.0, 0.6);
+    EXPECT_GT(peak, 30u); // heavy upper tail
+}
+
+TEST(CoverageModel, DropoutProducesZeros)
+{
+    CoverageModel model(5.0, CoverageDistribution::Fixed, 0.25);
+    Rng rng(4);
+    int zeros = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        zeros += model.draw(rng) == 0;
+    EXPECT_NEAR(static_cast<double>(zeros) / n, 0.25, 0.02);
+}
+
+TEST(CoverageModel, Validation)
+{
+    EXPECT_THROW(CoverageModel(0.0), std::invalid_argument);
+    EXPECT_THROW(CoverageModel(-1.0), std::invalid_argument);
+    EXPECT_THROW(CoverageModel(5.0, CoverageDistribution::Fixed, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(CoverageModel(5.0, CoverageDistribution::Fixed, -0.1),
+                 std::invalid_argument);
+}
+
+TEST(CoverageModel, ShapeNames)
+{
+    EXPECT_EQ(CoverageModel(1.0).shapeName(), "fixed");
+    EXPECT_EQ(CoverageModel(1.0, CoverageDistribution::Poisson).shapeName(),
+              "poisson");
+    EXPECT_EQ(
+        CoverageModel(1.0, CoverageDistribution::LogNormalSkew).shapeName(),
+        "lognormal");
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the error-profile measurement used by the simulator
+ * fidelity experiments (paper metrics (i)-(iv)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "simulator/error_profile.hh"
+#include "util/random.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(ChannelErrors, PerfectPairsHaveZeroRates)
+{
+    Rng rng(1);
+    std::vector<Strand> clean;
+    for (int i = 0; i < 10; ++i)
+        clean.push_back(strand::random(rng, 50));
+    const auto profile = measureChannelErrors(clean, clean);
+    EXPECT_DOUBLE_EQ(profile.mean_error_rate, 0.0);
+    for (double r : profile.substitution_rate)
+        EXPECT_DOUBLE_EQ(r, 0.0);
+    EXPECT_DOUBLE_EQ(profile.mean_read_length, 50.0);
+}
+
+TEST(ChannelErrors, CountsLocalizedSubstitutions)
+{
+    // Corrupt index 10 of every read.
+    Rng rng(2);
+    std::vector<Strand> clean, reads;
+    for (int i = 0; i < 50; ++i) {
+        const Strand s = strand::random(rng, 40);
+        Strand r = s;
+        r[10] = r[10] == 'A' ? 'C' : 'A';
+        clean.push_back(s);
+        reads.push_back(r);
+    }
+    const auto profile = measureChannelErrors(clean, reads);
+    EXPECT_NEAR(profile.substitution_rate[10], 1.0, 1e-9);
+    EXPECT_NEAR(profile.substitution_rate[11], 0.0, 0.05);
+}
+
+TEST(ChannelErrors, SizeMismatchThrows)
+{
+    EXPECT_THROW(measureChannelErrors({"ACGT"}, {}),
+                 std::invalid_argument);
+}
+
+TEST(Reconstruction, PerfectReconstructionScoresPerfectly)
+{
+    Rng rng(3);
+    std::vector<Strand> originals;
+    for (int i = 0; i < 20; ++i)
+        originals.push_back(strand::random(rng, 30));
+    const auto profile = measureReconstruction(originals, originals);
+    EXPECT_EQ(profile.perfect_strands, 20u);
+    EXPECT_DOUBLE_EQ(profile.mean_error_rate, 0.0);
+}
+
+TEST(Reconstruction, CountsPerIndexErrors)
+{
+    std::vector<Strand> originals = {"AAAA", "CCCC"};
+    std::vector<Strand> reconstructed = {"AATA", "CCCC"};
+    const auto profile = measureReconstruction(originals, reconstructed);
+    EXPECT_EQ(profile.perfect_strands, 1u);
+    EXPECT_DOUBLE_EQ(profile.error_rate[2], 0.5);
+    EXPECT_DOUBLE_EQ(profile.error_rate[0], 0.0);
+    EXPECT_DOUBLE_EQ(profile.mean_error_rate, 1.0 / 8.0);
+}
+
+TEST(Reconstruction, ShortReconstructionCountsMissingAsErrors)
+{
+    std::vector<Strand> originals = {"ACGTACGT"};
+    std::vector<Strand> reconstructed = {"ACGT"};
+    const auto profile = measureReconstruction(originals, reconstructed);
+    EXPECT_EQ(profile.perfect_strands, 0u);
+    EXPECT_DOUBLE_EQ(profile.error_rate[6], 1.0);
+    EXPECT_DOUBLE_EQ(profile.mean_error_rate, 0.5);
+}
+
+TEST(Reconstruction, LongerReconstructionIsImperfect)
+{
+    std::vector<Strand> originals = {"ACGT"};
+    std::vector<Strand> reconstructed = {"ACGTA"};
+    const auto profile = measureReconstruction(originals, reconstructed);
+    EXPECT_EQ(profile.perfect_strands, 0u);
+    // The overlapping prefix is correct though.
+    EXPECT_DOUBLE_EQ(profile.mean_error_rate, 0.0);
+}
+
+TEST(ProfileDeviation, ZeroForIdenticalProfiles)
+{
+    ReconstructionProfile a;
+    a.error_rate = {0.1, 0.2, 0.3};
+    EXPECT_DOUBLE_EQ(profileDeviation(a, a), 0.0);
+}
+
+TEST(ProfileDeviation, MeanAbsoluteDifference)
+{
+    ReconstructionProfile a, b;
+    a.error_rate = {0.1, 0.2};
+    b.error_rate = {0.2, 0.4};
+    EXPECT_NEAR(profileDeviation(a, b), 0.15, 1e-12);
+}
+
+TEST(ProfileDeviation, UsesCommonPrefix)
+{
+    ReconstructionProfile a, b;
+    a.error_rate = {0.1};
+    b.error_rate = {0.1, 0.9};
+    EXPECT_DOUBLE_EQ(profileDeviation(a, b), 0.0);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the learned position/context Markov channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simulator/error_profile.hh"
+#include "simulator/iid_channel.hh"
+#include "simulator/markov_channel.hh"
+#include "simulator/virtual_wetlab.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+std::pair<std::vector<Strand>, std::vector<Strand>>
+makePairs(const Channel &channel, Rng &rng, std::size_t count,
+          std::size_t length)
+{
+    std::vector<Strand> clean, noisy;
+    for (std::size_t i = 0; i < count; ++i) {
+        clean.push_back(strand::random(rng, length));
+        noisy.push_back(channel.transmit(clean.back(), rng));
+    }
+    return {clean, noisy};
+}
+
+TEST(MarkovChannel, FitRejectsBadInput)
+{
+    EXPECT_THROW(MarkovChannel::fit({}, {}), std::invalid_argument);
+    EXPECT_THROW(MarkovChannel::fit({"ACGT"}, {}), std::invalid_argument);
+}
+
+TEST(MarkovChannel, FitRecoversIidErrorRate)
+{
+    Rng rng(1);
+    IidChannel reference(IidChannelConfig::fromTotalErrorRate(0.06));
+    const auto [clean, noisy] = makePairs(reference, rng, 400, 120);
+    const auto model = MarkovChannel::fit(clean, noisy);
+    MarkovChannel learned(model);
+
+    const auto [probe, _] = makePairs(reference, rng, 1, 120);
+    std::vector<Strand> probe_clean, probe_noisy;
+    for (int i = 0; i < 400; ++i) {
+        probe_clean.push_back(strand::random(rng, 120));
+        probe_noisy.push_back(learned.transmit(probe_clean.back(), rng));
+    }
+    const auto measured = measureChannelErrors(probe_clean, probe_noisy);
+    EXPECT_NEAR(measured.mean_error_rate, 0.06, 0.02);
+}
+
+TEST(MarkovChannel, LearnsPositionalRamp)
+{
+    Rng rng(2);
+    VirtualWetlabChannel reference;
+    const auto [clean, noisy] = makePairs(reference, rng, 800, 120);
+    const auto model = MarkovChannel::fit(clean, noisy);
+    MarkovChannel learned(model);
+
+    std::vector<Strand> probe_clean, probe_noisy;
+    for (int i = 0; i < 800; ++i) {
+        probe_clean.push_back(strand::random(rng, 120));
+        probe_noisy.push_back(learned.transmit(probe_clean.back(), rng));
+    }
+    const auto measured = measureChannelErrors(probe_clean, probe_noisy);
+    double head = 0, tail = 0;
+    for (std::size_t i = 0; i < 30; ++i) {
+        head += measured.substitution_rate[i] + measured.deletion_rate[i];
+        tail += measured.substitution_rate[90 + i] +
+            measured.deletion_rate[90 + i];
+    }
+    EXPECT_GT(tail, head * 1.2) << "learned channel lost the 3' ramp";
+}
+
+TEST(MarkovChannel, LearnsBurstContinuation)
+{
+    Rng rng(3);
+    VirtualWetlabConfig cfg;
+    cfg.burst_continuation = 0.4;
+    VirtualWetlabChannel reference(cfg);
+    const auto [clean, noisy] = makePairs(reference, rng, 600, 120);
+    const auto model = MarkovChannel::fit(clean, noisy);
+    EXPECT_GT(model.burst_continuation, 0.15);
+    EXPECT_LT(model.burst_continuation, 0.7);
+}
+
+TEST(MarkovChannel, ZeroErrorChannelLearnsIdentity)
+{
+    Rng rng(4);
+    PerfectChannel reference;
+    const auto [clean, noisy] = makePairs(reference, rng, 50, 80);
+    const auto model = MarkovChannel::fit(clean, noisy);
+    MarkovChannel learned(model);
+    const Strand s = strand::random(rng, 80);
+    EXPECT_EQ(learned.transmit(s, rng), s);
+}
+
+TEST(MarkovChannel, BucketOfMapsRange)
+{
+    EXPECT_EQ(MarkovChannelModel::bucketOf(0, 120), 0u);
+    EXPECT_EQ(MarkovChannelModel::bucketOf(119, 120),
+              MarkovChannelModel::kBuckets - 1);
+    EXPECT_EQ(MarkovChannelModel::bucketOf(0, 0), 0u);
+}
+
+} // namespace
+} // namespace dnastore

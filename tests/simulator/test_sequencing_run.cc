@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the simulated sequencing-run driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "simulator/sequencing_run.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+std::vector<Strand>
+makeStrands(Rng &rng, std::size_t count, std::size_t length)
+{
+    std::vector<Strand> strands;
+    for (std::size_t i = 0; i < count; ++i)
+        strands.push_back(strand::random(rng, length));
+    return strands;
+}
+
+TEST(SequencingRun, FixedCoverageProducesExactReadCounts)
+{
+    Rng rng(1);
+    const auto strands = makeStrands(rng, 50, 60);
+    PerfectChannel channel;
+    CoverageModel coverage(5.0);
+    const auto run = simulateSequencing(strands, channel, coverage, rng);
+    EXPECT_EQ(run.reads.size(), 250u);
+    EXPECT_EQ(run.origin.size(), 250u);
+    EXPECT_EQ(run.dropped_strands, 0u);
+
+    std::map<std::uint32_t, int> counts;
+    for (std::uint32_t o : run.origin)
+        ++counts[o];
+    EXPECT_EQ(counts.size(), 50u);
+    for (const auto &[origin, count] : counts)
+        EXPECT_EQ(count, 5);
+}
+
+TEST(SequencingRun, OriginMatchesContentWithPerfectChannel)
+{
+    Rng rng(2);
+    const auto strands = makeStrands(rng, 30, 40);
+    PerfectChannel channel;
+    CoverageModel coverage(3.0);
+    const auto run = simulateSequencing(strands, channel, coverage, rng);
+    for (std::size_t i = 0; i < run.reads.size(); ++i)
+        EXPECT_EQ(run.reads[i], strands[run.origin[i]]);
+}
+
+TEST(SequencingRun, ShuffleKeepsPairsTogether)
+{
+    Rng rng(3);
+    const auto strands = makeStrands(rng, 20, 30);
+    PerfectChannel channel;
+    CoverageModel coverage(4.0);
+    const auto shuffled =
+        simulateSequencing(strands, channel, coverage, rng, true);
+    // Even shuffled, each read must still equal its origin strand.
+    for (std::size_t i = 0; i < shuffled.reads.size(); ++i)
+        EXPECT_EQ(shuffled.reads[i], strands[shuffled.origin[i]]);
+}
+
+TEST(SequencingRun, NoShufflePreservesOrder)
+{
+    Rng rng(4);
+    const auto strands = makeStrands(rng, 10, 30);
+    PerfectChannel channel;
+    CoverageModel coverage(2.0);
+    const auto run =
+        simulateSequencing(strands, channel, coverage, rng, false);
+    for (std::size_t i = 0; i < run.origin.size(); ++i)
+        EXPECT_EQ(run.origin[i], i / 2);
+}
+
+TEST(SequencingRun, DropoutCountsDroppedStrands)
+{
+    Rng rng(5);
+    const auto strands = makeStrands(rng, 2000, 20);
+    PerfectChannel channel;
+    CoverageModel coverage(3.0, CoverageDistribution::Fixed, 0.3);
+    const auto run = simulateSequencing(strands, channel, coverage, rng);
+    EXPECT_NEAR(static_cast<double>(run.dropped_strands), 600.0, 80.0);
+    EXPECT_EQ(run.reads.size(), (2000 - run.dropped_strands) * 3);
+}
+
+TEST(SequencingRun, EmptyInputYieldsEmptyRun)
+{
+    Rng rng(6);
+    PerfectChannel channel;
+    CoverageModel coverage(5.0);
+    const auto run = simulateSequencing({}, channel, coverage, rng);
+    EXPECT_TRUE(run.reads.empty());
+    EXPECT_TRUE(run.origin.empty());
+}
+
+} // namespace
+} // namespace dnastore

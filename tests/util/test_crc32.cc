@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tests for CRC-32 against known vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/crc32.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // Standard check value for the IEEE CRC-32.
+    EXPECT_EQ(crc32(bytes("123456789")), 0xCBF43926u);
+    EXPECT_EQ(crc32(bytes("")), 0x00000000u);
+    EXPECT_EQ(crc32(bytes("a")), 0xE8B7BE43u);
+    EXPECT_EQ(crc32(bytes("abc")), 0x352441C2u);
+}
+
+TEST(Crc32, SensitiveToSingleBit)
+{
+    auto data = bytes("hello world");
+    const auto original = crc32(data);
+    data[3] ^= 0x01;
+    EXPECT_NE(crc32(data), original);
+}
+
+TEST(Crc32, PointerAndVectorAgree)
+{
+    const auto data = bytes("agreement");
+    EXPECT_EQ(crc32(data), crc32(data.data(), data.size()));
+}
+
+} // namespace
+} // namespace dnastore

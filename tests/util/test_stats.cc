@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for streaming statistics and histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    Rng rng(1);
+    std::vector<double> values;
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-10, 10);
+        values.push_back(x);
+        s.add(x);
+    }
+    double mean = 0;
+    for (double v : values)
+        mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0;
+    for (double v : values)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size() - 1);
+
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+    EXPECT_NEAR(s.sum(), mean * 1000, 1e-6);
+}
+
+TEST(RunningStats, TracksMinMax)
+{
+    RunningStats s;
+    for (double v : {3.0, -1.0, 7.0, 2.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes)
+{
+    std::vector<double> v = {5, 1, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v = {0, 10};
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeP)
+{
+    std::vector<double> v = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(percentile(v, -5), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 150), 3.0);
+}
+
+TEST(Histogram, CountsAndClamps)
+{
+    Histogram h(5);
+    h.add(0);
+    h.add(2);
+    h.add(2);
+    h.add(-3); // clamps to bin 0
+    h.add(99); // clamps to bin 4
+    EXPECT_EQ(h.totalCount(), 5u);
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(2), 2u);
+    EXPECT_EQ(h.bin(4), 1u);
+}
+
+TEST(Histogram, SmoothingPreservesUniform)
+{
+    Histogram h(10);
+    for (int b = 0; b < 10; ++b)
+        for (int i = 0; i < 4; ++i)
+            h.add(b);
+    const auto smooth = h.smoothed(2);
+    for (double v : smooth)
+        EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(Histogram, SmoothingAveragesNeighbours)
+{
+    Histogram h(5);
+    for (int i = 0; i < 6; ++i)
+        h.add(2);
+    const auto smooth = h.smoothed(1);
+    EXPECT_DOUBLE_EQ(smooth[1], 2.0); // (0 + 0 + 6) / 3
+    EXPECT_DOUBLE_EQ(smooth[2], 2.0); // (0 + 6 + 0) / 3
+    EXPECT_DOUBLE_EQ(smooth[0], 0.0);
+}
+
+TEST(Histogram, RenderShowsBars)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(1);
+    h.add(1);
+    const std::string art = h.render(10);
+    EXPECT_NE(art.find('#'), std::string::npos);
+    EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+} // namespace
+} // namespace dnastore

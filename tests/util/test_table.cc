@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the aligned-text/CSV table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(Table, TextAlignsColumns)
+{
+    Table t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    const std::string text = t.text();
+    // Every row has the same length up to the last column's content.
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t;
+    t.header({"a", "b"});
+    t.row({"x,y", "say \"hi\""});
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, FmtDouble)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(1.0, 4), "1.0000");
+}
+
+TEST(Table, FmtIntegers)
+{
+    EXPECT_EQ(Table::fmt(42), "42");
+    EXPECT_EQ(Table::fmt(std::size_t{7}), "7");
+    EXPECT_EQ(Table::fmt(-3), "-3");
+}
+
+TEST(Table, HandlesRaggedRows)
+{
+    Table t;
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    t.row({"1", "2", "3"});
+    EXPECT_NO_THROW(t.text());
+    EXPECT_NO_THROW(t.csv());
+}
+
+TEST(Table, WriteCsvFailsOnBadPath)
+{
+    Table t;
+    t.header({"a"});
+    EXPECT_FALSE(t.writeCsv("/nonexistent-dir-xyz/out.csv"));
+}
+
+} // namespace
+} // namespace dnastore

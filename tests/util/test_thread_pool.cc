@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the worker thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/thread_pool.hh"
+
+namespace dnastore
+{
+namespace
+{
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(3);
+    auto f1 = pool.submit([] { return 21 * 2; });
+    auto f2 = pool.submit([] { return std::string("ok"); });
+    EXPECT_EQ(f1.get(), 42);
+    EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([]() -> int {
+        throw std::runtime_error("boom");
+    });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.parallelFor(5, 5, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(0, 100,
+                                  [](std::size_t i) {
+                                      if (i == 57)
+                                          throw std::logic_error("57");
+                                  }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, ParallelChunksCoversRangeOnce)
+{
+    ThreadPool pool(3);
+    std::atomic<std::size_t> total{0};
+    pool.parallelChunks(10, 250, [&](std::size_t lo, std::size_t hi) {
+        EXPECT_LE(lo, hi);
+        total.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(total.load(), 240u);
+}
+
+TEST(ThreadPool, SizeReportsWorkers)
+{
+    ThreadPool pool(5);
+    EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, DefaultUsesAtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    auto f = pool.submit([] { return 1; });
+    EXPECT_EQ(f.get(), 1);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * dnastore — command-line front end to the toolkit.  Every pipeline
+ * stage runs as its own subcommand so stages can be mixed, swapped and
+ * chained through plain files, mirroring the paper's modular design
+ * (Section III):
+ *
+ *   dnastore encode      --in FILE --out strands.txt [codec options]
+ *   dnastore simulate    --in strands.txt --out reads.txt [channel opts]
+ *   dnastore cluster     --in reads.txt --out clusters.txt [opts]
+ *   dnastore reconstruct --in clusters.txt --out consensus.txt [opts]
+ *   dnastore decode      --in consensus.txt --out FILE [codec options]
+ *   dnastore pipeline    --in FILE --out FILE [all of the above]
+ *
+ * Shared codec options: --payload-nt, --index-nt, --rs-n, --rs-k,
+ * --scheme=baseline|gini|dnamapper.
+ * Channel options: --channel=iid|solqc|wetlab, --error-rate, --coverage,
+ * --seed.  Clustering: --signature=q|w, --edit-threshold, --threads.
+ * Reconstruction: --algo=bma|dbma|nw, --length.
+ */
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "codec/matrix_codec.hh"
+#include "core/pipeline.hh"
+#include "core/text_io.hh"
+#include "reconstruction/bma.hh"
+#include "reconstruction/nw_consensus.hh"
+#include "simulator/iid_channel.hh"
+#include "simulator/sequencing_run.hh"
+#include "simulator/solqc_channel.hh"
+#include "simulator/virtual_wetlab.hh"
+#include "util/args.hh"
+
+using namespace dnastore;
+
+namespace
+{
+
+MatrixCodecConfig
+codecConfig(const ArgParser &args)
+{
+    MatrixCodecConfig cfg;
+    cfg.payload_nt =
+        static_cast<std::size_t>(args.getInt("payload-nt", 120));
+    cfg.index_nt = static_cast<std::size_t>(args.getInt("index-nt", 12));
+    cfg.rs_n = static_cast<std::size_t>(args.getInt("rs-n", 60));
+    cfg.rs_k = static_cast<std::size_t>(args.getInt("rs-k", 40));
+    const std::string scheme = args.get("scheme", "baseline");
+    if (scheme == "gini")
+        cfg.scheme = LayoutScheme::Gini;
+    else if (scheme == "dnamapper")
+        cfg.scheme = LayoutScheme::DNAMapper;
+    else if (scheme != "baseline")
+        throw std::invalid_argument("unknown --scheme: " + scheme);
+    return cfg;
+}
+
+std::unique_ptr<Channel>
+makeChannel(const ArgParser &args)
+{
+    const std::string name = args.get("channel", "iid");
+    const double rate = args.getDouble("error-rate", 0.06);
+    if (name == "iid") {
+        return std::make_unique<IidChannel>(
+            IidChannelConfig::fromTotalErrorRate(rate));
+    }
+    if (name == "solqc") {
+        return std::make_unique<SolqcChannel>(
+            SolqcChannelConfig::fromTotalErrorRate(rate));
+    }
+    if (name == "wetlab") {
+        VirtualWetlabConfig cfg;
+        cfg.base_error_rate = rate;
+        return std::make_unique<VirtualWetlabChannel>(cfg);
+    }
+    throw std::invalid_argument("unknown --channel: " + name);
+}
+
+RashtchianClustererConfig
+clustererConfig(const ArgParser &args)
+{
+    auto cfg = RashtchianClustererConfig::forErrorRate(
+        args.getDouble("error-rate", 0.06),
+        static_cast<std::size_t>(args.getInt("read-len", 132)));
+    if (args.get("signature", "q") == "w")
+        cfg.signature = SignatureKind::WGram;
+    if (args.has("edit-threshold")) {
+        cfg.edit_threshold =
+            static_cast<std::size_t>(args.getInt("edit-threshold", 25));
+    }
+    cfg.num_threads =
+        static_cast<std::size_t>(args.getInt("threads", 1));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    return cfg;
+}
+
+std::unique_ptr<Reconstructor>
+makeReconstructor(const ArgParser &args)
+{
+    const std::string algo = args.get("algo", "nw");
+    if (algo == "bma")
+        return std::make_unique<BmaReconstructor>();
+    if (algo == "dbma")
+        return std::make_unique<DoubleSidedBmaReconstructor>();
+    if (algo == "nw")
+        return std::make_unique<NwConsensusReconstructor>();
+    throw std::invalid_argument("unknown --algo: " + algo);
+}
+
+std::string
+requireOption(const ArgParser &args, const std::string &name)
+{
+    const std::string value = args.get(name, "");
+    if (value.empty())
+        throw std::invalid_argument("--" + name + " is required");
+    return value;
+}
+
+int
+cmdEncode(const ArgParser &args)
+{
+    const auto data = readBinaryFile(requireOption(args, "in"));
+    MatrixEncoder encoder(codecConfig(args));
+    const auto strands = encoder.encode(data);
+    writeStrandFile(requireOption(args, "out"), strands);
+    std::cout << "encoded " << data.size() << " bytes into "
+              << strands.size() << " strands ("
+              << encoder.unitsForSize(data.size()) << " units)\n";
+    return 0;
+}
+
+int
+cmdSimulate(const ArgParser &args)
+{
+    const auto strands = readStrandFile(requireOption(args, "in"));
+    const auto channel = makeChannel(args);
+    Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)));
+    CoverageModel coverage(args.getDouble("coverage", 10.0),
+                           CoverageDistribution::Poisson);
+    const auto run = simulateSequencing(strands, *channel, coverage, rng);
+    writeStrandFile(requireOption(args, "out"), run.reads);
+    std::cout << "simulated " << run.reads.size() << " reads from "
+              << strands.size() << " strands via " << channel->name()
+              << " (" << run.dropped_strands << " strands dropped)\n";
+    return 0;
+}
+
+int
+cmdCluster(const ArgParser &args)
+{
+    const auto reads = readStrandFile(requireOption(args, "in"));
+    RashtchianClusterer clusterer(clustererConfig(args));
+    const auto clustering = clusterer.cluster(reads);
+    std::vector<std::vector<Strand>> groups;
+    groups.reserve(clustering.clusters.size());
+    const std::size_t min_size =
+        static_cast<std::size_t>(args.getInt("min-cluster-size", 1));
+    for (const auto &cluster : clustering.clusters) {
+        if (cluster.size() < min_size)
+            continue;
+        std::vector<Strand> group;
+        for (const std::uint32_t idx : cluster)
+            group.push_back(reads[idx]);
+        groups.push_back(std::move(group));
+    }
+    writeClusterFile(requireOption(args, "out"), groups);
+    const auto &stats = clusterer.stats();
+    std::cout << "clustered " << reads.size() << " reads into "
+              << groups.size() << " clusters (theta " << stats.theta_low
+              << "/" << stats.theta_high << ", "
+              << stats.edit_distance_calls << " edit calls)\n";
+    return 0;
+}
+
+int
+cmdReconstruct(const ArgParser &args)
+{
+    const auto clusters = readClusterFile(requireOption(args, "in"));
+    const std::size_t length =
+        static_cast<std::size_t>(args.getInt("length", 0));
+    if (length == 0)
+        throw std::invalid_argument("--length (strand length) is required");
+    const auto algo = makeReconstructor(args);
+    const auto consensus = reconstructAll(
+        *algo, clusters, length,
+        static_cast<std::size_t>(args.getInt("threads", 1)));
+    writeStrandFile(requireOption(args, "out"), consensus);
+    std::cout << "reconstructed " << consensus.size()
+              << " strands with " << algo->name() << "\n";
+    return 0;
+}
+
+int
+cmdDecode(const ArgParser &args)
+{
+    const auto strands = readStrandFile(requireOption(args, "in"));
+    MatrixDecoder decoder(codecConfig(args));
+    const auto report = decoder.decode(
+        strands, static_cast<std::size_t>(args.getInt("units", 0)));
+    std::cout << "decode " << (report.ok ? "OK" : "FAILED") << ": "
+              << report.data.size() << " bytes, " << report.failed_rows
+              << "/" << report.total_rows << " RS rows failed, "
+              << report.corrected_errors << " symbol errors corrected\n";
+    if (!report.data.empty())
+        writeBinaryFile(requireOption(args, "out"), report.data);
+    return report.ok ? 0 : 1;
+}
+
+int
+cmdPipeline(const ArgParser &args)
+{
+    const auto data = readBinaryFile(requireOption(args, "in"));
+    const auto codec_cfg = codecConfig(args);
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    const auto channel = makeChannel(args);
+    auto clu_cfg = clustererConfig(args);
+    RashtchianClusterer clusterer(clu_cfg);
+    const auto recon = makeReconstructor(args);
+
+    PipelineConfig cfg;
+    cfg.coverage = CoverageModel(args.getDouble("coverage", 10.0),
+                                 CoverageDistribution::Poisson);
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    cfg.num_threads =
+        static_cast<std::size_t>(args.getInt("threads", 1));
+    cfg.min_cluster_size =
+        static_cast<std::size_t>(args.getInt("min-cluster-size", 2));
+    Pipeline pipeline(
+        {&encoder, &decoder, channel.get(), &clusterer, recon.get()}, cfg);
+    const auto result = pipeline.run(data);
+
+    std::cout << "strands " << result.encoded_strands << ", reads "
+              << result.reads << ", clusters " << result.clusters
+              << "\nclustering accuracy "
+              << result.clustering_accuracy
+              << ", perfect reconstructions "
+              << result.perfect_reconstructions << "\nlatency: encode "
+              << result.latency.encoding << "s, cluster "
+              << result.latency.clustering << "s, reconstruct "
+              << result.latency.reconstruction << "s, decode "
+              << result.latency.decoding << "s\ndecode "
+              << (result.report.ok ? "OK" : "FAILED") << "\n";
+    if (!result.report.data.empty())
+        writeBinaryFile(requireOption(args, "out"), result.report.data);
+    return result.report.ok && result.report.data == data ? 0 : 1;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: dnastore <command> [options]\n"
+           "commands:\n"
+           "  encode      file -> strand list (--in, --out, codec opts)\n"
+           "  simulate    strands -> noisy reads (--channel, --coverage)\n"
+           "  cluster     reads -> clusters (--signature, --threads)\n"
+           "  reconstruct clusters -> consensus (--algo, --length)\n"
+           "  decode      consensus -> file (--units, codec opts)\n"
+           "  pipeline    file -> file end to end\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    const ArgParser args(argc - 1, argv + 1);
+    try {
+        if (command == "encode")
+            return cmdEncode(args);
+        if (command == "simulate")
+            return cmdSimulate(args);
+        if (command == "cluster")
+            return cmdCluster(args);
+        if (command == "reconstruct")
+            return cmdReconstruct(args);
+        if (command == "decode")
+            return cmdDecode(args);
+        if (command == "pipeline")
+            return cmdPipeline(args);
+        usage();
+        return 2;
+    } catch (const std::exception &error) {
+        std::cerr << "dnastore " << command << ": " << error.what() << "\n";
+        return 2;
+    }
+}
