@@ -47,11 +47,12 @@ main(int argc, char **argv)
     Table table;
     table.header({"coverage", "baseline failed", "gini failed",
                   "dnamapper failed", "baseline ok", "gini ok",
-                  "dnamapper ok"});
+                  "dnamapper ok", "dropped b/g/d"});
 
     for (const double coverage : {8.0, 9.0, 10.0, 11.0, 12.0}) {
         std::vector<std::string> row = {Table::fmt(coverage, 0)};
         std::vector<std::string> oks;
+        std::vector<std::string> drops;
         for (const LayoutScheme scheme :
              {LayoutScheme::Baseline, LayoutScheme::Gini,
               LayoutScheme::DNAMapper}) {
@@ -72,7 +73,7 @@ main(int argc, char **argv)
             const std::size_t seeds =
                 static_cast<std::size_t>(args.getInt("seeds", 3));
             double failed = 0;
-            std::size_t total_rows = 0, ok_count = 0;
+            std::size_t total_rows = 0, ok_count = 0, dropped = 0;
             for (std::size_t seed = 0; seed < seeds; ++seed) {
                 RashtchianClusterer clusterer(
                     RashtchianClustererConfig::forErrorRate(
@@ -90,11 +91,13 @@ main(int argc, char **argv)
                 total_rows = result.report.total_rows;
                 ok_count +=
                     result.report.ok && result.report.data == data;
+                dropped += result.dropped_clusters;
             }
             row.push_back(
                 Table::fmt(failed / static_cast<double>(seeds), 1) + "/" +
                 Table::fmt(total_rows));
             oks.push_back(Table::fmt(ok_count) + "/" + Table::fmt(seeds));
+            drops.push_back(Table::fmt(dropped));
             // At one moderate coverage, record where the failures sit:
             // the positional story behind Gini (Fig. 2b).
             if (coverage == 9.0 && scheme != LayoutScheme::DNAMapper) {
@@ -121,6 +124,7 @@ main(int argc, char **argv)
             }
         }
         row.insert(row.end(), oks.begin(), oks.end());
+        row.push_back(drops[0] + "/" + drops[1] + "/" + drops[2]);
         table.row(row);
         std::cout << "finished coverage " << coverage << "\n";
     }

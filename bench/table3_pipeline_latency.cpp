@@ -65,7 +65,7 @@ main(int argc, char **argv)
 
     Table table;
     table.header({"pipeline", "coverage", "encoding", "clustering",
-                  "recon", "decoding", "total", "decode ok"});
+                  "recon", "decoding", "total", "dropped", "decode ok"});
 
     for (const double coverage : {10.0, 50.0}) {
         for (const SignatureKind kind :
@@ -98,6 +98,7 @@ main(int argc, char **argv)
                            Table::fmt(result.latency.total() -
                                           result.latency.simulation,
                                       2),
+                           std::to_string(result.dropped_clusters),
                            result.report.ok && result.report.data == data
                                ? "yes"
                                : "NO"});

@@ -123,8 +123,8 @@ main(int argc, char **argv)
     const std::vector<std::uint32_t> uniform(bytes.size(), 0);
 
     Table table;
-    table.header({"mapping", "decode ok", "failed rows",
-                  "mean abs pixel error"});
+    table.header({"mapping", "decode ok", "decoding stage", "failed rows",
+                  "dropped clusters", "mean abs pixel error"});
 
     for (const bool aware : {false, true}) {
         MatrixCodecConfig codec_cfg;
@@ -170,7 +170,9 @@ main(int argc, char **argv)
 
         table.row({aware ? "quality-aware" : "uniform",
                    result.report.ok ? "yes" : "no",
+                   stageStatusName(result.status.decoding),
                    Table::fmt(result.report.failed_rows),
+                   Table::fmt(result.dropped_clusters),
                    Table::fmt(error, 1)});
     }
 

@@ -67,13 +67,16 @@ main(int argc, char **argv)
 
     std::cout << "encoded strands     : " << result.encoded_strands << "\n"
               << "sequenced reads     : " << result.reads << "\n"
-              << "clusters found      : " << result.clusters << "\n"
+              << "clusters found      : " << result.clusters << " ("
+              << result.dropped_clusters << " below min size)\n"
               << "clustering accuracy : " << result.clustering_accuracy
               << "\n"
               << "perfect consensus   : " << result.perfect_reconstructions
               << "\n"
               << "RS rows failed      : " << result.report.failed_rows
               << "\n"
+              << "decoding stage      : "
+              << stageStatusName(result.status.decoding) << "\n"
               << "decode ok           : "
               << (result.report.ok ? "yes" : "NO") << "\n";
 

@@ -112,6 +112,9 @@ main(int argc, char **argv)
     const std::string recovered(result.report.data.begin(),
                                 result.report.data.end());
     std::cout << "decode ok: " << (result.report.ok ? "yes" : "NO")
+              << " (decoding stage "
+              << stageStatusName(result.status.decoding) << ", "
+              << result.dropped_clusters << " clusters dropped)"
               << "\nrecovered: " << recovered << "\n";
 
     if (!result.report.ok || recovered != contents[fetch]) {

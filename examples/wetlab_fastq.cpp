@@ -103,9 +103,13 @@ main(int argc, char **argv)
 
     const std::string recovered(result.report.data.begin(),
                                 result.report.data.end());
-    std::cout << "clusters: " << result.clusters
+    std::cout << "clusters: " << result.clusters << " ("
+              << result.dropped_clusters << " dropped, "
+              << result.malformed_reads << " malformed reads)"
               << ", RS rows failed: " << result.report.failed_rows
               << "\ndecode ok: " << (result.report.ok ? "yes" : "NO")
+              << " (decoding stage "
+              << stageStatusName(result.status.decoding) << ")"
               << "\nrecovered: " << recovered << "\n";
 
     if (!result.report.ok || recovered != payload_text) {

@@ -28,13 +28,11 @@ IndexCodec::encode(std::uint64_t index) const
 std::optional<std::uint64_t>
 IndexCodec::decode(const Strand &s) const
 {
+    // Garbage input is expected here (truncated reads, non-ACGT junk),
+    // so the reject path must not rely on exceptions.
     if (s.size() < num_bases)
         return std::nullopt;
-    try {
-        return strand::decodeNumber(s.substr(0, num_bases));
-    } catch (const std::invalid_argument &) {
-        return std::nullopt;
-    }
+    return strand::tryDecodeNumber(s.substr(0, num_bases));
 }
 
 } // namespace dnastore

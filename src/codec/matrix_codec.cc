@@ -356,7 +356,10 @@ MatrixDecoder::decode(const std::vector<Strand> &strands,
     std::map<std::uint64_t, std::vector<std::vector<std::uint8_t>>>
         candidates;
     for (const Strand &s : strands) {
-        if (s.size() != cfg.strandLength()) {
+        // Reject anything the fault injector (or a real sequencer) can
+        // produce — zero-length reads, wrong lengths, non-ACGT bases —
+        // without throwing: garbage is counted, never fatal.
+        if (s.empty() || s.size() != cfg.strandLength()) {
             ++report.malformed_strands;
             continue;
         }
@@ -365,14 +368,12 @@ MatrixDecoder::decode(const std::vector<Strand> &strands,
             ++report.malformed_strands;
             continue;
         }
-        std::vector<std::uint8_t> payload;
-        try {
-            payload = strand::toBytes(s.substr(cfg.index_nt));
-        } catch (const std::invalid_argument &) {
+        auto payload = strand::tryToBytes(s.substr(cfg.index_nt));
+        if (!payload) {
             ++report.malformed_strands;
             continue;
         }
-        candidates[*index].push_back(std::move(payload));
+        candidates[*index].push_back(std::move(*payload));
     }
 
     // Organise candidates into units[u][c] and resolve duplicates with a

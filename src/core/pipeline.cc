@@ -1,7 +1,8 @@
 #include "pipeline.hh"
 
-#include <stdexcept>
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "clustering/accuracy.hh"
 #include "simulator/sequencing_run.hh"
@@ -9,6 +10,144 @@
 
 namespace dnastore
 {
+
+namespace
+{
+
+void
+addError(PipelineResult &result, const char *stage, std::string message)
+{
+    result.errors.push_back(PipelineError{stage, std::move(message)});
+}
+
+/** Worst-of combiner: a stage already failed stays failed. */
+void
+degradeTo(StageStatus &status, StageStatus floor)
+{
+    if (static_cast<std::uint8_t>(floor) >
+        static_cast<std::uint8_t>(status)) {
+        status = floor;
+    }
+}
+
+/**
+ * Reconstruct the selected groups, salvaging what it can: a module
+ * exception fails only the offending cluster, not the stage.  Returns
+ * the consensus strands plus, aligned with them, the index of the
+ * source group within @p groups.
+ */
+std::pair<std::vector<Strand>, std::vector<std::size_t>>
+reconstructSalvaging(const Reconstructor &algo,
+                     const std::vector<std::vector<Strand>> &groups,
+                     const std::vector<std::size_t> &selection,
+                     std::size_t strand_length, std::size_t num_threads,
+                     PipelineResult &result)
+{
+    std::vector<std::vector<Strand>> selected;
+    selected.reserve(selection.size());
+    for (std::size_t g : selection)
+        selected.push_back(groups[g]);
+
+    if (num_threads > 1) {
+        try {
+            auto consensus = reconstructAll(algo, selected, strand_length,
+                                            num_threads);
+            return {std::move(consensus), selection};
+        } catch (const std::exception &error) {
+            addError(result, "reconstruction",
+                     std::string("parallel reconstruction failed, retrying "
+                                 "sequentially: ") +
+                         error.what());
+            degradeTo(result.status.reconstruction, StageStatus::Degraded);
+        } catch (...) {
+            addError(result, "reconstruction",
+                     "parallel reconstruction failed with an unknown "
+                     "exception, retrying sequentially");
+            degradeTo(result.status.reconstruction, StageStatus::Degraded);
+        }
+    }
+
+    std::vector<Strand> consensus;
+    std::vector<std::size_t> kept;
+    consensus.reserve(selected.size());
+    kept.reserve(selected.size());
+    std::size_t failures = 0;
+    std::string first_failure;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        try {
+            consensus.push_back(
+                algo.reconstruct(selected[i], strand_length));
+            kept.push_back(selection[i]);
+        } catch (const std::exception &error) {
+            ++failures;
+            if (first_failure.empty())
+                first_failure = error.what();
+        } catch (...) {
+            ++failures;
+            if (first_failure.empty())
+                first_failure = "unknown exception";
+        }
+    }
+    if (failures > 0) {
+        addError(result, "reconstruction",
+                 std::to_string(failures) + " cluster(s) failed to "
+                 "reconstruct (first: " + first_failure + ")");
+        degradeTo(result.status.reconstruction,
+                  consensus.empty() ? StageStatus::Failed
+                                    : StageStatus::Degraded);
+    }
+    return {std::move(consensus), std::move(kept)};
+}
+
+/** Decode with the stage-boundary catch; a throw reports ok = false. */
+DecodeReport
+decodeGuarded(const FileDecoder &decoder, const std::vector<Strand> &strands,
+              std::size_t expected_units, PipelineResult &result)
+{
+    try {
+        return decoder.decode(strands, expected_units);
+    } catch (const std::exception &error) {
+        addError(result, "decoding", error.what());
+    } catch (...) {
+        addError(result, "decoding", "unknown exception");
+    }
+    degradeTo(result.status.decoding, StageStatus::Failed);
+    return DecodeReport{};
+}
+
+} // namespace
+
+const char *
+stageStatusName(StageStatus status)
+{
+    switch (status) {
+      case StageStatus::Skipped: return "skipped";
+      case StageStatus::Ok: return "ok";
+      case StageStatus::Degraded: return "degraded";
+      case StageStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+bool
+StageStatusSet::anyFailed() const
+{
+    return encoding == StageStatus::Failed ||
+        simulation == StageStatus::Failed ||
+        clustering == StageStatus::Failed ||
+        reconstruction == StageStatus::Failed ||
+        decoding == StageStatus::Failed;
+}
+
+bool
+StageStatusSet::anyDegraded() const
+{
+    const auto bad = [](StageStatus s) {
+        return s == StageStatus::Degraded || s == StageStatus::Failed;
+    };
+    return bad(encoding) || bad(simulation) || bad(clustering) ||
+        bad(reconstruction) || bad(decoding);
+}
 
 Pipeline::Pipeline(PipelineModules modules, PipelineConfig config)
     : mods(modules), cfg(std::move(config)), rng(cfg.seed)
@@ -18,128 +157,360 @@ Pipeline::Pipeline(PipelineModules modules, PipelineConfig config)
 PipelineResult
 Pipeline::run(const std::vector<std::uint8_t> &data)
 {
-    if (!mods.encoder || !mods.decoder || !mods.channel || !mods.clusterer ||
-        !mods.reconstructor) {
-        throw std::invalid_argument("Pipeline: missing module");
+    PipelineResult result;
+    try {
+        runImpl(data, result);
+    } catch (const std::exception &error) {
+        addError(result, "pipeline", error.what());
+    } catch (...) {
+        addError(result, "pipeline", "unknown exception");
+    }
+    if (mods.fault_injector)
+        result.faults = mods.fault_injector->counters();
+    return result;
+}
+
+void
+Pipeline::runImpl(const std::vector<std::uint8_t> &data,
+                  PipelineResult &result)
+{
+    bool missing = false;
+    for (const auto &[module, present] :
+         {std::pair{"encoder", mods.encoder != nullptr},
+          {"decoder", mods.decoder != nullptr},
+          {"channel", mods.channel != nullptr},
+          {"clusterer", mods.clusterer != nullptr},
+          {"reconstructor", mods.reconstructor != nullptr}}) {
+        if (!present) {
+            addError(result, "pipeline",
+                     std::string("missing module: ") + module);
+            missing = true;
+        }
+    }
+    if (missing) {
+        result.status.encoding = StageStatus::Failed;
+        return;
     }
 
-    PipelineResult result;
     WallTimer timer;
 
     // Stage 1: encoding (+ ECC).
     timer.reset();
-    const std::vector<Strand> encoded = mods.encoder->encode(data);
+    std::vector<Strand> encoded;
+    try {
+        encoded = mods.encoder->encode(data);
+        result.status.encoding = StageStatus::Ok;
+    } catch (const std::exception &error) {
+        addError(result, "encoding", error.what());
+        result.status.encoding = StageStatus::Failed;
+        return; // nothing was synthesised; downstream stages are moot
+    } catch (...) {
+        addError(result, "encoding", "unknown exception");
+        result.status.encoding = StageStatus::Failed;
+        return;
+    }
     result.latency.encoding = timer.seconds();
     result.encoded_strands = encoded.size();
     if (encoded.empty())
-        return result;
+        return;
     const std::size_t strand_length = encoded.front().size();
+
+    // Synthesis faults: some strands never make it into the pool.
+    if (mods.fault_injector) {
+        mods.fault_injector->injectStrands(encoded);
+        if (mods.fault_injector->counters().dropped_strands > 0)
+            degradeTo(result.status.encoding, StageStatus::Degraded);
+    }
 
     // Stage 2: wetlab simulation (synthesis, storage, sequencing).
     timer.reset();
-    const SequencingRun run =
-        simulateSequencing(encoded, *mods.channel, cfg.coverage, rng);
+    SequencingRun run;
+    try {
+        run = simulateSequencing(encoded, *mods.channel, cfg.coverage, rng);
+        result.status.simulation = StageStatus::Ok;
+    } catch (const std::exception &error) {
+        addError(result, "simulation", error.what());
+        result.status.simulation = StageStatus::Failed;
+        // Continue with zero reads: decode will fail, but gracefully.
+    } catch (...) {
+        addError(result, "simulation", "unknown exception");
+        result.status.simulation = StageStatus::Failed;
+    }
     result.latency.simulation = timer.seconds();
-    result.reads = run.reads.size();
     result.dropped_strands = run.dropped_strands;
 
-    // Stage 3: clustering.
-    timer.reset();
-    const Clustering clustering = mods.clusterer->cluster(run.reads);
-    result.latency.clustering = timer.seconds();
-    result.clusters = clustering.numClusters();
-    result.clustering_accuracy = clusteringAccuracy(clustering, run.origin);
-
-    // Stage 4: trace reconstruction.
-    timer.reset();
-    std::vector<std::vector<Strand>> groups;
-    std::vector<std::vector<std::uint32_t>> group_origins;
-    groups.reserve(clustering.clusters.size());
-    for (const auto &cluster : clustering.clusters) {
-        if (cluster.size() < cfg.min_cluster_size)
-            continue;
-        std::vector<Strand> reads;
-        std::vector<std::uint32_t> origins;
-        reads.reserve(cluster.size());
-        for (std::uint32_t idx : cluster) {
-            reads.push_back(run.reads[idx]);
-            origins.push_back(run.origin[idx]);
-        }
-        groups.push_back(std::move(reads));
-        group_origins.push_back(std::move(origins));
+    // Sequencing faults: truncation, elongation, corrupt indices, junk.
+    if (mods.fault_injector) {
+        const std::size_t before = mods.fault_injector->counters().total();
+        mods.fault_injector->injectReads(run.reads, &run.origin);
+        if (mods.fault_injector->counters().total() > before)
+            degradeTo(result.status.simulation, StageStatus::Degraded);
     }
-    const std::vector<Strand> reconstructed = reconstructAll(
-        *mods.reconstructor, groups, strand_length, cfg.num_threads);
-    result.latency.reconstruction = timer.seconds();
+    result.reads = run.reads.size();
 
-    // Ground-truth reconstruction quality: a cluster reconstructs
-    // "perfectly" when its consensus equals the encoded strand that a
-    // majority of its reads came from.
-    std::size_t perfect = 0;
-    for (std::size_t g = 0; g < reconstructed.size(); ++g) {
-        std::unordered_map<std::uint32_t, std::size_t> votes;
-        for (std::uint32_t origin : group_origins[g])
-            ++votes[origin];
-        std::uint32_t majority = group_origins[g].front();
-        std::size_t best = 0;
-        for (const auto &[origin, count] : votes) {
-            if (count > best) {
-                best = count;
-                majority = origin;
-            }
-        }
-        if (reconstructed[g] == encoded[majority])
-            ++perfect;
-    }
-    result.perfect_reconstructions = encoded.empty()
-        ? 0.0
-        : static_cast<double>(perfect) /
-            static_cast<double>(encoded.size());
-
-    // Stage 5: decoding and error correction.
-    timer.reset();
-    result.report = mods.decoder->decode(
-        reconstructed, mods.encoder->unitsForSize(data.size()));
-    result.latency.decoding = timer.seconds();
-    return result;
+    retrieve(run.reads, &run.origin, &encoded, strand_length,
+             mods.encoder->unitsForSize(data.size()), result);
 }
 
 PipelineResult
 Pipeline::runFromReads(const std::vector<Strand> &reads,
                        std::size_t strand_length, std::size_t expected_units)
 {
-    if (!mods.decoder || !mods.clusterer || !mods.reconstructor)
-        throw std::invalid_argument("Pipeline: missing module");
-
     PipelineResult result;
-    result.reads = reads.size();
+    try {
+        bool missing = false;
+        for (const auto &[module, present] :
+             {std::pair{"decoder", mods.decoder != nullptr},
+              {"clusterer", mods.clusterer != nullptr},
+              {"reconstructor", mods.reconstructor != nullptr}}) {
+            if (!present) {
+                addError(result, "pipeline",
+                         std::string("missing module: ") + module);
+                missing = true;
+            }
+        }
+        if (missing) {
+            result.status.clustering = StageStatus::Failed;
+            return result;
+        }
+
+        if (mods.fault_injector &&
+            mods.fault_injector->plan().anyReadFaults()) {
+            std::vector<Strand> faulted = reads;
+            mods.fault_injector->injectReads(faulted);
+            result.reads = faulted.size();
+            retrieve(faulted, nullptr, nullptr, strand_length,
+                     expected_units, result);
+        } else {
+            result.reads = reads.size();
+            retrieve(reads, nullptr, nullptr, strand_length, expected_units,
+                     result);
+        }
+    } catch (const std::exception &error) {
+        addError(result, "pipeline", error.what());
+    } catch (...) {
+        addError(result, "pipeline", "unknown exception");
+    }
+    if (mods.fault_injector)
+        result.faults = mods.fault_injector->counters();
+    return result;
+}
+
+void
+Pipeline::retrieve(const std::vector<Strand> &reads,
+                   const std::vector<std::uint32_t> *origins,
+                   const std::vector<Strand> *ground_truth,
+                   std::size_t strand_length, std::size_t expected_units,
+                   PipelineResult &result)
+{
     WallTimer timer;
 
+    // Pre-clustering sanitation: wetlab data (and the garbage-read
+    // fault) contains empty or non-ACGT reads that the similarity
+    // machinery downstream is not obliged to handle.  Filter them here
+    // and account for every rejected read.
+    const std::vector<Strand> *use_reads = &reads;
+    const std::vector<std::uint32_t> *use_origins = origins;
+    std::vector<Strand> clean_reads;
+    std::vector<std::uint32_t> clean_origins;
+    const bool any_bad =
+        std::any_of(reads.begin(), reads.end(), [](const Strand &r) {
+            return r.empty() || !strand::isValid(r);
+        });
+    if (any_bad) {
+        clean_reads.reserve(reads.size());
+        for (std::size_t i = 0; i < reads.size(); ++i) {
+            if (reads[i].empty() || !strand::isValid(reads[i])) {
+                ++result.malformed_reads;
+                continue;
+            }
+            clean_reads.push_back(reads[i]);
+            if (origins)
+                clean_origins.push_back((*origins)[i]);
+        }
+        use_reads = &clean_reads;
+        if (origins)
+            use_origins = &clean_origins;
+    }
+
+    // Stage 3: clustering.
     timer.reset();
-    const Clustering clustering = mods.clusterer->cluster(reads);
+    Clustering clustering;
+    try {
+        clustering = mods.clusterer->cluster(*use_reads);
+        result.status.clustering = StageStatus::Ok;
+    } catch (const std::exception &error) {
+        addError(result, "clustering", error.what());
+        result.status.clustering = StageStatus::Failed;
+    } catch (...) {
+        addError(result, "clustering", "unknown exception");
+        result.status.clustering = StageStatus::Failed;
+    }
+    if (result.status.clustering == StageStatus::Failed) {
+        // Fallback: every read is its own cluster.  Costly downstream
+        // but keeps the decode alive — duplicate indices are resolved
+        // by the decoder's majority vote.
+        clustering.clusters.resize(use_reads->size());
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(use_reads->size()); ++i) {
+            clustering.clusters[i] = {i};
+        }
+    }
     result.latency.clustering = timer.seconds();
     result.clusters = clustering.numClusters();
+    if (result.malformed_reads > 0)
+        degradeTo(result.status.clustering, StageStatus::Degraded);
+    if (use_origins) {
+        try {
+            result.clustering_accuracy =
+                clusteringAccuracy(clustering, *use_origins);
+        } catch (const std::exception &error) {
+            addError(result, "clustering",
+                     std::string("accuracy evaluation failed: ") +
+                         error.what());
+        }
+    }
 
+    // Materialise every non-empty cluster; size filtering happens per
+    // decode attempt so the recovery policy can relax it.
     timer.reset();
     std::vector<std::vector<Strand>> groups;
+    std::vector<std::vector<std::uint32_t>> group_origins;
     groups.reserve(clustering.clusters.size());
     for (const auto &cluster : clustering.clusters) {
-        if (cluster.size() < cfg.min_cluster_size)
+        if (cluster.empty())
             continue;
         std::vector<Strand> group;
+        std::vector<std::uint32_t> group_origin;
         group.reserve(cluster.size());
-        for (std::uint32_t idx : cluster)
-            group.push_back(reads[idx]);
+        for (std::uint32_t idx : cluster) {
+            group.push_back((*use_reads)[idx]);
+            if (use_origins)
+                group_origin.push_back((*use_origins)[idx]);
+        }
         groups.push_back(std::move(group));
+        group_origins.push_back(std::move(group_origin));
     }
-    const std::vector<Strand> reconstructed = reconstructAll(
-        *mods.reconstructor, groups, strand_length, cfg.num_threads);
+
+    // Clustering faults: emptied and merged groups.
+    if (mods.fault_injector &&
+        mods.fault_injector->plan().anyClusterFaults()) {
+        const std::size_t before = mods.fault_injector->counters().total();
+        mods.fault_injector->injectClusters(groups, &group_origins);
+        if (mods.fault_injector->counters().total() > before)
+            degradeTo(result.status.clustering, StageStatus::Degraded);
+    }
+
+    const std::size_t min_size =
+        std::max<std::size_t>(1, cfg.min_cluster_size);
+    const auto select = [&](std::size_t min) {
+        std::vector<std::size_t> selection;
+        selection.reserve(groups.size());
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            if (!groups[g].empty() && groups[g].size() >= min)
+                selection.push_back(g);
+        return selection;
+    };
+    const std::vector<std::size_t> selection = select(min_size);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (!groups[g].empty() && groups[g].size() < min_size)
+            ++result.dropped_clusters;
+    }
+    if (result.dropped_clusters > 0)
+        degradeTo(result.status.clustering, StageStatus::Degraded);
+
+    // Stage 4: trace reconstruction (salvaging cluster failures).
+    result.status.reconstruction = StageStatus::Ok;
+    auto [reconstructed, kept] = reconstructSalvaging(
+        *mods.reconstructor, groups, selection, strand_length,
+        cfg.num_threads, result);
     result.latency.reconstruction = timer.seconds();
 
+    // Ground-truth reconstruction quality: a cluster reconstructs
+    // "perfectly" when its consensus equals the encoded strand that a
+    // majority of its reads came from.
+    if (ground_truth && use_origins && !ground_truth->empty()) {
+        std::size_t perfect = 0;
+        for (std::size_t i = 0; i < reconstructed.size(); ++i) {
+            const auto &origin_list = group_origins[kept[i]];
+            if (origin_list.empty())
+                continue;
+            std::unordered_map<std::uint32_t, std::size_t> votes;
+            for (std::uint32_t origin : origin_list)
+                ++votes[origin];
+            std::uint32_t majority = origin_list.front();
+            std::size_t best = 0;
+            for (const auto &[origin, count] : votes) {
+                if (count > best) {
+                    best = count;
+                    majority = origin;
+                }
+            }
+            if (majority < ground_truth->size() &&
+                reconstructed[i] == (*ground_truth)[majority])
+                ++perfect;
+        }
+        result.perfect_reconstructions = result.encoded_strands == 0
+            ? 0.0
+            : static_cast<double>(perfect) /
+                static_cast<double>(result.encoded_strands);
+    }
+
+    // Stage 5: decoding and error correction.
     timer.reset();
-    result.report = mods.decoder->decode(reconstructed, expected_units);
+    result.status.decoding = StageStatus::Ok;
+    result.report =
+        decodeGuarded(*mods.decoder, reconstructed, expected_units, result);
     result.latency.decoding = timer.seconds();
-    return result;
+
+    // Recovery policy: bounded retries with degraded settings.
+    std::size_t budget = cfg.max_decode_retries;
+    const auto attempt = [&](const std::string &description,
+                             const Reconstructor &algo, std::size_t min) {
+        WallTimer retry_timer;
+        auto [consensus, retry_kept] = reconstructSalvaging(
+            algo, groups, select(min), strand_length, cfg.num_threads,
+            result);
+        (void)retry_kept;
+        result.latency.reconstruction += retry_timer.seconds();
+        retry_timer.reset();
+        DecodeReport report =
+            decodeGuarded(*mods.decoder, consensus, expected_units, result);
+        result.latency.decoding += retry_timer.seconds();
+        result.recovery_attempts.push_back(RecoveryAttempt{
+            description, report.ok, report.failed_rows});
+        if (report.ok) {
+            result.report = std::move(report);
+            result.recovered = true;
+        }
+    };
+    if (!result.report.ok && budget > 0 && min_size > 1) {
+        attempt("min_cluster_size " + std::to_string(min_size) + " -> 1",
+                *mods.reconstructor, 1);
+        --budget;
+    }
+    if (!result.report.ok && budget > 0 && mods.fallback_reconstructor) {
+        attempt("fallback reconstructor " +
+                    mods.fallback_reconstructor->name(),
+                *mods.fallback_reconstructor, min_size);
+        --budget;
+    }
+    if (!result.report.ok && budget > 0 && mods.fallback_reconstructor &&
+        min_size > 1) {
+        attempt("fallback reconstructor " +
+                    mods.fallback_reconstructor->name() +
+                    " + min_cluster_size 1",
+                *mods.fallback_reconstructor, 1);
+        --budget;
+    }
+
+    if (!result.report.ok) {
+        degradeTo(result.status.decoding, StageStatus::Failed);
+    } else if (result.recovered || result.report.failed_rows > 0 ||
+               result.report.malformed_strands > 0 ||
+               result.report.conflicting_strands > 0) {
+        degradeTo(result.status.decoding, StageStatus::Degraded);
+    }
 }
 
 } // namespace dnastore

@@ -5,6 +5,13 @@
  * Every stage is a swappable module passed in by reference; the
  * pipeline wires them together, times each stage (Table III), and can
  * evaluate intermediate quality against simulation ground truth.
+ *
+ * run()/runFromReads() never throw: module failures are caught at stage
+ * boundaries, recorded as StageStatus/PipelineError entries, and the
+ * pipeline continues with whatever data survived.  An optional
+ * FaultInjector degrades the data between stages for robustness
+ * testing, and an optional recovery policy retries a failed decode with
+ * degraded settings (relaxed cluster filter, fallback reconstructor).
  */
 
 #ifndef DNASTORE_CORE_PIPELINE_HH
@@ -16,6 +23,7 @@
 
 #include "clustering/clusterer.hh"
 #include "codec/codec.hh"
+#include "core/fault.hh"
 #include "reconstruction/reconstructor.hh"
 #include "simulator/channel.hh"
 #include "simulator/coverage.hh"
@@ -40,16 +48,71 @@ struct StageLatency
     }
 };
 
+/** Outcome of one pipeline stage. */
+enum class StageStatus : std::uint8_t
+{
+    Skipped = 0,  //!< Stage did not run (e.g. simulation in runFromReads).
+    Ok = 1,       //!< Ran cleanly.
+    Degraded = 2, //!< Ran, but lost or repaired some data on the way.
+    Failed = 3,   //!< Module failed; pipeline continued on fallbacks.
+};
+
+/** Human-readable stage status. */
+const char *stageStatusName(StageStatus status);
+
+/** Status of every stage after a run. */
+struct StageStatusSet
+{
+    StageStatus encoding = StageStatus::Skipped;
+    StageStatus simulation = StageStatus::Skipped;
+    StageStatus clustering = StageStatus::Skipped;
+    StageStatus reconstruction = StageStatus::Skipped;
+    StageStatus decoding = StageStatus::Skipped;
+
+    /** True when any stage failed outright. */
+    bool anyFailed() const;
+    /** True when any stage degraded or failed. */
+    bool anyDegraded() const;
+};
+
+/** One recorded failure, attributed to the stage that raised it. */
+struct PipelineError
+{
+    std::string stage;   //!< "encoding", "clustering", "pipeline", ...
+    std::string message; //!< what() of the caught exception.
+};
+
+/** One decode attempt made by the recovery policy. */
+struct RecoveryAttempt
+{
+    std::string description; //!< Which degraded setting was tried.
+    bool ok = false;         //!< Did this attempt decode successfully?
+    std::size_t failed_rows = 0; //!< RS rows still failing afterwards.
+};
+
 /** Everything a pipeline run produces. */
 struct PipelineResult
 {
     DecodeReport report;       //!< Final decode outcome.
     StageLatency latency;
+    StageStatusSet status;     //!< Per-stage outcome taxonomy.
+    std::vector<PipelineError> errors; //!< Caught module failures.
 
     std::size_t encoded_strands = 0;
     std::size_t reads = 0;
     std::size_t clusters = 0;
     std::size_t dropped_strands = 0;
+    /** Clusters discarded because they were under min_cluster_size. */
+    std::size_t dropped_clusters = 0;
+    /** Reads rejected before clustering (empty or non-ACGT). */
+    std::size_t malformed_reads = 0;
+
+    /** What the fault injector did (all zero without an injector). */
+    FaultCounters faults;
+    /** Decode retries made by the recovery policy, in order. */
+    std::vector<RecoveryAttempt> recovery_attempts;
+    /** True when a recovery retry (not the first decode) produced report. */
+    bool recovered = false;
 
     /** A_1 accuracy vs ground truth (simulated runs only). */
     double clustering_accuracy = 0.0;
@@ -65,6 +128,19 @@ struct PipelineModules
     const Channel *channel = nullptr;
     Clusterer *clusterer = nullptr;
     const Reconstructor *reconstructor = nullptr;
+
+    /**
+     * Optional fault injector, applied between stages.  Null (the
+     * default) means production behaviour with zero overhead.
+     */
+    FaultInjector *fault_injector = nullptr;
+
+    /**
+     * Optional secondary reconstructor for the recovery policy: when a
+     * decode fails and retries are budgeted, the pipeline re-runs
+     * reconstruction with this module.
+     */
+    const Reconstructor *fallback_reconstructor = nullptr;
 };
 
 /** Pipeline-level knobs. */
@@ -75,6 +151,11 @@ struct PipelineConfig
     std::uint64_t seed = 0x91e1157ULL; //!< Simulation RNG seed.
     /** Clusters smaller than this are discarded before reconstruction. */
     std::size_t min_cluster_size = 1;
+    /**
+     * Recovery budget: how many degraded decode retries to attempt when
+     * the first decode fails (0 disables the recovery policy).
+     */
+    std::size_t max_decode_retries = 0;
 };
 
 /**
@@ -88,21 +169,37 @@ class Pipeline
 
     /**
      * Encode @p data, run it through the simulated wetlab, cluster,
-     * reconstruct and decode.  Throws std::invalid_argument when a
-     * required module is missing.
+     * reconstruct and decode.  Never throws: missing modules and module
+     * exceptions are recorded in PipelineResult::errors and the stage
+     * statuses, and the pipeline continues with whatever survived.
      */
     PipelineResult run(const std::vector<std::uint8_t> &data);
 
     /**
      * Variant that skips the simulation stage and consumes externally
      * produced reads (e.g. preprocessed wetlab FASTQ, Section VIII).
-     * @p expected_units may be 0 (infer from indices).
+     * @p expected_units may be 0 (infer from indices).  Never throws
+     * (same contract as run()).
      */
     PipelineResult runFromReads(const std::vector<Strand> &reads,
                                 std::size_t strand_length,
                                 std::size_t expected_units = 0);
 
   private:
+    void runImpl(const std::vector<std::uint8_t> &data,
+                 PipelineResult &result);
+
+    /**
+     * Shared retrieval half (clustering -> reconstruction -> decoding
+     * -> recovery).  @p origins / @p ground_truth are null outside
+     * simulation.
+     */
+    void retrieve(const std::vector<Strand> &reads,
+                  const std::vector<std::uint32_t> *origins,
+                  const std::vector<Strand> *ground_truth,
+                  std::size_t strand_length, std::size_t expected_units,
+                  PipelineResult &result);
+
     PipelineModules mods;
     PipelineConfig cfg;
     Rng rng;

@@ -79,6 +79,17 @@ toBytes(const Strand &s)
 {
     if (s.size() % 4 != 0)
         throw std::invalid_argument("toBytes: length not a multiple of 4");
+    auto bytes = tryToBytes(s);
+    if (!bytes)
+        throw std::invalid_argument("toBytes: non-ACGT character");
+    return std::move(*bytes);
+}
+
+std::optional<std::vector<std::uint8_t>>
+tryToBytes(const Strand &s)
+{
+    if (s.size() % 4 != 0)
+        return std::nullopt;
     std::vector<std::uint8_t> bytes;
     bytes.reserve(s.size() / 4);
     for (std::size_t i = 0; i < s.size(); i += 4) {
@@ -86,7 +97,7 @@ toBytes(const Strand &s)
         for (std::size_t j = 0; j < 4; ++j) {
             const std::uint8_t code = charToCode(s[i + j]);
             if (code == 0xff)
-                throw std::invalid_argument("toBytes: non-ACGT character");
+                return std::nullopt;
             byte = static_cast<std::uint8_t>((byte << 2) | code);
         }
         bytes.push_back(byte);
@@ -113,11 +124,20 @@ encodeNumber(std::uint64_t value, std::size_t num_bases)
 std::uint64_t
 decodeNumber(const Strand &s)
 {
+    const auto value = tryDecodeNumber(s);
+    if (!value)
+        throw std::invalid_argument("decodeNumber: non-ACGT character");
+    return *value;
+}
+
+std::optional<std::uint64_t>
+tryDecodeNumber(const Strand &s)
+{
     std::uint64_t value = 0;
     for (char c : s) {
         const std::uint8_t code = charToCode(c);
         if (code == 0xff)
-            throw std::invalid_argument("decodeNumber: non-ACGT character");
+            return std::nullopt;
         value = (value << 2) | code;
     }
     return value;

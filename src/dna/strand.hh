@@ -10,6 +10,7 @@
 #define DNASTORE_DNA_STRAND_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,13 @@ Strand fromBytes(const std::vector<std::uint8_t> &bytes);
 std::vector<std::uint8_t> toBytes(const Strand &s);
 
 /**
+ * Non-throwing variant of toBytes for untrusted input: returns
+ * std::nullopt when the length is not a multiple of 4 or a character is
+ * not ACGT.
+ */
+std::optional<std::vector<std::uint8_t>> tryToBytes(const Strand &s);
+
+/**
  * Encode an unsigned integer as fixed-width nucleotides (big-endian,
  * two bits per base).  Width must be large enough; throws otherwise.
  */
@@ -63,6 +71,12 @@ Strand encodeNumber(std::uint64_t value, std::size_t num_bases);
  * Throws std::invalid_argument on non-ACGT characters.
  */
 std::uint64_t decodeNumber(const Strand &s);
+
+/**
+ * Non-throwing variant of decodeNumber for untrusted input: returns
+ * std::nullopt on non-ACGT characters.
+ */
+std::optional<std::uint64_t> tryDecodeNumber(const Strand &s);
 
 /** Positions (0-based) where two equal-length strands differ. */
 std::vector<std::size_t> mismatchPositions(const Strand &a, const Strand &b);

@@ -1,9 +1,33 @@
 #include "thread_pool.hh"
 
 #include <algorithm>
+#include <exception>
 
 namespace dnastore
 {
+
+namespace
+{
+
+std::string
+summarise(const std::vector<std::string> &messages, std::size_t total)
+{
+    std::string text = std::to_string(messages.size()) + " of " +
+        std::to_string(total) + " parallel chunks failed:";
+    for (const auto &message : messages)
+        text += " [" + message + "]";
+    return text;
+}
+
+} // namespace
+
+ParallelError::ParallelError(std::vector<std::string> messages,
+                             std::size_t total_chunks)
+    : std::runtime_error(summarise(messages, total_chunks)),
+      messages_(std::move(messages)),
+      total_chunks_(total_chunks)
+{
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads)
 {
@@ -73,9 +97,29 @@ ThreadPool::parallelChunks(
         const std::size_t hi = std::min(end, lo + chunk_size);
         futures.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
     }
-    // get() rethrows the first failure after all chunks complete.
-    for (auto &future : futures)
-        future.get();
+
+    // Drain every future so no worker exception vanishes.  A single
+    // failure rethrows its original exception (type preserved); multiple
+    // failures are aggregated into one ParallelError.
+    std::exception_ptr first;
+    std::vector<std::string> messages;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (const std::exception &error) {
+            if (!first)
+                first = std::current_exception();
+            messages.emplace_back(error.what());
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+            messages.emplace_back("unknown exception");
+        }
+    }
+    if (messages.size() == 1)
+        std::rethrow_exception(first);
+    if (!messages.empty())
+        throw ParallelError(std::move(messages), futures.size());
 }
 
 } // namespace dnastore

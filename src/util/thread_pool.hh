@@ -14,11 +14,38 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace dnastore
 {
+
+/**
+ * Thrown by parallelFor/parallelChunks when more than one chunk fails:
+ * every worker exception is collected so no failure vanishes silently.
+ * (A single failing chunk rethrows its original exception unchanged.)
+ */
+class ParallelError : public std::runtime_error
+{
+  public:
+    /**
+     * @param messages what() of every failed chunk, in chunk order.
+     * @param total_chunks number of chunks the loop was split into.
+     */
+    ParallelError(std::vector<std::string> messages,
+                  std::size_t total_chunks);
+
+    /** One entry per failed chunk. */
+    const std::vector<std::string> &messages() const { return messages_; }
+    /** Number of chunks the loop ran. */
+    std::size_t totalChunks() const { return total_chunks_; }
+
+  private:
+    std::vector<std::string> messages_;
+    std::size_t total_chunks_;
+};
 
 /**
  * Fixed-size worker pool.  Construction spawns the workers; destruction
@@ -64,8 +91,9 @@ class ThreadPool
 
     /**
      * Run fn(i) for every i in [begin, end), distributing contiguous chunks
-     * over the pool.  Blocks until all iterations finish; rethrows the
-     * first exception raised by any chunk.
+     * over the pool.  Blocks until all iterations finish.  If exactly one
+     * chunk throws, that exception is rethrown unchanged; if several
+     * throw, a ParallelError aggregating every failure is thrown instead.
      */
     void parallelFor(std::size_t begin, std::size_t end,
                      const std::function<void(std::size_t)> &fn);

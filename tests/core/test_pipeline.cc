@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "codec/matrix_codec.hh"
 #include "core/pipeline.hh"
 #include "reconstruction/bma.hh"
@@ -39,12 +41,165 @@ randomData(Rng &rng, std::size_t size)
     return data;
 }
 
-TEST(Pipeline, MissingModulesThrow)
+TEST(Pipeline, MissingModulesReportedNotThrown)
 {
+    // The no-throw contract: a misconfigured pipeline reports its
+    // problems through the error taxonomy instead of throwing.
     PipelineConfig cfg;
     Pipeline pipeline({}, cfg);
-    EXPECT_THROW(pipeline.run({1, 2, 3}), std::invalid_argument);
-    EXPECT_THROW(pipeline.runFromReads({}, 70), std::invalid_argument);
+
+    PipelineResult result;
+    EXPECT_NO_THROW(result = pipeline.run({1, 2, 3}));
+    EXPECT_FALSE(result.report.ok);
+    EXPECT_EQ(result.status.encoding, StageStatus::Failed);
+    ASSERT_GE(result.errors.size(), 5u);
+    EXPECT_NE(result.errors.front().message.find("missing module"),
+              std::string::npos);
+
+    EXPECT_NO_THROW(result = pipeline.runFromReads({}, 70));
+    EXPECT_FALSE(result.report.ok);
+    EXPECT_EQ(result.status.clustering, StageStatus::Failed);
+    EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(Pipeline, StageStatusNamesAreStable)
+{
+    EXPECT_STREQ(stageStatusName(StageStatus::Skipped), "skipped");
+    EXPECT_STREQ(stageStatusName(StageStatus::Ok), "ok");
+    EXPECT_STREQ(stageStatusName(StageStatus::Degraded), "degraded");
+    EXPECT_STREQ(stageStatusName(StageStatus::Failed), "failed");
+}
+
+/** A decoder that always throws, for stage-boundary catch tests. */
+class ThrowingDecoder : public FileDecoder
+{
+  public:
+    DecodeReport
+    decode(const std::vector<Strand> &, std::size_t) const override
+    {
+        throw std::runtime_error("decoder exploded");
+    }
+    std::string name() const override { return "throwing"; }
+};
+
+/** A reconstructor that throws on clusters of a given size. */
+class FlakyReconstructor : public Reconstructor
+{
+  public:
+    explicit FlakyReconstructor(std::size_t fail_below)
+        : fail_below(fail_below)
+    {
+    }
+
+    Strand
+    reconstruct(const std::vector<Strand> &reads,
+                std::size_t expected_length) const override
+    {
+        if (reads.size() < fail_below)
+            throw std::runtime_error("cluster too thin");
+        return inner.reconstruct(reads, expected_length);
+    }
+    std::string name() const override { return "flaky"; }
+
+  private:
+    std::size_t fail_below;
+    NwConsensusReconstructor inner;
+};
+
+TEST(Pipeline, ModuleExceptionsAreCaughtAtStageBoundaries)
+{
+    const auto codec_cfg = testCodecConfig();
+    MatrixEncoder encoder(codec_cfg);
+    ThrowingDecoder decoder;
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.03));
+    RashtchianClusterer clusterer({});
+    DoubleSidedBmaReconstructor recon;
+    PipelineConfig cfg;
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, &recon},
+                      cfg);
+    Rng rng(11);
+    PipelineResult result;
+    EXPECT_NO_THROW(result = pipeline.run(randomData(rng, 2000)));
+    EXPECT_FALSE(result.report.ok);
+    EXPECT_EQ(result.status.decoding, StageStatus::Failed);
+    // Everything upstream of the broken stage still ran.
+    EXPECT_EQ(result.status.encoding, StageStatus::Ok);
+    EXPECT_EQ(result.status.clustering, StageStatus::Ok);
+    ASSERT_FALSE(result.errors.empty());
+    EXPECT_EQ(result.errors.front().stage, "decoding");
+    EXPECT_NE(result.errors.front().message.find("decoder exploded"),
+              std::string::npos);
+}
+
+TEST(Pipeline, FlakyReconstructorDegradesInsteadOfAborting)
+{
+    const auto codec_cfg = testCodecConfig();
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.03));
+    RashtchianClusterer clusterer({});
+    FlakyReconstructor recon(2); // throws on singleton clusters
+    PipelineConfig cfg;
+    cfg.coverage = CoverageModel(10.0, CoverageDistribution::Poisson);
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, &recon},
+                      cfg);
+    Rng rng(12);
+    const auto data = randomData(rng, 3000);
+    PipelineResult result;
+    EXPECT_NO_THROW(result = pipeline.run(data));
+    // Singleton clusters failed individually; the rest decoded fine.
+    EXPECT_TRUE(result.report.ok);
+    EXPECT_EQ(result.report.data, data);
+}
+
+TEST(Pipeline, RecoveryPolicyRetriesWithRelaxedClusterFilter)
+{
+    const auto codec_cfg = testCodecConfig();
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.03));
+    RashtchianClusterer clusterer({});
+    NwConsensusReconstructor recon;
+    PipelineConfig cfg;
+    // Low coverage + aggressive filter: most clusters get discarded and
+    // the first decode fails.
+    cfg.coverage = CoverageModel(4.0, CoverageDistribution::Poisson);
+    cfg.min_cluster_size = 4;
+    cfg.max_decode_retries = 2;
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, &recon},
+                      cfg);
+    Rng rng(13);
+    const auto data = randomData(rng, 3000);
+    PipelineResult result;
+    EXPECT_NO_THROW(result = pipeline.run(data));
+    if (result.recovered) {
+        EXPECT_TRUE(result.report.ok);
+        EXPECT_EQ(result.report.data, data);
+        EXPECT_FALSE(result.recovery_attempts.empty());
+        EXPECT_EQ(result.status.decoding, StageStatus::Degraded);
+    }
+    // Whether or not recovery kicked in (the first decode may already
+    // succeed on another platform), the attempt log must be bounded.
+    EXPECT_LE(result.recovery_attempts.size(), cfg.max_decode_retries);
+}
+
+TEST(Pipeline, DroppedClustersAreCounted)
+{
+    const auto codec_cfg = testCodecConfig();
+    MatrixEncoder encoder(codec_cfg);
+    MatrixDecoder decoder(codec_cfg);
+    IidChannel channel(IidChannelConfig::fromTotalErrorRate(0.05));
+    RashtchianClusterer clusterer({});
+    NwConsensusReconstructor recon;
+    PipelineConfig cfg;
+    cfg.coverage = CoverageModel(8.0, CoverageDistribution::Poisson);
+    cfg.min_cluster_size = 6; // guaranteed to shed some clusters
+    Pipeline pipeline({&encoder, &decoder, &channel, &clusterer, &recon},
+                      cfg);
+    Rng rng(14);
+    const auto result = pipeline.run(randomData(rng, 3000));
+    EXPECT_GT(result.dropped_clusters, 0u);
+    EXPECT_EQ(result.status.clustering, StageStatus::Degraded);
 }
 
 struct Combo

@@ -172,6 +172,65 @@ TEST(ReedSolomon, BeyondCapacityIsDetectedOrMiscorrected)
     EXPECT_GT(failures, 100u);
 }
 
+TEST_P(RsRoundTripTest, ExactErasureBudgetBoundary)
+{
+    // The errors-and-erasures boundary: exactly n-k erasures (with no
+    // additional errors) must decode; one more must fail cleanly with
+    // ok=false, never throw.
+    const auto [n, k] = GetParam();
+    ReedSolomon rs(n, k);
+    Rng rng(n * 131 + k);
+    const auto msg = randomMessage(rng, k);
+    const auto clean = rs.encode(msg);
+
+    {
+        auto corrupted = clean;
+        std::vector<std::size_t> erasures(n - k);
+        for (std::size_t i = 0; i < erasures.size(); ++i) {
+            erasures[i] = i;
+            corrupted[i] = static_cast<std::uint8_t>(rng.below(256));
+        }
+        const auto result = rs.decode(corrupted, erasures);
+        ASSERT_TRUE(result.ok) << "n=" << n << " k=" << k;
+        EXPECT_EQ(corrupted, clean);
+        EXPECT_EQ(result.erasures, n - k);
+        EXPECT_EQ(result.errors, 0u);
+    }
+
+    if (n - k + 1 <= n) {
+        auto corrupted = clean;
+        std::vector<std::size_t> erasures(n - k + 1);
+        for (std::size_t i = 0; i < erasures.size(); ++i) {
+            erasures[i] = i;
+            corrupted[i] = static_cast<std::uint8_t>(rng.below(256));
+        }
+        ReedSolomon::DecodeResult result;
+        EXPECT_NO_THROW(result = rs.decode(corrupted, erasures));
+        EXPECT_FALSE(result.ok) << "n=" << n << " k=" << k;
+    }
+}
+
+TEST(ReedSolomon, ErasureBudgetPlusOneErrorFails)
+{
+    // n-k erasures consume the whole budget; a single extra unknown
+    // error must be reported as a failure, not silently miscorrected
+    // into an accepted wrong answer.
+    ReedSolomon rs(30, 10); // budget 20
+    Rng rng(17);
+    const auto msg = randomMessage(rng, 10);
+    const auto clean = rs.encode(msg);
+    auto corrupted = clean;
+    std::vector<std::size_t> erasures(20);
+    for (std::size_t i = 0; i < erasures.size(); ++i)
+        erasures[i] = i;
+    corrupted[25] ^= 0x5a; // unknown-position error on top
+    const auto result = rs.decode(corrupted, erasures);
+    if (result.ok) // miscorrection is allowed only onto a valid codeword
+        EXPECT_TRUE(rs.isCodeword(corrupted));
+    else
+        SUCCEED();
+}
+
 TEST(ReedSolomon, TooManyErasuresFails)
 {
     ReedSolomon rs(20, 16);

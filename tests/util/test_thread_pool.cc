@@ -63,6 +63,65 @@ TEST(ThreadPool, ParallelForPropagatesException)
                  std::logic_error);
 }
 
+TEST(ThreadPool, SingleChunkFailureKeepsOriginalExceptionType)
+{
+    // One failing chunk must rethrow the original exception unchanged,
+    // not wrap it.
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(0, 64, [](std::size_t i) {
+            if (i == 3) // all failures inside one chunk
+                throw std::out_of_range("only-me");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::out_of_range &error) {
+        EXPECT_STREQ(error.what(), "only-me");
+    }
+}
+
+TEST(ThreadPool, AggregatesAllWorkerExceptions)
+{
+    // Regression: only the first worker exception used to surface; the
+    // rest vanished.  With every chunk failing, the aggregate must
+    // report each one.
+    ThreadPool pool(2); // 64 items -> min(64, 2*4) = 8 chunks of 8
+    try {
+        pool.parallelChunks(0, 64, [](std::size_t lo, std::size_t) {
+            throw std::runtime_error("chunk@" + std::to_string(lo));
+        });
+        FAIL() << "expected a ParallelError";
+    } catch (const ParallelError &error) {
+        EXPECT_EQ(error.totalChunks(), 8u);
+        ASSERT_EQ(error.messages().size(), 8u);
+        for (std::size_t c = 0; c < 8; ++c) {
+            EXPECT_EQ(error.messages()[c],
+                      "chunk@" + std::to_string(c * 8));
+        }
+        // The summary mentions the failure count and each message.
+        const std::string what = error.what();
+        EXPECT_NE(what.find("8 of 8"), std::string::npos);
+        EXPECT_NE(what.find("chunk@56"), std::string::npos);
+    }
+}
+
+TEST(ThreadPool, AggregatesMixedSuccessAndFailure)
+{
+    ThreadPool pool(2);
+    std::atomic<std::size_t> completed{0};
+    try {
+        pool.parallelChunks(0, 64, [&](std::size_t lo, std::size_t hi) {
+            if (lo == 8 || lo == 40)
+                throw std::runtime_error("bad@" + std::to_string(lo));
+            completed.fetch_add(hi - lo);
+        });
+        FAIL() << "expected a ParallelError";
+    } catch (const ParallelError &error) {
+        EXPECT_EQ(error.messages().size(), 2u);
+    }
+    // Every healthy chunk still ran to completion.
+    EXPECT_EQ(completed.load(), 48u);
+}
+
 TEST(ThreadPool, ParallelChunksCoversRangeOnce)
 {
     ThreadPool pool(3);

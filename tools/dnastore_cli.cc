@@ -17,10 +17,16 @@
  * Channel options: --channel=iid|solqc|wetlab, --error-rate, --coverage,
  * --seed.  Clustering: --signature=q|w, --edit-threshold, --threads.
  * Reconstruction: --algo=bma|dbma|nw, --length.
+ * Fault injection (pipeline only): --fault-dropout, --fault-truncation,
+ * --fault-elongation, --fault-index, --fault-duplicate, --fault-garbage,
+ * --fault-cluster-drop, --fault-cluster-merge (rates in [0,1]),
+ * --fault-seed.  Recovery: --retries=N re-decodes with degraded
+ * settings when the first decode fails.
  */
 
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "codec/matrix_codec.hh"
@@ -108,6 +114,27 @@ makeReconstructor(const ArgParser &args)
     if (algo == "nw")
         return std::make_unique<NwConsensusReconstructor>();
     throw std::invalid_argument("unknown --algo: " + algo);
+}
+
+/** Build a FaultPlan from --fault-* options; nullopt when all zero. */
+std::optional<FaultPlan>
+faultPlan(const ArgParser &args, std::size_t index_nt)
+{
+    FaultPlan plan;
+    plan.index_nt = index_nt;
+    plan.seed = static_cast<std::uint64_t>(
+        args.getInt("fault-seed", static_cast<long>(plan.seed)));
+    plan.strand_dropout = args.getDouble("fault-dropout", 0.0);
+    plan.read_truncation = args.getDouble("fault-truncation", 0.0);
+    plan.read_elongation = args.getDouble("fault-elongation", 0.0);
+    plan.index_corruption = args.getDouble("fault-index", 0.0);
+    plan.duplicate_conflict = args.getDouble("fault-duplicate", 0.0);
+    plan.garbage_read = args.getDouble("fault-garbage", 0.0);
+    plan.cluster_drop = args.getDouble("fault-cluster-drop", 0.0);
+    plan.cluster_merge = args.getDouble("fault-cluster-merge", 0.0);
+    if (!plan.anyReadFaults() && !plan.anyClusterFaults())
+        return std::nullopt;
+    return plan;
 }
 
 std::string
@@ -229,12 +256,34 @@ cmdPipeline(const ArgParser &args)
         static_cast<std::size_t>(args.getInt("threads", 1));
     cfg.min_cluster_size =
         static_cast<std::size_t>(args.getInt("min-cluster-size", 2));
-    Pipeline pipeline(
-        {&encoder, &decoder, channel.get(), &clusterer, recon.get()}, cfg);
+    cfg.max_decode_retries =
+        static_cast<std::size_t>(args.getInt("retries", 0));
+
+    PipelineModules mods;
+    mods.encoder = &encoder;
+    mods.decoder = &decoder;
+    mods.channel = channel.get();
+    mods.clusterer = &clusterer;
+    mods.reconstructor = recon.get();
+    // The NW reconstructor doubles as the recovery fallback when the
+    // primary algorithm is something else.
+    NwConsensusReconstructor fallback;
+    if (cfg.max_decode_retries > 0 && args.get("algo", "nw") != "nw")
+        mods.fallback_reconstructor = &fallback;
+
+    std::unique_ptr<FaultInjector> injector;
+    if (const auto plan = faultPlan(args, codec_cfg.index_nt)) {
+        injector = std::make_unique<FaultInjector>(*plan);
+        mods.fault_injector = injector.get();
+    }
+
+    Pipeline pipeline(mods, cfg);
     const auto result = pipeline.run(data);
 
     std::cout << "strands " << result.encoded_strands << ", reads "
               << result.reads << ", clusters " << result.clusters
+              << " (" << result.dropped_clusters << " dropped, "
+              << result.malformed_reads << " malformed reads)"
               << "\nclustering accuracy "
               << result.clustering_accuracy
               << ", perfect reconstructions "
@@ -242,8 +291,34 @@ cmdPipeline(const ArgParser &args)
               << result.latency.encoding << "s, cluster "
               << result.latency.clustering << "s, reconstruct "
               << result.latency.reconstruction << "s, decode "
-              << result.latency.decoding << "s\ndecode "
-              << (result.report.ok ? "OK" : "FAILED") << "\n";
+              << result.latency.decoding << "s\nstages: encoding "
+              << stageStatusName(result.status.encoding) << ", simulation "
+              << stageStatusName(result.status.simulation) << ", clustering "
+              << stageStatusName(result.status.clustering)
+              << ", reconstruction "
+              << stageStatusName(result.status.reconstruction)
+              << ", decoding " << stageStatusName(result.status.decoding)
+              << "\n";
+    if (injector) {
+        const auto &f = result.faults;
+        std::cout << "faults injected: " << f.dropped_strands
+                  << " strands dropped, " << f.truncated_reads
+                  << " truncated, " << f.elongated_reads << " elongated, "
+                  << f.corrupted_indices << " indices corrupted, "
+                  << f.duplicate_conflicts << " duplicate conflicts, "
+                  << f.garbage_reads << " garbage reads, "
+                  << f.emptied_clusters << " clusters dropped, "
+                  << f.merged_clusters << " merged\n";
+    }
+    for (const auto &error : result.errors)
+        std::cout << "error [" << error.stage << "] " << error.message
+                  << "\n";
+    for (const auto &attempt : result.recovery_attempts)
+        std::cout << "recovery: " << attempt.description << " -> "
+                  << (attempt.ok ? "ok" : "failed") << " ("
+                  << attempt.failed_rows << " rows failing)\n";
+    std::cout << "decode " << (result.report.ok ? "OK" : "FAILED")
+              << (result.recovered ? " (after recovery)" : "") << "\n";
     if (!result.report.data.empty())
         writeBinaryFile(requireOption(args, "out"), result.report.data);
     return result.report.ok && result.report.data == data ? 0 : 1;
