@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Standalone driver used when the toolchain has no libFuzzer (gcc, or
+ * clang without -fsanitize=fuzzer).  Every command-line argument is a
+ * corpus file or a directory of corpus files; each file's bytes are fed
+ * to LLVMFuzzerTestOneInput once per pass, repeated --runs times (so a
+ * 30-second soak can be approximated by a high run count).  Under a
+ * libFuzzer build this file is not compiled at all — libFuzzer provides
+ * its own main().
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace
+{
+
+std::vector<std::uint8_t>
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::filesystem::path> files;
+    unsigned long runs = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--runs=", 0) == 0) {
+            runs = std::stoul(arg.substr(7));
+            continue;
+        }
+        std::error_code ec;
+        if (std::filesystem::is_directory(arg, ec)) {
+            for (const auto &entry :
+                 std::filesystem::directory_iterator(arg)) {
+                if (entry.is_regular_file())
+                    files.push_back(entry.path());
+            }
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--runs=N] corpus-file-or-dir...\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::size_t executions = 0;
+    for (unsigned long pass = 0; pass < runs; ++pass) {
+        for (const auto &file : files) {
+            const auto bytes = readFile(file);
+            LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+            ++executions;
+        }
+    }
+    std::printf("driver: %zu inputs x %lu passes = %zu executions, no "
+                "crashes\n",
+                files.size(), runs, executions);
+    return 0;
+}

@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/assert.hh"
+
 namespace dnastore
 {
 
@@ -17,6 +19,7 @@ UnionFind::UnionFind(std::size_t count)
 std::size_t
 UnionFind::find(std::size_t x)
 {
+    DNASTORE_DCHECK(x < parent.size(), "find() element out of range");
     while (parent[x] != x) {
         parent[x] = parent[parent[x]]; // path halving
         x = parent[x];
@@ -35,7 +38,10 @@ UnionFind::merge(std::size_t a, std::size_t b)
         std::swap(ra, rb);
     parent[rb] = static_cast<std::uint32_t>(ra);
     size[ra] += size[rb];
+    DNASTORE_ASSERT(sets > 0, "merge() with no sets left to merge");
     --sets;
+    DNASTORE_DCHECK(size[ra] <= parent.size(),
+                    "merged set larger than the universe");
     return ra;
 }
 
@@ -65,6 +71,8 @@ UnionFind::groups()
         out[static_cast<std::size_t>(root_slot[root])].push_back(
             static_cast<std::uint32_t>(i));
     }
+    DNASTORE_ASSERT(out.size() == sets,
+                    "set counter out of sync with group count");
     return out;
 }
 

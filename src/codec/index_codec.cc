@@ -5,7 +5,7 @@
 namespace dnastore
 {
 
-IndexCodec::IndexCodec(std::size_t num_bases) : num_bases(num_bases)
+IndexCodec::IndexCodec(std::size_t width_bases) : num_bases(width_bases)
 {
     if (num_bases == 0 || num_bases > 32)
         throw std::invalid_argument("IndexCodec: width must be in [1, 32]");

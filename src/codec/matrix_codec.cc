@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/assert.hh"
 #include "util/crc32.hh"
 
 namespace dnastore
@@ -299,8 +300,13 @@ MatrixEncoder::encode(const std::vector<std::uint8_t> &data) const
                 static_cast<std::uint64_t>(u) * cfg.rs_n + c;
             strands.push_back(index_codec.encode(index) +
                               strand::fromBytes(column));
+            DNASTORE_DCHECK(strands.back().size() == cfg.strandLength(),
+                            "emitted strand length must match the "
+                            "configured geometry");
         }
     }
+    DNASTORE_ASSERT(strands.size() == units * cfg.rs_n,
+                    "encoder must emit exactly rs_n strands per unit");
     return strands;
 }
 
@@ -373,6 +379,9 @@ MatrixDecoder::decode(const std::vector<Strand> &strands,
             ++report.malformed_strands;
             continue;
         }
+        DNASTORE_DCHECK(payload->size() == rows,
+                        "accepted payload must span bytesPerMolecule() "
+                        "matrix rows");
         candidates[*index].push_back(std::move(*payload));
     }
 

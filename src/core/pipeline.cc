@@ -6,6 +6,7 @@
 
 #include "clustering/accuracy.hh"
 #include "simulator/sequencing_run.hh"
+#include "util/assert.hh"
 #include "util/timer.hh"
 
 namespace dnastore
@@ -511,6 +512,21 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
                result.report.conflicting_strands > 0) {
         degradeTo(result.status.decoding, StageStatus::Degraded);
     }
+
+    // Stage-status taxonomy invariants: retrieval always runs the
+    // clustering, reconstruction and decoding stages (fallbacks keep
+    // them alive), recovery respects its budget and only a successful
+    // retry may mark the run as recovered.
+    DNASTORE_ASSERT(result.status.clustering != StageStatus::Skipped &&
+                        result.status.reconstruction !=
+                            StageStatus::Skipped &&
+                        result.status.decoding != StageStatus::Skipped,
+                    "retrieve() must assign every retrieval stage status");
+    DNASTORE_ASSERT(result.recovery_attempts.size() <=
+                        cfg.max_decode_retries,
+                    "recovery policy exceeded its retry budget");
+    DNASTORE_ASSERT(!result.recovered || result.report.ok,
+                    "recovered runs must carry a successful report");
 }
 
 } // namespace dnastore

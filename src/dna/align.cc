@@ -101,7 +101,7 @@ classifyEdits(const std::string &reference, const std::string &read,
     return ops;
 }
 
-ProfileMsa::ProfileMsa(const AlignScores &scores) : scores(scores)
+ProfileMsa::ProfileMsa(const AlignScores &align_scores) : scores(align_scores)
 {
 }
 

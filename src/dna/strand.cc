@@ -113,9 +113,8 @@ encodeNumber(std::uint64_t value, std::size_t num_bases)
     Strand s(num_bases, 'A');
     for (std::size_t i = 0; i < num_bases; ++i) {
         const std::size_t shift = 2 * (num_bases - 1 - i);
-        const std::uint8_t code = shift < 64
-            ? static_cast<std::uint8_t>((value >> shift) & 0x3)
-            : 0;
+        const auto code = static_cast<std::uint8_t>(
+            shift < 64 ? (value >> shift) & 0x3 : 0);
         s[i] = baseToChar(code);
     }
     return s;
@@ -126,13 +125,19 @@ decodeNumber(const Strand &s)
 {
     const auto value = tryDecodeNumber(s);
     if (!value)
-        throw std::invalid_argument("decodeNumber: non-ACGT character");
+        throw std::invalid_argument(
+            "decodeNumber: non-ACGT character or overflow-length field");
     return *value;
 }
 
 std::optional<std::uint64_t>
 tryDecodeNumber(const Strand &s)
 {
+    // More than 32 bases cannot round-trip through a 64-bit value; treat
+    // an overflow-length field as malformed rather than silently
+    // truncating the high bits.
+    if (s.size() > 32)
+        return std::nullopt;
     std::uint64_t value = 0;
     for (char c : s) {
         const std::uint8_t code = charToCode(c);

@@ -68,13 +68,15 @@ Strand encodeNumber(std::uint64_t value, std::size_t num_bases);
 
 /**
  * Decode a fixed-width nucleotide number (inverse of encodeNumber).
- * Throws std::invalid_argument on non-ACGT characters.
+ * Throws std::invalid_argument on non-ACGT characters or an
+ * overflow-length (> 32 base) field.
  */
 std::uint64_t decodeNumber(const Strand &s);
 
 /**
  * Non-throwing variant of decodeNumber for untrusted input: returns
- * std::nullopt on non-ACGT characters.
+ * std::nullopt on non-ACGT characters or when the strand is longer than
+ * 32 bases (a 64-bit value cannot represent it without truncation).
  */
 std::optional<std::uint64_t> tryDecodeNumber(const Strand &s);
 

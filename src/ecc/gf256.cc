@@ -3,6 +3,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "util/assert.hh"
+
 namespace dnastore
 {
 namespace gf256
@@ -23,13 +25,19 @@ struct Tables
         for (int i = 0; i < 255; ++i) {
             exp[i] = static_cast<std::uint8_t>(x);
             log[x] = i;
-            x <<= 1;
+            x = static_cast<std::uint16_t>(x << 1);
             if (x & 0x100)
                 x ^= 0x11D;
         }
         for (int i = 255; i < 512; ++i)
             exp[i] = exp[i - 255];
         log[0] = -1;
+        DNASTORE_ASSERT(x == 1,
+                        "0x11D must generate the full multiplicative "
+                        "group (alpha^255 == 1)");
+        DNASTORE_ASSERT(exp[0] == 1 && log[1] == 0 && log[kAlpha] == 1,
+                        "GF(2^8) exp/log tables must be mutually inverse "
+                        "at the anchor points");
     }
 };
 

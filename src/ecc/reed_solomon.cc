@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/assert.hh"
+
 namespace dnastore
 {
 
@@ -37,6 +39,9 @@ ReedSolomon::encode(const std::vector<std::uint8_t> &message) const
 
     Poly quotient, remainder;
     gf256::polyDivMod(shifted, generator, quotient, remainder);
+    DNASTORE_ASSERT(gf256::degree(remainder) <
+                        static_cast<int>(parity()),
+                    "parity remainder must have degree < n-k");
 
     std::vector<std::uint8_t> codeword(n_, 0);
     std::copy(message.begin(), message.end(), codeword.begin());
@@ -45,6 +50,8 @@ ReedSolomon::encode(const std::vector<std::uint8_t> &message) const
         const std::size_t deg = parity() - 1 - j;
         codeword[k_ + j] = deg < remainder.size() ? remainder[deg] : 0;
     }
+    DNASTORE_DCHECK(isCodeword(codeword),
+                    "systematic encoder must emit zero syndromes");
     return codeword;
 }
 

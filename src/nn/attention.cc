@@ -6,10 +6,10 @@ namespace nn
 {
 
 Attention::Attention(std::size_t state_size, std::size_t ann_size,
-                     std::size_t attn_size, const std::string &name)
-    : attn_size(attn_size),
-      wa(attn_size, state_size, name + ".wa"),
-      ua(attn_size, ann_size, name + ".ua"),
+                     std::size_t attention_size, const std::string &name)
+    : attn_size(attention_size),
+      wa(attention_size, state_size, name + ".wa"),
+      ua(attention_size, ann_size, name + ".ua"),
       va(attn_size, 1, name + ".va")
 {
 }

@@ -5,18 +5,18 @@ namespace dnastore
 namespace nn
 {
 
-GruCell::GruCell(std::size_t input_size, std::size_t hidden_size,
+GruCell::GruCell(std::size_t in_size, std::size_t hid_size,
                  const std::string &name)
-    : input_size(input_size), hidden_size(hidden_size),
-      wz(hidden_size, input_size, name + ".wz"),
-      wr(hidden_size, input_size, name + ".wr"),
-      wn(hidden_size, input_size, name + ".wn"),
-      uz(hidden_size, hidden_size, name + ".uz"),
-      ur(hidden_size, hidden_size, name + ".ur"),
-      un(hidden_size, hidden_size, name + ".un"),
-      bz(hidden_size, 1, name + ".bz"),
-      br(hidden_size, 1, name + ".br"),
-      bn(hidden_size, 1, name + ".bn")
+    : input_size(in_size), hidden_size(hid_size),
+      wz(hid_size, in_size, name + ".wz"),
+      wr(hid_size, in_size, name + ".wr"),
+      wn(hid_size, in_size, name + ".wn"),
+      uz(hid_size, hid_size, name + ".uz"),
+      ur(hid_size, hid_size, name + ".ur"),
+      un(hid_size, hid_size, name + ".un"),
+      bz(hid_size, 1, name + ".bz"),
+      br(hid_size, 1, name + ".br"),
+      bn(hid_size, 1, name + ".bn")
 {
 }
 

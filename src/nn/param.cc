@@ -22,10 +22,11 @@ Adam::step()
         double norm_sq = 0.0;
         for (const Param *p : params)
             for (float g : p->grad.raw())
-                norm_sq += static_cast<double>(g) * g;
+                norm_sq += static_cast<double>(g) * static_cast<double>(g);
         const double norm = std::sqrt(norm_sq);
-        if (norm > cfg.clip_norm) {
-            const float scale = static_cast<float>(cfg.clip_norm / norm);
+        if (norm > static_cast<double>(cfg.clip_norm)) {
+            const float scale =
+                static_cast<float>(static_cast<double>(cfg.clip_norm) / norm);
             for (Param *p : params)
                 for (float &g : p->grad.raw())
                     g *= scale;

@@ -22,9 +22,9 @@ namespace nn
 struct Param
 {
     Param() = default;
-    Param(std::size_t rows, std::size_t cols, std::string name = "")
+    Param(std::size_t rows, std::size_t cols, std::string param_name = "")
         : value(rows, cols), grad(rows, cols), m(rows, cols), v(rows, cols),
-          name(std::move(name))
+          name(std::move(param_name))
     {
     }
 

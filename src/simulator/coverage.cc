@@ -7,8 +7,8 @@ namespace dnastore
 {
 
 CoverageModel::CoverageModel(double mean, CoverageDistribution shape,
-                             double dropout)
-    : mu(mean), dist(shape), dropout(dropout)
+                             double dropout_prob)
+    : mu(mean), dist(shape), dropout(dropout_prob)
 {
     if (mean <= 0.0)
         throw std::invalid_argument("CoverageModel: mean must be positive");

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Invariant-checking macros for internal consistency assertions.
+ *
+ * DNASTORE_ASSERT(cond, msg)  — cheap invariant, checked whenever the
+ *                               DNASTORE_DCHECKS build option is on.
+ * DNASTORE_DCHECK(cond, msg)  — same gate; use for checks on hot paths
+ *                               so intent is visible at the call site.
+ *
+ * Both are enabled in Debug and the default RelWithDebInfo dev build and
+ * compiled out entirely in Release/MinSizeRel (see DNASTORE_DCHECKS in the
+ * top-level CMakeLists.txt).  On failure they print the failing condition,
+ * message and source location to stderr and abort, which sanitizer and
+ * fuzzing builds turn into an actionable report.
+ *
+ * Unlike exceptions these are for programmer errors (broken internal
+ * invariants), never for untrusted input: parsers and decoders must keep
+ * returning std::optional / StageStatus for malformed data.
+ */
+
+#ifndef DNASTORE_UTIL_ASSERT_HH
+#define DNASTORE_UTIL_ASSERT_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dnastore::detail
+{
+
+[[noreturn]] inline void
+assertFail(const char *cond, const char *msg, const char *file, int line)
+{
+    std::fprintf(stderr, "%s:%d: DNASTORE_ASSERT(%s) failed: %s\n", file,
+                 line, cond, msg);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace dnastore::detail
+
+#if defined(DNASTORE_ENABLE_DCHECKS)
+
+#define DNASTORE_ASSERT(cond, msg)                                           \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::dnastore::detail::assertFail(#cond, (msg), __FILE__,           \
+                                           __LINE__);                        \
+        }                                                                    \
+    } while (false)
+
+#else
+
+#define DNASTORE_ASSERT(cond, msg)                                           \
+    do {                                                                     \
+    } while (false)
+
+#endif
+
+#define DNASTORE_DCHECK(cond, msg) DNASTORE_ASSERT(cond, msg)
+
+#endif // DNASTORE_UTIL_ASSERT_HH

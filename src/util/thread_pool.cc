@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "util/assert.hh"
+
 namespace dnastore
 {
 
@@ -97,6 +99,8 @@ ThreadPool::parallelChunks(
         const std::size_t hi = std::min(end, lo + chunk_size);
         futures.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
     }
+    DNASTORE_ASSERT(futures.size() <= chunks,
+                    "chunk decomposition must not exceed its plan");
 
     // Drain every future so no worker exception vanishes.  A single
     // failure rethrows its original exception (type preserved); multiple

@@ -86,8 +86,8 @@ class ThrowingDecoder : public FileDecoder
 class FlakyReconstructor : public Reconstructor
 {
   public:
-    explicit FlakyReconstructor(std::size_t fail_below)
-        : fail_below(fail_below)
+    explicit FlakyReconstructor(std::size_t threshold)
+        : fail_below(threshold)
     {
     }
 

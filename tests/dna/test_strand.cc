@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "codec/index_codec.hh"
 #include "dna/base.hh"
 #include "dna/strand.hh"
 #include "util/random.hh"
@@ -155,6 +156,53 @@ TEST(Strand, EncodeNumberOverflowThrows)
 TEST(Strand, DecodeNumberRejectsBadChars)
 {
     EXPECT_THROW(strand::decodeNumber("ACZ"), std::invalid_argument);
+}
+
+TEST(Strand, TryDecodeNumberEmptyStrandIsZero)
+{
+    const auto value = strand::tryDecodeNumber("");
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, 0u);
+    EXPECT_EQ(strand::encodeNumber(0, 0), "");
+}
+
+TEST(Strand, TryDecodeNumberRejectsOverflowLength)
+{
+    // 33 bases exceed the 64-bit value range, so the field cannot round
+    // trip and must be rejected rather than silently wrapped.
+    const Strand too_long(33, 'A');
+    EXPECT_FALSE(strand::tryDecodeNumber(too_long).has_value());
+    EXPECT_THROW(strand::decodeNumber(too_long), std::invalid_argument);
+
+    const Strand max_width(32, 'T');
+    const auto value = strand::tryDecodeNumber(max_width);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, ~0ULL);
+}
+
+TEST(Strand, TryDecodeNumberRejectsNonAcgt)
+{
+    EXPECT_FALSE(strand::tryDecodeNumber("ACZ").has_value());
+    EXPECT_FALSE(strand::tryDecodeNumber("ACG\n").has_value());
+    EXPECT_FALSE(strand::tryDecodeNumber("AC T").has_value());
+    EXPECT_FALSE(strand::tryDecodeNumber(Strand(1, '\0')).has_value());
+    // Soft-masked (lowercase) bases are legal everywhere in the toolkit.
+    EXPECT_EQ(strand::tryDecodeNumber("acgt"),
+              strand::tryDecodeNumber("ACGT"));
+}
+
+TEST(Strand, TryDecodeNumberRoundTripsIndexCodecMaxIndex)
+{
+    for (std::size_t width : {1u, 8u, 16u, 32u}) {
+        const IndexCodec codec(width);
+        const Strand encoded = codec.encode(codec.maxIndex());
+        const auto direct = strand::tryDecodeNumber(encoded);
+        ASSERT_TRUE(direct.has_value()) << "width " << width;
+        EXPECT_EQ(*direct, codec.maxIndex());
+        const auto via_codec = codec.decode(encoded);
+        ASSERT_TRUE(via_codec.has_value());
+        EXPECT_EQ(*via_codec, codec.maxIndex());
+    }
 }
 
 TEST(Strand, MismatchPositions)

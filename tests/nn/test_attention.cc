@@ -25,7 +25,7 @@ forwardLoss(const Attention &attn, const Vec &s_prev,
     const Vec ctx = attn.forward(s_prev, annotations, pre, cache);
     double loss = 0;
     for (std::size_t i = 0; i < ctx.size(); ++i)
-        loss += static_cast<double>(w[i]) * ctx[i];
+        loss += static_cast<double>(w[i]) * static_cast<double>(ctx[i]);
     return loss;
 }
 
@@ -105,7 +105,7 @@ TEST(Attention, GradientsMatchFiniteDifferences)
             val[i] = orig - eps;
             const double down = forwardLoss(attn, s_prev, anns, w);
             val[i] = orig;
-            EXPECT_NEAR(p->grad.raw()[i], (up - down) / (2 * eps), 2e-2)
+            EXPECT_NEAR(p->grad.raw()[i], (up - down) / (2.0 * static_cast<double>(eps)), 2e-2)
                 << p->name << "[" << i << "]";
         }
     }
@@ -117,7 +117,7 @@ TEST(Attention, GradientsMatchFiniteDifferences)
         s_prev[i] = orig - eps;
         const double down = forwardLoss(attn, s_prev, anns, w);
         s_prev[i] = orig;
-        EXPECT_NEAR(ds_prev[i], (up - down) / (2 * eps), 2e-2);
+        EXPECT_NEAR(ds_prev[i], (up - down) / (2.0 * static_cast<double>(eps)), 2e-2);
     }
 
     // Annotation gradients (note: annotations feed both the scores via
@@ -131,7 +131,7 @@ TEST(Attention, GradientsMatchFiniteDifferences)
         anns[a][i] = orig - eps;
         const double down = forwardLoss(attn, s_prev, anns, w);
         anns[a][i] = orig;
-        EXPECT_NEAR(dann[a][i], (up - down) / (2 * eps), 2e-2)
+        EXPECT_NEAR(dann[a][i], (up - down) / (2.0 * static_cast<double>(eps)), 2e-2)
             << "ann[" << a << "][" << i << "]";
     }
 }

@@ -25,7 +25,7 @@ forwardLoss(GruCell &cell, const Vec &x, const Vec &h_prev, const Vec &w)
     const Vec h = cell.forward(x, h_prev, cache);
     double loss = 0;
     for (std::size_t i = 0; i < h.size(); ++i)
-        loss += static_cast<double>(w[i]) * h[i];
+        loss += static_cast<double>(w[i]) * static_cast<double>(h[i]);
     return loss;
 }
 
@@ -93,7 +93,7 @@ TEST(GruCell, GradientsMatchFiniteDifferences)
             val[i] = orig - eps;
             const double down = forwardLoss(cell, x, h_prev, w);
             val[i] = orig;
-            const double fd = (up - down) / (2 * eps);
+            const double fd = (up - down) / (2.0 * static_cast<double>(eps));
             EXPECT_NEAR(p->grad.raw()[i], fd, 2e-2)
                 << p->name << "[" << i << "]";
         }
@@ -107,7 +107,7 @@ TEST(GruCell, GradientsMatchFiniteDifferences)
         x[i] = orig - eps;
         const double down = forwardLoss(cell, x, h_prev, w);
         x[i] = orig;
-        EXPECT_NEAR(dx[i], (up - down) / (2 * eps), 2e-2);
+        EXPECT_NEAR(dx[i], (up - down) / (2.0 * static_cast<double>(eps)), 2e-2);
     }
 
     // Previous-hidden gradient.
@@ -118,7 +118,7 @@ TEST(GruCell, GradientsMatchFiniteDifferences)
         h_prev[i] = orig - eps;
         const double down = forwardLoss(cell, x, h_prev, w);
         h_prev[i] = orig;
-        EXPECT_NEAR(dh_prev[i], (up - down) / (2 * eps), 2e-2);
+        EXPECT_NEAR(dh_prev[i], (up - down) / (2.0 * static_cast<double>(eps)), 2e-2);
     }
 }
 

@@ -77,7 +77,7 @@ TEST(Seq2Seq, GradientsMatchFiniteDifferences)
             val[i] = orig - eps;
             const double down = model.loss(clean, noisy);
             val[i] = orig;
-            const double fd = (up - down) / (2 * eps);
+            const double fd = (up - down) / (2.0 * static_cast<double>(eps));
             const double an = p->grad.raw()[i];
             // float32 noise makes exact agreement impossible; require
             // agreement for all gradients of meaningful magnitude.

@@ -54,7 +54,7 @@ TEST(IidChannel, DeletionOnlyShortens)
     EXPECT_LT(read.size(), s.size());
     EXPECT_NEAR(static_cast<double>(read.size()),
                 static_cast<double>(s.size()) * 0.8,
-                s.size() * 0.05);
+                static_cast<double>(s.size()) * 0.05);
 }
 
 TEST(IidChannel, InsertionOnlyLengthens)
@@ -77,8 +77,9 @@ TEST(IidChannel, SubstitutionOnlyPreservesLength)
     EXPECT_NEAR(static_cast<double>(diff), 300.0, 60.0);
     // Substitutions never keep the original base.
     for (std::size_t i = 0; i < s.size(); ++i) {
-        if (s[i] != read[i])
+        if (s[i] != read[i]) {
             EXPECT_TRUE(strand::isValid(Strand(1, read[i])));
+        }
     }
 }
 
