@@ -1,4 +1,4 @@
-#include "accuracy.hh"
+#include "clustering/accuracy.hh"
 
 #include <stdexcept>
 #include <unordered_map>

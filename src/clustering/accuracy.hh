@@ -6,8 +6,7 @@
  * of its reads and no reads from any other true cluster.
  */
 
-#ifndef DNASTORE_CLUSTERING_ACCURACY_HH
-#define DNASTORE_CLUSTERING_ACCURACY_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -30,4 +29,3 @@ double clusteringAccuracy(const Clustering &clustering,
 
 } // namespace dnastore
 
-#endif // DNASTORE_CLUSTERING_ACCURACY_HH

@@ -1,4 +1,4 @@
-#include "auto_threshold.hh"
+#include "clustering/auto_threshold.hh"
 
 #include <algorithm>
 #include <stdexcept>

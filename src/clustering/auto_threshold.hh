@@ -9,8 +9,7 @@
  * pays for an edit-distance comparison.
  */
 
-#ifndef DNASTORE_CLUSTERING_AUTO_THRESHOLD_HH
-#define DNASTORE_CLUSTERING_AUTO_THRESHOLD_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -51,4 +50,3 @@ autoConfigureThresholds(const std::vector<Strand> &reads,
 
 } // namespace dnastore
 
-#endif // DNASTORE_CLUSTERING_AUTO_THRESHOLD_HH

@@ -1,4 +1,4 @@
-#include "clusterer.hh"
+#include "clustering/clusterer.hh"
 
 #include <atomic>
 #include <cmath>

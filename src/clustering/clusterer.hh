@@ -8,8 +8,7 @@
  * distances to avoid edit-distance comparisons wherever possible.
  */
 
-#ifndef DNASTORE_CLUSTERING_CLUSTERER_HH
-#define DNASTORE_CLUSTERING_CLUSTERER_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -111,4 +110,3 @@ class RashtchianClusterer : public Clusterer
 
 } // namespace dnastore
 
-#endif // DNASTORE_CLUSTERING_CLUSTERER_HH

@@ -1,4 +1,4 @@
-#include "greedy_clusterer.hh"
+#include "clustering/greedy_clusterer.hh"
 
 #include <unordered_map>
 

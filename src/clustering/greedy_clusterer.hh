@@ -14,8 +14,7 @@
  * iterative all-pairs scheme.
  */
 
-#ifndef DNASTORE_CLUSTERING_GREEDY_CLUSTERER_HH
-#define DNASTORE_CLUSTERING_GREEDY_CLUSTERER_HH
+#pragma once
 
 #include "clustering/clusterer.hh"
 
@@ -68,4 +67,3 @@ class GreedyOnlineClusterer : public Clusterer
 
 } // namespace dnastore
 
-#endif // DNASTORE_CLUSTERING_GREEDY_CLUSTERER_HH

@@ -1,4 +1,4 @@
-#include "signature.hh"
+#include "clustering/signature.hh"
 
 #include <cmath>
 #include <cstdlib>

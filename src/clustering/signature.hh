@@ -9,8 +9,7 @@
  * distance calls at the price of a costlier signature.
  */
 
-#ifndef DNASTORE_CLUSTERING_SIGNATURE_HH
-#define DNASTORE_CLUSTERING_SIGNATURE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -77,4 +76,3 @@ class SignatureScheme
 
 } // namespace dnastore
 
-#endif // DNASTORE_CLUSTERING_SIGNATURE_HH

@@ -1,4 +1,4 @@
-#include "union_find.hh"
+#include "clustering/union_find.hh"
 
 #include <numeric>
 #include <stdexcept>

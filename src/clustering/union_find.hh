@@ -5,8 +5,7 @@
  * clusters are merged round by round.
  */
 
-#ifndef DNASTORE_CLUSTERING_UNION_FIND_HH
-#define DNASTORE_CLUSTERING_UNION_FIND_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -49,4 +48,3 @@ class UnionFind
 
 } // namespace dnastore
 
-#endif // DNASTORE_CLUSTERING_UNION_FIND_HH

@@ -6,8 +6,7 @@
  * Organick-style matrix codec with Baseline, Gini and DNAMapper layouts.
  */
 
-#ifndef DNASTORE_CODEC_CODEC_HH
-#define DNASTORE_CODEC_CODEC_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -47,7 +46,7 @@ class FileEncoder
     virtual ~FileEncoder() = default;
 
     /** Encode a file into index-tagged payload strands. */
-    virtual std::vector<Strand>
+    [[nodiscard]] virtual std::vector<Strand>
     encode(const std::vector<std::uint8_t> &data) const = 0;
 
     /**
@@ -77,7 +76,7 @@ class FileDecoder
      * @param expected_units Number of encoding units the file was
      *                encoded into, when known (0 = infer from indices).
      */
-    virtual DecodeReport
+    [[nodiscard]] virtual DecodeReport
     decode(const std::vector<Strand> &strands,
            std::size_t expected_units = 0) const = 0;
 
@@ -87,4 +86,3 @@ class FileDecoder
 
 } // namespace dnastore
 
-#endif // DNASTORE_CODEC_CODEC_HH

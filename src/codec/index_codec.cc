@@ -1,4 +1,4 @@
-#include "index_codec.hh"
+#include "codec/index_codec.hh"
 
 #include <stdexcept>
 

@@ -5,8 +5,7 @@
  * address that places its payload within the file.
  */
 
-#ifndef DNASTORE_CODEC_INDEX_CODEC_HH
-#define DNASTORE_CODEC_INDEX_CODEC_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -36,14 +35,15 @@ class IndexCodec
     std::uint64_t maxIndex() const;
 
     /** Encode an index; throws std::invalid_argument if it can't fit. */
-    Strand encode(std::uint64_t index) const;
+    [[nodiscard]] Strand encode(std::uint64_t index) const;
 
     /**
      * Decode the index from the first width() bases of a strand.
      * Returns std::nullopt if the strand is too short or contains
      * non-ACGT characters in the index field.
      */
-    std::optional<std::uint64_t> decode(const Strand &strand) const;
+    [[nodiscard]] std::optional<std::uint64_t>
+    decode(const Strand &strand) const;
 
   private:
     std::size_t num_bases;
@@ -51,4 +51,3 @@ class IndexCodec
 
 } // namespace dnastore
 
-#endif // DNASTORE_CODEC_INDEX_CODEC_HH

@@ -1,4 +1,4 @@
-#include "matrix_codec.hh"
+#include "codec/matrix_codec.hh"
 
 #include <algorithm>
 #include <cmath>

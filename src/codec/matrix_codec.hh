@@ -20,8 +20,7 @@
  * integrity with the CRC.
  */
 
-#ifndef DNASTORE_CODEC_MATRIX_CODEC_HH
-#define DNASTORE_CODEC_MATRIX_CODEC_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -94,7 +93,7 @@ class MatrixEncoder : public FileEncoder
   public:
     explicit MatrixEncoder(MatrixCodecConfig config);
 
-    std::vector<Strand>
+    [[nodiscard]] std::vector<Strand>
     encode(const std::vector<std::uint8_t> &data) const override;
 
     std::string name() const override;
@@ -117,8 +116,9 @@ class MatrixDecoder : public FileDecoder
   public:
     explicit MatrixDecoder(MatrixCodecConfig config);
 
-    DecodeReport decode(const std::vector<Strand> &strands,
-                        std::size_t expected_units = 0) const override;
+    [[nodiscard]] DecodeReport
+    decode(const std::vector<Strand> &strands,
+           std::size_t expected_units = 0) const override;
 
     std::string name() const override;
 
@@ -159,4 +159,3 @@ dnaMapperPermutation(std::size_t stream_size, std::size_t header_size,
 
 } // namespace dnastore
 
-#endif // DNASTORE_CODEC_MATRIX_CODEC_HH

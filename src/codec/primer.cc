@@ -1,4 +1,4 @@
-#include "primer.hh"
+#include "codec/primer.hh"
 
 #include <limits>
 #include <stdexcept>

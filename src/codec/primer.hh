@@ -8,8 +8,7 @@
  * specifically and synthesis succeeds.
  */
 
-#ifndef DNASTORE_CODEC_PRIMER_HH
-#define DNASTORE_CODEC_PRIMER_HH
+#pragma once
 
 #include <cstddef>
 #include <optional>
@@ -101,4 +100,3 @@ stripPrimers(const PrimerPair &pair, const Strand &tagged,
 
 } // namespace dnastore
 
-#endif // DNASTORE_CODEC_PRIMER_HH

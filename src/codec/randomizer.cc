@@ -1,4 +1,4 @@
-#include "randomizer.hh"
+#include "codec/randomizer.hh"
 
 #include "util/random.hh"
 

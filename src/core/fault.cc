@@ -1,4 +1,4 @@
-#include "fault.hh"
+#include "core/fault.hh"
 
 #include <algorithm>
 #include <utility>

@@ -12,8 +12,7 @@
  * pointer null and pay nothing.
  */
 
-#ifndef DNASTORE_CORE_FAULT_HH
-#define DNASTORE_CORE_FAULT_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -128,4 +127,3 @@ class FaultInjector
 
 } // namespace dnastore
 
-#endif // DNASTORE_CORE_FAULT_HH

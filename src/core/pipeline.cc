@@ -1,4 +1,4 @@
-#include "pipeline.hh"
+#include "core/pipeline.hh"
 
 #include <algorithm>
 #include <unordered_map>

@@ -14,8 +14,7 @@
  * degraded settings (relaxed cluster filter, fallback reconstructor).
  */
 
-#ifndef DNASTORE_CORE_PIPELINE_HH
-#define DNASTORE_CORE_PIPELINE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -207,4 +206,3 @@ class Pipeline
 
 } // namespace dnastore
 
-#endif // DNASTORE_CORE_PIPELINE_HH

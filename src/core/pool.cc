@@ -1,4 +1,4 @@
-#include "pool.hh"
+#include "core/pool.hh"
 
 namespace dnastore
 {

@@ -6,8 +6,7 @@
  * sequencing, implementing random access in constant chemical time.
  */
 
-#ifndef DNASTORE_CORE_POOL_HH
-#define DNASTORE_CORE_POOL_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -70,4 +69,3 @@ PcrProduct amplify(const DnaPool &pool, const PrimerPair &key, Rng &rng,
 
 } // namespace dnastore
 
-#endif // DNASTORE_CORE_POOL_HH

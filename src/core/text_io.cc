@@ -1,4 +1,4 @@
-#include "text_io.hh"
+#include "core/text_io.hh"
 
 #include <fstream>
 #include <istream>

@@ -8,8 +8,7 @@
  *  - cluster list: groups of sequences separated by blank lines.
  */
 
-#ifndef DNASTORE_CORE_TEXT_IO_HH
-#define DNASTORE_CORE_TEXT_IO_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -56,4 +55,3 @@ void writeBinaryFile(const std::string &path,
 
 } // namespace dnastore
 
-#endif // DNASTORE_CORE_TEXT_IO_HH

@@ -1,10 +1,10 @@
-#include "align.hh"
+#include "dna/align.hh"
 
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
-#include "base.hh"
+#include "dna/base.hh"
 
 namespace dnastore
 {

@@ -8,8 +8,7 @@
  *    Needleman-Wunsch consensus reconstructor (paper Section VII-C).
  */
 
-#ifndef DNASTORE_DNA_ALIGN_HH
-#define DNASTORE_DNA_ALIGN_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -137,4 +136,3 @@ class ProfileMsa
 
 } // namespace dnastore
 
-#endif // DNASTORE_DNA_ALIGN_HH

@@ -6,8 +6,7 @@
  * the fundamental unit the codecs work in.
  */
 
-#ifndef DNASTORE_DNA_BASE_HH
-#define DNASTORE_DNA_BASE_HH
+#pragma once
 
 #include <cstdint>
 
@@ -77,4 +76,3 @@ complementChar(char c)
 
 } // namespace dnastore
 
-#endif // DNASTORE_DNA_BASE_HH

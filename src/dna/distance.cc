@@ -1,4 +1,4 @@
-#include "distance.hh"
+#include "dna/distance.hh"
 
 #include <algorithm>
 #include <array>

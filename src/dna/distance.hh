@@ -7,8 +7,7 @@
  * within a merge threshold.
  */
 
-#ifndef DNASTORE_DNA_DISTANCE_HH
-#define DNASTORE_DNA_DISTANCE_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -56,4 +55,3 @@ bool withinEditDistance(const std::string &a, const std::string &b,
 
 } // namespace dnastore
 
-#endif // DNASTORE_DNA_DISTANCE_HH

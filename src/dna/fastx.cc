@@ -1,4 +1,4 @@
-#include "fastx.hh"
+#include "dna/fastx.hh"
 
 #include <fstream>
 #include <istream>

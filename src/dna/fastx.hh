@@ -5,8 +5,7 @@
  * plain read lists the clustering module consumes.
  */
 
-#ifndef DNASTORE_DNA_FASTX_HH
-#define DNASTORE_DNA_FASTX_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -55,4 +54,3 @@ void writeFasta(std::ostream &out, const std::vector<FastaRecord> &records);
 
 } // namespace dnastore
 
-#endif // DNASTORE_DNA_FASTX_HH

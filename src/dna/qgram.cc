@@ -1,10 +1,10 @@
-#include "qgram.hh"
+#include "dna/qgram.hh"
 
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
-#include "strand.hh"
+#include "dna/strand.hh"
 
 namespace dnastore
 {

@@ -6,8 +6,7 @@
  * (w-gram signature) of a random set of q-grams.
  */
 
-#ifndef DNASTORE_DNA_QGRAM_HH
-#define DNASTORE_DNA_QGRAM_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -37,4 +36,3 @@ std::int32_t firstOccurrence(const std::string &s, const std::string &pattern);
 
 } // namespace dnastore
 
-#endif // DNASTORE_DNA_QGRAM_HH

@@ -1,9 +1,9 @@
-#include "strand.hh"
+#include "dna/strand.hh"
 
 #include <algorithm>
 #include <stdexcept>
 
-#include "base.hh"
+#include "dna/base.hh"
 
 namespace dnastore
 {

@@ -6,8 +6,7 @@
  * plain text.
  */
 
-#ifndef DNASTORE_DNA_STRAND_HH
-#define DNASTORE_DNA_STRAND_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -44,41 +43,43 @@ Strand reverseComplement(const Strand &s);
  * Pack payload bytes into nucleotides, two bits per base, MSB first.
  * A byte 0bB3B2B1B0 (bit pairs) becomes 4 nucleotides.
  */
-Strand fromBytes(const std::vector<std::uint8_t> &bytes);
+[[nodiscard]] Strand fromBytes(const std::vector<std::uint8_t> &bytes);
 
 /**
  * Unpack nucleotides back into bytes (inverse of fromBytes).
  * The strand length must be a multiple of 4; throws std::invalid_argument
  * otherwise or on non-ACGT characters.
  */
-std::vector<std::uint8_t> toBytes(const Strand &s);
+[[nodiscard]] std::vector<std::uint8_t> toBytes(const Strand &s);
 
 /**
  * Non-throwing variant of toBytes for untrusted input: returns
  * std::nullopt when the length is not a multiple of 4 or a character is
  * not ACGT.
  */
-std::optional<std::vector<std::uint8_t>> tryToBytes(const Strand &s);
+[[nodiscard]] std::optional<std::vector<std::uint8_t>>
+tryToBytes(const Strand &s);
 
 /**
  * Encode an unsigned integer as fixed-width nucleotides (big-endian,
  * two bits per base).  Width must be large enough; throws otherwise.
  */
-Strand encodeNumber(std::uint64_t value, std::size_t num_bases);
+[[nodiscard]] Strand encodeNumber(std::uint64_t value,
+                                  std::size_t num_bases);
 
 /**
  * Decode a fixed-width nucleotide number (inverse of encodeNumber).
  * Throws std::invalid_argument on non-ACGT characters or an
  * overflow-length (> 32 base) field.
  */
-std::uint64_t decodeNumber(const Strand &s);
+[[nodiscard]] std::uint64_t decodeNumber(const Strand &s);
 
 /**
  * Non-throwing variant of decodeNumber for untrusted input: returns
  * std::nullopt on non-ACGT characters or when the strand is longer than
  * 32 bases (a 64-bit value cannot represent it without truncation).
  */
-std::optional<std::uint64_t> tryDecodeNumber(const Strand &s);
+[[nodiscard]] std::optional<std::uint64_t> tryDecodeNumber(const Strand &s);
 
 /** Positions (0-based) where two equal-length strands differ. */
 std::vector<std::size_t> mismatchPositions(const Strand &a, const Strand &b);
@@ -87,4 +88,3 @@ std::vector<std::size_t> mismatchPositions(const Strand &a, const Strand &b);
 
 } // namespace dnastore
 
-#endif // DNASTORE_DNA_STRAND_HH

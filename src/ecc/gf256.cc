@@ -1,4 +1,4 @@
-#include "gf256.hh"
+#include "ecc/gf256.hh"
 
 #include <array>
 #include <stdexcept>

@@ -8,8 +8,7 @@
  * Polynomials are stored little-endian: coefficient i multiplies x^i.
  */
 
-#ifndef DNASTORE_ECC_GF256_HH
-#define DNASTORE_ECC_GF256_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -83,4 +82,3 @@ void polyDivMod(const Poly &p, const Poly &d, Poly &q, Poly &r);
 } // namespace gf256
 } // namespace dnastore
 
-#endif // DNASTORE_ECC_GF256_HH

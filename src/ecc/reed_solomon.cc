@@ -1,6 +1,7 @@
-#include "reed_solomon.hh"
+#include "ecc/reed_solomon.hh"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "util/assert.hh"
@@ -26,7 +27,7 @@ ReedSolomon::ReedSolomon(std::size_t n, std::size_t k) : n_(n), k_(k)
 }
 
 std::vector<std::uint8_t>
-ReedSolomon::encode(const std::vector<std::uint8_t> &message) const
+ReedSolomon::encode(std::span<const std::uint8_t> message) const
 {
     if (message.size() != k_)
         throw std::invalid_argument("ReedSolomon::encode: message size");
@@ -56,7 +57,7 @@ ReedSolomon::encode(const std::vector<std::uint8_t> &message) const
 }
 
 Poly
-ReedSolomon::syndromes(const std::vector<std::uint8_t> &codeword) const
+ReedSolomon::syndromes(std::span<const std::uint8_t> codeword) const
 {
     Poly s(parity(), 0);
     for (std::size_t j = 0; j < parity(); ++j) {
@@ -70,7 +71,7 @@ ReedSolomon::syndromes(const std::vector<std::uint8_t> &codeword) const
 }
 
 bool
-ReedSolomon::isCodeword(const std::vector<std::uint8_t> &codeword) const
+ReedSolomon::isCodeword(std::span<const std::uint8_t> codeword) const
 {
     if (codeword.size() != n_)
         return false;
@@ -80,7 +81,7 @@ ReedSolomon::isCodeword(const std::vector<std::uint8_t> &codeword) const
 }
 
 std::vector<std::uint8_t>
-ReedSolomon::message(const std::vector<std::uint8_t> &codeword) const
+ReedSolomon::message(std::span<const std::uint8_t> codeword) const
 {
     if (codeword.size() != n_)
         throw std::invalid_argument("ReedSolomon::message: codeword size");
@@ -88,8 +89,8 @@ ReedSolomon::message(const std::vector<std::uint8_t> &codeword) const
 }
 
 ReedSolomon::DecodeResult
-ReedSolomon::decode(std::vector<std::uint8_t> &codeword,
-                    const std::vector<std::size_t> &erasure_positions) const
+ReedSolomon::decode(std::span<std::uint8_t> codeword,
+                    std::span<const std::size_t> erasure_positions) const
 {
     DecodeResult result;
     if (codeword.size() != n_)
@@ -97,7 +98,8 @@ ReedSolomon::decode(std::vector<std::uint8_t> &codeword,
 
     // Deduplicate and validate erasures, then blank them so the computed
     // magnitude equals the true symbol value.
-    std::vector<std::size_t> erasures = erasure_positions;
+    std::vector<std::size_t> erasures(erasure_positions.begin(),
+                                      erasure_positions.end());
     std::sort(erasures.begin(), erasures.end());
     erasures.erase(std::unique(erasures.begin(), erasures.end()),
                    erasures.end());

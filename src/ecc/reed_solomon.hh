@@ -12,11 +12,11 @@
  * as failures rather than silent corruption.
  */
 
-#ifndef DNASTORE_ECC_REED_SOLOMON_HH
-#define DNASTORE_ECC_REED_SOLOMON_HH
+#pragma once
 
 #include <cstdint>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "ecc/gf256.hh"
@@ -58,8 +58,8 @@ class ReedSolomon
      * Encode a k-symbol message into an n-symbol systematic codeword.
      * Throws std::invalid_argument on size mismatch.
      */
-    std::vector<std::uint8_t>
-    encode(const std::vector<std::uint8_t> &message) const;
+    [[nodiscard]] std::vector<std::uint8_t>
+    encode(std::span<const std::uint8_t> message) const;
 
     /**
      * Decode in place.  @p erasures lists known-bad codeword indices
@@ -71,18 +71,19 @@ class ReedSolomon
      * is true; on failure the codeword is left in its (possibly
      * partially modified but re-checked) state and ok is false.
      */
-    DecodeResult decode(std::vector<std::uint8_t> &codeword,
-                        const std::vector<std::size_t> &erasures = {}) const;
+    [[nodiscard]] DecodeResult
+    decode(std::span<std::uint8_t> codeword,
+           std::span<const std::size_t> erasures = {}) const;
 
     /** Extract the message part of a (corrected) codeword. */
-    std::vector<std::uint8_t>
-    message(const std::vector<std::uint8_t> &codeword) const;
+    [[nodiscard]] std::vector<std::uint8_t>
+    message(std::span<const std::uint8_t> codeword) const;
 
     /** True iff the codeword has all-zero syndromes. */
-    bool isCodeword(const std::vector<std::uint8_t> &codeword) const;
+    bool isCodeword(std::span<const std::uint8_t> codeword) const;
 
   private:
-    gf256::Poly syndromes(const std::vector<std::uint8_t> &codeword) const;
+    gf256::Poly syndromes(std::span<const std::uint8_t> codeword) const;
 
     std::size_t n_;
     std::size_t k_;
@@ -91,4 +92,3 @@ class ReedSolomon
 
 } // namespace dnastore
 
-#endif // DNASTORE_ECC_REED_SOLOMON_HH

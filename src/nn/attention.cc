@@ -1,4 +1,4 @@
-#include "attention.hh"
+#include "nn/attention.hh"
 
 namespace dnastore
 {

@@ -10,8 +10,7 @@
  *   c_t   = sum_i alpha_i h_i
  */
 
-#ifndef DNASTORE_NN_ATTENTION_HH
-#define DNASTORE_NN_ATTENTION_HH
+#pragma once
 
 #include <vector>
 
@@ -81,4 +80,3 @@ class Attention
 } // namespace nn
 } // namespace dnastore
 
-#endif // DNASTORE_NN_ATTENTION_HH

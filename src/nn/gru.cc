@@ -1,4 +1,4 @@
-#include "gru.hh"
+#include "nn/gru.hh"
 
 namespace dnastore
 {

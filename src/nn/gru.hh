@@ -10,8 +10,7 @@
  *   h_t = (1 - z_t) .* n_t + z_t .* h_{t-1}
  */
 
-#ifndef DNASTORE_NN_GRU_HH
-#define DNASTORE_NN_GRU_HH
+#pragma once
 
 #include <vector>
 
@@ -78,4 +77,3 @@ class GruCell
 } // namespace nn
 } // namespace dnastore
 
-#endif // DNASTORE_NN_GRU_HH

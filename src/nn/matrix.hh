@@ -7,8 +7,7 @@
  * compiler vectorise.
  */
 
-#ifndef DNASTORE_NN_MATRIX_HH
-#define DNASTORE_NN_MATRIX_HH
+#pragma once
 
 #include <cassert>
 #include <cmath>
@@ -153,4 +152,3 @@ softmaxInPlace(Vec &v)
 } // namespace nn
 } // namespace dnastore
 
-#endif // DNASTORE_NN_MATRIX_HH

@@ -1,4 +1,4 @@
-#include "param.hh"
+#include "nn/param.hh"
 
 #include <cmath>
 

@@ -5,8 +5,7 @@
  * by pointer, so one Adam step updates the whole model.
  */
 
-#ifndef DNASTORE_NN_PARAM_HH
-#define DNASTORE_NN_PARAM_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -83,4 +82,3 @@ class Adam
 } // namespace nn
 } // namespace dnastore
 
-#endif // DNASTORE_NN_PARAM_HH

@@ -1,4 +1,4 @@
-#include "seq2seq.hh"
+#include "nn/seq2seq.hh"
 
 #include <cmath>
 #include <cstdio>

@@ -12,8 +12,7 @@
  * checks in the test suite.
  */
 
-#ifndef DNASTORE_NN_SEQ2SEQ_HH
-#define DNASTORE_NN_SEQ2SEQ_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -141,4 +140,3 @@ class Seq2Seq
 } // namespace nn
 } // namespace dnastore
 
-#endif // DNASTORE_NN_SEQ2SEQ_HH

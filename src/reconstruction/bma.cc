@@ -1,4 +1,4 @@
-#include "bma.hh"
+#include "reconstruction/bma.hh"
 
 #include <algorithm>
 #include <array>

@@ -12,8 +12,7 @@
  * and concentrating the residual errors mid-strand.
  */
 
-#ifndef DNASTORE_RECONSTRUCTION_BMA_HH
-#define DNASTORE_RECONSTRUCTION_BMA_HH
+#pragma once
 
 #include "reconstruction/reconstructor.hh"
 
@@ -79,4 +78,3 @@ Strand bmaForward(const std::vector<Strand> &reads,
 
 } // namespace dnastore
 
-#endif // DNASTORE_RECONSTRUCTION_BMA_HH

@@ -1,4 +1,4 @@
-#include "nw_consensus.hh"
+#include "reconstruction/nw_consensus.hh"
 
 #include <algorithm>
 #include <array>

@@ -8,8 +8,7 @@
  * expected strand length, the x most indel-heavy columns are dropped.
  */
 
-#ifndef DNASTORE_RECONSTRUCTION_NW_CONSENSUS_HH
-#define DNASTORE_RECONSTRUCTION_NW_CONSENSUS_HH
+#pragma once
 
 #include "dna/align.hh"
 #include "reconstruction/reconstructor.hh"
@@ -56,4 +55,3 @@ class NwConsensusReconstructor : public Reconstructor
 
 } // namespace dnastore
 
-#endif // DNASTORE_RECONSTRUCTION_NW_CONSENSUS_HH

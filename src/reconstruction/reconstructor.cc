@@ -1,4 +1,4 @@
-#include "reconstructor.hh"
+#include "reconstruction/reconstructor.hh"
 
 #include "util/thread_pool.hh"
 

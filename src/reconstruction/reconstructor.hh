@@ -5,8 +5,7 @@
  * estimate of the original strand.
  */
 
-#ifndef DNASTORE_RECONSTRUCTION_RECONSTRUCTOR_HH
-#define DNASTORE_RECONSTRUCTION_RECONSTRUCTOR_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -51,4 +50,3 @@ reconstructAll(const Reconstructor &algo,
 
 } // namespace dnastore
 
-#endif // DNASTORE_RECONSTRUCTION_RECONSTRUCTOR_HH

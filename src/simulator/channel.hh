@@ -7,8 +7,7 @@
  * separately by CoverageModel so channels stay composable.
  */
 
-#ifndef DNASTORE_SIMULATOR_CHANNEL_HH
-#define DNASTORE_SIMULATOR_CHANNEL_HH
+#pragma once
 
 #include <string>
 
@@ -46,4 +45,3 @@ class PerfectChannel : public Channel
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_CHANNEL_HH

@@ -1,4 +1,4 @@
-#include "coverage.hh"
+#include "simulator/coverage.hh"
 
 #include <cmath>
 #include <stdexcept>

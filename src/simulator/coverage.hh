@@ -6,8 +6,7 @@
  * dropouts, which the decoder sees as erasures.
  */
 
-#ifndef DNASTORE_SIMULATOR_COVERAGE_HH
-#define DNASTORE_SIMULATOR_COVERAGE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -55,4 +54,3 @@ class CoverageModel
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_COVERAGE_HH

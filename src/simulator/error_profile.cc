@@ -1,4 +1,4 @@
-#include "error_profile.hh"
+#include "simulator/error_profile.hh"
 
 #include <algorithm>
 #include <cmath>

@@ -7,8 +7,7 @@
  * pipeline-level fidelity metric the paper argues for.
  */
 
-#ifndef DNASTORE_SIMULATOR_ERROR_PROFILE_HH
-#define DNASTORE_SIMULATOR_ERROR_PROFILE_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -64,4 +63,3 @@ double profileDeviation(const ReconstructionProfile &test,
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_ERROR_PROFILE_HH

@@ -1,4 +1,4 @@
-#include "iid_channel.hh"
+#include "simulator/iid_channel.hh"
 
 #include <stdexcept>
 

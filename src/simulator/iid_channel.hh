@@ -8,8 +8,7 @@
  * shows to be unrealistically easy to reconstruct from.
  */
 
-#ifndef DNASTORE_SIMULATOR_IID_CHANNEL_HH
-#define DNASTORE_SIMULATOR_IID_CHANNEL_HH
+#pragma once
 
 #include "simulator/channel.hh"
 
@@ -24,7 +23,7 @@ struct IidChannelConfig
     double p_substitution = 0.01;
 
     /** Split a total per-index error rate evenly across the 3 types. */
-    static IidChannelConfig
+    [[nodiscard]] static IidChannelConfig
     fromTotalErrorRate(double total)
     {
         return {total / 3.0, total / 3.0, total / 3.0};
@@ -51,4 +50,3 @@ class IidChannel : public Channel
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_IID_CHANNEL_HH

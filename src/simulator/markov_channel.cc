@@ -1,4 +1,4 @@
-#include "markov_channel.hh"
+#include "simulator/markov_channel.hh"
 
 #include <algorithm>
 #include <cmath>

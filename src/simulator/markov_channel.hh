@@ -8,8 +8,7 @@
  * quality spread — without sequence-level memory.
  */
 
-#ifndef DNASTORE_SIMULATOR_MARKOV_CHANNEL_HH
-#define DNASTORE_SIMULATOR_MARKOV_CHANNEL_HH
+#pragma once
 
 #include <array>
 #include <vector>
@@ -85,4 +84,3 @@ class MarkovChannel : public Channel
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_MARKOV_CHANNEL_HH

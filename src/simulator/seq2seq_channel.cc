@@ -1,4 +1,4 @@
-#include "seq2seq_channel.hh"
+#include "simulator/seq2seq_channel.hh"
 
 namespace dnastore
 {

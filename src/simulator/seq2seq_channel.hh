@@ -7,8 +7,7 @@
  * structure matches the training channel.
  */
 
-#ifndef DNASTORE_SIMULATOR_SEQ2SEQ_CHANNEL_HH
-#define DNASTORE_SIMULATOR_SEQ2SEQ_CHANNEL_HH
+#pragma once
 
 #include "nn/seq2seq.hh"
 #include "simulator/channel.hh"
@@ -61,4 +60,3 @@ class Seq2SeqChannel : public Channel
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_SEQ2SEQ_CHANNEL_HH

@@ -1,4 +1,4 @@
-#include "sequencing_run.hh"
+#include "simulator/sequencing_run.hh"
 
 #include <numeric>
 

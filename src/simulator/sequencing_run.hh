@@ -7,8 +7,7 @@
  * alongside for evaluating clustering and reconstruction.
  */
 
-#ifndef DNASTORE_SIMULATOR_SEQUENCING_RUN_HH
-#define DNASTORE_SIMULATOR_SEQUENCING_RUN_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -46,4 +45,3 @@ simulateSequencing(const std::vector<Strand> &strands, const Channel &channel,
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_SEQUENCING_RUN_HH

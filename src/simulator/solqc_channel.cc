@@ -1,4 +1,4 @@
-#include "solqc_channel.hh"
+#include "simulator/solqc_channel.hh"
 
 #include <stdexcept>
 

@@ -8,8 +8,7 @@
  * which our fidelity benchmark reproduces.
  */
 
-#ifndef DNASTORE_SIMULATOR_SOLQC_CHANNEL_HH
-#define DNASTORE_SIMULATOR_SOLQC_CHANNEL_HH
+#pragma once
 
 #include <array>
 
@@ -39,7 +38,7 @@ struct SolqcChannelConfig
     }};
 
     /** Scale all event probabilities so the mean total matches `total`. */
-    static SolqcChannelConfig fromTotalErrorRate(double total);
+    [[nodiscard]] static SolqcChannelConfig fromTotalErrorRate(double total);
 };
 
 /** Nucleotide-conditioned channel with pre-insertions only. */
@@ -60,4 +59,3 @@ class SolqcChannel : public Channel
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_SOLQC_CHANNEL_HH

@@ -1,4 +1,4 @@
-#include "virtual_wetlab.hh"
+#include "simulator/virtual_wetlab.hh"
 
 #include <algorithm>
 #include <cmath>

@@ -20,8 +20,7 @@
  *  - insertions are mostly stutter (duplications of the previous base).
  */
 
-#ifndef DNASTORE_SIMULATOR_VIRTUAL_WETLAB_HH
-#define DNASTORE_SIMULATOR_VIRTUAL_WETLAB_HH
+#pragma once
 
 #include "simulator/channel.hh"
 
@@ -73,4 +72,3 @@ class VirtualWetlabChannel : public Channel
 
 } // namespace dnastore
 
-#endif // DNASTORE_SIMULATOR_VIRTUAL_WETLAB_HH

@@ -1,4 +1,4 @@
-#include "args.hh"
+#include "util/args.hh"
 
 #include <stdexcept>
 

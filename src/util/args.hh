@@ -4,8 +4,7 @@
  * bench binaries ("--key=value" and "--flag" forms).
  */
 
-#ifndef DNASTORE_UTIL_ARGS_HH
-#define DNASTORE_UTIL_ARGS_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -53,4 +52,3 @@ class ArgParser
 
 } // namespace dnastore
 
-#endif // DNASTORE_UTIL_ARGS_HH

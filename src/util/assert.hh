@@ -18,8 +18,7 @@
  * returning std::optional / StageStatus for malformed data.
  */
 
-#ifndef DNASTORE_UTIL_ASSERT_HH
-#define DNASTORE_UTIL_ASSERT_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,4 +57,3 @@ assertFail(const char *cond, const char *msg, const char *file, int line)
 
 #define DNASTORE_DCHECK(cond, msg) DNASTORE_ASSERT(cond, msg)
 
-#endif // DNASTORE_UTIL_ASSERT_HH

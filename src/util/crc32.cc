@@ -1,4 +1,4 @@
-#include "crc32.hh"
+#include "util/crc32.hh"
 
 #include <array>
 
@@ -24,19 +24,13 @@ makeTable()
 } // namespace
 
 std::uint32_t
-crc32(const std::uint8_t *data, std::size_t size)
+crc32(std::span<const std::uint8_t> data)
 {
     static const auto table = makeTable();
     std::uint32_t crc = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < size; ++i)
-        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    for (const std::uint8_t byte : data)
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
     return crc ^ 0xFFFFFFFFu;
-}
-
-std::uint32_t
-crc32(const std::vector<std::uint8_t> &data)
-{
-    return crc32(data.data(), data.size());
 }
 
 } // namespace dnastore

@@ -4,22 +4,16 @@
  * decoded files.
  */
 
-#ifndef DNASTORE_UTIL_CRC32_HH
-#define DNASTORE_UTIL_CRC32_HH
+#pragma once
 
-#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <span>
 
 namespace dnastore
 {
 
 /** CRC-32 of a byte buffer (reflected, init/final 0xFFFFFFFF). */
-std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
-
-/** CRC-32 of a byte vector. */
-std::uint32_t crc32(const std::vector<std::uint8_t> &data);
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
 
 } // namespace dnastore
 
-#endif // DNASTORE_UTIL_CRC32_HH

@@ -1,4 +1,4 @@
-#include "logging.hh"
+#include "util/logging.hh"
 
 #include <atomic>
 #include <iostream>

@@ -4,8 +4,7 @@
  * keep table output clean.
  */
 
-#ifndef DNASTORE_UTIL_LOGGING_HH
-#define DNASTORE_UTIL_LOGGING_HH
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -71,4 +70,3 @@ logError(Args &&...args)
 
 } // namespace dnastore
 
-#endif // DNASTORE_UTIL_LOGGING_HH

@@ -1,4 +1,4 @@
-#include "random.hh"
+#include "util/random.hh"
 
 #include <cassert>
 #include <cmath>

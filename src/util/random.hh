@@ -10,8 +10,7 @@
  * library implementations.
  */
 
-#ifndef DNASTORE_UTIL_RANDOM_HH
-#define DNASTORE_UTIL_RANDOM_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -132,4 +131,3 @@ class Rng
 
 } // namespace dnastore
 
-#endif // DNASTORE_UTIL_RANDOM_HH

@@ -1,4 +1,4 @@
-#include "stats.hh"
+#include "util/stats.hh"
 
 #include <algorithm>
 #include <cmath>

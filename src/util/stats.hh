@@ -4,8 +4,7 @@
  * harness (error-rate profiles, signature distance distributions, ...).
  */
 
-#ifndef DNASTORE_UTIL_STATS_HH
-#define DNASTORE_UTIL_STATS_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -83,4 +82,3 @@ class Histogram
 
 } // namespace dnastore
 
-#endif // DNASTORE_UTIL_STATS_HH

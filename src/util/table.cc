@@ -1,4 +1,4 @@
-#include "table.hh"
+#include "util/table.hh"
 
 #include <algorithm>
 #include <cstdint>

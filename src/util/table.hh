@@ -5,8 +5,7 @@
  * use.
  */
 
-#ifndef DNASTORE_UTIL_TABLE_HH
-#define DNASTORE_UTIL_TABLE_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -58,4 +57,3 @@ class Table
 
 } // namespace dnastore
 
-#endif // DNASTORE_UTIL_TABLE_HH

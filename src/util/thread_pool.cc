@@ -1,4 +1,4 @@
-#include "thread_pool.hh"
+#include "util/thread_pool.hh"
 
 #include <algorithm>
 #include <exception>

@@ -5,8 +5,7 @@
  * data-parallel loops with exception propagation.
  */
 
-#ifndef DNASTORE_UTIL_THREAD_POOL_HH
-#define DNASTORE_UTIL_THREAD_POOL_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -119,4 +118,3 @@ class ThreadPool
 
 } // namespace dnastore
 
-#endif // DNASTORE_UTIL_THREAD_POOL_HH

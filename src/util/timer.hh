@@ -3,8 +3,7 @@
  * Wall-clock timing helpers used by the pipeline latency benchmarks.
  */
 
-#ifndef DNASTORE_UTIL_TIMER_HH
-#define DNASTORE_UTIL_TIMER_HH
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -62,4 +61,3 @@ class StageTimer
 
 } // namespace dnastore
 
-#endif // DNASTORE_UTIL_TIMER_HH

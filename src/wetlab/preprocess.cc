@@ -1,4 +1,4 @@
-#include "preprocess.hh"
+#include "wetlab/preprocess.hh"
 
 #include "dna/distance.hh"
 

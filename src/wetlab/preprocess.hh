@@ -8,8 +8,7 @@
  * primers; reads whose primers cannot be located are rejected.
  */
 
-#ifndef DNASTORE_WETLAB_PREPROCESS_HH
-#define DNASTORE_WETLAB_PREPROCESS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -63,4 +62,3 @@ readsToFastq(const std::vector<Strand> &reads,
 
 } // namespace dnastore
 
-#endif // DNASTORE_WETLAB_PREPROCESS_HH

@@ -1,0 +1,12 @@
+// Positive control for the drop_try_decode_number.cc compile-fail test:
+// the identical call with its result consumed must compile, proving the
+// negative case fails because of [[nodiscard]] and not a broken include
+// path or flag set.
+#include "dna/strand.hh"
+
+bool
+consumeDecodeResult(const dnastore::Strand &s)
+{
+    const auto value = dnastore::strand::tryDecodeNumber(s);
+    return value.has_value();
+}

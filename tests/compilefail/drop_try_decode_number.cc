@@ -1,0 +1,11 @@
+// Negative compile test for the dnalint R1 [[nodiscard]] contract:
+// dropping the result of strand::tryDecodeNumber must NOT compile under
+// the strict build (-Werror=unused-result).  tests/CMakeLists.txt
+// try_compile()s this file and fails the configure if it succeeds.
+#include "dna/strand.hh"
+
+void
+dropDecodeResult(const dnastore::Strand &s)
+{
+    dnastore::strand::tryDecodeNumber(s);
+}

@@ -155,7 +155,7 @@ TEST(Strand, EncodeNumberOverflowThrows)
 
 TEST(Strand, DecodeNumberRejectsBadChars)
 {
-    EXPECT_THROW(strand::decodeNumber("ACZ"), std::invalid_argument);
+    EXPECT_THROW((void)strand::decodeNumber("ACZ"), std::invalid_argument);
 }
 
 TEST(Strand, TryDecodeNumberEmptyStrandIsZero)
@@ -172,7 +172,7 @@ TEST(Strand, TryDecodeNumberRejectsOverflowLength)
     // trip and must be rejected rather than silently wrapped.
     const Strand too_long(33, 'A');
     EXPECT_FALSE(strand::tryDecodeNumber(too_long).has_value());
-    EXPECT_THROW(strand::decodeNumber(too_long), std::invalid_argument);
+    EXPECT_THROW((void)strand::decodeNumber(too_long), std::invalid_argument);
 
     const Strand max_width(32, 'T');
     const auto value = strand::tryDecodeNumber(max_width);

@@ -243,18 +243,54 @@ TEST(ReedSolomon, TooManyErasuresFails)
     EXPECT_FALSE(result.ok);
 }
 
+TEST(ReedSolomon, FailedDecodeReportsAttemptedErasures)
+{
+    // The failure result is part of the API contract: erasures counts
+    // the (deduplicated) positions the decoder attempted to fill, and
+    // errors stays 0 because no correction happened.
+    ReedSolomon rs(20, 16); // parity 4
+    Rng rng(11);
+    auto cw = rs.encode(randomMessage(rng, 16));
+    const std::vector<std::size_t> erasures = {0, 1, 2, 2, 3, 4, 5};
+    const auto result = rs.decode(cw, erasures);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.erasures, 6u);
+    EXPECT_EQ(result.errors, 0u);
+}
+
+TEST(ReedSolomon, FailureResultHasNoPhantomCorrections)
+{
+    // Beyond-capacity corruption with no erasure hints: whenever the
+    // decoder reports failure, both counters must be zero — a failed
+    // decode never claims to have fixed anything.
+    ReedSolomon rs(24, 18); // t = 3
+    Rng rng(23);
+    for (int trial = 0; trial < 32; ++trial) {
+        auto cw = rs.encode(randomMessage(rng, 18));
+        for (std::size_t i = 0; i < 7; ++i) // t + 4 errors
+            cw[(i * 3) % cw.size()] ^=
+                static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto result = rs.decode(cw);
+        if (!result.ok) {
+            EXPECT_EQ(result.errors, 0u);
+            EXPECT_EQ(result.erasures, 0u);
+        }
+    }
+}
+
 TEST(ReedSolomon, ErasurePositionsOutOfRangeThrow)
 {
     ReedSolomon rs(20, 16);
     std::vector<std::uint8_t> cw(20, 0);
-    EXPECT_THROW(rs.decode(cw, {20}), std::invalid_argument);
+    const std::vector<std::size_t> bad_erasure = {20};
+    EXPECT_THROW((void)rs.decode(cw, bad_erasure), std::invalid_argument);
 }
 
 TEST(ReedSolomon, WrongCodewordSizeThrows)
 {
     ReedSolomon rs(20, 16);
     std::vector<std::uint8_t> cw(19, 0);
-    EXPECT_THROW(rs.decode(cw), std::invalid_argument);
+    EXPECT_THROW((void)rs.decode(cw), std::invalid_argument);
 }
 
 TEST(ReedSolomon, DuplicateErasuresAreDeduplicated)
@@ -264,7 +300,8 @@ TEST(ReedSolomon, DuplicateErasuresAreDeduplicated)
     const auto clean = rs.encode(randomMessage(rng, 14));
     auto corrupted = clean;
     corrupted[3] ^= 0x55;
-    const auto result = rs.decode(corrupted, {3, 3, 3});
+    const std::vector<std::size_t> dup_erasures = {3, 3, 3};
+    const auto result = rs.decode(corrupted, dup_erasures);
     EXPECT_TRUE(result.ok);
     EXPECT_EQ(corrupted, clean);
     EXPECT_EQ(result.erasures, 1u);

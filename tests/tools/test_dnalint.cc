@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Unit tests for the dnalint rule engine (tools/dnalint), driven by
+ * fixture sources so every rule's positive and negative cases are
+ * pinned down without touching the real tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dnalint/dnalint.hh"
+
+namespace
+{
+
+using dnalint::AllRules;
+using dnalint::checkFile;
+using dnalint::checkProject;
+using dnalint::Finding;
+using dnalint::lex;
+using dnalint::LintContext;
+using dnalint::Token;
+using dnalint::TokenKind;
+
+std::vector<std::string>
+tokenTexts(const std::string &src)
+{
+    std::vector<std::string> texts;
+    for (const Token &tok : lex(src))
+        texts.push_back(tok.text);
+    return texts;
+}
+
+bool
+hasRule(const std::vector<Finding> &findings, dnalint::Rule rule)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [rule](const Finding &f) { return f.rule == rule; });
+}
+
+LintContext
+emptyContext()
+{
+    LintContext ctx;
+    ctx.selfcontain_harness_wired = true;
+    return ctx;
+}
+
+// ---------------------------------------------------------------- lexer
+
+TEST(DnalintLexer, StripsCommentsAndStrings)
+{
+    const std::string src = R"cpp(
+        int a; // comment with throw and mt19937
+        /* block comment
+           throw std::mt19937 */
+        const char *s = "throw mt19937";
+        char c = 't';
+        int b;
+    )cpp";
+    const auto texts = tokenTexts(src);
+    EXPECT_EQ(std::count(texts.begin(), texts.end(), "throw"), 0);
+    EXPECT_EQ(std::count(texts.begin(), texts.end(), "mt19937"), 0);
+    EXPECT_EQ(std::count(texts.begin(), texts.end(), "int"), 2);
+}
+
+TEST(DnalintLexer, StripsRawStrings)
+{
+    const std::string src =
+        "auto s = R\"(throw inside raw string)\"; int after;";
+    const auto texts = tokenTexts(src);
+    EXPECT_EQ(std::count(texts.begin(), texts.end(), "throw"), 0);
+    EXPECT_EQ(std::count(texts.begin(), texts.end(), "after"), 1);
+}
+
+TEST(DnalintLexer, FoldsPreprocessorDirectives)
+{
+    const std::string src = "#include \"dna/strand.hh\"\nint x;\n";
+    const auto tokens = lex(src);
+    ASSERT_FALSE(tokens.empty());
+    EXPECT_EQ(tokens[0].kind, TokenKind::Directive);
+    EXPECT_EQ(tokens[0].text, "#include \"dna/strand.hh\"");
+    EXPECT_EQ(tokens[0].line, 1u);
+}
+
+TEST(DnalintLexer, TracksLineNumbers)
+{
+    const auto tokens = lex("int a;\n\nint b;\n");
+    ASSERT_EQ(tokens.size(), 6u);
+    EXPECT_EQ(tokens[0].line, 1u);
+    EXPECT_EQ(tokens[3].line, 3u);
+}
+
+// ------------------------------------------------------- R1 nodiscard
+
+TEST(DnalintR1, FlagsUnannotatedFallibleApi)
+{
+    const std::string src = R"cpp(
+        #pragma once
+        namespace x {
+        std::optional<int> tryParse(const std::string &s);
+        }
+    )cpp";
+    const auto findings =
+        checkFile("src/x/y.hh", src, emptyContext(), AllRules);
+    ASSERT_TRUE(hasRule(findings, dnalint::R1_Nodiscard));
+    EXPECT_NE(findings[0].message.find("tryParse"), std::string::npos);
+}
+
+TEST(DnalintR1, AcceptsAnnotatedApi)
+{
+    const std::string src = R"cpp(
+        #pragma once
+        [[nodiscard]] std::optional<int> tryParse(const std::string &s);
+        [[nodiscard]] std::vector<std::uint8_t> decodeRow(int r);
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.hh", src, emptyContext()),
+                         dnalint::R1_Nodiscard));
+}
+
+TEST(DnalintR1, NestedTemplateReturnTypeIsADeclaration)
+{
+    const std::string src = R"cpp(
+        #pragma once
+        std::optional<std::vector<std::uint8_t>> tryToBytes(const S &s);
+    )cpp";
+    EXPECT_TRUE(hasRule(checkFile("src/x/y.hh", src, emptyContext()),
+                        dnalint::R1_Nodiscard));
+}
+
+TEST(DnalintR1, IgnoresVoidReturnsAndCallSites)
+{
+    const std::string src = R"cpp(
+        #pragma once
+        void encodeInto(std::vector<int> &out);
+        inline int consume(const S &s)
+        {
+            return helper::tryParse(s).value_or(0);
+        }
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.hh", src, emptyContext()),
+                         dnalint::R1_Nodiscard));
+}
+
+TEST(DnalintR1, IgnoresNonMatchingNamesAndNonSrcHeaders)
+{
+    const std::string plain = R"cpp(
+        #pragma once
+        int size() const;
+        double total() const;
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.hh", plain, emptyContext()),
+                         dnalint::R1_Nodiscard));
+
+    const std::string fallible = R"cpp(
+        #pragma once
+        std::optional<int> tryParse(const std::string &s);
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("tests/x/y.hh", fallible, emptyContext()),
+                         dnalint::R1_Nodiscard));
+}
+
+// --------------------------------------------------- R2 throw boundary
+
+TEST(DnalintR2, FlagsThrowOutsideWhitelist)
+{
+    const std::string src = R"cpp(
+        void f() { throw std::runtime_error("boom"); }
+    )cpp";
+    const auto findings = checkFile("src/x/y.cc", src, emptyContext());
+    ASSERT_TRUE(hasRule(findings, dnalint::R2_ThrowBoundary));
+    EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(DnalintR2, AcceptsWhitelistedFileAndNonSrcTrees)
+{
+    const std::string src = "void f() { throw 1; }\n";
+    LintContext ctx = emptyContext();
+    ctx.throw_allowlist.insert("src/x/y.cc");
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", src, ctx),
+                         dnalint::R2_ThrowBoundary));
+    // R2 scopes to src/: test code may throw freely.
+    EXPECT_FALSE(hasRule(checkFile("tests/x/y.cc", src, emptyContext()),
+                         dnalint::R2_ThrowBoundary));
+}
+
+TEST(DnalintR2, ThrowInCommentDoesNotCount)
+{
+    const std::string src = "// throws std::invalid_argument\nint x;\n";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", src, emptyContext()),
+                         dnalint::R2_ThrowBoundary));
+}
+
+TEST(DnalintR2, StaleWhitelistEntriesAreFlagged)
+{
+    LintContext ctx = emptyContext();
+    ctx.project_files = {"src/a.cc", "src/b.cc"};
+    ctx.throw_allowlist = {"src/a.cc", "src/b.cc", "src/gone.cc"};
+    // Only a.cc still throws.
+    const auto findings = checkProject(ctx, {"src/a.cc"});
+    // b.cc is stale (no throw), gone.cc is stale (missing).
+    EXPECT_EQ(std::count_if(findings.begin(), findings.end(),
+                            [](const Finding &f) {
+                                return f.rule == dnalint::R2_ThrowBoundary;
+                            }),
+              2);
+}
+
+// ------------------------------------------------ R3 self-containment
+
+TEST(DnalintR3, UnwiredHarnessIsFlagged)
+{
+    LintContext ctx;
+    ctx.selfcontain_harness_wired = false;
+    EXPECT_TRUE(hasRule(checkProject(ctx, {}), dnalint::R3_SelfContainment));
+    ctx.selfcontain_harness_wired = true;
+    EXPECT_FALSE(
+        hasRule(checkProject(ctx, {}), dnalint::R3_SelfContainment));
+}
+
+// ------------------------------------------------- R4 include hygiene
+
+TEST(DnalintR4, FlagsRelativeProjectInclude)
+{
+    LintContext ctx = emptyContext();
+    ctx.project_files = {"src/ecc/gf256.hh", "src/ecc/gf256.cc"};
+    const std::string src = "#include \"gf256.hh\"\n";
+    const auto findings = checkFile("src/ecc/gf256.cc", src, ctx);
+    ASSERT_TRUE(hasRule(findings, dnalint::R4_IncludeHygiene));
+    EXPECT_NE(findings[0].message.find("ecc/gf256.hh"), std::string::npos);
+}
+
+TEST(DnalintR4, AcceptsFullPathAndTopTreeIncludes)
+{
+    LintContext ctx = emptyContext();
+    ctx.project_files = {"src/ecc/gf256.hh", "tools/dnalint/dnalint.hh"};
+    EXPECT_FALSE(hasRule(
+        checkFile("src/ecc/gf256.cc", "#include \"ecc/gf256.hh\"\n", ctx),
+        dnalint::R4_IncludeHygiene));
+    // Non-src trees may also include from their own top directory.
+    EXPECT_FALSE(hasRule(checkFile("tools/dnalint/main.cc",
+                                   "#include \"dnalint/dnalint.hh\"\n", ctx),
+                         dnalint::R4_IncludeHygiene));
+    // tools/ is a global -I root like src/: resolvable from any tree.
+    EXPECT_FALSE(hasRule(checkFile("tests/tools/test_dnalint.cc",
+                                   "#include \"dnalint/dnalint.hh\"\n", ctx),
+                         dnalint::R4_IncludeHygiene));
+}
+
+TEST(DnalintR4, FlagsUnresolvableQuotedInclude)
+{
+    const auto findings = checkFile(
+        "src/x/y.cc", "#include \"no/such/file.hh\"\n", emptyContext());
+    EXPECT_TRUE(hasRule(findings, dnalint::R4_IncludeHygiene));
+    // Angle includes are system headers: out of scope.
+    EXPECT_FALSE(hasRule(
+        checkFile("src/x/y.cc", "#include <vector>\n", emptyContext()),
+        dnalint::R4_IncludeHygiene));
+}
+
+TEST(DnalintR4, HeadersMustOpenWithPragmaOnce)
+{
+    const std::string guarded = R"cpp(
+        #ifndef X_HH
+        #define X_HH
+        int x;
+        #endif // X_HH
+    )cpp";
+    const auto findings = checkFile("src/x/y.hh", guarded, emptyContext());
+    ASSERT_TRUE(hasRule(findings, dnalint::R4_IncludeHygiene));
+    EXPECT_NE(findings[0].message.find("#pragma once"), std::string::npos);
+
+    const std::string pragma = "#pragma once\nint x;\n";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.hh", pragma, emptyContext()),
+                         dnalint::R4_IncludeHygiene));
+    // Sources have no guard requirement.
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", "int x;\n", emptyContext()),
+                         dnalint::R4_IncludeHygiene));
+}
+
+// ----------------------------------------------------- R5 seed audit
+
+TEST(DnalintR5, FlagsAdHocRandomness)
+{
+    const std::string src = R"cpp(
+        #include <random>
+        std::mt19937 gen(std::random_device{}());
+        long t = time(NULL);
+    )cpp";
+    const auto findings = checkFile("tests/x/y.cc", src, emptyContext());
+    EXPECT_EQ(std::count_if(findings.begin(), findings.end(),
+                            [](const Finding &f) {
+                                return f.rule == dnalint::R5_SeedAudit;
+                            }),
+              3);
+}
+
+TEST(DnalintR5, RandomModuleAndLiteralsAreExempt)
+{
+    const std::string src = "std::mt19937 engine;\n";
+    EXPECT_FALSE(hasRule(checkFile("src/util/random.hh", src, emptyContext()),
+                         dnalint::R5_SeedAudit));
+    // Identifier inside a string literal: stripped by the lexer.
+    const std::string quoted = "const char *s = \"mt19937 rand\";\n";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", quoted, emptyContext()),
+                         dnalint::R5_SeedAudit));
+    // `random` (the project wrapper) is not a banned identifier.
+    const std::string wrapper = "Strand random(Rng &rng, std::size_t n);\n";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", wrapper, emptyContext()),
+                         dnalint::R5_SeedAudit));
+}
+
+// ------------------------------------------------------------- output
+
+TEST(DnalintFormat, RendersPathLineRuleMessage)
+{
+    const Finding finding{"src/a.cc", 12, dnalint::R2_ThrowBoundary, "msg"};
+    EXPECT_EQ(dnalint::format(finding), "src/a.cc:12: [R2] msg");
+    const Finding project{"", 0, dnalint::R3_SelfContainment, "msg"};
+    EXPECT_EQ(dnalint::format(project), "(project):0: [R3] msg");
+}
+
+} // namespace

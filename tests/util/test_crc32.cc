@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 
 #include "util/crc32.hh"
@@ -40,7 +41,7 @@ TEST(Crc32, SensitiveToSingleBit)
 TEST(Crc32, PointerAndVectorAgree)
 {
     const auto data = bytes("agreement");
-    EXPECT_EQ(crc32(data), crc32(data.data(), data.size()));
+    EXPECT_EQ(crc32(data), crc32(std::span(data.data(), data.size())));
 }
 
 } // namespace

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Coverage runner: instrumented build + test run + per-module line
+# coverage table with a checked-in ratchet (coverage can only go up).
+#
+# Usage:
+#   tools/coverage.sh [--strict] [--update] [--build-dir DIR] [--jobs N]
+#
+#   --strict     fail (instead of SKIP) when coverage tooling is missing
+#   --update     raise the ratchet floors in tools/coverage_ratchet.txt
+#                to the measured values (minus a small slack)
+#
+# With a Clang toolchain the source-based llvm-cov pipeline is used
+# (llvm-profdata + llvm-cov export); with GCC, gcov's JSON output.  The
+# aggregation and ratchet check live in tools/coverage_report.py.
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+STRICT=0
+UPDATE=0
+BUILD_DIR="build-cov"
+JOBS="$(nproc 2> /dev/null || echo 4)"
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --strict) STRICT=1 ;;
+        --update) UPDATE=1 ;;
+        --build-dir)
+            shift
+            BUILD_DIR="${1:?--build-dir needs an argument}"
+            ;;
+        --jobs)
+            shift
+            JOBS="${1:?--jobs needs an argument}"
+            ;;
+        -h | --help)
+            sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0
+            ;;
+        *)
+            echo "coverage.sh: unknown argument: $1" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+skip_or_fail() {
+    if [ "$STRICT" -eq 1 ]; then
+        echo "coverage.sh: ERROR: $1 (required with --strict)" >&2
+        exit 1
+    fi
+    echo "coverage.sh: SKIP: $1"
+    exit 0
+}
+
+command -v python3 > /dev/null 2>&1 || skip_or_fail "python3 not found"
+
+# Configure + build an instrumented tree (benchmarks and examples add
+# nothing to the measured suite).
+cmake -B "$BUILD_DIR" -S . \
+    -DDNASTORE_COVERAGE=ON \
+    -DDNASTORE_BUILD_BENCH=OFF \
+    -DDNASTORE_BUILD_EXAMPLES=OFF > /dev/null || exit 1
+cmake --build "$BUILD_DIR" -j "$JOBS" > /dev/null || exit 1
+
+COMPILER_ID="$(sed -n 's/^CMAKE_CXX_COMPILER_ID[^=]*=//p' \
+    "$BUILD_DIR/CMakeCache.txt" 2> /dev/null)"
+# CMAKE_CXX_COMPILER_ID is not cached by default; sniff the compiler.
+if [ -z "$COMPILER_ID" ]; then
+    CXX_BIN="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+        "$BUILD_DIR/CMakeCache.txt")"
+    case "$("$CXX_BIN" --version 2> /dev/null | head -1)" in
+        *clang*) COMPILER_ID="Clang" ;;
+        *) COMPILER_ID="GNU" ;;
+    esac
+fi
+
+if [ "$COMPILER_ID" = "Clang" ]; then
+    command -v llvm-profdata > /dev/null 2>&1 ||
+        skip_or_fail "llvm-profdata not found"
+    command -v llvm-cov > /dev/null 2>&1 ||
+        skip_or_fail "llvm-cov not found"
+    MODE="llvm"
+    export LLVM_PROFILE_FILE="$REPO_ROOT/$BUILD_DIR/profiles/%p.profraw"
+else
+    command -v gcov > /dev/null 2>&1 || skip_or_fail "gcov not found"
+    MODE="gcov"
+fi
+
+ctest --test-dir "$BUILD_DIR" -j "$JOBS" --output-on-failure > /dev/null ||
+    {
+        echo "coverage.sh: test suite failed in the instrumented build" >&2
+        exit 1
+    }
+
+ARGS=(--mode "$MODE" --build-dir "$BUILD_DIR" --src-root "$REPO_ROOT/src" \
+    --ratchet "$REPO_ROOT/tools/coverage_ratchet.txt")
+if [ "$UPDATE" -eq 1 ]; then
+    ARGS+=(--update)
+fi
+# Keep a copy of the table next to the build tree (CI uploads it as an
+# artifact); the ratchet verdict is the script's own exit status.
+python3 tools/coverage_report.py "${ARGS[@]}" |
+    tee "$BUILD_DIR/coverage-report.txt"
+exit "${PIPESTATUS[0]}"

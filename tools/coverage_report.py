@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Per-module line-coverage table with a checked-in ratchet.
+
+Consumes coverage data from an instrumented build (DNASTORE_COVERAGE=ON)
+after the test suite has run, aggregates line coverage per module
+(src/<module>/), prints a table, and enforces tools/coverage_ratchet.txt:
+every module (and the total) must stay at or above its recorded floor,
+so coverage can only go up.
+
+Two collection modes:
+  gcov  GCC builds: walks BUILD_DIR for .gcda files and parses
+        `gcov --json-format --stdout` output, merging per-line execution
+        counts across translation units (a header's inline code is
+        instrumented in many TUs).
+  llvm  Clang builds: merges .profraw profiles with llvm-profdata and
+        reads `llvm-cov export -summary-only` JSON over the test
+        binaries.
+
+Exit status: 0 when all floors hold (after printing the table), 1 when
+a module fell below its floor, 2 on usage/environment errors.
+"""
+
+import argparse
+import glob
+import gzip
+import json
+import os
+import subprocess
+import sys
+
+
+def run(cmd, **kwargs):
+    result = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, **kwargs)
+    if result.returncode != 0:
+        sys.stderr.write(
+            f"coverage_report: {' '.join(cmd[:2])} failed:\n"
+            + result.stderr.decode(errors="replace")[:2000])
+        sys.exit(2)
+    return result.stdout
+
+
+def collect_gcov(build_dir, src_root):
+    """Per-file {line: max_count} maps from every .gcda in the build."""
+    per_file = {}
+    gcda = [os.path.join(dirpath, name)
+            for dirpath, _, names in os.walk(build_dir)
+            for name in names if name.endswith(".gcda")]
+    if not gcda:
+        sys.stderr.write(
+            "coverage_report: no .gcda files found; build with "
+            "-DDNASTORE_COVERAGE=ON and run the tests first\n")
+        sys.exit(2)
+    for path in gcda:
+        out = run(["gcov", "--json-format", "--stdout", path],
+                  cwd=os.path.dirname(path))
+        # --stdout emits one JSON document per .gcno processed.
+        for line in out.splitlines():
+            if not line.startswith(b"{"):
+                continue
+            doc = json.loads(line)
+            for entry in doc.get("files", []):
+                source = entry["file"]
+                if not os.path.isabs(source):
+                    source = os.path.normpath(
+                        os.path.join(os.path.dirname(path), source))
+                if not source.startswith(src_root + os.sep):
+                    continue
+                rel = os.path.relpath(source, src_root)
+                lines = per_file.setdefault(rel, {})
+                for rec in entry.get("lines", []):
+                    num = rec["line_number"]
+                    lines[num] = max(lines.get(num, 0), rec["count"])
+    return per_file
+
+
+def collect_llvm(build_dir, src_root):
+    """Same shape as collect_gcov, from llvm-cov export JSON."""
+    profraw = glob.glob(os.path.join(build_dir, "**", "*.profraw"),
+                        recursive=True)
+    if not profraw:
+        sys.stderr.write(
+            "coverage_report: no .profraw files; run ctest with "
+            "LLVM_PROFILE_FILE set (see tools/coverage.sh)\n")
+        sys.exit(2)
+    profdata = os.path.join(build_dir, "coverage.profdata")
+    run(["llvm-profdata", "merge", "-sparse", "-o", profdata] + profraw)
+
+    binaries = []
+    for dirpath, _, names in os.walk(build_dir):
+        for name in names:
+            path = os.path.join(dirpath, name)
+            if (os.access(path, os.X_OK) and not os.path.islink(path)
+                    and "CMakeFiles" not in path
+                    and (name.startswith("test_") or name == "dnastore")):
+                binaries.append(path)
+    if not binaries:
+        sys.stderr.write("coverage_report: no instrumented binaries\n")
+        sys.exit(2)
+    cmd = ["llvm-cov", "export", "-instr-profile", profdata,
+           binaries[0]]
+    for extra in binaries[1:]:
+        cmd += ["-object", extra]
+    doc = json.loads(run(cmd))
+
+    per_file = {}
+    for data in doc.get("data", []):
+        for entry in data.get("files", []):
+            source = entry["filename"]
+            if not source.startswith(src_root + os.sep):
+                continue
+            rel = os.path.relpath(source, src_root)
+            lines = per_file.setdefault(rel, {})
+            # Segment format: [line, col, count, has_count, is_entry, ...]
+            for seg in entry.get("segments", []):
+                line, _, count, has_count = seg[0], seg[1], seg[2], seg[3]
+                if has_count:
+                    lines[line] = max(lines.get(line, 0), count)
+    return per_file
+
+
+def module_of(rel_path):
+    return rel_path.split(os.sep)[0] if os.sep in rel_path else "(top)"
+
+
+def aggregate(per_file):
+    modules = {}
+    for rel, lines in per_file.items():
+        total, covered = len(lines), sum(1 for c in lines.values() if c > 0)
+        stats = modules.setdefault(module_of(rel), [0, 0])
+        stats[0] += total
+        stats[1] += covered
+    return modules
+
+
+def load_ratchet(path):
+    floors = {}
+    if not os.path.exists(path):
+        return floors
+    with open(path) as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            name, value = line.split()
+            floors[name] = float(value)
+    return floors
+
+
+def save_ratchet(path, floors):
+    with open(path, "w") as fh:
+        fh.write(
+            "# Per-module line-coverage floors (percent), enforced by\n"
+            "# tools/coverage.sh: measured coverage must be >= the floor,\n"
+            "# so coverage can only go up.  Regenerate with\n"
+            "# `tools/coverage.sh --update` after genuinely raising\n"
+            "# coverage; floors carry a small slack below the measured\n"
+            "# value to absorb gcov/llvm-cov accounting differences.\n")
+        for name in sorted(floors):
+            fh.write(f"{name} {floors[name]:.1f}\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=["gcov", "llvm"], required=True)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--src-root", required=True,
+                        help="absolute path of the src/ directory")
+    parser.add_argument("--ratchet", required=True)
+    parser.add_argument("--update", action="store_true",
+                        help="raise floors to the measured values")
+    parser.add_argument("--slack", type=float, default=2.0,
+                        help="floor slack (percentage points) on --update")
+    args = parser.parse_args()
+
+    src_root = os.path.abspath(args.src_root)
+    collect = collect_gcov if args.mode == "gcov" else collect_llvm
+    modules = aggregate(collect(os.path.abspath(args.build_dir), src_root))
+
+    total = [sum(m[0] for m in modules.values()),
+             sum(m[1] for m in modules.values())]
+    floors = load_ratchet(args.ratchet)
+
+    def pct(stats):
+        return 100.0 * stats[1] / stats[0] if stats[0] else 100.0
+
+    failures = []
+    print(f"{'module':<16} {'lines':>7} {'covered':>8} {'%':>6}  floor")
+    for name in sorted(modules):
+        stats = modules[name]
+        floor = floors.get(name)
+        measured = pct(stats)
+        mark = ""
+        if floor is not None and measured < floor:
+            failures.append((name, measured, floor))
+            mark = "  << below floor"
+        floor_text = f"{floor:.1f}" if floor is not None else "-"
+        print(f"{name:<16} {stats[0]:>7} {stats[1]:>8} "
+              f"{measured:>6.1f}  {floor_text}{mark}")
+    measured_total = pct(total)
+    floor = floors.get("total")
+    mark = ""
+    if floor is not None and measured_total < floor:
+        failures.append(("total", measured_total, floor))
+        mark = "  << below floor"
+    floor_text = f"{floor:.1f}" if floor is not None else "-"
+    print(f"{'total':<16} {total[0]:>7} {total[1]:>8} "
+          f"{measured_total:>6.1f}  {floor_text}{mark}")
+
+    if args.update:
+        for name, stats in modules.items():
+            candidate = max(0.0, pct(stats) - args.slack)
+            floors[name] = max(floors.get(name, 0.0), candidate)
+        floors["total"] = max(floors.get("total", 0.0),
+                              max(0.0, measured_total - args.slack))
+        save_ratchet(args.ratchet, floors)
+        print(f"coverage_report: ratchet updated: {args.ratchet}")
+        return 0
+
+    if failures:
+        for name, measured, floor in failures:
+            sys.stderr.write(
+                f"coverage_report: {name} coverage {measured:.1f}% fell "
+                f"below the ratchet floor {floor:.1f}%\n")
+        return 1
+    print("coverage_report: all ratchet floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,617 @@
+#include "dnalint/dnalint.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace dnalint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** Two-character punctuators the rules care about keeping atomic. */
+bool
+isTwoCharPunct(char a, char b)
+{
+    static constexpr std::array<const char *, 12> kPairs = {
+        "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "[[",
+        "]]"};
+    return std::any_of(kPairs.begin(), kPairs.end(),
+                       [a, b](const char *p) {
+                           return p[0] == a && p[1] == b;
+                       });
+}
+
+/** True when the only characters on the line before @p pos are blanks. */
+bool
+atLineStart(const std::string &s, std::size_t pos)
+{
+    while (pos > 0) {
+        const char c = s[pos - 1];
+        if (c == '\n')
+            return true;
+        if (c != ' ' && c != '\t')
+            return false;
+        --pos;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &content)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    std::size_t line = 1;
+    const std::size_t n = content.size();
+
+    auto peek = [&](std::size_t ahead) -> char {
+        return i + ahead < n ? content[i + ahead] : '\0';
+    };
+
+    while (i < n) {
+        const char c = content[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && content[i] != '\n')
+                ++i;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(content[i] == '*' && peek(1) == '/')) {
+                if (content[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = std::min(i + 2, n);
+            continue;
+        }
+        // Preprocessor directive: fold the whole logical line.
+        if (c == '#' && atLineStart(content, i)) {
+            Token tok{TokenKind::Directive, "", line};
+            while (i < n) {
+                if (content[i] == '\\' && peek(1) == '\n') {
+                    tok.text += ' ';
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (content[i] == '\n')
+                    break;
+                // Strip line comments inside the directive.
+                if (content[i] == '/' && peek(1) == '/') {
+                    while (i < n && content[i] != '\n')
+                        ++i;
+                    break;
+                }
+                tok.text += content[i];
+                ++i;
+            }
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        // Raw string literal: (u8|u|U|L)?R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"' &&
+            (tokens.empty() || tokens.back().text != "#include")) {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && content[j] != '(' && delim.size() < 16)
+                delim += content[j++];
+            const std::string close = ")" + delim + "\"";
+            std::size_t end = content.find(close, j);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += close.size();
+            line += static_cast<std::size_t>(
+                std::count(content.begin() + static_cast<std::ptrdiff_t>(i),
+                           content.begin() + static_cast<std::ptrdiff_t>(
+                                                 std::min(end, n)),
+                           '\n'));
+            i = end;
+            continue;
+        }
+        // String / character literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < n && content[i] != quote) {
+                if (content[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (content[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            ++i; // closing quote
+            continue;
+        }
+        if (isIdentStart(c)) {
+            Token tok{TokenKind::Identifier, "", line};
+            while (i < n && isIdentChar(content[i]))
+                tok.text += content[i++];
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            Token tok{TokenKind::Number, "", line};
+            while (i < n &&
+                   (isIdentChar(content[i]) || content[i] == '.' ||
+                    content[i] == '\'')) {
+                const char d = content[i];
+                tok.text += d;
+                ++i;
+                if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i < n &&
+                    (content[i] == '+' || content[i] == '-'))
+                    tok.text += content[i++];
+            }
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        // Punctuation.
+        Token tok{TokenKind::Punct, "", line};
+        if (isTwoCharPunct(c, peek(1))) {
+            tok.text = {c, peek(1)};
+            i += 2;
+        } else {
+            tok.text = {c};
+            ++i;
+        }
+        tokens.push_back(std::move(tok));
+    }
+    return tokens;
+}
+
+const std::vector<RuleInfo> &
+ruleTable()
+{
+    static const std::vector<RuleInfo> kTable = {
+        {R1_Nodiscard, "R1",
+         "value-returning try*/decode*/encode*/to*/from*/make*/create* "
+         "APIs in src/ public headers must be [[nodiscard]]"},
+        {R2_ThrowBoundary, "R2",
+         "`throw` only in whitelisted boundary files "
+         "(tools/dnalint_throw_allowlist.txt); stale entries flagged"},
+        {R3_SelfContainment, "R3",
+         "header self-containment harness "
+         "(cmake/HeaderSelfContainment.cmake) must be wired into the "
+         "top-level build"},
+        {R4_IncludeHygiene, "R4",
+         "project headers included by full path from src/; headers open "
+         "with #pragma once"},
+        {R5_SeedAudit, "R5",
+         "no ad-hoc randomness (rand/srand/mt19937/random_device/"
+         "time(NULL)) outside src/util/random"},
+    };
+    return kTable;
+}
+
+const char *
+ruleName(Rule rule)
+{
+    for (const RuleInfo &info : ruleTable()) {
+        if (info.rule == rule)
+            return info.name;
+    }
+    return "R?";
+}
+
+std::string
+format(const Finding &finding)
+{
+    std::string out = finding.file.empty() ? "(project)" : finding.file;
+    out += ':';
+    out += std::to_string(finding.line);
+    out += ": [";
+    out += ruleName(finding.rule);
+    out += "] ";
+    out += finding.message;
+    return out;
+}
+
+namespace
+{
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const std::string suf = suffix;
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+bool
+isHeaderPath(const std::string &rel_path)
+{
+    return endsWith(rel_path, ".hh") || endsWith(rel_path, ".h");
+}
+
+/** First path component ("src" for "src/ecc/gf256.hh"). */
+std::string
+topDir(const std::string &rel_path)
+{
+    const std::size_t slash = rel_path.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : rel_path.substr(0, slash);
+}
+
+/** True for names the R1 fallible-API pattern covers. */
+bool
+isFallibleApiName(const std::string &name)
+{
+    static constexpr std::array<const char *, 7> kPrefixes = {
+        "try", "decode", "encode", "to", "from", "make", "create"};
+    for (const char *prefix : kPrefixes) {
+        const std::size_t len = std::char_traits<char>::length(prefix);
+        if (name.size() < len || name.compare(0, len, prefix) != 0)
+            continue;
+        // Exact match ("decode") or camelCase continuation
+        // ("tryToBytes"); "total"/"tolerance" style names stay exempt.
+        if (name.size() == len)
+            return true;
+        if (std::isupper(static_cast<unsigned char>(name[len])) != 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+isDeclKeyword(const std::string &t)
+{
+    static const std::set<std::string> kKeywords = {
+        "virtual", "static",    "inline", "constexpr", "consteval",
+        "explicit", "friend",   "extern", "typename",  "const",
+        "volatile", "unsigned", "signed", "struct",    "class",
+        "enum",     "mutable"};
+    return kKeywords.count(t) != 0;
+}
+
+/** Tokens that terminate the backwards scan for a declaration start. */
+bool
+isDeclBoundary(const std::vector<Token> &tokens, std::size_t j)
+{
+    const Token &tok = tokens[j];
+    if (tok.kind == TokenKind::Directive)
+        return true;
+    if (tok.kind != TokenKind::Punct)
+        return false;
+    if (tok.text == ";" || tok.text == "{" || tok.text == "}")
+        return true;
+    if (tok.text == ":" && j > 0 &&
+        (tokens[j - 1].text == "public" || tokens[j - 1].text == "private" ||
+         tokens[j - 1].text == "protected"))
+        return true;
+    return false;
+}
+
+void
+checkNodiscard(const std::string &rel_path, const std::vector<Token> &tokens,
+               std::vector<Finding> &findings)
+{
+    static const std::set<std::string> kCallPrev = {
+        "return", "throw", "new",  "case", "goto", "=",  "(",  ",",
+        ".",      "->",    "::",   "!",    "&&",   "||", "?",  ":",
+        "+",      "-",     "/",    "%",    "<",    "<=", ">=", "==",
+        "!=",     "<<",    "[",    "{",    ";"};
+
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.kind != TokenKind::Identifier ||
+            !isFallibleApiName(tok.text) || tokens[i + 1].text != "(")
+            continue;
+
+        // A declaration's name is preceded by its return type (an
+        // identifier, '>', '&' or '*'); anything else is a call site or
+        // expression, which R1 leaves to the compiler.
+        if (i == 0)
+            continue;
+        const Token &prev = tokens[i - 1];
+        if (kCallPrev.count(prev.text) != 0)
+            continue;
+        // ">>" closes nested template arguments, e.g.
+        // optional<vector<uint8_t>> tryToBytes(...).
+        if (prev.kind != TokenKind::Identifier && prev.text != ">" &&
+            prev.text != ">>" && prev.text != "&" && prev.text != "*" &&
+            prev.text != "]]")
+            continue;
+        if (prev.kind == TokenKind::Identifier && isDeclKeyword(prev.text) &&
+            prev.text != "unsigned" && prev.text != "signed" &&
+            prev.text != "const")
+            continue;
+
+        // Scan back to the start of the declaration.
+        std::size_t start = i;
+        while (start > 0 && !isDeclBoundary(tokens, start - 1))
+            --start;
+
+        bool has_nodiscard = false;
+        bool returns_void = false;
+        for (std::size_t j = start; j < i; ++j) {
+            if (tokens[j].text == "nodiscard")
+                has_nodiscard = true;
+            if (tokens[j].text == "void") {
+                // void* / void& would still return a value.
+                returns_void = true;
+                for (std::size_t p = j + 1; p < i; ++p) {
+                    if (tokens[p].text == "*" || tokens[p].text == "&")
+                        returns_void = false;
+                }
+            }
+            // Type aliases and macro bodies are not declarations.
+            if (tokens[j].text == "using" || tokens[j].text == "typedef")
+                returns_void = true;
+        }
+        if (has_nodiscard || returns_void)
+            continue;
+
+        findings.push_back(
+            {rel_path, tok.line, R1_Nodiscard,
+             "'" + tok.text +
+                 "' returns a value and matches the fallible-API pattern; "
+                 "declare it [[nodiscard]] so callers cannot drop the "
+                 "result"});
+    }
+}
+
+void
+checkThrow(const std::string &rel_path, const std::vector<Token> &tokens,
+           const LintContext &ctx, std::vector<Finding> &findings,
+           std::set<std::string> *throw_files)
+{
+    if (!startsWith(rel_path, "src/"))
+        return;
+    bool has_throw = false;
+    for (const Token &tok : tokens) {
+        if (tok.kind != TokenKind::Identifier || tok.text != "throw")
+            continue;
+        has_throw = true;
+        if (ctx.throw_allowlist.count(rel_path) == 0) {
+            findings.push_back(
+                {rel_path, tok.line, R2_ThrowBoundary,
+                 "`throw` outside the boundary whitelist; return a "
+                 "StageStatus/std::optional failure instead, or add the "
+                 "file to tools/dnalint_throw_allowlist.txt with a "
+                 "justification"});
+        }
+    }
+    if (has_throw && throw_files != nullptr)
+        throw_files->insert(rel_path);
+}
+
+/** Trim and squeeze directive whitespace: "#  pragma  once" -> tokens. */
+std::vector<std::string>
+directiveWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    for (const char c : text) {
+        if (c == ' ' || c == '\t') {
+            if (!cur.empty())
+                words.push_back(std::move(cur));
+            cur.clear();
+        } else if (c == '#' && words.empty() && cur.empty()) {
+            words.emplace_back("#");
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        words.push_back(std::move(cur));
+    return words;
+}
+
+/** Extract the quoted path of an #include "..." directive ("" if none). */
+std::string
+quotedIncludePath(const std::string &directive)
+{
+    const std::size_t open = directive.find('"');
+    if (open == std::string::npos)
+        return "";
+    const std::size_t close = directive.find('"', open + 1);
+    if (close == std::string::npos)
+        return "";
+    return directive.substr(open + 1, close - open - 1);
+}
+
+void
+checkIncludeHygiene(const std::string &rel_path,
+                    const std::vector<Token> &tokens, const LintContext &ctx,
+                    std::vector<Finding> &findings)
+{
+    const std::string top = topDir(rel_path);
+    const std::string dir =
+        rel_path.substr(0, rel_path.find_last_of('/') + 1);
+
+    bool saw_directive = false;
+    bool pragma_once_first = false;
+    for (const Token &tok : tokens) {
+        if (tok.kind != TokenKind::Directive)
+            continue;
+        const std::vector<std::string> words = directiveWords(tok.text);
+        if (words.size() < 2 || words[0] != "#")
+            continue;
+
+        if (!saw_directive) {
+            saw_directive = true;
+            pragma_once_first = words[1] == "pragma" && words.size() >= 3 &&
+                                words[2] == "once";
+            if (isHeaderPath(rel_path) && !pragma_once_first) {
+                const bool guard = words[1] == "ifndef";
+                findings.push_back(
+                    {rel_path, tok.line, R4_IncludeHygiene,
+                     guard ? "header uses an #ifndef include guard; the "
+                             "project convention is #pragma once as the "
+                             "first directive"
+                           : "header must open with #pragma once before "
+                             "any other directive"});
+            }
+        }
+
+        if (words[1] != "include")
+            continue;
+        const std::string inc = quotedIncludePath(tok.text);
+        if (inc.empty())
+            continue; // angle include: system header, out of scope
+        // src/ and tools/ are the build's global -I roots; any tree may
+        // include from them by root-relative path.
+        if (ctx.project_files.count("src/" + inc) != 0 ||
+            ctx.project_files.count("tools/" + inc) != 0)
+            continue;
+        if (!top.empty() && top != "src" &&
+            ctx.project_files.count(top + "/" + inc) != 0)
+            continue;
+        if (ctx.project_files.count(dir + inc) != 0) {
+            findings.push_back(
+                {rel_path, tok.line, R4_IncludeHygiene,
+                 "include \"" + inc + "\" is relative to the including "
+                 "file; include project headers by their full path (\"" +
+                     dir.substr(top == "src" ? 4 : top.size() + 1) + inc +
+                     "\")"});
+        } else {
+            findings.push_back(
+                {rel_path, tok.line, R4_IncludeHygiene,
+                 "quoted include \"" + inc +
+                     "\" does not resolve to a first-party file (use "
+                     "<...> for system headers)"});
+        }
+    }
+
+    if (isHeaderPath(rel_path) && !saw_directive) {
+        findings.push_back({rel_path, 1, R4_IncludeHygiene,
+                            "header must open with #pragma once"});
+    }
+}
+
+void
+checkSeedAudit(const std::string &rel_path, const std::vector<Token> &tokens,
+               std::vector<Finding> &findings)
+{
+    // The one seeded randomness source; everything else must go through
+    // its Rng so a run reproduces from a single 64-bit seed.
+    if (startsWith(rel_path, "src/util/random"))
+        return;
+
+    static const std::set<std::string> kBanned = {
+        "rand",          "srand",        "drand48",      "lrand48",
+        "random_device", "mt19937",      "mt19937_64",   "minstd_rand",
+        "minstd_rand0",  "ranlux24",     "ranlux48",     "random_shuffle",
+        "default_random_engine"};
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+        if (kBanned.count(tok.text) != 0) {
+            findings.push_back(
+                {rel_path, tok.line, R5_SeedAudit,
+                 "ad-hoc randomness '" + tok.text +
+                     "' outside src/util/random; draw from the seeded "
+                     "dnastore::Rng instead"});
+        }
+        // time(NULL) / time(nullptr) wall-clock seeding.
+        if (tok.text == "time" && i + 2 < tokens.size() &&
+            tokens[i + 1].text == "(" &&
+            (tokens[i + 2].text == "NULL" ||
+             tokens[i + 2].text == "nullptr")) {
+            findings.push_back(
+                {rel_path, tok.line, R5_SeedAudit,
+                 "wall-clock seeding via time(...); runs must reproduce "
+                 "from the explicit 64-bit seed"});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+checkFile(const std::string &rel_path, const std::string &content,
+          const LintContext &ctx, unsigned rules,
+          std::set<std::string> *throw_files)
+{
+    const std::vector<Token> tokens = lex(content);
+    std::vector<Finding> findings;
+
+    if ((rules & R1_Nodiscard) != 0 && startsWith(rel_path, "src/") &&
+        isHeaderPath(rel_path))
+        checkNodiscard(rel_path, tokens, findings);
+    if ((rules & R2_ThrowBoundary) != 0)
+        checkThrow(rel_path, tokens, ctx, findings, throw_files);
+    if ((rules & R4_IncludeHygiene) != 0)
+        checkIncludeHygiene(rel_path, tokens, ctx, findings);
+    if ((rules & R5_SeedAudit) != 0)
+        checkSeedAudit(rel_path, tokens, findings);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.line < b.line;
+              });
+    return findings;
+}
+
+std::vector<Finding>
+checkProject(const LintContext &ctx, const std::set<std::string> &throw_files,
+             unsigned rules)
+{
+    std::vector<Finding> findings;
+
+    if ((rules & R2_ThrowBoundary) != 0) {
+        for (const std::string &entry : ctx.throw_allowlist) {
+            if (ctx.project_files.count(entry) == 0) {
+                findings.push_back(
+                    {"", 0, R2_ThrowBoundary,
+                     "throw whitelist entry '" + entry +
+                         "' does not name a project file; remove the "
+                         "stale entry"});
+            } else if (throw_files.count(entry) == 0) {
+                findings.push_back(
+                    {"", 0, R2_ThrowBoundary,
+                     "throw whitelist entry '" + entry +
+                         "' no longer contains `throw`; remove the stale "
+                         "entry so the boundary stays tight"});
+            }
+        }
+    }
+
+    if ((rules & R3_SelfContainment) != 0 && !ctx.selfcontain_harness_wired) {
+        findings.push_back(
+            {"", 0, R3_SelfContainment,
+             "header self-containment harness is not wired: "
+             "cmake/HeaderSelfContainment.cmake must exist and be "
+             "included from the top-level CMakeLists.txt"});
+    }
+
+    return findings;
+}
+
+} // namespace dnalint

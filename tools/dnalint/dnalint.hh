@@ -1,0 +1,138 @@
+/**
+ * @file
+ * dnalint: project-contract static analysis for the DNA storage toolkit.
+ *
+ * A compile_commands-driven checker with its own lightweight C++ lexer
+ * (no libclang dependency) that enforces contracts clang-tidy cannot
+ * express:
+ *
+ *   R1  every value-returning function whose name carries a fallible-
+ *       API prefix (try, decode, encode, to, from, make, create) and is
+ *       declared in a public header under src/ must be [[nodiscard]],
+ *       so a caller cannot silently drop a failure result;
+ *   R2  the `throw` keyword appears only in a whitelisted set of
+ *       boundary files under src/, keeping the Pipeline::run no-throw
+ *       StageStatus taxonomy sound (stale whitelist entries are also
+ *       reported);
+ *   R3  the header self-containment harness
+ *       (cmake/HeaderSelfContainment.cmake) is wired into the build, so
+ *       every header under src/ compiles as a standalone TU;
+ *   R4  include hygiene: project headers are included by their full
+ *       path from src/ (or from the including tree's top-level
+ *       directory), quoted includes resolve to first-party files, and
+ *       every header opens with `#pragma once`;
+ *   R5  seeded-randomness audit: no ad-hoc randomness (std::rand,
+ *       srand, mt19937, random_device, time(NULL), ...) outside
+ *       src/util/random, across src/, tools/, bench/, examples/,
+ *       tests/ and fuzz/.
+ *
+ * The library operates on (repo-relative path, file content) pairs plus
+ * a LintContext describing the project, so every rule is unit-testable
+ * against fixture sources without touching the filesystem.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dnalint
+{
+
+/** Token kinds produced by the lightweight lexer. */
+enum class TokenKind : std::uint8_t
+{
+    Identifier, //!< Identifier or keyword.
+    Number,     //!< Numeric literal.
+    Punct,      //!< Operator / punctuation (some multi-char, e.g. "::").
+    Directive,  //!< Whole preprocessor line, continuations folded.
+};
+
+/** One lexed token with its 1-based source line. */
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    std::string text;
+    std::size_t line = 0;
+};
+
+/**
+ * Lex C++ source.  Comments, string literals (including raw strings)
+ * and character literals are consumed and never produce tokens, so
+ * rules cannot be fooled by `throw` in a doc comment or fixture string.
+ */
+std::vector<Token> lex(const std::string &content);
+
+/** Rule identifiers, usable as a bitmask. */
+enum Rule : unsigned
+{
+    R1_Nodiscard = 1U << 0,
+    R2_ThrowBoundary = 1U << 1,
+    R3_SelfContainment = 1U << 2,
+    R4_IncludeHygiene = 1U << 3,
+    R5_SeedAudit = 1U << 4,
+    AllRules = R1_Nodiscard | R2_ThrowBoundary | R3_SelfContainment |
+               R4_IncludeHygiene | R5_SeedAudit,
+};
+
+/** Short name ("R1") and one-line description for --list-rules. */
+struct RuleInfo
+{
+    Rule rule;
+    const char *name;
+    const char *summary;
+};
+
+/** Static table of all rules. */
+const std::vector<RuleInfo> &ruleTable();
+
+/** One violation. */
+struct Finding
+{
+    std::string file;  //!< Repo-relative path ("" for project-level).
+    std::size_t line = 0;
+    Rule rule = R1_Nodiscard;
+    std::string message;
+};
+
+/** Everything the rules need to know about the project. */
+struct LintContext
+{
+    /** Repo-relative paths of all first-party files (src, tests, ...). */
+    std::set<std::string> project_files;
+    /** Files under src/ allowed to contain `throw` (repo-relative). */
+    std::set<std::string> throw_allowlist;
+    /** True when cmake/HeaderSelfContainment.cmake exists and the
+     *  top-level CMakeLists.txt includes it. */
+    bool selfcontain_harness_wired = false;
+};
+
+/**
+ * Run the per-file rules (R1, R2, R4, R5) selected in @p rules over one
+ * file.  @p rel_path must be repo-relative with forward slashes.
+ */
+std::vector<Finding> checkFile(const std::string &rel_path,
+                               const std::string &content,
+                               const LintContext &ctx,
+                               unsigned rules = AllRules,
+                               std::set<std::string> *throw_files = nullptr);
+
+/**
+ * Run the project-level rules: R2 stale-whitelist entries (an entry
+ * whose file is missing or no longer contains `throw`) and R3 harness
+ * wiring.  @p throw_files is the set of files actually containing a
+ * `throw` token, as accumulated by checkFile calls.
+ */
+std::vector<Finding> checkProject(const LintContext &ctx,
+                                  const std::set<std::string> &throw_files,
+                                  unsigned rules = AllRules);
+
+/** "R1".."R5" for a rule bit. */
+const char *ruleName(Rule rule);
+
+/** Render a finding as "path:line: [R#] message". */
+std::string format(const Finding &finding);
+
+} // namespace dnalint

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * dnalint driver: discovers first-party sources (directory walk plus an
+ * optional compile_commands.json), loads the throw-boundary whitelist,
+ * runs the rules and prints findings as "path:line: [R#] message".
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage/environment error.
+ */
+
+#include "dnalint/dnalint.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr const char *kUsage =
+    "usage: dnalint [--root DIR] [-p BUILD_DIR] [--allowlist FILE]\n"
+    "               [--rules R1,R2,...] [--list-rules] [FILE...]\n"
+    "\n"
+    "Project-contract static analysis for the DNA storage toolkit.\n"
+    "With no FILE arguments, walks src/ tools/ bench/ examples/ tests/\n"
+    "fuzz/ under --root (default: the current directory, ascending to\n"
+    "the nearest directory containing tools/dnalint_throw_allowlist.txt\n"
+    "or .git).  -p adds every 'file' entry of BUILD_DIR/\n"
+    "compile_commands.json that lies inside the root.\n";
+
+/** Scanned trees, mirroring tools/lint.sh. */
+constexpr const char *kScanDirs[] = {"src",      "tools", "bench",
+                                     "examples", "tests", "fuzz"};
+
+bool
+hasSourceExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".h";
+}
+
+std::string
+readFile(const fs::path &path, bool &ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ok = false;
+        return "";
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ok = true;
+    return buf.str();
+}
+
+/** Repo-relative path with forward slashes, or "" if outside root. */
+std::string
+relativeTo(const fs::path &root, const fs::path &path)
+{
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, root, ec);
+    if (ec || rel.empty())
+        return "";
+    const std::string s = rel.generic_string();
+    if (s == "." || s.rfind("..", 0) == 0)
+        return "";
+    return s;
+}
+
+/**
+ * Minimal extraction of "file" values from compile_commands.json.  The
+ * format is machine-generated and flat, so a full JSON parser is not
+ * needed: scan for the "file" key and take its string value,
+ * unescaping the two escapes CMake emits (\\ and \").
+ */
+std::vector<std::string>
+compileCommandsFiles(const fs::path &json_path)
+{
+    bool ok = false;
+    const std::string text = readFile(json_path, ok);
+    std::vector<std::string> files;
+    if (!ok)
+        return files;
+    const std::string key = "\"file\"";
+    std::size_t pos = 0;
+    while ((pos = text.find(key, pos)) != std::string::npos) {
+        pos = text.find('"', text.find(':', pos + key.size()));
+        if (pos == std::string::npos)
+            break;
+        std::string value;
+        for (++pos; pos < text.size() && text[pos] != '"'; ++pos) {
+            if (text[pos] == '\\' && pos + 1 < text.size())
+                ++pos;
+            value += text[pos];
+        }
+        files.push_back(std::move(value));
+    }
+    return files;
+}
+
+std::set<std::string>
+loadAllowlist(const fs::path &path, bool &ok)
+{
+    std::set<std::string> allow;
+    std::ifstream in(path);
+    ok = static_cast<bool>(in);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                                 line.back() == '\r'))
+            line.pop_back();
+        std::size_t begin = 0;
+        while (begin < line.size() &&
+               (line[begin] == ' ' || line[begin] == '\t'))
+            ++begin;
+        if (begin < line.size())
+            allow.insert(line.substr(begin));
+    }
+    return allow;
+}
+
+unsigned
+parseRules(const std::string &spec, bool &ok)
+{
+    unsigned mask = 0;
+    ok = true;
+    std::stringstream ss(spec);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+        bool matched = false;
+        for (const dnalint::RuleInfo &info : dnalint::ruleTable()) {
+            if (name == info.name) {
+                mask |= info.rule;
+                matched = true;
+            }
+        }
+        if (!matched) {
+            std::cerr << "dnalint: unknown rule '" << name << "'\n";
+            ok = false;
+        }
+    }
+    return mask;
+}
+
+/** Ascend from @p start to the nearest directory that looks like the
+ *  repo root (has .git or the whitelist file). */
+fs::path
+findRoot(const fs::path &start)
+{
+    fs::path dir = fs::absolute(start);
+    for (fs::path probe = dir; !probe.empty() &&
+                               probe != probe.parent_path();
+         probe = probe.parent_path()) {
+        if (fs::exists(probe / ".git") ||
+            fs::exists(probe / "tools" / "dnalint_throw_allowlist.txt"))
+            return probe;
+    }
+    return dir;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root;
+    fs::path build_dir;
+    fs::path allowlist_path;
+    unsigned rules = dnalint::AllRules;
+    std::vector<std::string> explicit_files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "dnalint: " << arg << " needs an argument\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            root = next();
+        } else if (arg == "-p" || arg == "--compile-commands") {
+            build_dir = next();
+        } else if (arg == "--allowlist") {
+            allowlist_path = next();
+        } else if (arg == "--rules") {
+            bool ok = false;
+            rules = parseRules(next(), ok);
+            if (!ok)
+                return 2;
+        } else if (arg == "--list-rules") {
+            for (const dnalint::RuleInfo &info : dnalint::ruleTable())
+                std::cout << info.name << "  " << info.summary << "\n";
+            return 0;
+        } else if (arg == "-h" || arg == "--help") {
+            std::cout << kUsage;
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "dnalint: unknown option '" << arg << "'\n"
+                      << kUsage;
+            return 2;
+        } else {
+            explicit_files.push_back(arg);
+        }
+    }
+
+    root = root.empty() ? findRoot(fs::current_path()) : fs::absolute(root);
+    if (!fs::is_directory(root)) {
+        std::cerr << "dnalint: root '" << root.string()
+                  << "' is not a directory\n";
+        return 2;
+    }
+
+    // Gather the first-party file set (always the full walk, so include
+    // resolution and stale-whitelist detection see the whole project).
+    std::map<std::string, fs::path> files; // rel path -> absolute
+    dnalint::LintContext ctx;
+    for (const char *dir : kScanDirs) {
+        const fs::path base = root / dir;
+        if (!fs::is_directory(base))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file() ||
+                !hasSourceExtension(entry.path()))
+                continue;
+            const std::string rel = relativeTo(root, entry.path());
+            if (!rel.empty()) {
+                files.emplace(rel, entry.path());
+                ctx.project_files.insert(rel);
+            }
+        }
+    }
+
+    if (!build_dir.empty()) {
+        const fs::path json = build_dir / "compile_commands.json";
+        for (const std::string &file : compileCommandsFiles(json)) {
+            const fs::path p = file;
+            const std::string rel = relativeTo(root, p);
+            if (!rel.empty() && hasSourceExtension(p)) {
+                files.emplace(rel, p);
+                ctx.project_files.insert(rel);
+            }
+        }
+    }
+
+    // Restrict checking (not context) to explicitly named files, if any.
+    std::map<std::string, fs::path> to_check;
+    if (explicit_files.empty()) {
+        to_check = files;
+    } else {
+        for (const std::string &file : explicit_files) {
+            const fs::path p = fs::absolute(file);
+            const std::string rel = relativeTo(root, p);
+            if (rel.empty()) {
+                std::cerr << "dnalint: '" << file
+                          << "' is outside the root\n";
+                return 2;
+            }
+            to_check.emplace(rel, p);
+            ctx.project_files.insert(rel);
+        }
+    }
+
+    if (allowlist_path.empty())
+        allowlist_path = root / "tools" / "dnalint_throw_allowlist.txt";
+    bool allow_ok = false;
+    ctx.throw_allowlist = loadAllowlist(allowlist_path, allow_ok);
+    if (!allow_ok && (rules & dnalint::R2_ThrowBoundary) != 0) {
+        std::cerr << "dnalint: note: no throw whitelist at '"
+                  << allowlist_path.string()
+                  << "'; every `throw` under src/ will be flagged\n";
+    }
+
+    {
+        bool ok = false;
+        const std::string top =
+            readFile(root / "CMakeLists.txt", ok);
+        ctx.selfcontain_harness_wired =
+            ok &&
+            fs::exists(root / "cmake" / "HeaderSelfContainment.cmake") &&
+            top.find("HeaderSelfContainment") != std::string::npos;
+    }
+
+    std::vector<dnalint::Finding> findings;
+    std::set<std::string> throw_files;
+    for (const auto &[rel, abs] : to_check) {
+        bool ok = false;
+        const std::string content = readFile(abs, ok);
+        if (!ok) {
+            std::cerr << "dnalint: cannot read '" << abs.string() << "'\n";
+            return 2;
+        }
+        std::vector<dnalint::Finding> file_findings =
+            dnalint::checkFile(rel, content, ctx, rules, &throw_files);
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
+    }
+
+    // Project-level checks only make sense over the full file set.
+    if (explicit_files.empty()) {
+        std::vector<dnalint::Finding> project =
+            dnalint::checkProject(ctx, throw_files, rules);
+        findings.insert(findings.end(), project.begin(), project.end());
+    }
+
+    for (const dnalint::Finding &finding : findings)
+        std::cout << dnalint::format(finding) << "\n";
+
+    if (findings.empty()) {
+        std::cout << "dnalint: OK (" << to_check.size() << " files, rules";
+        for (const dnalint::RuleInfo &info : dnalint::ruleTable()) {
+            if ((rules & info.rule) != 0)
+                std::cout << " " << info.name;
+        }
+        std::cout << ")\n";
+        return 0;
+    }
+    std::cerr << "dnalint: " << findings.size() << " finding(s)\n";
+    return 1;
+}

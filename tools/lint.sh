@@ -9,9 +9,16 @@
 #   tools/lint.sh --format                        reformat the tree in place
 #   tools/lint.sh --seed-audit                    grep for ad-hoc randomness
 #                                                 outside src/util/random
+#                                                 (src, tools, bench,
+#                                                 examples, tests, fuzz)
+#   tools/lint.sh --dnalint [--strict]            build and run the
+#                                                 project-contract checker
+#                                                 (rules R1-R5) plus the
+#                                                 header self-containment
+#                                                 target
 #
 # clang-tidy needs a compile_commands.json; the script configures one in
-# BUILD_DIR (default build-tidy) if absent.
+# BUILD_DIR (default build-tidy; --dnalint uses build-dnalint).
 #
 # Tool discovery: $CLANG_TIDY / $CLANG_FORMAT env vars win, then
 # unversioned names, then versioned names (newest first).  Without
@@ -25,20 +32,21 @@ cd "$REPO_ROOT"
 
 MODE="tidy"
 STRICT=0
-BUILD_DIR="build-tidy"
+BUILD_DIR=""
 
 while [ $# -gt 0 ]; do
     case "$1" in
         --format-check) MODE="format-check" ;;
         --format) MODE="format" ;;
         --seed-audit) MODE="seed-audit" ;;
+        --dnalint) MODE="dnalint" ;;
         --strict) STRICT=1 ;;
         --build-dir)
             shift
             BUILD_DIR="${1:?--build-dir needs an argument}"
             ;;
         -h | --help)
-            sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,28p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -90,17 +98,57 @@ cxx_tus() {
     cxx_files | grep -E '\.(cc|cpp)$'
 }
 
+# Per-mode build-dir defaults, unless --build-dir was given.
+if [ -z "$BUILD_DIR" ]; then
+    case "$MODE" in
+        dnalint) BUILD_DIR="build-dnalint" ;;
+        *) BUILD_DIR="build-tidy" ;;
+    esac
+fi
+
 case "$MODE" in
+    dnalint)
+        # Project-contract checker (R1-R5) plus the generated header
+        # self-containment target (R3's enforcement mechanism).  Only
+        # needs CMake and the C++ toolchain, so it runs everywhere.
+        cmake -B "$BUILD_DIR" -S . \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+            -DDNASTORE_BUILD_TESTS=OFF \
+            -DDNASTORE_BUILD_BENCH=OFF \
+            -DDNASTORE_BUILD_EXAMPLES=OFF > /dev/null || exit 1
+        if ! cmake --build "$BUILD_DIR" --target dnalint \
+            -j "$(nproc)" > /dev/null; then
+            echo "lint.sh: dnalint failed to build" >&2
+            exit 1
+        fi
+        if ! cmake --build "$BUILD_DIR" --target header_selfcontained \
+            -j "$(nproc)"; then
+            echo "lint.sh: [R3] header self-containment build FAILED" >&2
+            exit 1
+        fi
+        if "$BUILD_DIR/tools/dnalint" --root . -p "$BUILD_DIR"; then
+            echo "lint.sh: dnalint OK"
+            exit 0
+        fi
+        echo "lint.sh: dnalint reported findings" >&2
+        exit 1
+        ;;
+
     seed-audit)
         # Every stochastic component must draw from the seeded Rng in
         # src/util/random so experiments reproduce from one 64-bit seed.
+        # tools/dnalint is excluded: its R5 rule definitions name the
+        # banned identifiers in comments and string literals, which this
+        # grep cannot tell apart from code (the token-level audit in
+        # `tools/lint.sh --dnalint` still covers those files).
         matches="$(grep -rn \
             -e 'std::rand\b' -e '\bsrand(' -e 'time(NULL)' \
             -e 'time(nullptr)' -e 'std::mt19937' -e 'random_device' \
             --include='*.cc' --include='*.hh' --include='*.cpp' \
             --include='*.h' \
             src tools bench examples tests fuzz 2> /dev/null |
-            grep -v 'src/util/random' || true)"
+            grep -v 'src/util/random' | grep -v 'tools/dnalint' |
+            grep -v 'tests/tools' || true)"
         if [ -n "$matches" ]; then
             echo "lint.sh: ad-hoc randomness outside src/util/random:" >&2
             echo "$matches" >&2
