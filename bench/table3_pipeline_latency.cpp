@@ -14,7 +14,13 @@
  *  - decoding is small and constant.
  *
  * Usage:
- *   table3_pipeline_latency [--file-bytes=N] [--csv=path]
+ *   table3_pipeline_latency [--file-bytes=N] [--csv=path] [--json=path]
+ *
+ * --json writes a schema-versioned machine-readable document
+ * (schema dnastore.bench_table3) with one entry per module combination,
+ * including the per-run metrics snapshot deltas; the checked-in
+ * baseline lives at bench/baselines/BENCH_table3_pipeline_latency.json
+ * (regeneration command in README.md).
  */
 
 #include <iostream>
@@ -22,6 +28,8 @@
 
 #include "codec/matrix_codec.hh"
 #include "core/pipeline.hh"
+#include "obs/json.hh"
+#include "obs/report.hh"
 #include "reconstruction/bma.hh"
 #include "reconstruction/nw_consensus.hh"
 #include "simulator/iid_channel.hh"
@@ -30,6 +38,76 @@
 
 using namespace dnastore;
 
+namespace
+{
+
+/** Counter value from a snapshot, 0 when absent. */
+std::uint64_t
+counterValue(const obs::MetricsSnapshot &snapshot, const std::string &name)
+{
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+struct ComboResult
+{
+    std::string name;
+    double coverage = 0.0;
+    PipelineResult result;
+    bool round_trip_ok = false;
+};
+
+/** Machine-readable bench document (schema dnastore.bench_table3). */
+std::string
+benchJson(const std::vector<ComboResult> &combos, std::size_t file_bytes)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.key("schema");
+    json.value("dnastore.bench_table3");
+    json.key("schema_version");
+    json.value(std::int64_t{obs::kSchemaVersion});
+    json.key("file_bytes");
+    json.value(std::uint64_t{file_bytes});
+    json.key("combinations");
+    json.beginArray();
+    for (const ComboResult &combo : combos) {
+        json.beginObject();
+        json.key("pipeline");
+        json.value(combo.name);
+        json.key("coverage");
+        json.value(combo.coverage);
+        json.key("stages");
+        json.beginObject();
+        json.key("encoding_seconds");
+        json.value(combo.result.latency.encoding);
+        json.key("simulation_seconds");
+        json.value(combo.result.latency.simulation);
+        json.key("clustering_seconds");
+        json.value(combo.result.latency.clustering);
+        json.key("reconstruction_seconds");
+        json.value(combo.result.latency.reconstruction);
+        json.key("decoding_seconds");
+        json.value(combo.result.latency.decoding);
+        json.key("total_seconds");
+        json.value(combo.result.latency.total() -
+                   combo.result.latency.simulation);
+        json.endObject();
+        json.key("dropped_clusters");
+        json.value(std::uint64_t{combo.result.dropped_clusters});
+        json.key("round_trip_ok");
+        json.value(combo.round_trip_ok);
+        json.key("metrics");
+        obs::writeMetricsValue(json, combo.result.metrics);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.text();
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -37,6 +115,7 @@ main(int argc, char **argv)
     const std::size_t file_bytes =
         static_cast<std::size_t>(args.getInt("file-bytes", 50000));
     const std::string csv_path = args.get("csv", "");
+    const std::string json_path = args.get("json", "");
     const double error_rate = 0.06;
 
     MatrixCodecConfig codec_cfg;
@@ -65,8 +144,10 @@ main(int argc, char **argv)
 
     Table table;
     table.header({"pipeline", "coverage", "encoding", "clustering",
-                  "recon", "decoding", "total", "dropped", "decode ok"});
+                  "recon", "decoding", "total", "edit calls", "rs fixed",
+                  "dropped", "decode ok"});
 
+    std::vector<ComboResult> combos;
     for (const double coverage : {10.0, 50.0}) {
         for (const SignatureKind kind :
              {SignatureKind::QGram, SignatureKind::WGram}) {
@@ -90,18 +171,27 @@ main(int argc, char **argv)
                     std::string(kind == SignatureKind::QGram ? "q-gram"
                                                              : "w-gram") +
                     " + " + recon_name;
-                table.row({name, Table::fmt(coverage, 0),
-                           Table::fmt(result.latency.encoding, 2),
-                           Table::fmt(result.latency.clustering, 2),
-                           Table::fmt(result.latency.reconstruction, 2),
-                           Table::fmt(result.latency.decoding, 2),
-                           Table::fmt(result.latency.total() -
-                                          result.latency.simulation,
-                                      2),
-                           std::to_string(result.dropped_clusters),
-                           result.report.ok && result.report.data == data
-                               ? "yes"
-                               : "NO"});
+                // Module-level columns come straight from the run's
+                // metrics snapshot delta.
+                const obs::MetricsSnapshot &snap = result.metrics;
+                const bool ok =
+                    result.report.ok && result.report.data == data;
+                table.row(
+                    {name, Table::fmt(coverage, 0),
+                     Table::fmt(result.latency.encoding, 2),
+                     Table::fmt(result.latency.clustering, 2),
+                     Table::fmt(result.latency.reconstruction, 2),
+                     Table::fmt(result.latency.decoding, 2),
+                     Table::fmt(result.latency.total() -
+                                    result.latency.simulation,
+                                2),
+                     std::to_string(counterValue(
+                         snap, "clustering.edit_distance_calls_total")),
+                     std::to_string(counterValue(
+                         snap, "decoding.rs_symbols_corrected_total")),
+                     std::to_string(result.dropped_clusters),
+                     ok ? "yes" : "NO"});
+                combos.push_back({name, coverage, result, ok});
                 std::cout << "finished " << name << " @ coverage "
                           << coverage << "\n";
             }
@@ -111,6 +201,12 @@ main(int argc, char **argv)
     std::cout << "\n" << table.text();
     if (!csv_path.empty() && table.writeCsv(csv_path))
         std::cout << "wrote " << csv_path << "\n";
+    if (!json_path.empty()) {
+        if (obs::writeTextFile(json_path, benchJson(combos, file_bytes)))
+            std::cout << "wrote " << json_path << "\n";
+        else
+            std::cerr << "could not write " << json_path << "\n";
+    }
     std::cout << "\n(Totals exclude the simulation stage, which has no "
                  "wetlab counterpart in the paper's table.)\n";
     return 0;

@@ -9,6 +9,11 @@
  *
  * Usage:
  *   quickstart [--message="text"] [--coverage=N] [--error-rate=P]
+ *              [--metrics-json=PATH] [--trace-json=PATH]
+ *
+ * --metrics-json writes the machine-readable run report (schema
+ * dnastore.run_report); --trace-json writes a Chrome trace_event file
+ * for chrome://tracing or Perfetto.  See docs/OBSERVABILITY.md.
  */
 
 #include <iostream>
@@ -16,6 +21,9 @@
 
 #include "codec/matrix_codec.hh"
 #include "core/pipeline.hh"
+#include "core/run_report.hh"
+#include "obs/span.hh"
+#include "obs/trace_export.hh"
 #include "reconstruction/nw_consensus.hh"
 #include "simulator/iid_channel.hh"
 #include "util/args.hh"
@@ -61,9 +69,41 @@ main(int argc, char **argv)
         {&encoder, &decoder, &channel, &clusterer, &reconstructor},
         pipe_cfg);
 
-    // 5. Store and retrieve.
+    // 5. Store and retrieve — optionally with the observability layer
+    //    capturing a span trace and a metrics report of the run.
+    const std::string metrics_path = args.get("metrics-json", "");
+    const std::string trace_path = args.get("trace-json", "");
+    obs::TraceSink trace_sink;
+    if (!trace_path.empty())
+        obs::installTraceSink(&trace_sink);
+
     const std::vector<std::uint8_t> data(message.begin(), message.end());
     const PipelineResult result = pipeline.run(data);
+
+    if (!trace_path.empty()) {
+        obs::installTraceSink(nullptr);
+        if (!obs::writeChromeTrace(trace_sink, trace_path)) {
+            std::cerr << "could not write " << trace_path << "\n";
+            return 1;
+        }
+        std::cout << "trace written       : " << trace_path << " ("
+                  << trace_sink.size() << " events)\n";
+    }
+    if (!metrics_path.empty()) {
+        RunInfo info;
+        info["tool"] = "quickstart";
+        info["channel"] = channel.name();
+        info["clusterer"] = clusterer.name();
+        info["reconstructor"] = reconstructor.name();
+        info["coverage"] = std::to_string(coverage);
+        info["error_rate"] = std::to_string(error_rate);
+        info["input_bytes"] = std::to_string(data.size());
+        if (!writeRunReport(metrics_path, result, info)) {
+            std::cerr << "could not write " << metrics_path << "\n";
+            return 1;
+        }
+        std::cout << "metrics written     : " << metrics_path << "\n";
+    }
 
     std::cout << "encoded strands     : " << result.encoded_strands << "\n"
               << "sequenced reads     : " << result.reads << "\n"

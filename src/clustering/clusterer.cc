@@ -7,11 +7,45 @@
 
 #include "clustering/union_find.hh"
 #include "dna/distance.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
 
 namespace dnastore
 {
+
+namespace
+{
+
+/** Process-wide clustering counters, published once per cluster() call. */
+struct ClusteringMetrics
+{
+    obs::Counter &runs = obs::metrics().counter("clustering.runs_total");
+    obs::Counter &reads = obs::metrics().counter("clustering.reads_total");
+    obs::Counter &clusters =
+        obs::metrics().counter("clustering.clusters_total");
+    obs::Counter &rounds = obs::metrics().counter("clustering.rounds_total");
+    obs::Counter &signature_comparisons =
+        obs::metrics().counter("clustering.signature_comparisons_total");
+    obs::Counter &edit_calls =
+        obs::metrics().counter("clustering.edit_distance_calls_total");
+    obs::Counter &merges = obs::metrics().counter("clustering.merges_total");
+    obs::Counter &filter_rejections =
+        obs::metrics().counter("clustering.filter_rejections_total");
+    obs::FixedHistogram &cluster_size = obs::metrics().histogram(
+        "clustering.cluster_size_reads",
+        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0});
+};
+
+ClusteringMetrics &
+clusteringMetrics()
+{
+    static ClusteringMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 RashtchianClustererConfig
 RashtchianClustererConfig::forErrorRate(double error_rate,
@@ -56,6 +90,7 @@ RashtchianClusterer::cluster(const std::vector<Strand> &reads)
 
     // Signature pre-calculation (reported separately in Table II).
     WallTimer sig_timer;
+    obs::Span sig_span("clustering/signature_pass");
     std::vector<Signature> signatures(reads.size());
     std::unique_ptr<ThreadPool> pool;
     if (cfg.num_threads > 1)
@@ -68,6 +103,7 @@ RashtchianClusterer::cluster(const std::vector<Strand> &reads)
         for (std::size_t i = 0; i < reads.size(); ++i)
             signatures[i] = scheme.compute(reads[i]);
     }
+    sig_span.end();
     last_stats.signature_seconds = sig_timer.seconds();
 
     // Thresholds: user-provided or auto-configured from a sample.
@@ -90,8 +126,10 @@ RashtchianClusterer::cluster(const std::vector<Strand> &reads)
     std::atomic<std::size_t> sig_comparisons{0};
     std::atomic<std::size_t> edit_calls{0};
     std::atomic<std::size_t> merges{0};
+    std::atomic<std::size_t> filter_rejections{0};
 
     for (std::size_t round = 0; round < cfg.rounds; ++round) {
+        obs::Span round_span("clustering/round");
         ++last_stats.rounds_run;
 
         // One random representative per current cluster.
@@ -144,6 +182,10 @@ RashtchianClusterer::cluster(const std::vector<Strand> &reads)
                         edit_calls.fetch_add(1, std::memory_order_relaxed);
                         do_merge = withinEditDistance(reads[a], reads[c],
                                                       cfg.edit_threshold);
+                    } else {
+                        // Signature filter rejected the pair outright.
+                        filter_rejections.fetch_add(
+                            1, std::memory_order_relaxed);
                     }
                     if (do_merge) {
                         std::lock_guard<std::mutex> lock(dsu_mutex);
@@ -168,6 +210,18 @@ RashtchianClusterer::cluster(const std::vector<Strand> &reads)
     last_stats.merges = merges.load();
 
     result.clusters = dsu.groups();
+
+    ClusteringMetrics &metrics = clusteringMetrics();
+    metrics.runs.add(1);
+    metrics.reads.add(reads.size());
+    metrics.clusters.add(result.clusters.size());
+    metrics.rounds.add(last_stats.rounds_run);
+    metrics.signature_comparisons.add(last_stats.signature_comparisons);
+    metrics.edit_calls.add(last_stats.edit_distance_calls);
+    metrics.merges.add(last_stats.merges);
+    metrics.filter_rejections.add(filter_rejections.load());
+    for (const auto &cluster : result.clusters)
+        metrics.cluster_size.observe(static_cast<double>(cluster.size()));
     return result;
 }
 

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/assert.hh"
 #include "util/crc32.hh"
 
@@ -14,6 +16,44 @@ namespace dnastore
 
 namespace
 {
+
+/**
+ * Publishes the decode tallies into the metrics registry on scope exit,
+ * so every early return (bad framing, zero units) still reports.
+ */
+class DecodeMetricsGuard
+{
+  public:
+    DecodeMetricsGuard(const DecodeReport &report, std::size_t strands)
+        : report_(report), strands_(strands)
+    {
+    }
+
+    DecodeMetricsGuard(const DecodeMetricsGuard &) = delete;
+    DecodeMetricsGuard &operator=(const DecodeMetricsGuard &) = delete;
+
+    ~DecodeMetricsGuard()
+    {
+        obs::MetricsRegistry &reg = obs::metrics();
+        reg.counter("decoding.strands_total").add(strands_);
+        reg.counter("decoding.rs_rows_total").add(report_.total_rows);
+        reg.counter("decoding.rs_rows_failed_total")
+            .add(report_.failed_rows);
+        reg.counter("decoding.rs_symbols_corrected_total")
+            .add(report_.corrected_errors);
+        reg.counter("decoding.rs_erasures_total")
+            .add(report_.erased_columns);
+        reg.counter("decoding.malformed_strands_total")
+            .add(report_.malformed_strands);
+        reg.counter("decoding.conflicting_strands_total")
+            .add(report_.conflicting_strands);
+        reg.counter("decoding.bytes_total").add(report_.data.size());
+    }
+
+  private:
+    const DecodeReport &report_;
+    std::size_t strands_;
+};
 
 constexpr std::size_t kHeaderSize = 20;
 constexpr std::uint8_t kMagic[4] = {'D', 'N', 'S', 'T'};
@@ -270,6 +310,7 @@ MatrixEncoder::encode(const std::vector<std::uint8_t> &data) const
     strands.reserve(units * cfg.rs_n);
     std::vector<std::uint8_t> row_message(cfg.rs_k);
     for (std::size_t u = 0; u < units; ++u) {
+        obs::Span unit_span("encoding/unit");
         // logical[r][c], row-major over rows.
         std::vector<std::uint8_t> logical(rows * cfg.rs_n, 0);
         const std::size_t base = u * cfg.unitDataBytes();
@@ -277,12 +318,16 @@ MatrixEncoder::encode(const std::vector<std::uint8_t> &data) const
             for (std::size_t r = 0; r < rows; ++r)
                 logical[r * cfg.rs_n + c] = stream[base + c * rows + r];
 
-        for (std::size_t r = 0; r < rows; ++r) {
-            std::copy_n(logical.begin() + static_cast<long>(r * cfg.rs_n),
-                        cfg.rs_k, row_message.begin());
-            const auto codeword = rs.encode(row_message);
-            for (std::size_t c = cfg.rs_k; c < cfg.rs_n; ++c)
-                logical[r * cfg.rs_n + c] = codeword[c];
+        {
+            obs::Span rs_span("encoding/rs_rows");
+            for (std::size_t r = 0; r < rows; ++r) {
+                std::copy_n(
+                    logical.begin() + static_cast<long>(r * cfg.rs_n),
+                    cfg.rs_k, row_message.begin());
+                const auto codeword = rs.encode(row_message);
+                for (std::size_t c = cfg.rs_k; c < cfg.rs_n; ++c)
+                    logical[r * cfg.rs_n + c] = codeword[c];
+            }
         }
 
         for (std::size_t c = 0; c < cfg.rs_n; ++c) {
@@ -307,6 +352,10 @@ MatrixEncoder::encode(const std::vector<std::uint8_t> &data) const
     }
     DNASTORE_ASSERT(strands.size() == units * cfg.rs_n,
                     "encoder must emit exactly rs_n strands per unit");
+    obs::MetricsRegistry &reg = obs::metrics();
+    reg.counter("encoding.units_total").add(units);
+    reg.counter("encoding.strands_total").add(strands.size());
+    reg.counter("encoding.bytes_total").add(data.size());
     return strands;
 }
 
@@ -356,9 +405,11 @@ MatrixDecoder::decode(const std::vector<Strand> &strands,
                       std::size_t expected_units) const
 {
     DecodeReport report;
+    const DecodeMetricsGuard metrics_guard(report, strands.size());
     const std::size_t rows = cfg.bytesPerMolecule();
 
     // Group payload candidates by global column index.
+    obs::Span group_span("decoding/group_candidates");
     std::map<std::uint64_t, std::vector<std::vector<std::uint8_t>>>
         candidates;
     for (const Strand &s : strands) {
@@ -426,6 +477,7 @@ MatrixDecoder::decode(const std::vector<Strand> &strands,
             report.conflicting_strands += candidate != consensus;
         units[u][c] = std::move(consensus);
     }
+    group_span.end();
 
     const std::size_t num_units =
         expected_units > 0 ? expected_units : inferUnits(units);
@@ -436,6 +488,7 @@ MatrixDecoder::decode(const std::vector<Strand> &strands,
     std::vector<std::uint8_t> stream(num_units * cfg.unitDataBytes(), 0);
     report.total_rows = num_units * rows;
     for (std::size_t u = 0; u < num_units; ++u) {
+        obs::Span unit_span("decoding/unit");
         std::vector<std::size_t> missing;
         for (std::size_t c = 0; c < cfg.rs_n; ++c)
             if (u >= units.size() || units[u][c].empty())
@@ -444,6 +497,7 @@ MatrixDecoder::decode(const std::vector<Strand> &strands,
 
         std::vector<std::uint8_t> codeword(cfg.rs_n);
         for (std::size_t r = 0; r < rows; ++r) {
+            obs::Span row_span("decoding/rs_row");
             for (std::size_t c = 0; c < cfg.rs_n; ++c) {
                 if (u >= units.size() || units[u][c].empty()) {
                     codeword[c] = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "clustering/accuracy.hh"
+#include "obs/span.hh"
 #include "simulator/sequencing_run.hh"
 #include "util/assert.hh"
 #include "util/timer.hh"
@@ -14,6 +15,48 @@ namespace dnastore
 
 namespace
 {
+
+/**
+ * Publish one finished run's tallies into the metrics registry so the
+ * run report and any scraping harness see them under stable names
+ * (scheme `module.noun_unit`, docs/OBSERVABILITY.md).
+ */
+void
+publishRunMetrics(const PipelineResult &result)
+{
+    obs::MetricsRegistry &reg = obs::metrics();
+    reg.counter("pipeline.runs_total").add();
+    reg.counter("pipeline.encoded_strands_total")
+        .add(result.encoded_strands);
+    reg.counter("pipeline.reads_total").add(result.reads);
+    reg.counter("pipeline.clusters_total").add(result.clusters);
+    reg.counter("pipeline.dropped_strands_total")
+        .add(result.dropped_strands);
+    reg.counter("pipeline.dropped_clusters_total")
+        .add(result.dropped_clusters);
+    reg.counter("pipeline.malformed_reads_total")
+        .add(result.malformed_reads);
+    reg.counter("pipeline.errors_total").add(result.errors.size());
+    reg.counter("pipeline.recovery_attempts_total")
+        .add(result.recovery_attempts.size());
+    if (result.recovered)
+        reg.counter("pipeline.recovered_runs_total").add();
+    if (!result.report.ok)
+        reg.counter("pipeline.decode_failures_total").add();
+
+    const FaultCounters &faults = result.faults;
+    reg.counter("fault.dropped_strands_total").add(faults.dropped_strands);
+    reg.counter("fault.truncated_reads_total").add(faults.truncated_reads);
+    reg.counter("fault.elongated_reads_total").add(faults.elongated_reads);
+    reg.counter("fault.corrupted_indices_total")
+        .add(faults.corrupted_indices);
+    reg.counter("fault.duplicate_conflicts_total")
+        .add(faults.duplicate_conflicts);
+    reg.counter("fault.garbage_reads_total").add(faults.garbage_reads);
+    reg.counter("fault.emptied_clusters_total")
+        .add(faults.emptied_clusters);
+    reg.counter("fault.merged_clusters_total").add(faults.merged_clusters);
+}
 
 void
 addError(PipelineResult &result, const char *stage, std::string message)
@@ -75,6 +118,7 @@ reconstructSalvaging(const Reconstructor &algo,
     std::size_t failures = 0;
     std::string first_failure;
     for (std::size_t i = 0; i < selected.size(); ++i) {
+        obs::Span cluster_span("reconstruction/cluster");
         try {
             consensus.push_back(
                 algo.reconstruct(selected[i], strand_length));
@@ -97,6 +141,13 @@ reconstructSalvaging(const Reconstructor &algo,
                   consensus.empty() ? StageStatus::Failed
                                     : StageStatus::Degraded);
     }
+    std::uint64_t reads_seen = 0;
+    for (const auto &group : selected)
+        reads_seen += group.size();
+    obs::metrics()
+        .counter("reconstruction.clusters_total")
+        .add(selected.size());
+    obs::metrics().counter("reconstruction.reads_total").add(reads_seen);
     return {std::move(consensus), std::move(kept)};
 }
 
@@ -159,15 +210,21 @@ PipelineResult
 Pipeline::run(const std::vector<std::uint8_t> &data)
 {
     PipelineResult result;
-    try {
-        runImpl(data, result);
-    } catch (const std::exception &error) {
-        addError(result, "pipeline", error.what());
-    } catch (...) {
-        addError(result, "pipeline", "unknown exception");
+    const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    {
+        obs::Span run_span("pipeline/run");
+        try {
+            runImpl(data, result);
+        } catch (const std::exception &error) {
+            addError(result, "pipeline", error.what());
+        } catch (...) {
+            addError(result, "pipeline", "unknown exception");
+        }
     }
     if (mods.fault_injector)
         result.faults = mods.fault_injector->counters();
+    publishRunMetrics(result);
+    result.metrics = obs::metrics().snapshot().delta(before);
     return result;
 }
 
@@ -199,6 +256,7 @@ Pipeline::runImpl(const std::vector<std::uint8_t> &data,
     timer.reset();
     std::vector<Strand> encoded;
     try {
+        obs::Span span("pipeline/encoding");
         encoded = mods.encoder->encode(data);
         result.status.encoding = StageStatus::Ok;
     } catch (const std::exception &error) {
@@ -227,6 +285,7 @@ Pipeline::runImpl(const std::vector<std::uint8_t> &data,
     timer.reset();
     SequencingRun run;
     try {
+        obs::Span span("pipeline/simulation");
         run = simulateSequencing(encoded, *mods.channel, cfg.coverage, rng);
         result.status.simulation = StageStatus::Ok;
     } catch (const std::exception &error) {
@@ -258,6 +317,8 @@ Pipeline::runFromReads(const std::vector<Strand> &reads,
                        std::size_t strand_length, std::size_t expected_units)
 {
     PipelineResult result;
+    const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    obs::Span run_span("pipeline/run_from_reads");
     try {
         bool missing = false;
         for (const auto &[module, present] :
@@ -294,6 +355,8 @@ Pipeline::runFromReads(const std::vector<Strand> &reads,
     }
     if (mods.fault_injector)
         result.faults = mods.fault_injector->counters();
+    publishRunMetrics(result);
+    result.metrics = obs::metrics().snapshot().delta(before);
     return result;
 }
 
@@ -338,6 +401,7 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
     timer.reset();
     Clustering clustering;
     try {
+        obs::Span span("pipeline/clustering");
         clustering = mods.clusterer->cluster(*use_reads);
         result.status.clustering = StageStatus::Ok;
     } catch (const std::exception &error) {
@@ -422,9 +486,11 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
 
     // Stage 4: trace reconstruction (salvaging cluster failures).
     result.status.reconstruction = StageStatus::Ok;
-    auto [reconstructed, kept] = reconstructSalvaging(
-        *mods.reconstructor, groups, selection, strand_length,
-        cfg.num_threads, result);
+    auto [reconstructed, kept] = [&] {
+        obs::Span span("pipeline/reconstruction");
+        return reconstructSalvaging(*mods.reconstructor, groups, selection,
+                                    strand_length, cfg.num_threads, result);
+    }();
     result.latency.reconstruction = timer.seconds();
 
     // Ground-truth reconstruction quality: a cluster reconstructs
@@ -460,14 +526,18 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
     // Stage 5: decoding and error correction.
     timer.reset();
     result.status.decoding = StageStatus::Ok;
-    result.report =
-        decodeGuarded(*mods.decoder, reconstructed, expected_units, result);
+    {
+        obs::Span span("pipeline/decoding");
+        result.report = decodeGuarded(*mods.decoder, reconstructed,
+                                      expected_units, result);
+    }
     result.latency.decoding = timer.seconds();
 
     // Recovery policy: bounded retries with degraded settings.
     std::size_t budget = cfg.max_decode_retries;
     const auto attempt = [&](const std::string &description,
                              const Reconstructor &algo, std::size_t min) {
+        obs::Span span("pipeline/recovery_attempt");
         WallTimer retry_timer;
         auto [consensus, retry_kept] = reconstructSalvaging(
             algo, groups, select(min), strand_length, cfg.num_threads,

@@ -23,6 +23,7 @@
 #include "clustering/clusterer.hh"
 #include "codec/codec.hh"
 #include "core/fault.hh"
+#include "obs/metrics.hh"
 #include "reconstruction/reconstructor.hh"
 #include "simulator/channel.hh"
 #include "simulator/coverage.hh"
@@ -117,6 +118,15 @@ struct PipelineResult
     double clustering_accuracy = 0.0;
     /** Fraction of encoded strands reconstructed exactly. */
     double perfect_reconstructions = 0.0;
+
+    /**
+     * Delta of the process-wide metrics registry across this run: every
+     * counter/histogram increment the modules published while the run
+     * was in flight (exact when runs do not overlap; overlapping runs
+     * each see the union of concurrent increments).  Serialised into
+     * the machine-readable run report (core/run_report.hh).
+     */
+    obs::MetricsSnapshot metrics;
 };
 
 /** Module wiring for one pipeline instance. */

@@ -1,5 +1,7 @@
 #include "core/pool.hh"
 
+#include "obs/metrics.hh"
+
 namespace dnastore
 {
 
@@ -32,6 +34,9 @@ amplify(const DnaPool &pool, const PrimerPair &key, Rng &rng,
             ++product.off_target;
         }
     }
+    obs::metrics().counter("pool.pcr_reactions_total").add(1);
+    obs::metrics().counter("pool.on_target_total").add(product.on_target);
+    obs::metrics().counter("pool.off_target_total").add(product.off_target);
     return product;
 }
 

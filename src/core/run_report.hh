@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Canonical machine-readable run report: everything one Pipeline run
+ * produced — stage statuses and latencies, pipeline tallies, fault and
+ * recovery counters, and the full metrics snapshot — as one
+ * schema-versioned JSON document with stable key order (schema
+ * `dnastore.run_report`, see docs/OBSERVABILITY.md).
+ *
+ * The CLI (`dnastore pipeline --metrics-json PATH`), the quickstart
+ * example and the benches all emit this same document, so human tables
+ * and scraped JSON always come from one source of truth.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/pipeline.hh"
+
+namespace dnastore
+{
+
+/**
+ * Free-form run context recorded under the report's "run" key: tool
+ * name, module names, seed, configuration knobs.  Values are emitted as
+ * JSON strings in sorted key order.
+ */
+using RunInfo = std::map<std::string, std::string>;
+
+/** Serialise @p result (plus @p info context) as a run report. */
+[[nodiscard]] std::string
+runReportJson(const PipelineResult &result, const RunInfo &info);
+
+/**
+ * Write the run report for @p result to @p path.
+ * @return false when the file cannot be written.
+ */
+[[nodiscard]] bool
+writeRunReport(const std::string &path, const PipelineResult &result,
+               const RunInfo &info);
+
+} // namespace dnastore

@@ -1,0 +1,149 @@
+#include "obs/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dnastore::obs
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // JSON has no NaN/Inf; clamp to null-adjacent zero to keep the
+    // document parseable (metrics should never produce these anyway).
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+    std::string text(buf, result.ptr);
+    // "1e+30" and "1" are valid JSON; ensure a stable integral form
+    // keeps no trailing '.' (to_chars never emits one).
+    return text;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return;
+    }
+    if (!needs_comma_.empty()) {
+        if (needs_comma_.back())
+            out_ += ',';
+        needs_comma_.back() = true;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    needs_comma_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    needs_comma_.pop_back();
+    out_ += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    needs_comma_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    needs_comma_.pop_back();
+    out_ += ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    pending_key_ = true;
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(text);
+    out_ += '"';
+}
+
+void
+JsonWriter::value(const char *text)
+{
+    value(std::string_view(text));
+}
+
+void
+JsonWriter::value(bool boolean)
+{
+    separate();
+    out_ += boolean ? "true" : "false";
+}
+
+void
+JsonWriter::value(double number)
+{
+    separate();
+    out_ += jsonNumber(number);
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    separate();
+    out_ += std::to_string(number);
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    separate();
+    out_ += std::to_string(number);
+}
+
+} // namespace dnastore::obs

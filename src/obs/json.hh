@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the observability exporters.
+ * Emits canonical output: no whitespace dependence on locale, doubles
+ * via shortest-round-trip std::to_chars, object keys in whatever order
+ * the caller emits them (callers use sorted std::map iteration, so the
+ * documents are byte-stable across runs and platforms).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnastore::obs
+{
+
+/**
+ * Streaming JSON writer with explicit begin/end calls.  The writer
+ * inserts commas automatically; the caller is responsible for matching
+ * begin/end pairs and for emitting key() before every value inside an
+ * object.
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key (must be inside an object). */
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char *text);
+    void value(bool boolean);
+    void value(double number);
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+
+    /** The document built so far. */
+    const std::string &text() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    /** true = a value was already emitted at this nesting level. */
+    std::vector<bool> needs_comma_;
+    bool pending_key_ = false;
+};
+
+/** Escape a string for embedding in a JSON document (no quotes added). */
+std::string jsonEscape(std::string_view text);
+
+/** Shortest-round-trip decimal form of a double (to_chars). */
+std::string jsonNumber(double v);
+
+} // namespace dnastore::obs

@@ -1,0 +1,81 @@
+#include "obs/report.hh"
+
+#include <fstream>
+
+namespace dnastore::obs
+{
+
+void
+writeMetricsValue(JsonWriter &json, const MetricsSnapshot &snapshot)
+{
+    json.beginObject();
+    json.key("counters");
+    json.beginObject();
+    for (const auto &[name, value] : snapshot.counters) {
+        json.key(name);
+        json.value(value);
+    }
+    json.endObject();
+    json.key("gauges");
+    json.beginObject();
+    for (const auto &[name, gauge] : snapshot.gauges) {
+        json.key(name);
+        json.beginObject();
+        json.key("value");
+        json.value(gauge.value);
+        json.key("max");
+        json.value(gauge.max);
+        json.endObject();
+    }
+    json.endObject();
+    json.key("histograms");
+    json.beginObject();
+    for (const auto &[name, hist] : snapshot.histograms) {
+        json.key(name);
+        json.beginObject();
+        json.key("upper_bounds");
+        json.beginArray();
+        for (const double bound : hist.upper_bounds)
+            json.value(bound);
+        json.endArray();
+        json.key("counts");
+        json.beginArray();
+        for (const std::uint64_t count : hist.counts)
+            json.value(count);
+        json.endArray();
+        json.key("count");
+        json.value(hist.total_count);
+        json.key("sum");
+        json.value(hist.sum);
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+}
+
+std::string
+metricsJson(const MetricsSnapshot &snapshot)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("schema");
+    json.value("dnastore.metrics");
+    json.key("schema_version");
+    json.value(std::int64_t{kSchemaVersion});
+    json.key("metrics");
+    writeMetricsValue(json, snapshot);
+    json.endObject();
+    return json.text();
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << text << '\n';
+    return static_cast<bool>(out);
+}
+
+} // namespace dnastore::obs

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Machine-readable metrics serialisation.  A MetricsSnapshot becomes a
+ * canonical JSON value with stable (sorted) key order:
+ *
+ *   {"counters": {"name": 123, ...},
+ *    "gauges":   {"name": {"value": v, "max": m}, ...},
+ *    "histograms": {"name": {"upper_bounds": [...], "counts": [...],
+ *                            "count": N, "sum": S}, ...}}
+ *
+ * The full run-report document (schema `dnastore.run_report`, see
+ * docs/OBSERVABILITY.md) is assembled by core/run_report, which embeds
+ * this value under its "metrics" key; benches embed it per row.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace dnastore::obs
+{
+
+/** Current version of every JSON document this layer emits. */
+inline constexpr int kSchemaVersion = 1;
+
+/** Emit @p snapshot as a JSON value into @p json. */
+void writeMetricsValue(JsonWriter &json, const MetricsSnapshot &snapshot);
+
+/** @p snapshot as a standalone JSON document (for tests and tools). */
+[[nodiscard]] std::string metricsJson(const MetricsSnapshot &snapshot);
+
+/**
+ * Write @p text to @p path (binary, trailing newline).
+ * @return false when the file cannot be written.
+ */
+[[nodiscard]] bool
+writeTextFile(const std::string &path, const std::string &text);
+
+} // namespace dnastore::obs

@@ -1,0 +1,134 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace dnastore::obs
+{
+
+namespace
+{
+
+std::atomic<TraceSink *> installed_sink{nullptr};
+
+/** Per-thread span state: pending events + open-span depth. */
+struct ThreadTraceState
+{
+    std::vector<TraceEvent> buffer;
+    std::uint32_t depth = 0;
+    std::uint32_t tid = 0;
+};
+
+std::uint32_t
+nextThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadTraceState &
+threadState()
+{
+    thread_local ThreadTraceState state{{}, 0, nextThreadId()};
+    return state;
+}
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+std::uint64_t
+traceNowMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - traceEpoch())
+            .count());
+}
+
+void
+TraceSink::append(const std::vector<TraceEvent> &events)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.insert(events_.end(), events.begin(), events.end());
+}
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = events_;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.ts_us != b.ts_us)
+                             return a.ts_us < b.ts_us;
+                         // Parents start no later and end no earlier
+                         // than their children: longer first on ties.
+                         return a.dur_us > b.dur_us;
+                     });
+    return out;
+}
+
+std::size_t
+TraceSink::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+installTraceSink(TraceSink *sink)
+{
+    installed_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink *
+traceSink()
+{
+    return installed_sink.load(std::memory_order_acquire);
+}
+
+Span::Span(const char *name)
+    : sink_(installed_sink.load(std::memory_order_acquire)), name_(name)
+{
+    if (!sink_)
+        return;
+    ++threadState().depth;
+    start_us_ = traceNowMicros();
+}
+
+Span::~Span()
+{
+    end();
+}
+
+void
+Span::end()
+{
+    if (!sink_)
+        return;
+    TraceSink *sink = sink_;
+    sink_ = nullptr; // idempotence: a second end() is a no-op
+    const std::uint64_t end_us = traceNowMicros();
+    ThreadTraceState &state = threadState();
+    state.buffer.push_back(TraceEvent{
+        name_, start_us_, end_us - start_us_, state.tid});
+    // Flush only when the outermost span on this thread closes, so
+    // nested spans never contend on the sink mutex.
+    if (--state.depth == 0) {
+        sink->append(state.buffer);
+        state.buffer.clear();
+    }
+}
+
+} // namespace dnastore::obs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Low-overhead span tracing.  A Span is an RAII scope marker: it
+ * records a monotonic start timestamp on construction and appends a
+ * completed trace event on destruction.  Spans nest naturally with
+ * call scope (e.g. `pipeline/run` > `pipeline/decoding` >
+ * `decoding/unit` > `decoding/rs_row`) and may be opened from any
+ * thread, including thread-pool workers.
+ *
+ * Cost model: with no sink installed a Span is one relaxed atomic load
+ * and a branch — no clock read, no allocation, no lock.  With a sink
+ * installed, events are buffered in a per-thread vector and flushed
+ * into the sink (one mutex acquisition) only when the outermost span on
+ * that thread closes, so the hot path never takes a lock.
+ *
+ * Span names must be string literals (or otherwise outlive the sink):
+ * events store the pointer, not a copy.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dnastore::obs
+{
+
+/** One completed span, in Chrome trace_event terms a "ph":"X" event. */
+struct TraceEvent
+{
+    const char *name = "";    //!< Span name, e.g. "clustering/round".
+    std::uint64_t ts_us = 0;  //!< Start, microseconds since trace epoch.
+    std::uint64_t dur_us = 0; //!< Duration in microseconds.
+    std::uint32_t tid = 0;    //!< Small per-thread id (first-use order).
+};
+
+/**
+ * Collects completed trace events from every thread.  Install with
+ * installTraceSink(); the sink must outlive every span opened while it
+ * is installed (in practice: install, run, uninstall, export).
+ */
+class TraceSink
+{
+  public:
+    /** Append a batch of events (called by Span on outer-span close). */
+    void append(const std::vector<TraceEvent> &events);
+
+    /** Copy out all events collected so far, sorted by start time. */
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+
+    /** Number of events collected so far. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Install @p sink as the process-wide trace sink (nullptr uninstalls).
+ * Spans opened after the call record into it; do not destroy a sink
+ * while spans that saw it are still open on any thread.
+ */
+void installTraceSink(TraceSink *sink);
+
+/** Currently installed sink, or nullptr. */
+TraceSink *traceSink();
+
+/**
+ * RAII scope span.  Inactive (and free) when no sink is installed at
+ * construction; otherwise measures wall time between construction and
+ * destruction on a monotonic clock.
+ */
+class Span
+{
+  public:
+    /** @param name string literal naming the span ("module/what"). */
+    explicit Span(const char *name);
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span();
+
+    /**
+     * Close the span now instead of at scope exit (for regions that do
+     * not map onto a brace scope).  Idempotent.
+     */
+    void end();
+
+    /** True when a sink was installed at construction. */
+    bool active() const { return sink_ != nullptr; }
+
+  private:
+    TraceSink *sink_;
+    const char *name_;
+    std::uint64_t start_us_ = 0;
+};
+
+/** Microseconds since the process trace epoch (monotonic). */
+std::uint64_t traceNowMicros();
+
+} // namespace dnastore::obs

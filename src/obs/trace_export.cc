@@ -1,0 +1,58 @@
+#include "obs/trace_export.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+
+namespace dnastore::obs
+{
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("displayTimeUnit");
+    json.value("ms");
+    json.key("traceEvents");
+    json.beginArray();
+    for (const TraceEvent &event : events) {
+        json.beginObject();
+        json.key("name");
+        json.value(event.name);
+        json.key("cat");
+        json.value("dnastore");
+        json.key("ph");
+        json.value("X");
+        json.key("ts");
+        json.value(event.ts_us);
+        json.key("dur");
+        json.value(event.dur_us);
+        json.key("pid");
+        json.value(std::uint64_t{1});
+        json.key("tid");
+        json.value(std::uint64_t{event.tid});
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.text();
+}
+
+std::string
+chromeTraceJson(const TraceSink &sink)
+{
+    return chromeTraceJson(sink.events());
+}
+
+bool
+writeChromeTrace(const TraceSink &sink, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << chromeTraceJson(sink) << '\n';
+    return static_cast<bool>(out);
+}
+
+} // namespace dnastore::obs

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chrome trace_event exporter: serialises a TraceSink's spans into the
+ * JSON Array/Object format understood by chrome://tracing and Perfetto
+ * (https://ui.perfetto.dev).  Every span becomes one complete ("ph":
+ * "X") event; the viewers reconstruct nesting from timestamp/duration
+ * containment per thread.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hh"
+
+namespace dnastore::obs
+{
+
+/** Serialise @p events as a Chrome trace JSON document. */
+[[nodiscard]] std::string
+chromeTraceJson(const std::vector<TraceEvent> &events);
+
+/** Serialise everything @p sink collected. */
+[[nodiscard]] std::string chromeTraceJson(const TraceSink &sink);
+
+/**
+ * Write @p sink's events to @p path as Chrome trace JSON.
+ * @return false (with a logged error) when the file cannot be written.
+ */
+[[nodiscard]] bool
+writeChromeTrace(const TraceSink &sink, const std::string &path);
+
+} // namespace dnastore::obs

@@ -4,9 +4,25 @@
 #include <array>
 
 #include "dna/base.hh"
+#include "obs/metrics.hh"
 
 namespace dnastore
 {
+
+namespace
+{
+
+/** Share of polish votes cast against the winning base, per position. */
+obs::FixedHistogram &
+disagreementHistogram()
+{
+    static obs::FixedHistogram &hist = obs::metrics().histogram(
+        "reconstruction.consensus_disagreement_percent",
+        obs::percentBuckets());
+    return hist;
+}
+
+} // namespace
 
 Strand
 NwConsensusReconstructor::reconstruct(const std::vector<Strand> &reads,
@@ -72,11 +88,18 @@ NwConsensusReconstructor::reconstruct(const std::vector<Strand> &reads,
             std::uint8_t best = current;
             std::uint32_t best_votes =
                 current == 0xff ? 0 : votes[pos][current] + 1;
+            std::uint32_t total_votes = current == 0xff ? 0 : 1;
             for (std::uint8_t b = 0; b < 4; ++b) {
+                total_votes += votes[pos][b];
                 if (votes[pos][b] > best_votes) {
                     best_votes = votes[pos][b];
                     best = b;
                 }
+            }
+            if (pass == 0 && total_votes > 0) {
+                disagreementHistogram().observe(
+                    100.0 * static_cast<double>(total_votes - best_votes) /
+                    static_cast<double>(total_votes));
             }
             if (best != 0xff)
                 polished[pos] = baseToChar(best);

@@ -1,5 +1,7 @@
 #include "reconstruction/reconstructor.hh"
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/thread_pool.hh"
 
 namespace dnastore
@@ -11,15 +13,25 @@ reconstructAll(const Reconstructor &algo,
                std::size_t expected_length, std::size_t num_threads)
 {
     std::vector<Strand> out(clusters.size());
+    std::uint64_t reads_seen = 0;
+    for (const auto &cluster : clusters)
+        reads_seen += cluster.size();
     if (num_threads > 1) {
         ThreadPool pool(num_threads);
         pool.parallelFor(0, clusters.size(), [&](std::size_t i) {
+            obs::Span span("reconstruction/cluster");
             out[i] = algo.reconstruct(clusters[i], expected_length);
         });
     } else {
-        for (std::size_t i = 0; i < clusters.size(); ++i)
+        for (std::size_t i = 0; i < clusters.size(); ++i) {
+            obs::Span span("reconstruction/cluster");
             out[i] = algo.reconstruct(clusters[i], expected_length);
+        }
     }
+    obs::metrics()
+        .counter("reconstruction.clusters_total")
+        .add(clusters.size());
+    obs::metrics().counter("reconstruction.reads_total").add(reads_seen);
     return out;
 }
 

@@ -3,9 +3,34 @@
 #include <stdexcept>
 
 #include "dna/base.hh"
+#include "obs/metrics.hh"
 
 namespace dnastore
 {
+
+namespace
+{
+
+/** Process-wide channel error totals, published once per transmit. */
+struct ChannelMetrics
+{
+    obs::Counter &insertions =
+        obs::metrics().counter("channel.insertions_total");
+    obs::Counter &deletions =
+        obs::metrics().counter("channel.deletions_total");
+    obs::Counter &substitutions =
+        obs::metrics().counter("channel.substitutions_total");
+    obs::Counter &bases = obs::metrics().counter("channel.bases_total");
+};
+
+ChannelMetrics &
+channelMetrics()
+{
+    static ChannelMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 IidChannel::IidChannel(IidChannelConfig config) : cfg(config)
 {
@@ -20,23 +45,36 @@ IidChannel::transmit(const Strand &clean, Rng &rng) const
 {
     Strand read;
     read.reserve(clean.size() + 8);
+    std::uint64_t insertions = 0;
+    std::uint64_t deletions = 0;
+    std::uint64_t substitutions = 0;
     for (char c : clean) {
         // One trial per index: insertion places a random base before the
         // current one; deletion drops it; substitution replaces it with a
         // different base.
-        if (rng.chance(cfg.p_insertion))
+        if (rng.chance(cfg.p_insertion)) {
             read.push_back(baseToChar(static_cast<std::uint8_t>(rng.below(4))));
-        if (rng.chance(cfg.p_deletion))
+            ++insertions;
+        }
+        if (rng.chance(cfg.p_deletion)) {
+            ++deletions;
             continue;
+        }
         if (rng.chance(cfg.p_substitution)) {
             const std::uint8_t original = charToCode(c);
             const std::uint8_t replacement = static_cast<std::uint8_t>(
                 (original + 1 + rng.below(3)) & 0x3);
             read.push_back(baseToChar(replacement));
+            ++substitutions;
         } else {
             read.push_back(c);
         }
     }
+    ChannelMetrics &metrics = channelMetrics();
+    metrics.insertions.add(insertions);
+    metrics.deletions.add(deletions);
+    metrics.substitutions.add(substitutions);
+    metrics.bases.add(clean.size());
     return read;
 }
 

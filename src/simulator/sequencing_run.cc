@@ -2,6 +2,9 @@
 
 #include <numeric>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
 namespace dnastore
 {
 
@@ -9,6 +12,7 @@ SequencingRun
 simulateSequencing(const std::vector<Strand> &strands, const Channel &channel,
                    const CoverageModel &coverage, Rng &rng, bool shuffle)
 {
+    obs::Span span("simulation/sequencing_run");
     SequencingRun run;
     for (std::size_t s = 0; s < strands.size(); ++s) {
         const std::uint64_t copies = coverage.draw(rng);
@@ -32,6 +36,11 @@ simulateSequencing(const std::vector<Strand> &strands, const Channel &channel,
         run.reads = std::move(reads);
         run.origin = std::move(origin);
     }
+    obs::metrics().counter("simulation.strands_total").add(strands.size());
+    obs::metrics().counter("simulation.reads_total").add(run.reads.size());
+    obs::metrics()
+        .counter("simulation.dropped_strands_total")
+        .add(run.dropped_strands);
     return run;
 }
 

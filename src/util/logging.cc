@@ -1,6 +1,7 @@
 #include "util/logging.hh"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
@@ -9,9 +10,6 @@ namespace dnastore
 
 namespace
 {
-
-std::atomic<LogLevel> global_level{LogLevel::Info};
-std::mutex output_mutex;
 
 const char *
 levelName(LogLevel level)
@@ -24,6 +22,35 @@ levelName(LogLevel level)
       default: return "?????";
     }
 }
+
+/**
+ * Initial threshold: the DNASTORE_LOG environment variable when set to
+ * a known level name (debug/info/warn/error/off, case-sensitive),
+ * otherwise Info.  Evaluated once at process start so the override
+ * applies before any module logs.
+ */
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("DNASTORE_LOG");
+    if (env == nullptr)
+        return LogLevel::Info;
+    const std::string name(env);
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "off")
+        return LogLevel::Off;
+    return LogLevel::Info;
+}
+
+std::atomic<LogLevel> global_level{initialLevel()};
+std::mutex output_mutex;
 
 } // namespace
 
@@ -42,8 +69,19 @@ logLevel()
 void
 logMessage(LogLevel level, const std::string &message)
 {
+    // Compose the full line first and emit it as one insertion under
+    // the mutex: concurrent pipeline runs then cannot interleave
+    // partial lines even when the stream is shared with other writers.
+    std::string line;
+    line.reserve(message.size() + 10);
+    line += '[';
+    line += levelName(level);
+    line += "] ";
+    line += message;
+    line += '\n';
     std::lock_guard<std::mutex> lock(output_mutex);
-    std::cerr << "[" << levelName(level) << "] " << message << '\n';
+    std::cerr << line;
+    std::cerr.flush();
 }
 
 } // namespace dnastore

@@ -1,7 +1,10 @@
 /**
  * @file
  * Minimal leveled logging.  Defaults to Info; benches lower it to Warn to
- * keep table output clean.
+ * keep table output clean.  The DNASTORE_LOG environment variable
+ * (debug|info|warn|error|off) overrides the initial threshold, and
+ * lines are written atomically so concurrent pipeline runs never
+ * interleave partial messages.
  */
 
 #pragma once

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/assert.hh"
 
 namespace dnastore
@@ -19,6 +21,26 @@ summarise(const std::vector<std::string> &messages, std::size_t total)
     for (const auto &message : messages)
         text += " [" + message + "]";
     return text;
+}
+
+/** Registry handles fetched once; workers then only touch atomics. */
+struct PoolMetrics
+{
+    obs::Counter &tasks_total;
+    obs::Gauge &queue_depth;
+    obs::FixedHistogram &task_seconds;
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics handles{
+        obs::metrics().counter("util.thread_pool.tasks_total"),
+        obs::metrics().gauge("util.thread_pool.queue_depth"),
+        obs::metrics().histogram("util.thread_pool.task_seconds",
+                                 obs::latencyBucketsSeconds()),
+    };
+    return handles;
 }
 
 } // namespace
@@ -56,6 +78,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop()
 {
+    PoolMetrics &pm = poolMetrics();
     for (;;) {
         std::function<void()> task;
         {
@@ -65,8 +88,13 @@ ThreadPool::workerLoop()
                 return; // stopping and drained
             task = std::move(tasks.front());
             tasks.pop();
+            pm.queue_depth.set(static_cast<double>(tasks.size()));
         }
+        pm.tasks_total.add();
+        const std::uint64_t begin_us = obs::traceNowMicros();
         task();
+        pm.task_seconds.observe(
+            static_cast<double>(obs::traceNowMicros() - begin_us) * 1e-6);
     }
 }
 

@@ -1,0 +1,153 @@
+// Span tracing and the Chrome trace_event exporter: null-sink fast
+// path, nesting, cross-thread collection, and well-formed JSON output.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/span.hh"
+#include "obs/trace_export.hh"
+
+namespace
+{
+
+using dnastore::obs::Span;
+using dnastore::obs::TraceEvent;
+using dnastore::obs::TraceSink;
+using dnastore::obs::chromeTraceJson;
+using dnastore::obs::installTraceSink;
+using dnastore::obs::traceSink;
+
+/** Installs a sink for the test body, uninstalls on scope exit. */
+class SinkScope
+{
+  public:
+    explicit SinkScope(TraceSink &sink) { installTraceSink(&sink); }
+    SinkScope(const SinkScope &) = delete;
+    SinkScope &operator=(const SinkScope &) = delete;
+    ~SinkScope() { installTraceSink(nullptr); }
+};
+
+TEST(Span, InactiveWithoutSink)
+{
+    installTraceSink(nullptr);
+    Span span("test/no_sink");
+    EXPECT_FALSE(span.active());
+    span.end(); // must be a harmless no-op
+}
+
+TEST(Span, RecordsNestedSpansInOrder)
+{
+    // Sleeps separate the start timestamps so the sort order is
+    // deterministic even on a coarse microsecond clock.
+    const auto tick = [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    };
+    TraceSink sink;
+    {
+        SinkScope scope(sink);
+        Span outer("test/outer");
+        EXPECT_TRUE(outer.active());
+        tick();
+        {
+            Span middle("test/middle");
+            tick();
+            Span inner("test/inner");
+            tick();
+        }
+        // Nothing flushes until the outermost span closes.
+        EXPECT_EQ(sink.size(), 0u);
+    }
+    ASSERT_EQ(sink.size(), 3u);
+
+    const std::vector<TraceEvent> events = sink.events();
+    // events() sorts by start time, parents (longer) before children on
+    // ties, so the hierarchy reads outer -> middle -> inner.
+    EXPECT_STREQ(events[0].name, "test/outer");
+    EXPECT_STREQ(events[1].name, "test/middle");
+    EXPECT_STREQ(events[2].name, "test/inner");
+    // Containment: every child starts no earlier and ends no later
+    // than its parent — this is what trace viewers nest on.
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+        EXPECT_LE(events[i].ts_us + events[i].dur_us,
+                  events[i - 1].ts_us + events[i - 1].dur_us);
+    }
+    // All three ran on the same thread.
+    EXPECT_EQ(events[0].tid, events[1].tid);
+    EXPECT_EQ(events[1].tid, events[2].tid);
+}
+
+TEST(Span, EndIsIdempotentAndEager)
+{
+    TraceSink sink;
+    SinkScope scope(sink);
+    Span span("test/manual_end");
+    span.end();
+    EXPECT_EQ(sink.size(), 1u);
+    span.end(); // second end must not double-record
+    EXPECT_EQ(sink.size(), 1u);
+} // destructor after end(): still exactly one event
+
+TEST(Span, CollectsAcrossThreads)
+{
+    TraceSink sink;
+    {
+        SinkScope scope(sink);
+        Span main_span("test/main");
+        std::thread worker([] { Span span("test/worker"); });
+        worker.join();
+    }
+    ASSERT_EQ(sink.size(), 2u);
+    const std::vector<TraceEvent> events = sink.events();
+    EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(ChromeTrace, EmitsWellFormedDocument)
+{
+    TraceSink sink;
+    {
+        SinkScope scope(sink);
+        Span outer("test/outer");
+        Span inner("test/inner");
+    }
+    const std::string json = chromeTraceJson(sink);
+
+    // Structural spot-checks a JSON parser would rely on.
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"test/outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"test/inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"dnastore\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+    // Two complete events -> two "ph":"X" markers.
+    std::size_t count = 0;
+    for (std::size_t pos = json.find("\"ph\":\"X\"");
+         pos != std::string::npos; pos = json.find("\"ph\":\"X\"", pos + 1))
+        ++count;
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(ChromeTrace, EmptySinkYieldsEmptyEventArray)
+{
+    const TraceSink sink;
+    const std::string json = chromeTraceJson(sink);
+    EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(TraceSink, InstallUninstall)
+{
+    TraceSink sink;
+    installTraceSink(&sink);
+    EXPECT_EQ(traceSink(), &sink);
+    installTraceSink(nullptr);
+    EXPECT_EQ(traceSink(), nullptr);
+}
+
+} // namespace

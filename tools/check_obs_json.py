@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts one pipeline run produces.
+
+Usage:
+    tools/check_obs_json.py --metrics run_report.json --trace trace.json
+                            [--min-counters N] [--min-depth D]
+
+Checks, without any third-party dependency:
+  * the metrics file parses, carries schema `dnastore.run_report` at a
+    known schema_version, and contains every required section
+    (run, stages with per-stage latency, pipeline, faults,
+    recovery_attempts, errors, metrics);
+  * the metrics section holds at least --min-counters distinct module
+    counters/histograms and every fault counter;
+  * the trace file is a well-formed Chrome trace_event document whose
+    spans nest at least --min-depth levels deep (computed from
+    timestamp containment per thread, exactly as chrome://tracing and
+    Perfetto render it).
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_SECTIONS = (
+    "run",
+    "stages",
+    "pipeline",
+    "faults",
+    "recovery_attempts",
+    "errors",
+    "metrics",
+)
+
+REQUIRED_STAGES = (
+    "encoding",
+    "simulation",
+    "clustering",
+    "reconstruction",
+    "decoding",
+)
+
+REQUIRED_FAULT_KEYS = (
+    "dropped_strands",
+    "truncated_reads",
+    "elongated_reads",
+    "corrupted_indices",
+    "duplicate_conflicts",
+    "garbage_reads",
+    "emptied_clusters",
+    "merged_clusters",
+    "total",
+)
+
+
+def fail(message):
+    print(f"check_obs_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics(path, min_counters):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema") != "dnastore.run_report":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'dnastore.run_report'")
+    if not isinstance(doc.get("schema_version"), int):
+        fail(f"{path}: schema_version missing or not an integer")
+    for section in REQUIRED_SECTIONS:
+        if section not in doc:
+            fail(f"{path}: missing section {section!r}")
+
+    stages = doc["stages"]
+    for stage in REQUIRED_STAGES:
+        entry = stages.get(stage)
+        if not isinstance(entry, dict) or "seconds" not in entry \
+                or "status" not in entry:
+            fail(f"{path}: stage {stage!r} lacks status/seconds")
+        if not isinstance(entry["seconds"], (int, float)):
+            fail(f"{path}: stage {stage!r} seconds is not a number")
+    if "total_seconds" not in stages:
+        fail(f"{path}: stages.total_seconds missing")
+
+    faults = doc["faults"]
+    for key in REQUIRED_FAULT_KEYS:
+        if key not in faults:
+            fail(f"{path}: faults.{key} missing")
+
+    metrics = doc["metrics"]
+    for kind in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(kind), dict):
+            fail(f"{path}: metrics.{kind} missing or not an object")
+    names = list(metrics["counters"]) + list(metrics["histograms"])
+    modules = {name.split(".")[0] for name in names}
+    if len(names) < min_counters:
+        fail(f"{path}: only {len(names)} counters/histograms, "
+             f"need >= {min_counters}")
+    for name in names:
+        if "." not in name:
+            fail(f"{path}: metric {name!r} does not follow "
+                 "module.noun_unit naming")
+    for hist in metrics["histograms"].values():
+        if len(hist["counts"]) != len(hist["upper_bounds"]) + 1:
+            fail(f"{path}: histogram bucket/bound count mismatch")
+        if sum(hist["counts"]) != hist["count"]:
+            fail(f"{path}: histogram counts do not sum to count")
+    print(f"check_obs_json: {path}: {len(names)} counters/histograms "
+          f"across modules {sorted(modules)}")
+
+
+def trace_depth(events):
+    """Maximum nesting depth from per-thread timestamp containment."""
+    depth = 0
+    by_tid = {}
+    for event in events:
+        by_tid.setdefault(event["tid"], []).append(event)
+    for spans in by_tid.values():
+        # Parents sort before children: earlier start, longer on ties.
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for span in spans:
+            end = span["ts"] + span["dur"]
+            while stack and span["ts"] >= stack[-1]:
+                stack.pop()
+            stack.append(end)
+            depth = max(depth, len(stack))
+    return depth
+
+
+def check_trace(path, min_depth):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    for event in events:
+        for field in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if field not in event:
+                fail(f"{path}: event lacks field {field!r}: {event}")
+        if event["ph"] != "X":
+            fail(f"{path}: unexpected event phase {event['ph']!r}")
+        if "/" not in event["name"]:
+            fail(f"{path}: span {event['name']!r} does not follow "
+                 "module/what naming")
+    depth = trace_depth(events)
+    if depth < min_depth:
+        fail(f"{path}: span nesting depth {depth} < required {min_depth}")
+    print(f"check_obs_json: {path}: {len(events)} events, "
+          f"max nesting depth {depth}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", help="run report JSON to validate")
+    parser.add_argument("--trace", help="Chrome trace JSON to validate")
+    parser.add_argument("--min-counters", type=int, default=10)
+    parser.add_argument("--min-depth", type=int, default=4)
+    args = parser.parse_args()
+    if not args.metrics and not args.trace:
+        parser.error("nothing to do: pass --metrics and/or --trace")
+    if args.metrics:
+        check_metrics(args.metrics, args.min_counters)
+    if args.trace:
+        check_trace(args.trace, args.min_depth)
+    print("check_obs_json: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,10 @@
  * --fault-cluster-drop, --fault-cluster-merge (rates in [0,1]),
  * --fault-seed.  Recovery: --retries=N re-decodes with degraded
  * settings when the first decode fails.
+ * Observability (pipeline only): --metrics-json PATH writes the
+ * machine-readable run report (schema dnastore.run_report, see
+ * docs/OBSERVABILITY.md); --trace-json PATH writes a Chrome trace_event
+ * file loadable in chrome://tracing or Perfetto.
  */
 
 #include <iostream>
@@ -31,7 +35,10 @@
 
 #include "codec/matrix_codec.hh"
 #include "core/pipeline.hh"
+#include "core/run_report.hh"
 #include "core/text_io.hh"
+#include "obs/span.hh"
+#include "obs/trace_export.hh"
 #include "reconstruction/bma.hh"
 #include "reconstruction/nw_consensus.hh"
 #include "simulator/iid_channel.hh"
@@ -278,7 +285,38 @@ cmdPipeline(const ArgParser &args)
     }
 
     Pipeline pipeline(mods, cfg);
+
+    const std::string metrics_path = args.get("metrics-json", "");
+    const std::string trace_path = args.get("trace-json", "");
+    obs::TraceSink trace_sink;
+    if (!trace_path.empty())
+        obs::installTraceSink(&trace_sink);
     const auto result = pipeline.run(data);
+    if (!trace_path.empty()) {
+        obs::installTraceSink(nullptr);
+        if (!obs::writeChromeTrace(trace_sink, trace_path))
+            std::cerr << "warning: could not write " << trace_path << "\n";
+        else
+            std::cout << "trace: " << trace_path << " ("
+                      << trace_sink.size() << " events)\n";
+    }
+    if (!metrics_path.empty()) {
+        RunInfo info;
+        info["tool"] = "dnastore pipeline";
+        info["channel"] = channel->name();
+        info["clusterer"] = clusterer.name();
+        info["reconstructor"] = recon->name();
+        info["seed"] = std::to_string(cfg.seed);
+        info["threads"] = std::to_string(cfg.num_threads);
+        info["input_bytes"] = std::to_string(data.size());
+        info["rs_n"] = std::to_string(codec_cfg.rs_n);
+        info["rs_k"] = std::to_string(codec_cfg.rs_k);
+        info["payload_nt"] = std::to_string(codec_cfg.payload_nt);
+        if (!writeRunReport(metrics_path, result, info))
+            std::cerr << "warning: could not write " << metrics_path << "\n";
+        else
+            std::cout << "metrics: " << metrics_path << "\n";
+    }
 
     std::cout << "strands " << result.encoded_strands << ", reads "
               << result.reads << ", clusters " << result.clusters
@@ -335,7 +373,9 @@ usage()
            "  cluster     reads -> clusters (--signature, --threads)\n"
            "  reconstruct clusters -> consensus (--algo, --length)\n"
            "  decode      consensus -> file (--units, codec opts)\n"
-           "  pipeline    file -> file end to end\n";
+           "  pipeline    file -> file end to end\n"
+           "observability (pipeline): --metrics-json PATH writes the run\n"
+           "report JSON; --trace-json PATH writes a Chrome trace\n";
 }
 
 } // namespace
