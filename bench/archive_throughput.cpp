@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Archive random-access throughput: serial vs threaded shard decode.
+ *
+ * Stores one multi-shard object in an archive, then retrieves it twice
+ * through the same noisy channel — once with a single worker and once
+ * with a thread pool.  Shards decode independently (each has its own
+ * primer pair, reads, clusters and codec run), so the parallel get
+ * should approach linear speedup until shard count or core count runs
+ * out.  The acceptance bar for this bench is >1.5x with 4 threads on a
+ * 4+ shard object.
+ *
+ * Usage:
+ *   archive_throughput [--object-bytes=N] [--shard-bytes=N]
+ *                      [--threads=N] [--error-rate=P] [--coverage=N]
+ *                      [--repeats=N] [--json=path]
+ *
+ * --json writes a schema-versioned document
+ * (schema dnastore.bench_archive_throughput) with per-mode wall times,
+ * the speedup ratio and the retrieval metrics delta; the checked-in
+ * baseline lives at bench/baselines/BENCH_archive_throughput.json
+ * (regeneration command in README.md).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "util/args.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+using namespace dnastore;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point start,
+        std::chrono::steady_clock::time_point stop)
+{
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+struct ModeResult
+{
+    std::string mode;
+    std::size_t threads = 1;
+    double best_seconds = 0.0;
+    bool ok = false;
+};
+
+std::string
+benchJson(const std::vector<ModeResult> &modes, std::size_t object_bytes,
+          std::size_t shards, double speedup,
+          const obs::MetricsSnapshot &metrics)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.key("schema");
+    json.value("dnastore.bench_archive_throughput");
+    json.key("schema_version");
+    json.value(std::int64_t{obs::kSchemaVersion});
+    json.key("object_bytes");
+    json.value(std::uint64_t{object_bytes});
+    json.key("shards");
+    json.value(std::uint64_t{shards});
+    json.key("modes");
+    json.beginArray();
+    for (const ModeResult &mode : modes) {
+        json.beginObject();
+        json.key("mode");
+        json.value(mode.mode);
+        json.key("threads");
+        json.value(std::uint64_t{mode.threads});
+        json.key("get_seconds");
+        json.value(mode.best_seconds);
+        json.key("round_trip_ok");
+        json.value(mode.ok);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("speedup");
+    json.value(speedup);
+    json.key("metrics");
+    obs::writeMetricsValue(json, metrics);
+    json.endObject();
+    return json.text();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ArgParser args(argc, argv);
+    const std::size_t object_bytes =
+        static_cast<std::size_t>(args.getInt("object-bytes", 4096));
+    const std::size_t shard_bytes =
+        static_cast<std::size_t>(args.getInt("shard-bytes", 512));
+    const std::size_t threads =
+        static_cast<std::size_t>(args.getInt("threads", 4));
+    const std::size_t repeats =
+        static_cast<std::size_t>(args.getInt("repeats", 3));
+    const std::string json_path = args.get("json", "");
+
+    archive::ArchiveParams params;
+    params.codec.payload_nt = 120;
+    params.codec.index_nt = 12;
+    params.codec.rs_n = 60;
+    params.codec.rs_k = 40;
+    params.max_shard_bytes = shard_bytes;
+
+    const std::string dir = "/tmp/dnastore_bench_archive_throughput";
+    std::filesystem::remove_all(dir);
+    auto opened = archive::Archive::create(dir, params);
+    if (!opened.ok()) {
+        std::cerr << "cannot create archive: " << opened.error << "\n";
+        return 1;
+    }
+    archive::Archive &tube = *opened.archive;
+
+    Rng rng(4242);
+    std::vector<std::uint8_t> data(object_bytes);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const auto put = tube.put("object", data, threads);
+    if (!put.ok()) {
+        std::cerr << "put failed: " << put.error << "\n";
+        return 1;
+    }
+
+    archive::RetrievalConfig retrieval;
+    retrieval.error_rate = args.getDouble("error-rate", 0.03);
+    retrieval.coverage = args.getDouble("coverage", 12.0);
+    retrieval.seed = 11;
+
+    std::cout << "=== archive random-access throughput ===\n"
+              << "object " << object_bytes << " bytes in " << put.shards
+              << " shards of <=" << shard_bytes << " bytes, "
+              << put.strands << " molecules, error rate "
+              << retrieval.error_rate << ", coverage "
+              << retrieval.coverage << "\n\n";
+
+    // Best-of-N wall time per mode; per-shard seeds make both modes
+    // decode the same work, so the comparison is thread overhead only.
+    std::vector<ModeResult> modes;
+    const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    for (const std::size_t workers :
+         std::vector<std::size_t>{1, threads}) {
+        ModeResult mode;
+        mode.mode = workers == 1 ? "serial" : "threaded";
+        mode.threads = workers;
+        retrieval.num_threads = workers;
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            const auto result = tube.get("object", retrieval);
+            const auto stop = std::chrono::steady_clock::now();
+            const double elapsed = seconds(start, stop);
+            if (rep == 0 || elapsed < mode.best_seconds)
+                mode.best_seconds = elapsed;
+            mode.ok = result.ok() && result.data == data;
+            if (!mode.ok) {
+                std::cerr << mode.mode << " get failed: " << result.error
+                          << "\n";
+                return 1;
+            }
+        }
+        modes.push_back(mode);
+    }
+    const obs::MetricsSnapshot delta =
+        obs::metrics().snapshot().delta(before);
+
+    const double speedup =
+        modes[1].best_seconds > 0.0
+            ? modes[0].best_seconds / modes[1].best_seconds
+            : 0.0;
+
+    Table table;
+    table.header({"mode", "threads", "get seconds", "speedup", "ok"});
+    for (const ModeResult &mode : modes)
+        table.row({mode.mode, std::to_string(mode.threads),
+                   Table::fmt(mode.best_seconds, 3),
+                   mode.mode == "serial" ? "1.00" : Table::fmt(speedup, 2),
+                   mode.ok ? "yes" : "NO"});
+    std::cout << table.text() << "\n";
+
+    if (!json_path.empty()) {
+        if (obs::writeTextFile(
+                json_path,
+                benchJson(modes, object_bytes, put.shards, speedup, delta)))
+            std::cout << "wrote " << json_path << "\n";
+        else
+            std::cerr << "could not write " << json_path << "\n";
+    }
+
+    std::filesystem::remove_all(dir);
+    // The speedup bar only makes sense when the hardware can express
+    // it: a single-core box runs both modes on one CPU.
+    const std::size_t cores = std::thread::hardware_concurrency();
+    if (cores >= 2 && put.shards >= 4 && threads >= 4 &&
+        speedup <= 1.5) {
+        std::cerr << "FAIL: expected >1.5x speedup with " << threads
+                  << " threads over " << put.shards << " shards on "
+                  << cores << " cores, got " << speedup << "x\n";
+        return 1;
+    }
+    if (cores < 2)
+        std::cout << "(single-core host: speedup bar not enforced)\n";
+    std::cout << "threaded get is " << Table::fmt(speedup, 2)
+              << "x serial\n";
+    return 0;
+}

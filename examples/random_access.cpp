@@ -1,30 +1,31 @@
 /**
  * @file
- * Random access in a shared DNA pool (paper Sections II-E/F).
+ * Random access in a shared DNA pool via the archive layer (paper
+ * Sections II-E/F).
  *
- * Three files are stored in one test tube, each tagged with its own PCR
- * primer pair — the pool behaves as a key-value store whose keys are
- * primer pairs.  One file is then retrieved: PCR amplifies only its
- * molecules, the amplified product is sequenced through a noisy
- * channel, reads are preprocessed (orientation + primer trimming) and
- * fed to the retrieval half of the pipeline.
+ * Three files are stored into ONE archive — one mixed test tube of
+ * primer-tagged molecules plus a CRC-guarded manifest.  Every file
+ * shard carries its own PCR primer pair, so the pool behaves as a
+ * key-value store whose keys are primer pairs.  One file is then
+ * retrieved by name: the archive PCR-selects its shards, sequences the
+ * amplified product through a noisy channel, preprocesses the reads
+ * (orientation + primer trimming) and runs the retrieval half of the
+ * pipeline per shard.
  *
  * Usage:
  *   random_access [--fetch=0|1|2] [--error-rate=P] [--coverage=N]
+ *                 [--dir=PATH]
  */
 
+#include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <system_error>
 #include <vector>
 
-#include "codec/matrix_codec.hh"
-#include "core/pipeline.hh"
-#include "core/pool.hh"
-#include "reconstruction/nw_consensus.hh"
-#include "simulator/iid_channel.hh"
-#include "simulator/sequencing_run.hh"
+#include "archive/archive.hh"
 #include "util/args.hh"
-#include "wetlab/preprocess.hh"
 
 using namespace dnastore;
 
@@ -34,19 +35,12 @@ main(int argc, char **argv)
     const ArgParser args(argc, argv);
     const std::size_t fetch =
         static_cast<std::size_t>(args.getInt("fetch", 1));
-    const double error_rate = args.getDouble("error-rate", 0.04);
-    const double coverage = args.getDouble("coverage", 12.0);
     if (fetch > 2) {
         std::cerr << "--fetch must be 0, 1 or 2\n";
         return 1;
     }
 
-    Rng rng(4242);
-
-    // Design a primer library: two 20-nt primers per file, mutually
-    // separated in Hamming distance so PCR stays specific.
-    const PrimerLibrary library = PrimerLibrary::design(rng, 6);
-
+    const std::vector<std::string> names = {"climate", "fox", "backup"};
     const std::vector<std::string> contents = {
         "file-0: climate sensor archive, 2031-01",
         "file-1: the quick brown fox jumps over the lazy dog, forever "
@@ -54,74 +48,72 @@ main(int argc, char **argv)
         "file-2: backup of the backup of the backup",
     };
 
-    MatrixCodecConfig codec_cfg;
-    codec_cfg.payload_nt = 120;
-    codec_cfg.index_nt = 12;
-    codec_cfg.rs_n = 60;
-    codec_cfg.rs_k = 40;
-    MatrixEncoder encoder(codec_cfg);
-    MatrixDecoder decoder(codec_cfg);
+    // One archive = one test tube.  Small shards so even these short
+    // files demonstrate per-shard primer addressing.
+    archive::ArchiveParams params;
+    params.codec.payload_nt = 120;
+    params.codec.index_nt = 12;
+    params.codec.rs_n = 60;
+    params.codec.rs_k = 40;
+    params.max_shard_bytes = 64;
 
-    // Store all three files into one pool.
-    DnaPool pool;
+    const std::string dir =
+        args.get("dir", "/tmp/dnastore_random_access_example");
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec); // fresh demo archive each run
+    auto opened = archive::Archive::create(dir, params);
+    if (!opened.ok()) {
+        std::cerr << "cannot create archive: " << opened.error << "\n";
+        return 1;
+    }
+    archive::Archive &tube = *opened.archive;
+
     for (std::size_t f = 0; f < contents.size(); ++f) {
         const std::vector<std::uint8_t> data(contents[f].begin(),
                                              contents[f].end());
-        pool.store(library.pairFor(f), encoder.encode(data));
+        const auto put = tube.put(names[f], data);
+        if (!put.ok()) {
+            std::cerr << "put failed: " << put.error << "\n";
+            return 1;
+        }
+        std::cout << "stored '" << names[f] << "' as " << put.shards
+                  << " shard(s), " << put.strands << " molecules\n";
     }
-    std::cout << "pool holds " << pool.size()
-              << " molecules from 3 files\n";
+    std::cout << "pool holds " << tube.poolSize()
+              << " molecules from 3 files (plus the DNA manifest)\n";
 
-    // PCR random access: amplify only the requested file's molecules.
-    const PrimerPair key = library.pairFor(fetch);
-    PcrConfig pcr_cfg;
-    pcr_cfg.off_target_rate = 0.002; // a touch of contamination
-    const PcrProduct product = amplify(pool, key, rng, pcr_cfg);
-    std::cout << "PCR amplified " << product.on_target << " on-target and "
-              << product.off_target << " off-target molecules\n";
+    // Random access by name: PCR + sequencing + per-shard decode.
+    archive::RetrievalConfig retrieval;
+    retrieval.error_rate = args.getDouble("error-rate", 0.04);
+    retrieval.coverage = args.getDouble("coverage", 12.0);
+    retrieval.pcr_off_target = 0.002; // a touch of contamination
+    const auto result = tube.get(names[fetch], retrieval);
+    for (const auto &shard : result.shards)
+        std::cout << "shard pair " << shard.pair_id << ": "
+                  << (shard.ok ? "ok" : "FAILED") << " (" << shard.reads
+                  << " reads, " << shard.clusters << " clusters, decoding "
+                  << stageStatusName(shard.stages.decoding) << ")\n";
 
-    // Sequencing: noisy reads, half of them reverse-oriented.
-    IidChannel channel(IidChannelConfig::fromTotalErrorRate(error_rate));
-    CoverageModel cov(coverage, CoverageDistribution::Poisson);
-    auto run = simulateSequencing(product.molecules, channel, cov, rng);
-    for (std::size_t i = 0; i < run.reads.size(); i += 2)
-        run.reads[i] = strand::reverseComplement(run.reads[i]);
-    std::cout << "sequencer produced " << run.reads.size() << " reads\n";
-
-    // Wetlab preprocessing: orientation fix + primer trimming.
-    WetlabPreprocessConfig pre_cfg;
-    pre_cfg.primer_max_edit = 5;
-    const PreprocessResult pre = preprocessReads(run.reads, key, pre_cfg);
-    std::cout << "preprocessing kept " << pre.reads.size() << " reads ("
-              << pre.flipped << " flipped, " << pre.rejected
-              << " rejected)\n";
-
-    // Retrieval half of the pipeline: cluster, reconstruct, decode.
-    RashtchianClusterer clusterer(
-        RashtchianClustererConfig::forErrorRate(
-            error_rate, codec_cfg.strandLength()));
-    NwConsensusReconstructor reconstructor;
-    PipelineConfig pipe_cfg;
-    Pipeline pipeline(
-        {&encoder, &decoder, &channel, &clusterer, &reconstructor},
-        pipe_cfg);
-    const auto result = pipeline.runFromReads(
-        pre.reads, codec_cfg.strandLength(),
-        encoder.unitsForSize(contents[fetch].size()));
-
-    const std::string recovered(result.report.data.begin(),
-                                result.report.data.end());
-    std::cout << "decode ok: " << (result.report.ok ? "yes" : "NO")
-              << " (decoding stage "
-              << stageStatusName(result.status.decoding) << ", "
-              << result.dropped_clusters << " clusters dropped)"
-              << "\nrecovered: " << recovered << "\n";
-
-    if (!result.report.ok || recovered != contents[fetch]) {
-        std::cerr << "random access FAILED\n";
+    const std::string recovered(result.data.begin(), result.data.end());
+    std::cout << "recovered: " << recovered << "\n";
+    if (!result.ok() || recovered != contents[fetch]) {
+        std::cerr << "random access FAILED: " << result.error << "\n";
         return 1;
     }
-    std::cout << "random access OK: retrieved file " << fetch
-              << " without touching the others\n";
+
+    // Bonus: the archive is self-describing — decode the manifest copy
+    // stored in DNA under the reserved primer pair 0.
+    const auto manifest = tube.decodeManifestFromDna(retrieval);
+    if (manifest.manifest) {
+        std::cout << "DNA-decoded manifest lists "
+                  << manifest.manifest->objects.size() << " objects\n";
+    } else {
+        std::cerr << "DNA manifest decode FAILED: " << manifest.error
+                  << "\n";
+        return 1;
+    }
+
+    std::cout << "random access OK: retrieved '" << names[fetch]
+              << "' without touching the others\n";
     return 0;
 }

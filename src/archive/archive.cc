@@ -1,0 +1,705 @@
+#include "archive/archive.hh"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "clustering/clusterer.hh"
+#include "codec/matrix_codec.hh"
+#include "core/pool.hh"
+#include "dna/fastx.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/span.hh"
+#include "reconstruction/bma.hh"
+#include "reconstruction/nw_consensus.hh"
+#include "simulator/iid_channel.hh"
+#include "simulator/sequencing_run.hh"
+#include "simulator/virtual_wetlab.hh"
+#include "util/crc32.hh"
+#include "util/thread_pool.hh"
+#include "wetlab/preprocess.hh"
+
+namespace dnastore::archive
+{
+
+namespace
+{
+
+constexpr const char *kManifestFile = "manifest.json";
+constexpr const char *kPoolFile = "pool.fasta";
+
+/** Shard-size histogram bounds in bytes (powers of four up to 64 KiB). */
+std::vector<double>
+shardSizeBuckets()
+{
+    return {64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0};
+}
+
+std::string
+manifestPath(const std::string &dir)
+{
+    return dir + "/" + kManifestFile;
+}
+
+std::string
+poolPath(const std::string &dir)
+{
+    return dir + "/" + kPoolFile;
+}
+
+/** Independent per-shard seed: decorrelates shards of one retrieval. */
+std::uint64_t
+shardSeed(std::uint64_t base, std::uint32_t pair_id)
+{
+    SplitMix64 mixer(base ^
+                     (static_cast<std::uint64_t>(pair_id) *
+                      0x9e3779b97f4a7c15ULL));
+    return mixer.next();
+}
+
+/** Pool record id "m<index> pair=<pair_id>"; the pair id is the
+ *  molecule's address and must survive the FASTA round trip. */
+std::string
+poolRecordId(std::size_t index, std::uint32_t pair_id)
+{
+    return "m" + std::to_string(index) +
+           " pair=" + std::to_string(pair_id);
+}
+
+/** Recover the pair id from a pool record id; nullopt when malformed. */
+std::optional<std::uint32_t>
+parsePoolRecordPair(const std::string &id)
+{
+    const std::string marker = " pair=";
+    const std::size_t at = id.rfind(marker);
+    if (at == std::string::npos)
+        return std::nullopt;
+    const std::string digits = id.substr(at + marker.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        return std::nullopt;
+    try {
+        const unsigned long long value = std::stoull(digits);
+        if (value > 0xFFFFFFFFULL)
+            return std::nullopt;
+        return static_cast<std::uint32_t>(value);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+std::vector<std::uint8_t>
+stringToBytes(const std::string &text)
+{
+    return {text.begin(), text.end()};
+}
+
+} // namespace
+
+const char *
+archiveStatusName(ArchiveStatus status)
+{
+    switch (status) {
+    case ArchiveStatus::Ok:
+        return "ok";
+    case ArchiveStatus::NotFound:
+        return "not-found";
+    case ArchiveStatus::AlreadyExists:
+        return "already-exists";
+    case ArchiveStatus::InvalidArgument:
+        return "invalid-argument";
+    case ArchiveStatus::IoError:
+        return "io-error";
+    case ArchiveStatus::CorruptManifest:
+        return "corrupt-manifest";
+    case ArchiveStatus::CorruptPool:
+        return "corrupt-pool";
+    case ArchiveStatus::EncodeFailed:
+        return "encode-failed";
+    case ArchiveStatus::DecodeFailed:
+        return "decode-failed";
+    }
+    return "unknown";
+}
+
+bool
+Archive::buildCodecs(std::string &error)
+{
+    try {
+        manifest_.params.codec.validate();
+        encoder_ = std::make_shared<MatrixEncoder>(manifest_.params.codec);
+        decoder_ = std::make_shared<MatrixDecoder>(manifest_.params.codec);
+        return true;
+    } catch (const std::exception &e) {
+        error = std::string("invalid codec config: ") + e.what();
+        return false;
+    }
+}
+
+bool
+Archive::ensurePairs(std::size_t num_pairs, std::string &error) const
+{
+    if (library_ && library_->numPairs() >= num_pairs)
+        return true;
+    try {
+        // The greedy design is prefix-stable for a fixed seed: designing
+        // a larger library reproduces the existing primers and appends
+        // new ones, so previously assigned pair ids keep their sequences.
+        Rng rng(manifest_.params.primer_seed);
+        library_ = PrimerLibrary::design(rng, 2 * num_pairs,
+                                         manifest_.params.primer);
+        return true;
+    } catch (const std::exception &e) {
+        error = std::string("primer design failed: ") + e.what();
+        return false;
+    }
+}
+
+OpenResult
+Archive::create(const std::string &dir, const ArchiveParams &params)
+{
+    OpenResult result;
+    if (dir.empty()) {
+        result.status = ArchiveStatus::InvalidArgument;
+        result.error = "empty archive directory";
+        return result;
+    }
+    if (params.max_shard_bytes == 0) {
+        result.status = ArchiveStatus::InvalidArgument;
+        result.error = "max_shard_bytes must be positive";
+        return result;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        result.status = ArchiveStatus::IoError;
+        result.error = "cannot create directory " + dir + ": " +
+                       ec.message();
+        return result;
+    }
+    if (std::filesystem::exists(manifestPath(dir), ec)) {
+        result.status = ArchiveStatus::AlreadyExists;
+        result.error = "archive already exists at " + dir;
+        return result;
+    }
+
+    Archive archive;
+    archive.dir_ = dir;
+    archive.manifest_.params = params;
+    if (!archive.buildCodecs(result.error)) {
+        result.status = ArchiveStatus::InvalidArgument;
+        return result;
+    }
+    if (!archive.save(result.error)) {
+        result.status = ArchiveStatus::IoError;
+        return result;
+    }
+    result.archive = std::move(archive);
+    return result;
+}
+
+OpenResult
+Archive::open(const std::string &dir)
+{
+    OpenResult result;
+    std::ifstream manifest_in(manifestPath(dir), std::ios::binary);
+    if (!manifest_in) {
+        result.status = ArchiveStatus::NotFound;
+        result.error = "no manifest at " + manifestPath(dir);
+        return result;
+    }
+    std::ostringstream manifest_text;
+    manifest_text << manifest_in.rdbuf();
+
+    ManifestParseResult parsed = tryParseManifest(manifest_text.str());
+    if (!parsed.manifest) {
+        result.status = ArchiveStatus::CorruptManifest;
+        result.error = parsed.error;
+        return result;
+    }
+
+    Archive archive;
+    archive.dir_ = dir;
+    archive.manifest_ = std::move(*parsed.manifest);
+    if (!archive.buildCodecs(result.error)) {
+        result.status = ArchiveStatus::CorruptManifest;
+        return result;
+    }
+
+    std::ifstream pool_in(poolPath(dir), std::ios::binary);
+    if (!pool_in) {
+        result.status = ArchiveStatus::CorruptPool;
+        result.error = "no pool file at " + poolPath(dir);
+        return result;
+    }
+    std::vector<FastaRecord> records;
+    try {
+        records = readFasta(pool_in);
+    } catch (const std::exception &e) {
+        result.status = ArchiveStatus::CorruptPool;
+        result.error = std::string("unreadable pool file: ") + e.what();
+        return result;
+    }
+
+    const std::uint32_t next_pair = archive.manifest_.nextPairId();
+    std::vector<std::size_t> per_pair(next_pair, 0);
+    archive.pool_.reserve(records.size());
+    archive.pool_pairs_.reserve(records.size());
+    for (const FastaRecord &record : records) {
+        const auto pair_id = parsePoolRecordPair(record.id);
+        if (!pair_id || *pair_id >= next_pair) {
+            result.status = ArchiveStatus::CorruptPool;
+            result.error = "pool record with unknown pair id: " + record.id;
+            return result;
+        }
+        per_pair[*pair_id] += 1;
+        archive.pool_.push_back(record.sequence);
+        archive.pool_pairs_.push_back(*pair_id);
+    }
+    for (const ObjectEntry &object : archive.manifest_.objects) {
+        for (const ShardEntry &shard : object.shards) {
+            if (per_pair[shard.pair_id] != shard.strands) {
+                result.status = ArchiveStatus::CorruptPool;
+                result.error = "pool/manifest mismatch for object '" +
+                               object.name + "' pair " +
+                               std::to_string(shard.pair_id) +
+                               ": manifest says " +
+                               std::to_string(shard.strands) +
+                               " strands, pool has " +
+                               std::to_string(per_pair[shard.pair_id]);
+                return result;
+            }
+        }
+    }
+
+    result.archive = std::move(archive);
+    return result;
+}
+
+bool
+Archive::save(std::string &error)
+{
+    // The pool's pair-0 section mirrors the manifest; rebuild it so the
+    // DNA copy always matches what manifest.json says.
+    std::vector<Strand> kept;
+    std::vector<std::uint32_t> kept_pairs;
+    kept.reserve(pool_.size());
+    kept_pairs.reserve(pool_.size());
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+        if (pool_pairs_[i] != kManifestPairId) {
+            kept.push_back(pool_[i]);
+            kept_pairs.push_back(pool_pairs_[i]);
+        }
+    }
+
+    if (!ensurePairs(
+            std::max<std::size_t>(1, manifest_.nextPairId()), error))
+        return false;
+
+    const std::string manifest_text = manifestJson(manifest_);
+    std::vector<Strand> manifest_strands;
+    try {
+        manifest_strands = encoder_->encode(stringToBytes(manifest_text));
+    } catch (const std::exception &e) {
+        error = std::string("manifest DNA encoding failed: ") + e.what();
+        return false;
+    }
+    const PrimerPair manifest_pair = library_->pairFor(kManifestPairId);
+    for (Strand &payload : manifest_strands)
+        payload = attachPrimers(manifest_pair, payload);
+
+    std::vector<FastaRecord> records;
+    records.reserve(kept.size() + manifest_strands.size());
+    for (std::size_t i = 0; i < kept.size(); ++i)
+        records.push_back({poolRecordId(records.size(), kept_pairs[i]),
+                           kept[i]});
+    for (const Strand &molecule : manifest_strands)
+        records.push_back(
+            {poolRecordId(records.size(), kManifestPairId), molecule});
+
+    std::ostringstream pool_text;
+    writeFasta(pool_text, records);
+
+    // Both files go through the atomic temp+rename writer, so a crash
+    // mid-save leaves the previous manifest/pool intact.
+    if (!obs::writeTextFile(manifestPath(dir_), manifest_text)) {
+        error = "cannot write " + manifestPath(dir_);
+        return false;
+    }
+    if (!obs::writeTextFile(poolPath(dir_), pool_text.str())) {
+        error = "cannot write " + poolPath(dir_);
+        return false;
+    }
+
+    pool_ = std::move(kept);
+    pool_pairs_ = std::move(kept_pairs);
+    for (Strand &molecule : manifest_strands) {
+        pool_.push_back(std::move(molecule));
+        pool_pairs_.push_back(kManifestPairId);
+    }
+    return true;
+}
+
+PutResult
+Archive::put(const std::string &name, const std::vector<std::uint8_t> &data,
+             std::size_t num_threads)
+{
+    obs::Span span("archive/put");
+    PutResult result;
+    if (name.empty()) {
+        result.status = ArchiveStatus::InvalidArgument;
+        result.error = "object name must not be empty";
+        return result;
+    }
+    if (data.empty()) {
+        result.status = ArchiveStatus::InvalidArgument;
+        result.error = "object data must not be empty";
+        return result;
+    }
+    if (manifest_.findObject(name) != nullptr) {
+        result.status = ArchiveStatus::AlreadyExists;
+        result.error = "object '" + name + "' already stored";
+        return result;
+    }
+
+    const std::uint64_t max_shard = manifest_.params.max_shard_bytes;
+    const std::size_t num_shards = static_cast<std::size_t>(
+        (data.size() + max_shard - 1) / max_shard);
+    const std::uint32_t first_pair = manifest_.nextPairId();
+    if (!ensurePairs(static_cast<std::size_t>(first_pair) + num_shards,
+                     result.error)) {
+        result.status = ArchiveStatus::EncodeFailed;
+        return result;
+    }
+
+    ObjectEntry object;
+    object.name = name;
+    object.id = manifest_.nextObjectId();
+    object.size_bytes = data.size();
+    object.crc32_value = crc32({data.data(), data.size()});
+    object.shards.resize(num_shards);
+
+    // Each shard is an independent codec run; encode them as a batch
+    // over the thread pool (encoder is const and thus shareable).
+    std::vector<std::vector<Strand>> tagged(num_shards);
+    std::vector<std::string> failures(num_shards);
+    const auto encodeShard = [&](std::size_t s) {
+        const std::size_t begin =
+            s * static_cast<std::size_t>(max_shard);
+        const std::size_t end =
+            std::min(data.size(), begin + static_cast<std::size_t>(max_shard));
+        const std::vector<std::uint8_t> shard_bytes(
+            data.begin() + static_cast<std::ptrdiff_t>(begin),
+            data.begin() + static_cast<std::ptrdiff_t>(end));
+        const std::uint32_t pair_id =
+            first_pair + static_cast<std::uint32_t>(s);
+        try {
+            std::vector<Strand> strands = encoder_->encode(shard_bytes);
+            const PrimerPair pair = library_->pairFor(pair_id);
+            for (Strand &payload : strands)
+                payload = attachPrimers(pair, payload);
+
+            ShardEntry &entry = object.shards[s];
+            entry.pair_id = pair_id;
+            entry.size_bytes = shard_bytes.size();
+            entry.units = static_cast<std::uint32_t>(
+                encoder_->unitsForSize(shard_bytes.size()));
+            entry.strands = static_cast<std::uint32_t>(strands.size());
+            tagged[s] = std::move(strands);
+        } catch (const std::exception &e) {
+            failures[s] = e.what();
+        }
+    };
+
+    if (num_threads > 1 && num_shards > 1) {
+        try {
+            ThreadPool pool(num_threads);
+            pool.parallelFor(0, num_shards, encodeShard);
+        } catch (const std::exception &e) {
+            result.status = ArchiveStatus::EncodeFailed;
+            result.error = std::string("shard encode batch failed: ") +
+                           e.what();
+            return result;
+        }
+    } else {
+        for (std::size_t s = 0; s < num_shards; ++s)
+            encodeShard(s);
+    }
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        if (!failures[s].empty()) {
+            result.status = ArchiveStatus::EncodeFailed;
+            result.error = "shard " + std::to_string(s) +
+                           " encode failed: " + failures[s];
+            return result;
+        }
+    }
+
+    // Merge into the pool; roll everything back if persisting fails so
+    // the in-memory state never diverges from disk.
+    const std::size_t pool_before = pool_.size();
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        const std::uint32_t pair_id = object.shards[s].pair_id;
+        for (Strand &molecule : tagged[s]) {
+            pool_.push_back(std::move(molecule));
+            pool_pairs_.push_back(pair_id);
+        }
+    }
+    manifest_.objects.push_back(object);
+
+    if (!save(result.error)) {
+        manifest_.objects.pop_back();
+        pool_.resize(pool_before);
+        pool_pairs_.resize(pool_before);
+        result.status = ArchiveStatus::IoError;
+        return result;
+    }
+
+    result.object_id = object.id;
+    result.shards = num_shards;
+    for (const ShardEntry &shard : object.shards) {
+        result.strands += shard.strands;
+        obs::metrics()
+            .histogram("archive.shard_size_bytes", shardSizeBuckets())
+            .observe(static_cast<double>(shard.size_bytes));
+    }
+    obs::metrics().counter("archive.objects_total").add(1);
+    obs::metrics().counter("archive.shards_total").add(num_shards);
+    obs::metrics().counter("archive.put_bytes_total").add(data.size());
+    return result;
+}
+
+std::vector<std::uint8_t>
+Archive::decodeShard(const ShardEntry &shard, const RetrievalConfig &config,
+                     ShardOutcome &outcome) const
+{
+    obs::Span span("archive/shard_decode");
+    outcome.pair_id = shard.pair_id;
+    try {
+        const PrimerPair pair = library_->pairFor(shard.pair_id);
+        Rng rng(shardSeed(config.seed, shard.pair_id));
+
+        // PCR selection: pull this shard's molecules out of the mixed
+        // pool (plus off-target leakage when configured).
+        DnaPool pool;
+        std::vector<Strand> mine;
+        for (std::size_t i = 0; i < pool_.size(); ++i) {
+            if (pool_pairs_[i] == shard.pair_id) {
+                mine.push_back(pool_[i]);
+            }
+        }
+        pool.addTagged(pair, mine);
+        if (config.pcr_off_target > 0.0) {
+            // Off-target molecules need their own tags so amplify() can
+            // tell them apart from the shard's own product.
+            for (std::size_t i = 0; i < pool_.size(); ++i) {
+                if (pool_pairs_[i] != shard.pair_id) {
+                    pool.addTagged(library_->pairFor(pool_pairs_[i]),
+                                   {pool_[i]});
+                }
+            }
+        }
+        const PcrProduct product =
+            amplify(pool, pair, rng, {config.pcr_off_target});
+
+        // Simulated sequencing of the amplified product.
+        const CoverageModel coverage(config.coverage,
+                                     CoverageDistribution::Poisson);
+        SequencingRun run;
+        if (config.channel == RetrievalChannel::Wetlab) {
+            VirtualWetlabConfig wcfg;
+            wcfg.base_error_rate = config.error_rate;
+            const VirtualWetlabChannel channel(wcfg);
+            run = simulateSequencing(product.molecules, channel, coverage,
+                                     rng);
+        } else {
+            const IidChannel channel(
+                IidChannelConfig::fromTotalErrorRate(config.error_rate));
+            run = simulateSequencing(product.molecules, channel, coverage,
+                                     rng);
+        }
+
+        // Sequencers emit both orientations; flip half the reads so the
+        // preprocessing stage earns its keep.
+        for (std::size_t i = 1; i < run.reads.size(); i += 2)
+            run.reads[i] = strand::reverseComplement(run.reads[i]);
+
+        const PreprocessResult prep = preprocessReads(
+            run.reads, pair, {config.primer_max_edit});
+
+        // Retrieval half of the pipeline, confined to this shard.
+        RashtchianClustererConfig ccfg =
+            RashtchianClustererConfig::forErrorRate(
+                config.error_rate, manifest_.params.codec.strandLength());
+        ccfg.seed = shardSeed(config.seed ^ 0xc105ULL, shard.pair_id);
+        RashtchianClusterer clusterer(ccfg);
+        const NwConsensusReconstructor reconstructor;
+        const DoubleSidedBmaReconstructor fallback;
+
+        PipelineModules mods;
+        mods.encoder = encoder_.get();
+        mods.decoder = decoder_.get();
+        mods.clusterer = &clusterer;
+        mods.reconstructor = &reconstructor;
+        mods.fallback_reconstructor = &fallback;
+        mods.fault_injector = config.fault_injector;
+
+        PipelineConfig pcfg;
+        pcfg.coverage = coverage;
+        pcfg.num_threads = 1; // Parallelism lives at the shard level.
+        pcfg.seed = shardSeed(config.seed ^ 0x5eedULL, shard.pair_id);
+        pcfg.min_cluster_size = config.min_cluster_size;
+        pcfg.max_decode_retries = config.max_decode_retries;
+
+        Pipeline pipeline(mods, pcfg);
+        PipelineResult result = pipeline.runFromReads(
+            prep.reads, manifest_.params.codec.strandLength(), shard.units);
+
+        outcome.stages = result.status;
+        outcome.reads = result.reads;
+        outcome.clusters = result.clusters;
+        outcome.errors = std::move(result.errors);
+        // size_bytes == 0 means "accept whatever the codec header says"
+        // (used for the DNA manifest copy, whose size is not recorded).
+        outcome.ok = result.report.ok &&
+                     (shard.size_bytes == 0 ||
+                      result.report.data.size() == shard.size_bytes);
+        if (!outcome.ok && outcome.errors.empty()) {
+            outcome.errors.push_back(
+                {"decoding", "shard payload did not decode cleanly"});
+        }
+        return outcome.ok ? std::move(result.report.data)
+                          : std::vector<std::uint8_t>{};
+    } catch (const std::exception &e) {
+        outcome.ok = false;
+        outcome.errors.push_back({"archive", e.what()});
+        return {};
+    }
+}
+
+GetResult
+Archive::get(const std::string &name, const RetrievalConfig &config) const
+{
+    obs::Span span("archive/get");
+    GetResult result;
+    const ObjectEntry *object = manifest_.findObject(name);
+    if (object == nullptr) {
+        result.status = ArchiveStatus::NotFound;
+        result.error = "no object named '" + name + "'";
+        return result;
+    }
+    if (object->shards.empty()) {
+        result.status = ArchiveStatus::CorruptManifest;
+        result.error = "object '" + name + "' has no shards";
+        return result;
+    }
+    if (!ensurePairs(manifest_.nextPairId(), result.error)) {
+        result.status = ArchiveStatus::CorruptManifest;
+        return result;
+    }
+
+    const std::size_t num_shards = object->shards.size();
+    result.shards.resize(num_shards);
+    std::vector<std::vector<std::uint8_t>> payloads(num_shards);
+
+    // A fault injector is stateful (own RNG + counters), so its runs
+    // must stay serial to remain deterministic.
+    const bool parallel = config.num_threads > 1 && num_shards > 1 &&
+                          config.fault_injector == nullptr;
+    if (parallel) {
+        try {
+            ThreadPool pool(config.num_threads);
+            pool.parallelFor(0, num_shards, [&](std::size_t s) {
+                payloads[s] = decodeShard(object->shards[s], config,
+                                          result.shards[s]);
+            });
+        } catch (const std::exception &e) {
+            result.status = ArchiveStatus::DecodeFailed;
+            result.error = std::string("shard decode batch failed: ") +
+                           e.what();
+            return result;
+        }
+    } else {
+        for (std::size_t s = 0; s < num_shards; ++s)
+            payloads[s] = decodeShard(object->shards[s], config,
+                                      result.shards[s]);
+    }
+
+    std::size_t decoded = 0;
+    std::string failed_list;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        if (result.shards[s].ok) {
+            ++decoded;
+        } else {
+            if (!failed_list.empty())
+                failed_list += ", ";
+            failed_list += std::to_string(s);
+        }
+    }
+    obs::metrics().counter("archive.shards_decoded_total").add(decoded);
+    obs::metrics().counter("archive.gets_total").add(1);
+
+    if (decoded != num_shards) {
+        result.status = ArchiveStatus::DecodeFailed;
+        result.error = "object '" + name + "': shard(s) " + failed_list +
+                       " failed to decode";
+        return result;
+    }
+
+    for (std::vector<std::uint8_t> &payload : payloads)
+        result.data.insert(result.data.end(), payload.begin(),
+                           payload.end());
+    if (result.data.size() != object->size_bytes ||
+        crc32({result.data.data(), result.data.size()}) !=
+            object->crc32_value) {
+        result.status = ArchiveStatus::DecodeFailed;
+        result.error = "object '" + name +
+                       "': reassembled payload failed CRC check";
+        result.data.clear();
+        return result;
+    }
+    return result;
+}
+
+ManifestParseResult
+Archive::decodeManifestFromDna(const RetrievalConfig &config) const
+{
+    ManifestParseResult parsed;
+
+    std::size_t manifest_molecules = 0;
+    for (const std::uint32_t pair_id : pool_pairs_)
+        if (pair_id == kManifestPairId)
+            ++manifest_molecules;
+    if (manifest_molecules == 0) {
+        parsed.error = "pool holds no manifest molecules (pair 0)";
+        return parsed;
+    }
+    if (!ensurePairs(manifest_.nextPairId(), parsed.error))
+        return parsed;
+
+    // The manifest shard's size and unit count are not recorded anywhere
+    // (the manifest cannot describe itself before it is written), so the
+    // decode infers units from indices and accepts the codec header's
+    // payload length; schema + CRC validation happens in the parser.
+    ShardEntry manifest_shard;
+    manifest_shard.pair_id = kManifestPairId;
+    manifest_shard.size_bytes = 0;
+    manifest_shard.units = 0;
+
+    ShardOutcome outcome;
+    const std::vector<std::uint8_t> payload =
+        decodeShard(manifest_shard, config, outcome);
+    if (payload.empty()) {
+        parsed.error = "DNA manifest copy failed to decode";
+        for (const PipelineError &err : outcome.errors)
+            parsed.error += "; " + err.stage + ": " + err.message;
+        return parsed;
+    }
+    const std::string text(payload.begin(), payload.end());
+    return tryParseManifest(text);
+}
+
+} // namespace dnastore::archive

@@ -1,0 +1,405 @@
+#include "archive/json_reader.hh"
+
+#include <cctype>
+#include <charconv>
+
+namespace dnastore::archive
+{
+
+std::optional<bool>
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        return std::nullopt;
+    return bool_;
+}
+
+std::optional<double>
+JsonValue::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        return std::nullopt;
+    return number_;
+}
+
+std::optional<std::uint64_t>
+JsonValue::asUint() const
+{
+    if (kind_ != Kind::Number || !has_uint_)
+        return std::nullopt;
+    return uint_;
+}
+
+const std::string *
+JsonValue::asString() const
+{
+    return kind_ == Kind::String ? &string_ : nullptr;
+}
+
+const JsonValue::Array *
+JsonValue::asArray() const
+{
+    return kind_ == Kind::Array ? array_.get() : nullptr;
+}
+
+const JsonValue::Object *
+JsonValue::asObject() const
+{
+    return kind_ == Kind::Object ? object_.get() : nullptr;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = object_->find(std::string(key));
+    return it == object_->end() ? nullptr : &it->second;
+}
+
+JsonValue
+JsonValue::makeArray(Array items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::make_shared<Array>(std::move(items));
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(Object members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.object_ = std::make_shared<Object>(std::move(members));
+    return v;
+}
+
+JsonValue
+JsonValue::makeUint(std::uint64_t value, double as_double)
+{
+    JsonValue v(as_double);
+    v.has_uint_ = true;
+    v.uint_ = value;
+    return v;
+}
+
+namespace
+{
+
+/** Deep documents are an attack/corruption signal, not a use case. */
+constexpr std::size_t kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    parseDocument()
+    {
+        auto value = parseValue(0);
+        if (!value)
+            return std::nullopt;
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return std::nullopt; // trailing garbage
+        return value;
+    }
+
+  private:
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (peek() != expected)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    consumeLiteral(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    std::optional<JsonValue>
+    parseValue(std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return std::nullopt;
+        skipWhitespace();
+        switch (peek()) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"': {
+            auto s = parseString();
+            if (!s)
+                return std::nullopt;
+            return JsonValue(std::move(*s));
+        }
+        case 't':
+            if (consumeLiteral("true"))
+                return JsonValue(true);
+            return std::nullopt;
+        case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue(false);
+            return std::nullopt;
+        case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue();
+            return std::nullopt;
+        default:
+            return parseNumber();
+        }
+    }
+
+    std::optional<JsonValue>
+    parseObject(std::size_t depth)
+    {
+        if (!consume('{'))
+            return std::nullopt;
+        JsonValue::Object members;
+        skipWhitespace();
+        if (consume('}'))
+            return JsonValue::makeObject(std::move(members));
+        while (true) {
+            skipWhitespace();
+            auto key = parseString();
+            if (!key)
+                return std::nullopt;
+            skipWhitespace();
+            if (!consume(':'))
+                return std::nullopt;
+            auto value = parseValue(depth + 1);
+            if (!value)
+                return std::nullopt;
+            // Duplicate keys: last one wins (canonical docs have none).
+            members.insert_or_assign(std::move(*key), std::move(*value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return JsonValue::makeObject(std::move(members));
+            return std::nullopt;
+        }
+    }
+
+    std::optional<JsonValue>
+    parseArray(std::size_t depth)
+    {
+        if (!consume('['))
+            return std::nullopt;
+        JsonValue::Array items;
+        skipWhitespace();
+        if (consume(']'))
+            return JsonValue::makeArray(std::move(items));
+        while (true) {
+            auto value = parseValue(depth + 1);
+            if (!value)
+                return std::nullopt;
+            items.push_back(std::move(*value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return JsonValue::makeArray(std::move(items));
+            return std::nullopt;
+        }
+    }
+
+    static void
+    appendUtf8(std::string &out, std::uint32_t code)
+    {
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+    }
+
+    std::optional<std::uint32_t>
+    parseHex4()
+    {
+        if (pos_ + 4 > text_.size())
+            return std::nullopt;
+        std::uint32_t value = 0;
+        for (std::size_t i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + i];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return std::nullopt;
+        }
+        pos_ += 4;
+        return value;
+    }
+
+    std::optional<std::string>
+    parseString()
+    {
+        if (!consume('"'))
+            return std::nullopt;
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return std::nullopt; // raw control character
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return std::nullopt;
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+                out.push_back('"');
+                break;
+            case '\\':
+                out.push_back('\\');
+                break;
+            case '/':
+                out.push_back('/');
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                auto code = parseHex4();
+                if (!code)
+                    return std::nullopt;
+                std::uint32_t cp = *code;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: require a \uXXXX low surrogate.
+                    if (!consumeLiteral("\\u"))
+                        return std::nullopt;
+                    auto low = parseHex4();
+                    if (!low || *low < 0xDC00 || *low > 0xDFFF)
+                        return std::nullopt;
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (*low - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return std::nullopt; // lone low surrogate
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                return std::nullopt;
+            }
+        }
+        return std::nullopt; // unterminated
+    }
+
+    std::optional<JsonValue>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (std::isdigit(static_cast<unsigned char>(peek())) == 0)
+            return std::nullopt;
+        while (std::isdigit(static_cast<unsigned char>(peek())) != 0)
+            ++pos_;
+        bool integral = true;
+        if (peek() == '.') {
+            integral = false;
+            ++pos_;
+            if (std::isdigit(static_cast<unsigned char>(peek())) == 0)
+                return std::nullopt;
+            while (std::isdigit(static_cast<unsigned char>(peek())) != 0)
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            integral = false;
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (std::isdigit(static_cast<unsigned char>(peek())) == 0)
+                return std::nullopt;
+            while (std::isdigit(static_cast<unsigned char>(peek())) != 0)
+                ++pos_;
+        }
+        const std::string_view token = text_.substr(start, pos_ - start);
+        double as_double = 0.0;
+        const auto [dptr, derr] = std::from_chars(
+            token.data(), token.data() + token.size(), as_double);
+        if (derr != std::errc() || dptr != token.data() + token.size())
+            return std::nullopt;
+        if (integral && token.front() != '-') {
+            std::uint64_t as_uint = 0;
+            const auto [uptr, uerr] = std::from_chars(
+                token.data(), token.data() + token.size(), as_uint);
+            if (uerr == std::errc() &&
+                uptr == token.data() + token.size()) {
+                return JsonValue::makeUint(as_uint, as_double);
+            }
+        }
+        return JsonValue(as_double);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+tryParseJson(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace dnastore::archive

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal no-throw JSON reader for the archive layer.  The archive
+ * manifest is written with obs::JsonWriter (canonical, sorted keys) and
+ * must be read back without violating the archive's no-throw contract,
+ * so parsing returns std::optional instead of raising: malformed input,
+ * excessive nesting and trailing garbage all yield std::nullopt.
+ *
+ * The DOM is deliberately small: null, bool, number (double, with the
+ * exact std::uint64_t kept when the literal was a non-negative
+ * integer), string, array and object.  Object keys are stored in a
+ * sorted std::map, matching the canonical key order the writer emits,
+ * so serialise(parse(text)) round-trips byte-exactly for documents
+ * produced by obs::JsonWriter.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnastore::archive
+{
+
+/** One parsed JSON value (recursive sum type). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null = 0,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() = default;
+    explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit JsonValue(double d) : kind_(Kind::Number), number_(d) {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::String), string_(std::move(s))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /**
+     * Typed accessors.  Each returns std::nullopt (or nullptr) when the
+     * value has a different kind, so callers can chain lookups without
+     * branching on kind() first.
+     */
+    std::optional<bool> asBool() const;
+    std::optional<double> asDouble() const;
+    /** Non-negative integer literals only (exact, no double rounding). */
+    std::optional<std::uint64_t> asUint() const;
+    const std::string *asString() const;
+    const Array *asArray() const;
+    const Object *asObject() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Construction helpers used by the parser. */
+    [[nodiscard]] static JsonValue makeArray(Array items);
+    [[nodiscard]] static JsonValue makeObject(Object members);
+    [[nodiscard]] static JsonValue makeUint(std::uint64_t value,
+                                            double as_double);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    bool has_uint_ = false;
+    std::uint64_t uint_ = 0;
+    std::string string_;
+    std::shared_ptr<Array> array_;   //!< Set iff kind_ == Array.
+    std::shared_ptr<Object> object_; //!< Set iff kind_ == Object.
+};
+
+/**
+ * Parse one JSON document.  The whole input must be consumed (trailing
+ * whitespace allowed); any syntax error, unsupported escape or nesting
+ * deeper than an internal bound returns std::nullopt.  Never throws.
+ */
+[[nodiscard]] std::optional<JsonValue> tryParseJson(std::string_view text);
+
+} // namespace dnastore::archive

@@ -17,6 +17,18 @@ DnaPool::store(const PrimerPair &key,
     }
 }
 
+void
+DnaPool::addTagged(const PrimerPair &key,
+                   const std::vector<Strand> &tagged_molecules)
+{
+    molecules.reserve(molecules.size() + tagged_molecules.size());
+    forward_tags.reserve(forward_tags.size() + tagged_molecules.size());
+    for (const Strand &molecule : tagged_molecules) {
+        molecules.push_back(molecule);
+        forward_tags.push_back(key.forward);
+    }
+}
+
 PcrProduct
 amplify(const DnaPool &pool, const PrimerPair &key, Rng &rng,
         const PcrConfig &config)

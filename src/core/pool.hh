@@ -27,6 +27,14 @@ class DnaPool
     void store(const PrimerPair &key,
                const std::vector<Strand> &payload_strands);
 
+    /**
+     * Store molecules that already carry their primers (e.g. reloaded
+     * from a pool file); @p key identifies the pair they were tagged
+     * with so amplify() can select them.
+     */
+    void addTagged(const PrimerPair &key,
+                   const std::vector<Strand> &tagged_molecules);
+
     /** Number of stored molecules (all files). */
     std::size_t size() const { return molecules.size(); }
 

@@ -1,6 +1,8 @@
 #include "obs/report.hh"
 
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 namespace dnastore::obs
 {
@@ -71,11 +73,31 @@ metricsJson(const MetricsSnapshot &snapshot)
 bool
 writeTextFile(const std::string &path, const std::string &text)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
+    // Write-to-temp + rename so readers never observe a half-written
+    // document: rename within one directory is atomic on POSIX, and a
+    // failed write leaves any previous file at @p path untouched.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << text << '\n';
+        out.flush();
+        if (!out) {
+            out.close();
+            std::error_code cleanup;
+            std::filesystem::remove(tmp_path, cleanup);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, path, ec);
+    if (ec) {
+        std::error_code cleanup;
+        std::filesystem::remove(tmp_path, cleanup);
         return false;
-    out << text << '\n';
-    return static_cast<bool>(out);
+    }
+    return true;
 }
 
 } // namespace dnastore::obs

@@ -1,0 +1,206 @@
+#include "archive/json_reader.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+using dnastore::archive::JsonValue;
+using dnastore::archive::tryParseJson;
+
+TEST(JsonReader, ParsesScalars)
+{
+    auto v = tryParseJson("true");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->asBool(), true);
+
+    v = tryParseJson("false");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->asBool(), false);
+
+    v = tryParseJson("null");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->isNull());
+
+    v = tryParseJson("\"hello\"");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_NE(v->asString(), nullptr);
+    EXPECT_EQ(*v->asString(), "hello");
+}
+
+TEST(JsonReader, ParsesNumbers)
+{
+    auto v = tryParseJson("42");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->asUint(), std::uint64_t{42});
+    EXPECT_DOUBLE_EQ(v->asDouble().value(), 42.0);
+
+    v = tryParseJson("-17");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(v->asUint().has_value()); // negative: double only
+    EXPECT_DOUBLE_EQ(v->asDouble().value(), -17.0);
+
+    v = tryParseJson("0.25");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(v->asUint().has_value());
+    EXPECT_DOUBLE_EQ(v->asDouble().value(), 0.25);
+
+    v = tryParseJson("1e3");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(v->asDouble().value(), 1000.0);
+
+    // Exact 64-bit value that a double would round.
+    v = tryParseJson("18446744073709551615");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->asUint(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(JsonReader, ParsesNestedStructure)
+{
+    const auto v = tryParseJson(
+        R"({"a":[1,2,3],"b":{"c":"x","d":false},"e":null})");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->isObject());
+
+    const JsonValue *a = v->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(a->asArray(), nullptr);
+    ASSERT_EQ(a->asArray()->size(), 3u);
+    EXPECT_EQ((*a->asArray())[2].asUint(), std::uint64_t{3});
+
+    const JsonValue *d = v->find("b")->find("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->asBool(), false);
+
+    EXPECT_TRUE(v->find("e")->isNull());
+    EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonReader, DecodesStringEscapes)
+{
+    const auto v = tryParseJson(R"("a\"b\\c\ndAé")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v->asString(), "a\"b\\c\nd"
+                              "A\xc3\xa9");
+}
+
+TEST(JsonReader, DecodesSurrogatePairs)
+{
+    // U+1F600 (grinning face) as an escaped surrogate pair.
+    const auto v = tryParseJson(R"("\ud83d\ude00")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v->asString(), "\xf0\x9f\x98\x80");
+
+    // Raw UTF-8 passes through untouched.
+    const auto raw = tryParseJson("\"\xc3\xa9\"");
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_EQ(*raw->asString(), "\xc3\xa9");
+}
+
+TEST(JsonReader, AccessorsRejectKindMismatches)
+{
+    const auto v = tryParseJson(R"({"s":"x","n":1.5,"b":true,"a":[]})");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_NE(v->asObject(), nullptr);
+
+    EXPECT_FALSE(v->find("n")->asBool().has_value());
+    EXPECT_FALSE(v->find("s")->asDouble().has_value());
+    EXPECT_FALSE(v->find("s")->asUint().has_value());
+    EXPECT_EQ(v->find("b")->asString(), nullptr);
+    EXPECT_EQ(v->find("n")->asArray(), nullptr);
+    EXPECT_EQ(v->find("a")->asObject(), nullptr);
+    // find() on a non-object is a clean nullptr, not a crash.
+    EXPECT_EQ(v->find("a")->find("k"), nullptr);
+}
+
+TEST(JsonReader, DecodesAllSimpleEscapes)
+{
+    const auto v = tryParseJson(R"("\/\b\f\n\r\t\"\\")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v->asString(), "/\b\f\n\r\t\"\\");
+}
+
+TEST(JsonReader, DecodesUnicodeEscapeWidths)
+{
+    // One escape per UTF-8 width: 1, 2 and 3 bytes (4 bytes needs a
+    // surrogate pair, tested separately), plus uppercase hex digits.
+    const auto v = tryParseJson(R"("\u0041\u00e9\u20ac\uFB01")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v->asString(), "A"
+                              "\xc3\xa9"
+                              "\xe2\x82\xac"
+                              "\xef\xac\x81");
+}
+
+TEST(JsonReader, ParsesSignedExponents)
+{
+    auto v = tryParseJson("2.5e+3");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(v->asDouble().value(), 2500.0);
+
+    v = tryParseJson("1E-2");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(v->asDouble().value(), 0.01);
+}
+
+TEST(JsonReader, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "tru",
+        "nul",
+        "01x",
+        "\"unterminated",
+        "\"bad \\q escape\"",
+        "\"lone \\ud800 surrogate\"",
+        "\"ends mid-escape \\",
+        "\"\\u12\"",             // truncated hex quad
+        "\"\\uzzzz\"",           // non-hex digits
+        "\"\\ud800\\u0041\"",    // high surrogate without low
+        "\"\\udc00\"",           // lone low surrogate
+        "falsy",
+        "[1 2]",                 // array missing separator
+        "1 2",          // trailing garbage
+        "{\"a\":1}}",   // trailing garbage
+        "\"raw\tcontrol\"",
+        "-",
+        "1.",
+        "1e",
+        "2e+",
+    };
+    for (const char *text : bad)
+        EXPECT_FALSE(tryParseJson(text).has_value()) << text;
+}
+
+TEST(JsonReader, RejectsExcessiveNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    deep += "1";
+    for (int i = 0; i < 100; ++i)
+        deep += "]";
+    EXPECT_FALSE(tryParseJson(deep).has_value());
+
+    std::string shallow = "[[[[[1]]]]]";
+    EXPECT_TRUE(tryParseJson(shallow).has_value());
+}
+
+TEST(JsonReader, LastDuplicateKeyWins)
+{
+    const auto v = tryParseJson(R"({"k":1,"k":2})");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("k")->asUint(), std::uint64_t{2});
+}
+
+TEST(JsonReader, ToleratesWhitespace)
+{
+    const auto v = tryParseJson(" \n\t{ \"a\" : [ 1 , 2 ] }\r\n ");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("a")->asArray()->size(), 2u);
+}

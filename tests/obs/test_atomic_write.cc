@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Atomicity contract of obs::writeTextFile: content lands via a temp
+ * file plus rename, so a failed write never clobbers the previous file
+ * and never leaves a stray temp behind.
+ */
+
+#include "obs/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+class AtomicWriteTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Unique per test case: ctest runs each case as its own
+        // process, so a shared directory would race under -j.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+               (std::string("atomic_write_") + info->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string path(const char *name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    fs::path dir_;
+};
+
+} // namespace
+
+TEST_F(AtomicWriteTest, WritesContentWithTrailingNewline)
+{
+    const std::string target = path("report.json");
+    ASSERT_TRUE(dnastore::obs::writeTextFile(target, "{\"a\":1}"));
+    EXPECT_EQ(slurp(target), "{\"a\":1}\n");
+    // The temp file used for staging is gone after a successful write.
+    EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, OverwriteReplacesPreviousContent)
+{
+    const std::string target = path("report.json");
+    ASSERT_TRUE(dnastore::obs::writeTextFile(target, "old"));
+    ASSERT_TRUE(dnastore::obs::writeTextFile(target, "new"));
+    EXPECT_EQ(slurp(target), "new\n");
+    EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, FailedStagingLeavesExistingFileIntact)
+{
+    const std::string target = path("report.json");
+    ASSERT_TRUE(dnastore::obs::writeTextFile(target, "precious"));
+
+    // Simulated failure: the staging path is occupied by a directory,
+    // so the temp file cannot even be opened.  (Chmod-based tricks
+    // don't work under root; this failure mode does.)
+    fs::create_directories(target + ".tmp");
+    EXPECT_FALSE(dnastore::obs::writeTextFile(target, "clobber"));
+
+    // The previously committed content is untouched.
+    EXPECT_EQ(slurp(target), "precious\n");
+}
+
+TEST_F(AtomicWriteTest, FailedRenameCleansUpTempFile)
+{
+    // Simulated failure at the rename step: the final path is an
+    // existing directory, so the temp file is written but the atomic
+    // rename onto it must fail.
+    const std::string target = path("occupied");
+    fs::create_directories(target);
+    EXPECT_FALSE(dnastore::obs::writeTextFile(target, "text"));
+    EXPECT_TRUE(fs::is_directory(target)); // target untouched
+    EXPECT_FALSE(fs::exists(target + ".tmp")); // staging cleaned up
+}
+
+TEST_F(AtomicWriteTest, MissingParentDirectoryFails)
+{
+    const std::string target = path("no/such/dir/report.json");
+    EXPECT_FALSE(dnastore::obs::writeTextFile(target, "text"));
+}

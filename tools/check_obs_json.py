@@ -3,6 +3,7 @@
 
 Usage:
     tools/check_obs_json.py --metrics run_report.json --trace trace.json
+                            [--manifest manifest.json]
                             [--min-counters N] [--min-depth D]
 
 Checks, without any third-party dependency:
@@ -15,7 +16,11 @@ Checks, without any third-party dependency:
   * the trace file is a well-formed Chrome trace_event document whose
     spans nest at least --min-depth levels deep (computed from
     timestamp containment per thread, exactly as chrome://tracing and
-    Perfetto render it).
+    Perfetto render it);
+  * the manifest file is a valid `dnastore.archive_manifest` document:
+    schema + version, structurally consistent objects/shards (unique
+    names and primer pair ids, shard sizes summing to object sizes) and
+    a crc32 field matching the CRC-32 of the raw payload bytes.
 
 Exits non-zero with a message on the first violation.
 """
@@ -23,6 +28,7 @@ Exits non-zero with a message on the first violation.
 import argparse
 import json
 import sys
+import zlib
 
 REQUIRED_SECTIONS = (
     "run",
@@ -153,19 +159,91 @@ def check_trace(path, min_depth):
           f"max nesting depth {depth}")
 
 
+def check_manifest(path):
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    doc = json.loads(raw)
+
+    if doc.get("schema") != "dnastore.archive_manifest":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'dnastore.archive_manifest'")
+    if not isinstance(doc.get("schema_version"), int):
+        fail(f"{path}: schema_version missing or not an integer")
+    if not isinstance(doc.get("crc32"), int):
+        fail(f"{path}: crc32 missing or not an integer")
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        fail(f"{path}: payload missing or not an object")
+
+    # The writer emits a canonical document, so the payload's raw bytes
+    # sit verbatim between '"payload":' and ',"schema"'; the stored CRC
+    # must match those exact bytes.
+    start = raw.find(b'"payload":')
+    end = raw.rfind(b',"schema"')
+    if start < 0 or end < 0 or end <= start:
+        fail(f"{path}: not a canonical manifest document")
+    payload_bytes = raw[start + len(b'"payload":'):end]
+    actual = zlib.crc32(payload_bytes) & 0xFFFFFFFF
+    if actual != doc["crc32"]:
+        fail(f"{path}: payload CRC-32 is {actual:#010x}, "
+             f"manifest claims {doc['crc32']:#010x}")
+
+    params = payload.get("params")
+    if not isinstance(params, dict):
+        fail(f"{path}: payload.params missing")
+    for key in ("codec", "primer", "primer_seed", "max_shard_bytes"):
+        if key not in params:
+            fail(f"{path}: payload.params.{key} missing")
+    objects = payload.get("objects")
+    if not isinstance(objects, list):
+        fail(f"{path}: payload.objects missing or not an array")
+
+    names, pair_ids = set(), set()
+    total_shards = 0
+    for obj in objects:
+        name = obj.get("name")
+        if not name or name in names:
+            fail(f"{path}: missing or duplicate object name {name!r}")
+        names.add(name)
+        shards = obj.get("shards")
+        if not isinstance(shards, list) or not shards:
+            fail(f"{path}: object {name!r} has no shards")
+        sharded = 0
+        for shard in shards:
+            pair = shard.get("pair_id")
+            if not isinstance(pair, int) or pair == 0:
+                fail(f"{path}: object {name!r} shard has bad pair_id "
+                     f"{pair!r} (0 is reserved for the manifest)")
+            if pair in pair_ids:
+                fail(f"{path}: primer pair {pair} addresses two shards")
+            pair_ids.add(pair)
+            sharded += shard.get("size_bytes", 0)
+            total_shards += 1
+        if sharded != obj.get("size_bytes"):
+            fail(f"{path}: object {name!r} shard sizes sum to {sharded}, "
+                 f"object claims {obj.get('size_bytes')}")
+    print(f"check_obs_json: {path}: {len(objects)} objects, "
+          f"{total_shards} shards, payload CRC verified")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", help="run report JSON to validate")
     parser.add_argument("--trace", help="Chrome trace JSON to validate")
+    parser.add_argument("--manifest",
+                        help="archive manifest JSON to validate")
     parser.add_argument("--min-counters", type=int, default=10)
     parser.add_argument("--min-depth", type=int, default=4)
     args = parser.parse_args()
-    if not args.metrics and not args.trace:
-        parser.error("nothing to do: pass --metrics and/or --trace")
+    if not args.metrics and not args.trace and not args.manifest:
+        parser.error("nothing to do: pass --metrics, --trace and/or "
+                     "--manifest")
     if args.metrics:
         check_metrics(args.metrics, args.min_counters)
     if args.trace:
         check_trace(args.trace, args.min_depth)
+    if args.manifest:
+        check_manifest(args.manifest)
     print("check_obs_json: OK")
 
 

@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "archive/archive.hh"
 #include "codec/matrix_codec.hh"
 #include "core/pipeline.hh"
 #include "core/run_report.hh"
@@ -362,6 +363,174 @@ cmdPipeline(const ArgParser &args)
     return result.report.ok && result.report.data == data ? 0 : 1;
 }
 
+archive::RetrievalConfig
+retrievalConfig(const ArgParser &args)
+{
+    archive::RetrievalConfig cfg;
+    if (args.get("channel", "iid") == "wetlab")
+        cfg.channel = archive::RetrievalChannel::Wetlab;
+    cfg.error_rate = args.getDouble("error-rate", cfg.error_rate);
+    cfg.coverage = args.getDouble("coverage", cfg.coverage);
+    cfg.seed = static_cast<std::uint64_t>(
+        args.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
+    cfg.num_threads = static_cast<std::size_t>(args.getInt("threads", 1));
+    cfg.max_decode_retries =
+        static_cast<std::size_t>(args.getInt("retries", 1));
+    return cfg;
+}
+
+/** Open --dir; on put, create it on demand with the CLI codec options. */
+archive::OpenResult
+openArchive(const ArgParser &args, bool create_if_missing)
+{
+    const std::string dir = requireOption(args, "dir");
+    archive::OpenResult opened = archive::Archive::open(dir);
+    if (opened.status == archive::ArchiveStatus::NotFound &&
+        create_if_missing) {
+        archive::ArchiveParams params;
+        params.codec = codecConfig(args);
+        params.max_shard_bytes = static_cast<std::uint64_t>(
+            args.getInt("max-shard-bytes",
+                        static_cast<std::int64_t>(params.max_shard_bytes)));
+        return archive::Archive::create(dir, params);
+    }
+    return opened;
+}
+
+int
+cmdArchivePut(const ArgParser &args)
+{
+    auto opened = openArchive(args, true);
+    if (!opened.ok()) {
+        std::cerr << "dnastore archive put: " << opened.error << "\n";
+        return 1;
+    }
+    const auto data = readBinaryFile(requireOption(args, "in"));
+    const auto result = opened.archive->put(
+        requireOption(args, "name"), data,
+        static_cast<std::size_t>(args.getInt("threads", 1)));
+    if (!result.ok()) {
+        std::cerr << "dnastore archive put: " << result.error << "\n";
+        return 1;
+    }
+    std::cout << "stored '" << requireOption(args, "name") << "' ("
+              << data.size() << " bytes) as object " << result.object_id
+              << ": " << result.shards << " shard(s), " << result.strands
+              << " tagged molecules; pool now "
+              << opened.archive->poolSize() << " molecules\n";
+    return 0;
+}
+
+int
+cmdArchiveGet(const ArgParser &args)
+{
+    auto opened = openArchive(args, false);
+    if (!opened.ok()) {
+        std::cerr << "dnastore archive get: " << opened.error << "\n";
+        return 1;
+    }
+    const std::string name = requireOption(args, "name");
+    const auto result = opened.archive->get(name, retrievalConfig(args));
+    for (std::size_t s = 0; s < result.shards.size(); ++s) {
+        const auto &shard = result.shards[s];
+        std::cout << "shard " << s << " (pair " << shard.pair_id << "): "
+                  << (shard.ok ? "ok" : "FAILED") << ", " << shard.reads
+                  << " reads, " << shard.clusters << " clusters"
+                  << ", decoding "
+                  << stageStatusName(shard.stages.decoding) << "\n";
+        for (const auto &error : shard.errors)
+            std::cout << "  error [" << error.stage << "] "
+                      << error.message << "\n";
+    }
+    if (!result.ok()) {
+        std::cerr << "dnastore archive get: " << result.error << "\n";
+        return 1;
+    }
+    writeBinaryFile(requireOption(args, "out"), result.data);
+    std::cout << "retrieved '" << name << "': " << result.data.size()
+              << " bytes, " << result.shards.size()
+              << " shard(s) decoded\n";
+    return 0;
+}
+
+int
+cmdArchiveLs(const ArgParser &args)
+{
+    const auto opened = openArchive(args, false);
+    if (!opened.ok()) {
+        std::cerr << "dnastore archive ls: " << opened.error << "\n";
+        return 1;
+    }
+    for (const auto &object : opened.archive->objects())
+        std::cout << object.name << "\t" << object.size_bytes
+                  << " bytes\t" << object.shards.size() << " shard(s)\n";
+    std::cout << opened.archive->objects().size() << " object(s), "
+              << opened.archive->poolSize() << " pooled molecules\n";
+    return 0;
+}
+
+int
+cmdArchiveStat(const ArgParser &args)
+{
+    const auto opened = openArchive(args, false);
+    if (!opened.ok()) {
+        std::cerr << "dnastore archive stat: " << opened.error << "\n";
+        return 1;
+    }
+    const std::string name = requireOption(args, "name");
+    const auto *object = opened.archive->stat(name);
+    if (object == nullptr) {
+        std::cerr << "dnastore archive stat: no object named '" << name
+                  << "'\n";
+        return 1;
+    }
+    std::cout << "name: " << object->name << "\nid: " << object->id
+              << "\nsize: " << object->size_bytes << " bytes\ncrc32: "
+              << object->crc32_value << "\nshards:\n";
+    for (const auto &shard : object->shards)
+        std::cout << "  pair " << shard.pair_id << ": "
+                  << shard.size_bytes << " bytes, " << shard.units
+                  << " unit(s), " << shard.strands << " strands\n";
+    return 0;
+}
+
+void archiveUsage();
+
+int
+cmdArchive(int argc, char **argv)
+{
+    if (argc < 3) {
+        archiveUsage();
+        return 2;
+    }
+    const std::string verb = argv[2];
+    const ArgParser args(argc - 2, argv + 2);
+    if (verb == "put")
+        return cmdArchivePut(args);
+    if (verb == "get")
+        return cmdArchiveGet(args);
+    if (verb == "ls")
+        return cmdArchiveLs(args);
+    if (verb == "stat")
+        return cmdArchiveStat(args);
+    archiveUsage();
+    return 2;
+}
+
+void
+archiveUsage()
+{
+    std::cerr
+        << "usage: dnastore archive <verb> --dir DIR [options]\n"
+           "verbs:\n"
+           "  put   --name NAME --in FILE [--threads N] "
+           "[--max-shard-bytes N, codec opts on first put]\n"
+           "  get   --name NAME --out FILE [--channel iid|wetlab "
+           "--error-rate R --coverage C --seed S --threads N --retries N]\n"
+           "  ls\n"
+           "  stat  --name NAME\n";
+}
+
 void
 usage()
 {
@@ -374,6 +543,8 @@ usage()
            "  reconstruct clusters -> consensus (--algo, --length)\n"
            "  decode      consensus -> file (--units, codec opts)\n"
            "  pipeline    file -> file end to end\n"
+           "  archive     multi-object DNA archive "
+           "(put/get/ls/stat, see 'dnastore archive')\n"
            "observability (pipeline): --metrics-json PATH writes the run\n"
            "report JSON; --trace-json PATH writes a Chrome trace\n";
 }
@@ -402,6 +573,8 @@ main(int argc, char **argv)
             return cmdDecode(args);
         if (command == "pipeline")
             return cmdPipeline(args);
+        if (command == "archive")
+            return cmdArchive(argc, argv);
         usage();
         return 2;
     } catch (const std::exception &error) {
