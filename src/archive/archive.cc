@@ -4,6 +4,7 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <system_error>
 
@@ -143,6 +144,12 @@ Archive::buildCodecs(std::string &error)
 bool
 Archive::ensurePairs(std::size_t num_pairs, std::string &error) const
 {
+    // Serialise the lazy check-and-design: concurrent const callers
+    // (get, decodeManifestFromDna) would otherwise race on replacing
+    // library_.  Readers that only call pairFor() afterwards are safe
+    // without the lock — once a caller's ensurePairs returned, no
+    // concurrent const operation can shrink or replace the library.
+    std::lock_guard<std::mutex> lock(*library_mutex_);
     if (library_ && library_->numPairs() >= num_pairs)
         return true;
     try {
@@ -251,11 +258,18 @@ Archive::open(const std::string &dir)
     archive.pool_pairs_.reserve(records.size());
     for (const FastaRecord &record : records) {
         const auto pair_id = parsePoolRecordPair(record.id);
-        if (!pair_id || *pair_id >= next_pair) {
+        if (!pair_id) {
             result.status = ArchiveStatus::CorruptPool;
-            result.error = "pool record with unknown pair id: " + record.id;
+            result.error = "pool record with unparsable pair id: " +
+                           record.id;
             return result;
         }
+        // Records under pair ids the manifest does not reference are
+        // orphans of an interrupted save (pool committed, manifest
+        // not): drop them — the next save rewrites the pool without
+        // them — instead of refusing to open the archive.
+        if (*pair_id >= next_pair)
+            continue;
         per_pair[*pair_id] += 1;
         archive.pool_.push_back(record.sequence);
         archive.pool_pairs_.push_back(*pair_id);
@@ -324,14 +338,19 @@ Archive::save(std::string &error)
     std::ostringstream pool_text;
     writeFasta(pool_text, records);
 
-    // Both files go through the atomic temp+rename writer, so a crash
-    // mid-save leaves the previous manifest/pool intact.
-    if (!obs::writeTextFile(manifestPath(dir_), manifest_text)) {
-        error = "cannot write " + manifestPath(dir_);
-        return false;
-    }
+    // Both files go through the atomic temp+rename writer, and the
+    // manifest rename is the commit point: the pool lands first, so a
+    // crash (or failed write) between the two leaves a new pool next to
+    // the old manifest — a state open() accepts by dropping pool
+    // records under pair ids the manifest does not reference.  Writing
+    // the manifest first would brick the archive instead (manifest
+    // promising strands the old pool lacks).
     if (!obs::writeTextFile(poolPath(dir_), pool_text.str())) {
         error = "cannot write " + poolPath(dir_);
+        return false;
+    }
+    if (!obs::writeTextFile(manifestPath(dir_), manifest_text)) {
+        error = "cannot write " + manifestPath(dir_);
         return false;
     }
 

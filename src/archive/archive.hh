@@ -23,12 +23,18 @@
  * through ArchiveStatus / per-shard StageStatus values (PR-1 taxonomy)
  * instead of raising; module exceptions are caught at the archive
  * boundary.
+ *
+ * Thread-safety: const operations (get, stat, objects,
+ * decodeManifestFromDna) may run concurrently on one Archive — the
+ * lazily designed primer library is guarded internally.  Mutating
+ * operations (put) require exclusive access.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -225,6 +231,10 @@ class Archive
     std::shared_ptr<MatrixDecoder> decoder_;
     /** Lazily (re)designed primer cache; see ensurePairs. */
     mutable std::optional<PrimerLibrary> library_;
+    /** Guards library_'s lazy design from concurrent const callers;
+     *  heap-allocated so Archive stays movable. */
+    mutable std::unique_ptr<std::mutex> library_mutex_ =
+        std::make_unique<std::mutex>();
 };
 
 /** No-throw factory result: the archive is set iff status == Ok. */

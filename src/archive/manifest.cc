@@ -397,6 +397,33 @@ tryParseManifest(std::string_view text)
         manifest.objects.push_back(std::move(object));
     }
 
+    // Pair-id guard: loaders size per-pair tables from nextPairId()
+    // (= 1 + totalShards), so every shard's pair id must land in
+    // [1, totalShards] and no two shards may share one — by pigeonhole
+    // the ids are then exactly the contiguous block put() allocates.
+    // A hand-edited manifest with a hole (say one shard at pair 7)
+    // would otherwise index past those tables.
+    std::vector<bool> used(manifest.totalShards() + 1, false);
+    for (const ObjectEntry &object : manifest.objects) {
+        for (const ShardEntry &shard : object.shards) {
+            if (shard.pair_id >= used.size()) {
+                result.error =
+                    "object '" + object.name + "': shard pair_id " +
+                    std::to_string(shard.pair_id) +
+                    " out of range for " +
+                    std::to_string(manifest.totalShards()) + " shard(s)";
+                return result;
+            }
+            if (used[shard.pair_id]) {
+                result.error = "primer pair " +
+                               std::to_string(shard.pair_id) +
+                               " addresses two shards";
+                return result;
+            }
+            used[shard.pair_id] = true;
+        }
+    }
+
     // CRC guard: the canonical re-serialisation of what we parsed must
     // hash to the stored value, so silent corruption of any guarded
     // field (and any truncation) is caught here.

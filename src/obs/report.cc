@@ -1,8 +1,12 @@
 #include "obs/report.hh"
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+
+#include <unistd.h>
 
 namespace dnastore::obs
 {
@@ -75,8 +79,16 @@ writeTextFile(const std::string &path, const std::string &text)
 {
     // Write-to-temp + rename so readers never observe a half-written
     // document: rename within one directory is atomic on POSIX, and a
-    // failed write leaves any previous file at @p path untouched.
-    const std::string tmp_path = path + ".tmp";
+    // failed write leaves any previous file at @p path untouched.  The
+    // staging name is unique per writer (pid + process-wide counter):
+    // concurrent writers to one target each stage privately and the
+    // last rename wins whole, instead of interleaving inside a shared
+    // temp file.
+    static std::atomic<std::uint64_t> stage_counter{0};
+    const std::string tmp_path =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(
+            stage_counter.fetch_add(1, std::memory_order_relaxed));
     {
         std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
         if (!out)

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/random.hh"
@@ -297,13 +298,15 @@ TEST_F(ArchiveTest, OpenRejectsMangledPoolRecords)
     const std::string pool_path = dir() + "/pool.fasta";
     const std::string pool = slurp(pool_path);
 
-    // Record ids that no longer parse back to a known pair id.
+    // Record ids that no longer parse back to a known pair id — or,
+    // for the last case, retag an object's molecule under an
+    // unallocated pair, which the per-pair strand accounting catches.
     const char *mangled_ids[] = {
         "m0 nopair",           // marker missing entirely
         "m0 pair=12x",         // trailing junk in the digits
         "m0 pair=8589934592",  // fits unsigned long long, exceeds 2^32
         "m0 pair=99999999999999999999999999", // overflows unsigned long long
-        "m0 pair=7",           // well-formed but unallocated pair id
+        "m0 pair=7",           // object strand moved to unallocated pair
     };
     for (const char *id : mangled_ids) {
         std::string mangled = pool;
@@ -326,6 +329,104 @@ TEST_F(ArchiveTest, OpenRejectsMangledPoolRecords)
     EXPECT_EQ(short_pool.status, ArchiveStatus::CorruptPool);
     EXPECT_NE(short_pool.error.find("mismatch"), std::string::npos)
         << short_pool.error;
+}
+
+TEST_F(ArchiveTest, OpenRejectsHandEditedPairIds)
+{
+    // A hand-edited manifest can carry a recomputed (valid) CRC yet
+    // reference a pair id outside the contiguous block put() allocates;
+    // open() must reject it instead of indexing past per-pair tables.
+    auto created = Archive::create(dir(), smallParams());
+    ASSERT_TRUE(created.ok()) << created.error;
+    ASSERT_TRUE(created.archive->put("obj", patternBytes(100, 15)).ok());
+
+    ArchiveManifest edited = created.archive->manifest();
+    ASSERT_EQ(edited.objects.size(), 1u);
+    ASSERT_EQ(edited.objects[0].shards.size(), 1u);
+    edited.objects[0].shards[0].pair_id = 7;
+    // manifestJson recomputes the payload CRC, exactly as a careful
+    // hand-editor would.
+    spew(dir() + "/manifest.json", manifestJson(edited));
+
+    const auto reopened = Archive::open(dir());
+    EXPECT_EQ(reopened.status, ArchiveStatus::CorruptManifest);
+    EXPECT_NE(reopened.error.find("out of range"), std::string::npos)
+        << reopened.error;
+
+    // A duplicated pair id is rejected the same way.
+    ArchiveManifest duplicated = created.archive->manifest();
+    ObjectEntry clone = duplicated.objects[0];
+    clone.name = "clone";
+    clone.id = 1;
+    duplicated.objects.push_back(clone);
+    spew(dir() + "/manifest.json", manifestJson(duplicated));
+    const auto dup_open = Archive::open(dir());
+    EXPECT_EQ(dup_open.status, ArchiveStatus::CorruptManifest);
+    EXPECT_NE(dup_open.error.find("addresses two shards"),
+              std::string::npos)
+        << dup_open.error;
+}
+
+TEST_F(ArchiveTest, OpenToleratesPoolAheadOfManifest)
+{
+    // A crash between save()'s two renames (pool committed, manifest
+    // not) leaves a new pool next to the old manifest.  open() must
+    // accept that state — dropping the orphan records — rather than
+    // brick the archive.
+    auto created = Archive::create(dir(), smallParams());
+    ASSERT_TRUE(created.ok()) << created.error;
+    Archive &tube = *created.archive;
+    const auto first = patternBytes(100, 16);
+    ASSERT_TRUE(tube.put("first", first).ok());
+    const std::string old_manifest = slurp(dir() + "/manifest.json");
+    ASSERT_TRUE(tube.put("second", patternBytes(300, 17)).ok());
+    spew(dir() + "/manifest.json", old_manifest);
+
+    auto reopened = Archive::open(dir());
+    ASSERT_TRUE(reopened.ok()) << reopened.error;
+    EXPECT_EQ(reopened.archive->objects().size(), 1u);
+    EXPECT_EQ(reopened.archive->stat("second"), nullptr);
+
+    RetrievalConfig retrieval;
+    retrieval.error_rate = 0.02;
+    const GetResult got = reopened.archive->get("first", retrieval);
+    ASSERT_TRUE(got.ok()) << got.error;
+    EXPECT_EQ(got.data, first);
+
+    // Re-storing the lost object reuses the orphaned pair ids cleanly.
+    const auto second = patternBytes(300, 17);
+    ASSERT_TRUE(reopened.archive->put("second", second).ok());
+    const GetResult got_second = reopened.archive->get("second", retrieval);
+    ASSERT_TRUE(got_second.ok()) << got_second.error;
+    EXPECT_EQ(got_second.data, second);
+}
+
+TEST_F(ArchiveTest, ConcurrentConstGetsAgree)
+{
+    // Two threads retrieving from one freshly opened Archive both
+    // trigger the lazy primer-library design from a const method; the
+    // internal lock must serialise it (TSan-visible otherwise).
+    const auto payload = patternBytes(400, 18);
+    {
+        auto created = Archive::create(dir(), smallParams());
+        ASSERT_TRUE(created.ok()) << created.error;
+        ASSERT_TRUE(created.archive->put("obj", payload).ok());
+    }
+    auto reopened = Archive::open(dir());
+    ASSERT_TRUE(reopened.ok()) << reopened.error;
+    const Archive &tube = *reopened.archive;
+
+    RetrievalConfig retrieval;
+    retrieval.error_rate = 0.02;
+    GetResult results[2];
+    std::thread a([&] { results[0] = tube.get("obj", retrieval); });
+    std::thread b([&] { results[1] = tube.get("obj", retrieval); });
+    a.join();
+    b.join();
+    for (const GetResult &got : results) {
+        ASSERT_TRUE(got.ok()) << got.error;
+        EXPECT_EQ(got.data, payload);
+    }
 }
 
 TEST_F(ArchiveTest, OpenRejectsManifestWithBadCodec)

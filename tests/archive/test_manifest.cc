@@ -281,6 +281,22 @@ TEST(Manifest, RejectsStructuralViolations)
                      R"("strands":60,"units":1}]}])",
                      good_params),
          "duplicate object name"},
+        // Pair ids must be the contiguous block [1, totalShards]:
+        // a hole (pair 7 on a single-shard manifest) or a reused id
+        // would index past per-pair tables sized from nextPairId().
+        {payloadWith(R"([{"name":"x","crc32":1,"id":0,"size_bytes":9,)"
+                     R"("shards":[{"pair_id":7,"size_bytes":9,)"
+                     R"("strands":60,"units":1}]}])",
+                     good_params),
+         "out of range"},
+        {payloadWith(R"([{"name":"x","crc32":1,"id":0,"size_bytes":9,)"
+                     R"("shards":[{"pair_id":1,"size_bytes":9,)"
+                     R"("strands":60,"units":1}]},)"
+                     R"({"name":"y","crc32":1,"id":1,"size_bytes":9,)"
+                     R"("shards":[{"pair_id":1,"size_bytes":9,)"
+                     R"("strands":60,"units":1}]}])",
+                     good_params),
+         "addresses two shards"},
     };
 
     for (const auto &c : cases) {

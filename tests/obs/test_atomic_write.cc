@@ -1,8 +1,9 @@
 /**
  * @file
- * Atomicity contract of obs::writeTextFile: content lands via a temp
- * file plus rename, so a failed write never clobbers the previous file
- * and never leaves a stray temp behind.
+ * Atomicity contract of obs::writeTextFile: content lands via a
+ * uniquely named temp file plus rename, so a failed write never
+ * clobbers the previous file, never leaves a stray temp behind, and
+ * concurrent writers to one target cannot interleave.
  */
 
 #include "obs/report.hh"
@@ -13,6 +14,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace fs = std::filesystem;
 
@@ -51,6 +54,23 @@ class AtomicWriteTest : public ::testing::Test
         return (dir_ / name).string();
     }
 
+    /** Directory entries left over beyond the expected final files —
+     *  any hit is a staging file the writer failed to clean up. */
+    std::vector<std::string>
+    strayEntries(const std::vector<std::string> &expected) const
+    {
+        std::vector<std::string> strays;
+        for (const auto &entry : fs::directory_iterator(dir_)) {
+            const std::string name = entry.path().filename().string();
+            bool known = false;
+            for (const std::string &want : expected)
+                known = known || name == want;
+            if (!known)
+                strays.push_back(name);
+        }
+        return strays;
+    }
+
     fs::path dir_;
 };
 
@@ -62,7 +82,7 @@ TEST_F(AtomicWriteTest, WritesContentWithTrailingNewline)
     ASSERT_TRUE(dnastore::obs::writeTextFile(target, "{\"a\":1}"));
     EXPECT_EQ(slurp(target), "{\"a\":1}\n");
     // The temp file used for staging is gone after a successful write.
-    EXPECT_FALSE(fs::exists(target + ".tmp"));
+    EXPECT_TRUE(strayEntries({"report.json"}).empty());
 }
 
 TEST_F(AtomicWriteTest, OverwriteReplacesPreviousContent)
@@ -71,18 +91,21 @@ TEST_F(AtomicWriteTest, OverwriteReplacesPreviousContent)
     ASSERT_TRUE(dnastore::obs::writeTextFile(target, "old"));
     ASSERT_TRUE(dnastore::obs::writeTextFile(target, "new"));
     EXPECT_EQ(slurp(target), "new\n");
-    EXPECT_FALSE(fs::exists(target + ".tmp"));
+    EXPECT_TRUE(strayEntries({"report.json"}).empty());
 }
 
 TEST_F(AtomicWriteTest, FailedStagingLeavesExistingFileIntact)
 {
-    const std::string target = path("report.json");
-    ASSERT_TRUE(dnastore::obs::writeTextFile(target, "precious"));
-
-    // Simulated failure: the staging path is occupied by a directory,
-    // so the temp file cannot even be opened.  (Chmod-based tricks
-    // don't work under root; this failure mode does.)
-    fs::create_directories(target + ".tmp");
+    // Simulated staging failure: the target name is just under the
+    // filesystem's 255-byte component limit, so the target itself can
+    // be created but the longer ".tmp.<pid>.<n>" staging name cannot
+    // even be opened.  (Chmod-based tricks don't work under root;
+    // this failure mode does.)
+    const std::string target = path(std::string(250, 'x').c_str());
+    {
+        std::ofstream out(target, std::ios::binary);
+        out << "precious\n";
+    }
     EXPECT_FALSE(dnastore::obs::writeTextFile(target, "clobber"));
 
     // The previously committed content is untouched.
@@ -98,11 +121,39 @@ TEST_F(AtomicWriteTest, FailedRenameCleansUpTempFile)
     fs::create_directories(target);
     EXPECT_FALSE(dnastore::obs::writeTextFile(target, "text"));
     EXPECT_TRUE(fs::is_directory(target)); // target untouched
-    EXPECT_FALSE(fs::exists(target + ".tmp")); // staging cleaned up
+    EXPECT_TRUE(strayEntries({"occupied"}).empty()); // staging cleaned up
 }
 
 TEST_F(AtomicWriteTest, MissingParentDirectoryFails)
 {
     const std::string target = path("no/such/dir/report.json");
     EXPECT_FALSE(dnastore::obs::writeTextFile(target, "text"));
+}
+
+TEST_F(AtomicWriteTest, ConcurrentWritersDoNotInterleave)
+{
+    // Each writer stages under its own temp name, so whichever rename
+    // lands last publishes one writer's document whole.  With a shared
+    // staging path the two would interleave inside it and the final
+    // file could mix both documents.
+    const std::string target = path("report.json");
+    const std::string doc_a(64 * 1024, 'a');
+    const std::string doc_b(64 * 1024, 'b');
+    constexpr int kRounds = 50;
+
+    std::thread writer_a([&] {
+        for (int i = 0; i < kRounds; ++i)
+            ASSERT_TRUE(dnastore::obs::writeTextFile(target, doc_a));
+    });
+    std::thread writer_b([&] {
+        for (int i = 0; i < kRounds; ++i)
+            ASSERT_TRUE(dnastore::obs::writeTextFile(target, doc_b));
+    });
+    writer_a.join();
+    writer_b.join();
+
+    const std::string final_doc = slurp(target);
+    EXPECT_TRUE(final_doc == doc_a + "\n" || final_doc == doc_b + "\n")
+        << "published document mixes concurrent writers";
+    EXPECT_TRUE(strayEntries({"report.json"}).empty());
 }

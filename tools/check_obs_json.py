@@ -222,6 +222,10 @@ def check_manifest(path):
         if sharded != obj.get("size_bytes"):
             fail(f"{path}: object {name!r} shard sizes sum to {sharded}, "
                  f"object claims {obj.get('size_bytes')}")
+    if pair_ids != set(range(1, total_shards + 1)):
+        fail(f"{path}: shard pair_ids are not the contiguous block "
+             f"[1, {total_shards}] (loaders size per-pair tables "
+             f"from that invariant)")
     print(f"check_obs_json: {path}: {len(objects)} objects, "
           f"{total_shards} shards, payload CRC verified")
 
