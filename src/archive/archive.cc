@@ -1,6 +1,7 @@
 #include "archive/archive.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include "codec/matrix_codec.hh"
 #include "core/pool.hh"
 #include "dna/fastx.hh"
+#include "obs/crashpoint.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/span.hh"
@@ -62,8 +64,14 @@ shardSeed(std::uint64_t base, std::uint32_t pair_id)
     return mixer.next();
 }
 
-/** Pool record id "m<index> pair=<pair_id>"; the pair id is the
- *  molecule's address and must survive the FASTA round trip. */
+std::vector<std::uint8_t>
+stringToBytes(const std::string &text)
+{
+    return {text.begin(), text.end()};
+}
+
+} // namespace
+
 std::string
 poolRecordId(std::size_t index, std::uint32_t pair_id)
 {
@@ -71,9 +79,8 @@ poolRecordId(std::size_t index, std::uint32_t pair_id)
            " pair=" + std::to_string(pair_id);
 }
 
-/** Recover the pair id from a pool record id; nullopt when malformed. */
 std::optional<std::uint32_t>
-parsePoolRecordPair(const std::string &id)
+tryParsePoolRecordPair(const std::string &id)
 {
     const std::string marker = " pair=";
     const std::size_t at = id.rfind(marker);
@@ -83,23 +90,14 @@ parsePoolRecordPair(const std::string &id)
     if (digits.empty() ||
         digits.find_first_not_of("0123456789") != std::string::npos)
         return std::nullopt;
-    try {
-        const unsigned long long value = std::stoull(digits);
-        if (value > 0xFFFFFFFFULL)
-            return std::nullopt;
-        return static_cast<std::uint32_t>(value);
-    } catch (const std::exception &) {
+    unsigned long long value = 0;
+    const char *first = digits.data();
+    const char *last = first + digits.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last || value > 0xFFFFFFFFULL)
         return std::nullopt;
-    }
+    return static_cast<std::uint32_t>(value);
 }
-
-std::vector<std::uint8_t>
-stringToBytes(const std::string &text)
-{
-    return {text.begin(), text.end()};
-}
-
-} // namespace
 
 const char *
 archiveStatusName(ArchiveStatus status)
@@ -213,6 +211,7 @@ OpenResult
 Archive::open(const std::string &dir)
 {
     OpenResult result;
+    obs::crash::hit("archive.open.manifest");
     std::ifstream manifest_in(manifestPath(dir), std::ios::binary);
     if (!manifest_in) {
         result.status = ArchiveStatus::NotFound;
@@ -237,6 +236,7 @@ Archive::open(const std::string &dir)
         return result;
     }
 
+    obs::crash::hit("archive.open.pool");
     std::ifstream pool_in(poolPath(dir), std::ios::binary);
     if (!pool_in) {
         result.status = ArchiveStatus::CorruptPool;
@@ -257,7 +257,7 @@ Archive::open(const std::string &dir)
     archive.pool_.reserve(records.size());
     archive.pool_pairs_.reserve(records.size());
     for (const FastaRecord &record : records) {
-        const auto pair_id = parsePoolRecordPair(record.id);
+        const auto pair_id = tryParsePoolRecordPair(record.id);
         if (!pair_id) {
             result.status = ArchiveStatus::CorruptPool;
             result.error = "pool record with unparsable pair id: " +
@@ -344,15 +344,20 @@ Archive::save(std::string &error)
     // the old manifest — a state open() accepts by dropping pool
     // records under pair ids the manifest does not reference.  Writing
     // the manifest first would brick the archive instead (manifest
-    // promising strands the old pool lacks).
+    // promising strands the old pool lacks).  The named crash points
+    // let the chaos harness and fsck tests kill the process at each
+    // window of this protocol (obs.write.* points cover mid-write).
+    obs::crash::hit("archive.save.pool");
     if (!obs::writeTextFile(poolPath(dir_), pool_text.str())) {
         error = "cannot write " + poolPath(dir_);
         return false;
     }
+    obs::crash::hit("archive.save.between");
     if (!obs::writeTextFile(manifestPath(dir_), manifest_text)) {
         error = "cannot write " + manifestPath(dir_);
         return false;
     }
+    obs::crash::hit("archive.save.commit");
 
     pool_ = std::move(kept);
     pool_pairs_ = std::move(kept_pairs);

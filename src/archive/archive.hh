@@ -32,6 +32,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -63,6 +64,18 @@ enum class ArchiveStatus : std::uint8_t
 
 /** Human-readable status name. */
 const char *archiveStatusName(ArchiveStatus status);
+
+/**
+ * Pool record id "m<index> pair=<pair_id>": the pair id is the
+ * molecule's PCR address and must survive the FASTA round trip.  Kept
+ * public so `archive fsck` audits the exact format the writer emits.
+ */
+[[nodiscard]] std::string poolRecordId(std::size_t index,
+                                       std::uint32_t pair_id);
+
+/** Recover the pair id from a pool record id; nullopt when malformed. */
+[[nodiscard]] std::optional<std::uint32_t>
+tryParsePoolRecordPair(const std::string &id);
 
 /** Which channel model the retrieval simulation pushes reads through. */
 enum class RetrievalChannel : std::uint8_t

@@ -1,0 +1,425 @@
+#include "archive/fsck.hh"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "archive/manifest.hh"
+#include "dna/fastx.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/span.hh"
+
+namespace dnastore::archive
+{
+
+namespace
+{
+
+constexpr const char *kManifestFile = "manifest.json";
+constexpr const char *kPoolFile = "pool.fasta";
+
+/**
+ * True for "<base>.tmp.<digits>.<digits>" — the staging-name pattern
+ * obs::writeTextFile uses (pid + process-wide counter).  A crash while
+ * a writer is staging orphans exactly one such file.
+ */
+bool
+isStaleStagingName(const std::string &name)
+{
+    const std::string marker = ".tmp.";
+    const std::size_t at = name.rfind(marker);
+    if (at == std::string::npos || at == 0)
+        return false;
+    const std::string tail = name.substr(at + marker.size());
+    const std::size_t dot = tail.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= tail.size())
+        return false;
+    const auto allDigits = [](const std::string &s) {
+        return !s.empty() &&
+               s.find_first_not_of("0123456789") == std::string::npos;
+    };
+    return allDigits(tail.substr(0, dot)) && allDigits(tail.substr(dot + 1));
+}
+
+void
+addFinding(FsckReport &report, FsckFindingKind kind, FsckSeverity severity,
+           bool repairable, std::string path, std::string detail)
+{
+    FsckFinding finding;
+    finding.kind = kind;
+    finding.severity = severity;
+    finding.repairable = repairable;
+    finding.path = std::move(path);
+    finding.detail = std::move(detail);
+    report.findings.push_back(std::move(finding));
+}
+
+/** Sweep orphaned atomic-write staging files in @p dir. */
+void
+auditStagingFiles(const std::string &dir, bool repair, FsckReport &report)
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return; // Directory-level failures surface via the manifest read.
+    for (const auto &entry : it) {
+        std::error_code type_ec;
+        if (!entry.is_regular_file(type_ec) || type_ec)
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (!isStaleStagingName(name))
+            continue;
+        addFinding(report, FsckFindingKind::StaleTempFile,
+                   FsckSeverity::Warning, true, name,
+                   "orphaned atomic-write staging file (writer crashed "
+                   "or was killed mid-write)");
+        if (repair) {
+            std::error_code rm_ec;
+            if (std::filesystem::remove(entry.path(), rm_ec) && !rm_ec) {
+                report.findings.back().repaired = true;
+                report.repaired_count += 1;
+            }
+        }
+    }
+}
+
+/** Deep scrub: decode every shard and CRC-verify every object. */
+void
+deepScrub(const std::string &dir, const FsckOptions &options,
+          FsckReport &report)
+{
+    OpenResult opened = Archive::open(dir);
+    if (!opened.ok()) {
+        // Structural findings already explain why; nothing to decode.
+        return;
+    }
+    const Archive &archive = *opened.archive;
+    for (const ObjectEntry &object : archive.objects()) {
+        const GetResult got = archive.get(object.name, options.retrieval);
+        if (got.ok())
+            continue;
+        bool shard_failed = false;
+        for (std::size_t s = 0; s < got.shards.size(); ++s) {
+            const ShardOutcome &shard = got.shards[s];
+            if (shard.ok)
+                continue;
+            shard_failed = true;
+            std::string detail = "shard " + std::to_string(s) +
+                                 " (pair " + std::to_string(shard.pair_id) +
+                                 ") failed to decode";
+            for (const PipelineError &err : shard.errors)
+                detail += "; " + err.stage + ": " + err.message;
+            addFinding(report, FsckFindingKind::ShardUndecodable,
+                       FsckSeverity::Error, false, object.name,
+                       std::move(detail));
+        }
+        if (!shard_failed) {
+            addFinding(report, FsckFindingKind::ObjectCrcMismatch,
+                       FsckSeverity::Error, false, object.name,
+                       "every shard decoded but the reassembled object "
+                       "failed its CRC: " + got.error);
+        }
+    }
+
+    // The DNA self-description must decode too; it may lag manifest.json
+    // by one save after crash recovery (the next save rewrites it).
+    const ManifestParseResult dna =
+        archive.decodeManifestFromDna(options.retrieval);
+    if (!dna.manifest) {
+        addFinding(report, FsckFindingKind::UndecodableDnaManifest,
+                   FsckSeverity::Warning, false, kPoolFile,
+                   "DNA-encoded manifest copy failed to decode: " +
+                       dna.error);
+    } else if (manifestJson(*dna.manifest) !=
+               manifestJson(archive.manifest())) {
+        addFinding(report, FsckFindingKind::StaleDnaManifest,
+                   FsckSeverity::Note, false, kPoolFile,
+                   "DNA-encoded manifest copy decodes but differs from "
+                   "manifest.json (expected after crash recovery; the "
+                   "next save rewrites it)");
+    }
+}
+
+} // namespace
+
+const char *
+fsckFindingKindName(FsckFindingKind kind)
+{
+    switch (kind) {
+    case FsckFindingKind::StaleTempFile:
+        return "stale_temp_file";
+    case FsckFindingKind::OrphanPoolRecord:
+        return "orphan_pool_record";
+    case FsckFindingKind::MalformedPoolRecord:
+        return "malformed_pool_record";
+    case FsckFindingKind::StrandCountMismatch:
+        return "strand_count_mismatch";
+    case FsckFindingKind::MissingManifest:
+        return "missing_manifest";
+    case FsckFindingKind::CorruptManifest:
+        return "corrupt_manifest";
+    case FsckFindingKind::MissingPool:
+        return "missing_pool";
+    case FsckFindingKind::UnreadablePool:
+        return "unreadable_pool";
+    case FsckFindingKind::MissingDnaManifest:
+        return "missing_dna_manifest";
+    case FsckFindingKind::StaleDnaManifest:
+        return "stale_dna_manifest";
+    case FsckFindingKind::UndecodableDnaManifest:
+        return "undecodable_dna_manifest";
+    case FsckFindingKind::ShardUndecodable:
+        return "shard_undecodable";
+    case FsckFindingKind::ObjectCrcMismatch:
+        return "object_crc_mismatch";
+    }
+    return "unknown";
+}
+
+const char *
+fsckSeverityName(FsckSeverity severity)
+{
+    switch (severity) {
+    case FsckSeverity::Note:
+        return "note";
+    case FsckSeverity::Warning:
+        return "warning";
+    case FsckSeverity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+bool
+FsckReport::healthy() const
+{
+    return std::none_of(findings.begin(), findings.end(),
+                        [](const FsckFinding &f) {
+                            return f.severity == FsckSeverity::Error;
+                        });
+}
+
+FsckReport
+fsckArchive(const std::string &dir, const FsckOptions &options)
+{
+    obs::Span span("archive/fsck");
+    FsckReport report;
+    obs::metrics().counter("archive.fsck_runs_total").add(1);
+
+    // 1. Staging-file sweep runs even when the manifest is gone — a
+    //    crashed create() can orphan a temp next to nothing else.
+    auditStagingFiles(dir, options.repair, report);
+
+    // 2. Manifest: must exist, parse, CRC-verify and hold the pair-id
+    //    invariant (tryParseManifest enforces all of it).
+    const std::string manifest_path = dir + "/" + kManifestFile;
+    std::ifstream manifest_in(manifest_path, std::ios::binary);
+    if (!manifest_in) {
+        addFinding(report, FsckFindingKind::MissingManifest,
+                   FsckSeverity::Error, false, kManifestFile,
+                   "no manifest at " + manifest_path);
+        report.status = ArchiveStatus::NotFound;
+        report.error = "no manifest at " + manifest_path;
+        return report;
+    }
+    std::ostringstream manifest_text;
+    manifest_text << manifest_in.rdbuf();
+    ManifestParseResult parsed = tryParseManifest(manifest_text.str());
+    if (!parsed.manifest) {
+        addFinding(report, FsckFindingKind::CorruptManifest,
+                   FsckSeverity::Error, false, kManifestFile,
+                   parsed.error);
+        report.status = ArchiveStatus::CorruptManifest;
+        report.error = parsed.error;
+        return report;
+    }
+    const ArchiveManifest &manifest = *parsed.manifest;
+    report.objects = manifest.objects.size();
+    report.shards = manifest.totalShards();
+
+    // 3. Pool audit: every record must parse and belong to a pair the
+    //    manifest references; referenced pairs must hold exactly the
+    //    strand counts the manifest promises.
+    const std::string pool_path = dir + "/" + kPoolFile;
+    std::ifstream pool_in(pool_path, std::ios::binary);
+    if (!pool_in) {
+        addFinding(report, FsckFindingKind::MissingPool,
+                   FsckSeverity::Error, false, kPoolFile,
+                   "no pool file at " + pool_path);
+        report.status = ArchiveStatus::CorruptPool;
+        report.error = "no pool file at " + pool_path;
+        return report;
+    }
+    std::vector<FastaRecord> records;
+    try {
+        records = readFasta(pool_in);
+    } catch (const std::exception &e) {
+        addFinding(report, FsckFindingKind::UnreadablePool,
+                   FsckSeverity::Error, false, kPoolFile,
+                   std::string("unreadable pool file: ") + e.what());
+        report.status = ArchiveStatus::CorruptPool;
+        report.error = std::string("unreadable pool file: ") + e.what();
+        return report;
+    }
+    report.pool_records = records.size();
+
+    const std::uint32_t next_pair = manifest.nextPairId();
+    std::vector<std::size_t> per_pair(next_pair, 0);
+    std::vector<bool> keep(records.size(), true);
+    bool pool_dirty = false;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto pair_id = tryParsePoolRecordPair(records[i].id);
+        if (!pair_id) {
+            addFinding(report, FsckFindingKind::MalformedPoolRecord,
+                       FsckSeverity::Warning, true, records[i].id,
+                       "pool record without a parsable pair id");
+            keep[i] = false;
+            pool_dirty = true;
+            continue;
+        }
+        if (*pair_id >= next_pair) {
+            addFinding(report, FsckFindingKind::OrphanPoolRecord,
+                       FsckSeverity::Warning, true, records[i].id,
+                       "pair " + std::to_string(*pair_id) +
+                           " is not referenced by the manifest "
+                           "(interrupted save: pool committed, manifest "
+                           "not)");
+            keep[i] = false;
+            pool_dirty = true;
+            continue;
+        }
+        per_pair[*pair_id] += 1;
+    }
+    for (const ObjectEntry &object : manifest.objects) {
+        for (const ShardEntry &shard : object.shards) {
+            if (per_pair[shard.pair_id] == shard.strands)
+                continue;
+            addFinding(
+                report, FsckFindingKind::StrandCountMismatch,
+                FsckSeverity::Error, false, object.name,
+                "pair " + std::to_string(shard.pair_id) +
+                    ": manifest promises " +
+                    std::to_string(shard.strands) + " strands, pool has " +
+                    std::to_string(per_pair[shard.pair_id]));
+            report.status = ArchiveStatus::CorruptPool;
+        }
+    }
+    if (next_pair > 0 && per_pair[kManifestPairId] == 0) {
+        addFinding(report, FsckFindingKind::MissingDnaManifest,
+                   FsckSeverity::Warning, false, kPoolFile,
+                   "pool holds no pair-0 molecules: the DNA-encoded "
+                   "manifest copy is gone (the next save rewrites it)");
+    }
+    if (report.status != ArchiveStatus::Ok)
+        report.error = "pool/manifest strand counts diverge";
+
+    // 4. Repair: drop orphaned/malformed records by an atomic rewrite.
+    //    Renumbering record indices is safe — only the pair id is load-
+    //    bearing — and matches what the next save would emit anyway.
+    if (options.repair && pool_dirty) {
+        std::vector<FastaRecord> kept;
+        kept.reserve(records.size());
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            if (!keep[i])
+                continue;
+            const auto pair_id = tryParsePoolRecordPair(records[i].id);
+            kept.push_back({poolRecordId(kept.size(), *pair_id),
+                            std::move(records[i].sequence)});
+        }
+        std::ostringstream pool_text;
+        writeFasta(pool_text, kept);
+        if (obs::writeTextFile(pool_path, pool_text.str())) {
+            for (FsckFinding &finding : report.findings) {
+                if ((finding.kind == FsckFindingKind::OrphanPoolRecord ||
+                     finding.kind ==
+                         FsckFindingKind::MalformedPoolRecord) &&
+                    !finding.repaired) {
+                    finding.repaired = true;
+                    report.repaired_count += 1;
+                }
+            }
+        }
+    }
+
+    // 5. Deep scrub through the codec (decodes mixed-pool shards, so it
+    //    runs after any repair to audit what a reader would now see).
+    if (options.deep && report.status == ArchiveStatus::Ok)
+        deepScrub(dir, options, report);
+
+    if (report.status == ArchiveStatus::Ok && !report.healthy()) {
+        report.status = ArchiveStatus::CorruptPool;
+        report.error = "deep scrub found undecodable data";
+    }
+    obs::metrics()
+        .counter("archive.fsck_findings_total")
+        .add(report.findings.size());
+    obs::metrics()
+        .counter("archive.fsck_repairs_total")
+        .add(report.repaired_count);
+    return report;
+}
+
+std::string
+fsckReportJson(const FsckReport &report, const std::string &dir,
+               const FsckOptions &options)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.key("archive_dir");
+    json.value(dir);
+    json.key("checked");
+    json.beginObject();
+    json.key("objects");
+    json.value(static_cast<std::uint64_t>(report.objects));
+    json.key("pool_records");
+    json.value(static_cast<std::uint64_t>(report.pool_records));
+    json.key("shards");
+    json.value(static_cast<std::uint64_t>(report.shards));
+    json.endObject();
+    json.key("clean");
+    json.value(report.clean());
+    json.key("deep");
+    json.value(options.deep);
+    json.key("error");
+    json.value(report.error);
+    json.key("findings");
+    json.beginArray();
+    for (const FsckFinding &finding : report.findings) {
+        json.beginObject();
+        json.key("detail");
+        json.value(finding.detail);
+        json.key("kind");
+        json.value(fsckFindingKindName(finding.kind));
+        json.key("path");
+        json.value(finding.path);
+        json.key("repairable");
+        json.value(finding.repairable);
+        json.key("repaired");
+        json.value(finding.repaired);
+        json.key("severity");
+        json.value(fsckSeverityName(finding.severity));
+        json.endObject();
+    }
+    json.endArray();
+    json.key("healthy");
+    json.value(report.healthy());
+    json.key("repair");
+    json.value(options.repair);
+    json.key("repaired_count");
+    json.value(static_cast<std::uint64_t>(report.repaired_count));
+    json.key("schema");
+    json.value("dnastore.fsck_report");
+    json.key("schema_version");
+    json.value(std::int64_t{obs::kSchemaVersion});
+    json.key("status");
+    json.value(archiveStatusName(report.status));
+    json.endObject();
+    return json.text();
+}
+
+} // namespace dnastore::archive

@@ -10,6 +10,13 @@
  * tests and benchmarks prove that the pipeline degrades gracefully
  * instead of crashing.  Production pipelines simply leave the module
  * pointer null and pay nothing.
+ *
+ * FaultInjector covers *data* faults inside a live pipeline run.  Its
+ * process-level sibling lives in obs/crashpoint.hh: named crash points
+ * and IO-fault knobs (kill, short write, ENOSPC, rename failure) that
+ * the chaos harness arms to kill the process mid-save and prove the
+ * archive's recovery invariants hold.  Together they bound the failure
+ * model: everything between a flipped base and a yanked power cord.
  */
 
 #pragma once

@@ -1,0 +1,336 @@
+#include "obs/crashpoint.hh"
+
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace dnastore::obs::crash
+{
+
+namespace
+{
+
+/** How a point decides whether this hit fires. */
+enum class Trigger : std::uint8_t
+{
+    Every,      //!< Fire on every hit.
+    NthHit,     //!< Fire on exactly the nth hit (1-based).
+    Probability //!< Fire with probability prob per hit (seeded).
+};
+
+struct PointState
+{
+    Action action = Action::None;
+    Trigger trigger = Trigger::Every;
+    std::uint64_t nth = 0;      //!< NthHit threshold.
+    double prob = 0.0;          //!< Probability per hit.
+    std::uint64_t rng_state = 0; //!< Per-point probability stream.
+    std::uint64_t hits = 0;     //!< Hits observed since configure.
+};
+
+std::mutex g_mutex;
+std::map<std::string, PointState, std::less<>> g_points;
+std::uint64_t g_seed = 0xc4a5ULL;
+
+/** SplitMix64 step (local: the obs layer sits below util/random). */
+std::uint64_t
+mixNext(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** FNV-1a, to give every point its own probability stream. */
+std::uint64_t
+hashName(std::string_view name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+bool
+parseU64(std::string_view text, std::uint64_t &out)
+{
+    const char *first = text.data();
+    const char *last = first + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last && !text.empty();
+}
+
+bool
+parseDouble(std::string_view text, double &out)
+{
+    const char *first = text.data();
+    const char *last = first + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last && !text.empty();
+}
+
+bool
+parseAction(std::string_view name, Action &out)
+{
+    if (name == "kill")
+        out = Action::Kill;
+    else if (name == "short")
+        out = Action::ShortWrite;
+    else if (name == "werror")
+        out = Action::WriteError;
+    else if (name == "renameerror")
+        out = Action::RenameError;
+    else
+        return false;
+    return true;
+}
+
+/**
+ * Parse one "point=action[@trigger]" or "seed=N" clause into @p points.
+ * Returns false and fills @p error on malformed input.
+ */
+bool
+parseClause(std::string_view clause,
+            std::map<std::string, PointState, std::less<>> &points,
+            std::uint64_t &seed, std::string *error)
+{
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+        if (error != nullptr)
+            *error = "crashpoint clause without '=': " + std::string(clause);
+        return false;
+    }
+    const std::string_view key = trim(clause.substr(0, eq));
+    const std::string_view value = trim(clause.substr(eq + 1));
+    if (key == "seed") {
+        if (!parseU64(value, seed)) {
+            if (error != nullptr)
+                *error = "bad crashpoint seed: " + std::string(value);
+            return false;
+        }
+        return true;
+    }
+    if (key.empty()) {
+        if (error != nullptr)
+            *error = "crashpoint clause with empty point name";
+        return false;
+    }
+
+    PointState state;
+    std::string_view action_text = value;
+    const std::size_t at = value.find('@');
+    if (at != std::string_view::npos) {
+        action_text = trim(value.substr(0, at));
+        const std::string_view trig = trim(value.substr(at + 1));
+        if (!trig.empty() && trig.front() == 'p') {
+            state.trigger = Trigger::Probability;
+            if (!parseDouble(trig.substr(1), state.prob) ||
+                state.prob < 0.0 || state.prob > 1.0) {
+                if (error != nullptr)
+                    *error = "bad crashpoint probability: " +
+                             std::string(trig);
+                return false;
+            }
+        } else {
+            state.trigger = Trigger::NthHit;
+            if (!parseU64(trig, state.nth) || state.nth == 0) {
+                if (error != nullptr)
+                    *error = "bad crashpoint hit index (want >= 1): " +
+                             std::string(trig);
+                return false;
+            }
+        }
+    }
+    if (!parseAction(action_text, state.action)) {
+        if (error != nullptr)
+            *error = "unknown crashpoint action: " +
+                     std::string(action_text) +
+                     " (want kill|short|werror|renameerror)";
+        return false;
+    }
+    points.insert_or_assign(std::string(key), state);
+    return true;
+}
+
+/** Parse a full spec; empty spec yields an empty (disarmed) point set. */
+bool
+parseSpec(const std::string &spec,
+          std::map<std::string, PointState, std::less<>> &points,
+          std::uint64_t &seed, std::string *error)
+{
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t end = spec.find(';', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string_view clause =
+            trim(std::string_view(spec).substr(begin, end - begin));
+        if (!clause.empty() &&
+            !parseClause(clause, points, seed, error))
+            return false;
+        begin = end + 1;
+    }
+    return true;
+}
+
+/** Install @p points; callers hold g_mutex. */
+void
+installLocked(std::map<std::string, PointState, std::less<>> &&points,
+              std::uint64_t seed)
+{
+    g_seed = seed;
+    g_points = std::move(points);
+    for (auto &[name, state] : g_points)
+        state.rng_state = seed ^ hashName(name);
+    detail::g_state.store(g_points.empty() ? detail::kDisarmed
+                                           : detail::kArmed,
+                          std::memory_order_release);
+}
+
+/** One-time env bootstrap; callers hold g_mutex. */
+void
+bootstrapFromEnvLocked()
+{
+    std::map<std::string, PointState, std::less<>> points;
+    std::uint64_t seed = g_seed;
+    const char *env = std::getenv("DNASTORE_CRASHPOINTS");
+    if (env != nullptr) {
+        std::string error;
+        if (!parseSpec(env, points, seed, &error))
+            points.clear(); // Malformed env disarms; configureFromEnv
+                            // reports the error to callers who ask.
+    }
+    installLocked(std::move(points), seed);
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<int> g_state{kUnconfigured};
+
+Action
+evaluate(std::string_view point)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_state.load(std::memory_order_relaxed) == kUnconfigured)
+        bootstrapFromEnvLocked();
+    if (g_state.load(std::memory_order_relaxed) != kArmed)
+        return Action::None;
+    const auto it = g_points.find(point);
+    if (it == g_points.end())
+        return Action::None;
+    PointState &state = it->second;
+    state.hits += 1;
+    bool fire = false;
+    switch (state.trigger) {
+    case Trigger::Every:
+        fire = true;
+        break;
+    case Trigger::NthHit:
+        fire = state.hits == state.nth;
+        break;
+    case Trigger::Probability: {
+        const std::uint64_t z = mixNext(state.rng_state);
+        const double roll =
+            static_cast<double>(z >> 11) *
+            (1.0 / 9007199254740992.0); // 2^-53
+        fire = roll < state.prob;
+        break;
+    }
+    }
+    if (!fire)
+        return Action::None;
+    if (state.action == Action::Kill)
+        die();
+    return state.action;
+}
+
+} // namespace detail
+
+const char *
+actionName(Action action)
+{
+    switch (action) {
+    case Action::None:
+        return "none";
+    case Action::Kill:
+        return "kill";
+    case Action::ShortWrite:
+        return "short";
+    case Action::WriteError:
+        return "werror";
+    case Action::RenameError:
+        return "renameerror";
+    }
+    return "unknown";
+}
+
+void
+die()
+{
+    std::_Exit(kCrashExitCode);
+}
+
+bool
+configure(const std::string &spec, std::string *error)
+{
+    std::map<std::string, PointState, std::less<>> points;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::uint64_t seed = g_seed;
+    if (!parseSpec(spec, points, seed, error)) {
+        installLocked({}, seed);
+        return false;
+    }
+    installLocked(std::move(points), seed);
+    return true;
+}
+
+bool
+configureFromEnv()
+{
+    const char *env = std::getenv("DNASTORE_CRASHPOINTS");
+    std::map<std::string, PointState, std::less<>> points;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::uint64_t seed = g_seed;
+    if (env != nullptr && env[0] != '\0' &&
+        !parseSpec(env, points, seed, nullptr)) {
+        installLocked({}, seed);
+        return false;
+    }
+    installLocked(std::move(points), seed);
+    return true;
+}
+
+void
+reset()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    installLocked({}, 0xc4a5ULL);
+}
+
+std::uint64_t
+hitCount(std::string_view point)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const auto it = g_points.find(point);
+    return it == g_points.end() ? 0 : it->second.hits;
+}
+
+} // namespace dnastore::obs::crash

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Named, seeded crash points and IO-fault knobs for robustness testing.
+ *
+ * A crash point is a named place in the code (e.g. the instant between
+ * the pool rename and the manifest rename in Archive::save) where a
+ * test or the chaos harness can schedule process death or a simulated
+ * IO failure.  Production binaries pay a single relaxed atomic load per
+ * point when nothing is armed — the same no-sink pattern the span
+ * tracer uses — so the points can stay compiled in everywhere.
+ *
+ * Activation:
+ *   - programmatic: crash::configure("archive.save.between=kill@2");
+ *   - environment:  DNASTORE_CRASHPOINTS="seed=7;obs.write.body=short@p0.5"
+ *     parsed once via crash::configureFromEnv() (called lazily by the
+ *     first armed check after configure has never run).
+ *
+ * Spec grammar (semicolon-separated clauses):
+ *   seed=<u64>            RNG seed for probability triggers
+ *   <point>=<action>      fire on every hit
+ *   <point>=<action>@<N>  fire on the Nth hit of that point (1-based)
+ *   <point>=<action>@p<X> fire with probability X per hit (seeded)
+ * Actions: kill (die at the point, simulating SIGKILL mid-operation),
+ * short (die after writing a prefix — writeTextFile only), werror
+ * (simulated failed write, e.g. ENOSPC: the caller sees a clean
+ * failure), renameerror (simulated failed rename).
+ *
+ * Death is std::_Exit(kCrashExitCode): no atexit handlers, no stack
+ * unwinding, no flushes — as close to a kill -9 as a library can get
+ * while still letting a harness distinguish "scheduled crash fired"
+ * (exit code) from a real SIGKILL or a genuine bug.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnastore::obs::crash
+{
+
+/** What an armed crash point does when its trigger fires. */
+enum class Action : std::uint8_t
+{
+    None = 0,    //!< Point disarmed (or trigger did not fire).
+    Kill,        //!< Die on the spot (std::_Exit(kCrashExitCode)).
+    ShortWrite,  //!< Write a prefix, then die (writeTextFile only).
+    WriteError,  //!< Simulated failed write; caller takes its error path.
+    RenameError, //!< Simulated failed rename; caller takes its error path.
+};
+
+/** Exit code of a scheduled crash, distinguishable from real crashes. */
+inline constexpr int kCrashExitCode = 86;
+
+/** Human-readable action name ("kill", "short", ...). */
+const char *actionName(Action action);
+
+namespace detail
+{
+/** Tri-state gate: bootstrap pending / configured-disarmed / armed. */
+inline constexpr int kUnconfigured = 0;
+inline constexpr int kDisarmed = 1;
+inline constexpr int kArmed = 2;
+extern std::atomic<int> g_state;
+
+/** Slow path of hit(): env bootstrap + per-point trigger evaluation. */
+Action evaluate(std::string_view point);
+} // namespace detail
+
+/**
+ * Check the named crash point.  Disarmed cost: exactly one relaxed
+ * atomic load (after a one-time env bootstrap on the very first call
+ * process-wide).  Returns the action the caller must apply; Kill is
+ * already fatal inside this call, so callers only ever observe the
+ * IO-fault actions.
+ */
+inline Action
+hit(std::string_view point)
+{
+    if (detail::g_state.load(std::memory_order_relaxed) ==
+        detail::kDisarmed)
+        return Action::None;
+    return detail::evaluate(point);
+}
+
+/** Die exactly as a fired Kill trigger does (never returns). */
+[[noreturn]] void die();
+
+/**
+ * Arm crash points from a spec string (see file header for grammar).
+ * Replaces any previous configuration; an empty spec disarms all
+ * points.  Returns false and fills @p error on a malformed spec
+ * (configuration is left disarmed in that case).
+ */
+bool configure(const std::string &spec, std::string *error = nullptr);
+
+/**
+ * Arm from the DNASTORE_CRASHPOINTS environment variable (unset or
+ * empty disarms).  Returns false when the variable is set but
+ * malformed.
+ */
+bool configureFromEnv();
+
+/** Disarm every point and forget all hit counts (tests). */
+void reset();
+
+/** Times the named point has been hit since the last configure/reset. */
+std::uint64_t hitCount(std::string_view point);
+
+} // namespace dnastore::obs::crash

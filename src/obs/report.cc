@@ -8,6 +8,8 @@
 
 #include <unistd.h>
 
+#include "obs/crashpoint.hh"
+
 namespace dnastore::obs
 {
 
@@ -83,30 +85,60 @@ writeTextFile(const std::string &path, const std::string &text)
     // staging name is unique per writer (pid + process-wide counter):
     // concurrent writers to one target each stage privately and the
     // last rename wins whole, instead of interleaving inside a shared
-    // temp file.
+    // temp file.  Every failure path removes its staging file; only a
+    // crash mid-write can orphan one, and `archive fsck` sweeps those.
+    if (crash::hit("obs.write.open") == crash::Action::WriteError)
+        return false;
     static std::atomic<std::uint64_t> stage_counter{0};
     const std::string tmp_path =
         path + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(
             stage_counter.fetch_add(1, std::memory_order_relaxed));
+    const auto discardStaging = [&tmp_path]() {
+        std::error_code cleanup;
+        std::filesystem::remove(tmp_path, cleanup);
+    };
     {
         std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!out)
+        if (!out) {
+            // The open itself can create the file before failing (e.g.
+            // a permission flip between create and write on some
+            // filesystems) — remove whatever it left behind.
+            discardStaging();
             return false;
+        }
+        const crash::Action body = crash::hit("obs.write.body");
+        if (body == crash::Action::ShortWrite) {
+            // Die mid-write: a truncated staging file stays behind,
+            // exactly what a power cut during the write leaves.
+            out << text.substr(0, text.size() / 2);
+            out.flush();
+            crash::die();
+        }
+        if (body == crash::Action::WriteError) {
+            // Simulated ENOSPC: the write fails, the caller sees a
+            // clean failure and no staging file survives.
+            out.close();
+            discardStaging();
+            return false;
+        }
         out << text << '\n';
         out.flush();
         if (!out) {
             out.close();
-            std::error_code cleanup;
-            std::filesystem::remove(tmp_path, cleanup);
+            discardStaging();
             return false;
         }
+    }
+    const crash::Action at_rename = crash::hit("obs.write.rename");
+    if (at_rename == crash::Action::RenameError) {
+        discardStaging();
+        return false;
     }
     std::error_code ec;
     std::filesystem::rename(tmp_path, path, ec);
     if (ec) {
-        std::error_code cleanup;
-        std::filesystem::remove(tmp_path, cleanup);
+        discardStaging();
         return false;
     }
     return true;

@@ -33,7 +33,12 @@ void writeMetricsValue(JsonWriter &json, const MetricsSnapshot &snapshot);
 [[nodiscard]] std::string metricsJson(const MetricsSnapshot &snapshot);
 
 /**
- * Write @p text to @p path (binary, trailing newline).
+ * Write @p text to @p path (binary, trailing newline) atomically:
+ * staged under a unique "<path>.tmp.<pid>.<counter>" name, then
+ * renamed over the target.  Every failure path removes the staging
+ * file; a process killed mid-write orphans it (swept by `archive
+ * fsck`).  Honors the obs.write.{open,body,rename} crash points
+ * (obs/crashpoint.hh).
  * @return false when the file cannot be written.
  */
 [[nodiscard]] bool

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Crash-point contract (obs/crashpoint.hh): spec parsing, Nth-hit and
+ * probability triggers, the disarmed fast path, and the IO-fault
+ * actions threaded through obs::writeTextFile.  Kill/ShortWrite are
+ * exercised as gtest death tests asserting the dedicated exit code, and
+ * the parent inspects the directory afterwards — the truncated staging
+ * file a mid-write death leaves behind is exactly what `archive fsck`
+ * must sweep.
+ */
+
+#include "obs/crashpoint.hh"
+#include "obs/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+namespace crash = dnastore::obs::crash;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+class CrashPointTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        crash::reset();
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+               (std::string("crashpoint_") + info->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        crash::reset();
+        fs::remove_all(dir_);
+    }
+
+    std::string path(const char *name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    /** Names of staging files ("<base>.tmp.<pid>.<n>") left in dir_. */
+    std::vector<std::string>
+    stagingFiles() const
+    {
+        std::vector<std::string> found;
+        for (const auto &entry : fs::directory_iterator(dir_)) {
+            const std::string name = entry.path().filename().string();
+            if (name.find(".tmp.") != std::string::npos)
+                found.push_back(entry.path().string());
+        }
+        return found;
+    }
+
+    fs::path dir_;
+};
+
+} // namespace
+
+TEST_F(CrashPointTest, DisarmedByDefault)
+{
+    EXPECT_EQ(crash::hit("archive.save.between"), crash::Action::None);
+    EXPECT_EQ(crash::hitCount("archive.save.between"), 0u);
+}
+
+TEST_F(CrashPointTest, MalformedSpecsRejectedAndDisarm)
+{
+    std::string error;
+    EXPECT_FALSE(crash::configure("no-equals-sign", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(crash::configure("p=badaction", &error));
+    EXPECT_FALSE(crash::configure("p=kill@", &error));
+    EXPECT_FALSE(crash::configure("p=kill@p1.5", &error));
+    EXPECT_FALSE(crash::configure("seed=notanumber;p=kill", &error));
+    // A failed configure leaves everything disarmed.
+    EXPECT_EQ(crash::hit("p"), crash::Action::None);
+}
+
+TEST_F(CrashPointTest, EmptySpecDisarms)
+{
+    ASSERT_TRUE(crash::configure("p=werror"));
+    EXPECT_EQ(crash::hit("p"), crash::Action::WriteError);
+    ASSERT_TRUE(crash::configure(""));
+    EXPECT_EQ(crash::hit("p"), crash::Action::None);
+}
+
+TEST_F(CrashPointTest, NthHitTriggerFiresExactlyOnce)
+{
+    ASSERT_TRUE(crash::configure("p=werror@3"));
+    EXPECT_EQ(crash::hit("p"), crash::Action::None);
+    EXPECT_EQ(crash::hit("p"), crash::Action::None);
+    EXPECT_EQ(crash::hit("p"), crash::Action::WriteError);
+    EXPECT_EQ(crash::hit("p"), crash::Action::None); // Nth only, not Nth+
+    EXPECT_EQ(crash::hitCount("p"), 4u);
+    // Unrelated points are untouched.
+    EXPECT_EQ(crash::hit("q"), crash::Action::None);
+}
+
+TEST_F(CrashPointTest, ProbabilityTriggerIsSeededAndDeterministic)
+{
+    const auto drawSequence = [](std::uint64_t seed) {
+        std::string spec = "seed=" + std::to_string(seed) +
+                           ";p=werror@p0.5";
+        EXPECT_TRUE(crash::configure(spec));
+        std::vector<bool> fires;
+        for (int i = 0; i < 64; ++i)
+            fires.push_back(crash::hit("p") ==
+                            crash::Action::WriteError);
+        return fires;
+    };
+    const auto first = drawSequence(7);
+    const auto again = drawSequence(7);
+    const auto other = drawSequence(8);
+    EXPECT_EQ(first, again);
+    EXPECT_NE(first, other);
+    // p0.5 over 64 trials: both outcomes must occur.
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(CrashPointTest, ConfigureFromEnvArmsAndEmptyDisarms)
+{
+    ::setenv("DNASTORE_CRASHPOINTS", "p=renameerror@2", 1);
+    ASSERT_TRUE(crash::configureFromEnv());
+    EXPECT_EQ(crash::hit("p"), crash::Action::None);
+    EXPECT_EQ(crash::hit("p"), crash::Action::RenameError);
+
+    ::setenv("DNASTORE_CRASHPOINTS", "", 1);
+    ASSERT_TRUE(crash::configureFromEnv());
+    EXPECT_EQ(crash::hit("p"), crash::Action::None);
+
+    ::setenv("DNASTORE_CRASHPOINTS", "malformed", 1);
+    EXPECT_FALSE(crash::configureFromEnv());
+    EXPECT_EQ(crash::hit("p"), crash::Action::None);
+    ::unsetenv("DNASTORE_CRASHPOINTS");
+}
+
+TEST_F(CrashPointTest, ActionNamesAreStable)
+{
+    EXPECT_STREQ(crash::actionName(crash::Action::None), "none");
+    EXPECT_STREQ(crash::actionName(crash::Action::Kill), "kill");
+    EXPECT_STREQ(crash::actionName(crash::Action::ShortWrite), "short");
+    EXPECT_STREQ(crash::actionName(crash::Action::WriteError), "werror");
+    EXPECT_STREQ(crash::actionName(crash::Action::RenameError),
+                 "renameerror");
+}
+
+TEST_F(CrashPointTest, WriteErrorFailsWriteCleanly)
+{
+    const std::string target = path("report.json");
+    ASSERT_TRUE(dnastore::obs::writeTextFile(target, "precious"));
+
+    ASSERT_TRUE(crash::configure("obs.write.body=werror"));
+    EXPECT_FALSE(dnastore::obs::writeTextFile(target, "clobber"));
+    crash::reset();
+
+    // Previous content intact, no staging file left behind.
+    EXPECT_EQ(slurp(target), "precious\n");
+    EXPECT_TRUE(stagingFiles().empty());
+}
+
+TEST_F(CrashPointTest, OpenWriteErrorFailsCleanly)
+{
+    const std::string target = path("report.json");
+    ASSERT_TRUE(crash::configure("obs.write.open=werror"));
+    EXPECT_FALSE(dnastore::obs::writeTextFile(target, "text"));
+    crash::reset();
+    EXPECT_FALSE(fs::exists(target));
+    EXPECT_TRUE(stagingFiles().empty());
+}
+
+TEST_F(CrashPointTest, RenameErrorFailsWriteCleanly)
+{
+    const std::string target = path("report.json");
+    ASSERT_TRUE(dnastore::obs::writeTextFile(target, "precious"));
+
+    ASSERT_TRUE(crash::configure("obs.write.rename=renameerror"));
+    EXPECT_FALSE(dnastore::obs::writeTextFile(target, "clobber"));
+    crash::reset();
+
+    EXPECT_EQ(slurp(target), "precious\n");
+    EXPECT_TRUE(stagingFiles().empty());
+}
+
+TEST_F(CrashPointTest, KillDiesWithDedicatedExitCode)
+{
+    ASSERT_TRUE(crash::configure("p=kill@2"));
+    EXPECT_EQ(crash::hit("p"), crash::Action::None);
+    EXPECT_EXIT((void)crash::hit("p"),
+                ::testing::ExitedWithCode(crash::kCrashExitCode), "");
+}
+
+TEST_F(CrashPointTest, ShortWriteDiesLeavingTruncatedStagingFile)
+{
+    const std::string target = path("report.json");
+    const std::string body(4096, 'x');
+
+    ASSERT_TRUE(crash::configure("obs.write.body=short"));
+    EXPECT_EXIT((void)dnastore::obs::writeTextFile(target, body),
+                ::testing::ExitedWithCode(crash::kCrashExitCode), "");
+    crash::reset();
+
+    // The death-test child died mid-write: the target was never
+    // published and a truncated staging file survives — the orphan
+    // `archive fsck` exists to sweep.
+    EXPECT_FALSE(fs::exists(target));
+    const auto strays = stagingFiles();
+    ASSERT_EQ(strays.size(), 1u);
+    const std::string staged = slurp(strays[0]);
+    EXPECT_LT(staged.size(), body.size());
+}
+
+TEST_F(CrashPointTest, KillAtRenameLeavesCompleteStagingFile)
+{
+    const std::string target = path("report.json");
+    ASSERT_TRUE(crash::configure("obs.write.rename=kill"));
+    EXPECT_EXIT((void)dnastore::obs::writeTextFile(target, "done"),
+                ::testing::ExitedWithCode(crash::kCrashExitCode), "");
+    crash::reset();
+
+    EXPECT_FALSE(fs::exists(target));
+    const auto strays = stagingFiles();
+    ASSERT_EQ(strays.size(), 1u);
+    EXPECT_EQ(slurp(strays[0]), "done\n");
+}

@@ -4,6 +4,7 @@
 Usage:
     tools/check_obs_json.py --metrics run_report.json --trace trace.json
                             [--manifest manifest.json]
+                            [--fsck fsck_report.json]
                             [--min-counters N] [--min-depth D]
 
 Checks, without any third-party dependency:
@@ -20,7 +21,10 @@ Checks, without any third-party dependency:
   * the manifest file is a valid `dnastore.archive_manifest` document:
     schema + version, structurally consistent objects/shards (unique
     names and primer pair ids, shard sizes summing to object sizes) and
-    a crc32 field matching the CRC-32 of the raw payload bytes.
+    a crc32 field matching the CRC-32 of the raw payload bytes;
+  * the fsck file is a valid `dnastore.fsck_report` document: schema +
+    version, a known status, findings with known kinds/severities, and
+    clean/healthy/repaired_count fields consistent with those findings.
 
 Exits non-zero with a message on the first violation.
 """
@@ -230,24 +234,112 @@ def check_manifest(path):
           f"{total_shards} shards, payload CRC verified")
 
 
+FSCK_FINDING_KINDS = {
+    "stale_temp_file",
+    "orphan_pool_record",
+    "malformed_pool_record",
+    "strand_count_mismatch",
+    "missing_manifest",
+    "corrupt_manifest",
+    "missing_pool",
+    "unreadable_pool",
+    "missing_dna_manifest",
+    "stale_dna_manifest",
+    "undecodable_dna_manifest",
+    "shard_undecodable",
+    "object_crc_mismatch",
+}
+
+FSCK_SEVERITIES = {"note", "warning", "error"}
+
+FSCK_STATUSES = {
+    "ok",
+    "not-found",
+    "already-exists",
+    "invalid-argument",
+    "io-error",
+    "corrupt-manifest",
+    "corrupt-pool",
+    "encode-failed",
+    "decode-failed",
+}
+
+
+def check_fsck(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema") != "dnastore.fsck_report":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'dnastore.fsck_report'")
+    if not isinstance(doc.get("schema_version"), int):
+        fail(f"{path}: schema_version missing or not an integer")
+    if doc.get("status") not in FSCK_STATUSES:
+        fail(f"{path}: unknown status {doc.get('status')!r}")
+    for field in ("clean", "healthy", "deep", "repair"):
+        if not isinstance(doc.get(field), bool):
+            fail(f"{path}: {field} missing or not a boolean")
+    checked = doc.get("checked")
+    if not isinstance(checked, dict):
+        fail(f"{path}: checked section missing")
+    for field in ("objects", "pool_records", "shards"):
+        if not isinstance(checked.get(field), int):
+            fail(f"{path}: checked.{field} missing or not an integer")
+
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        fail(f"{path}: findings missing or not an array")
+    repaired = 0
+    has_error = False
+    for finding in findings:
+        if finding.get("kind") not in FSCK_FINDING_KINDS:
+            fail(f"{path}: unknown finding kind {finding.get('kind')!r}")
+        if finding.get("severity") not in FSCK_SEVERITIES:
+            fail(f"{path}: unknown finding severity "
+                 f"{finding.get('severity')!r}")
+        for field in ("repairable", "repaired"):
+            if not isinstance(finding.get(field), bool):
+                fail(f"{path}: finding.{field} missing or not a boolean")
+        if finding["repaired"] and not finding["repairable"]:
+            fail(f"{path}: finding claims repaired but not repairable")
+        repaired += finding["repaired"]
+        has_error = has_error or finding["severity"] == "error"
+
+    # The summary booleans must agree with the findings they summarise.
+    if doc["clean"] != (not findings):
+        fail(f"{path}: clean={doc['clean']} but {len(findings)} findings")
+    if doc["healthy"] != (not has_error):
+        fail(f"{path}: healthy={doc['healthy']} disagrees with "
+             "error-severity findings")
+    if doc.get("repaired_count") != repaired:
+        fail(f"{path}: repaired_count={doc.get('repaired_count')!r} but "
+             f"{repaired} findings marked repaired")
+    print(f"check_obs_json: {path}: status {doc['status']}, "
+          f"{len(findings)} findings, {repaired} repaired")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", help="run report JSON to validate")
     parser.add_argument("--trace", help="Chrome trace JSON to validate")
     parser.add_argument("--manifest",
                         help="archive manifest JSON to validate")
+    parser.add_argument("--fsck", help="fsck report JSON to validate")
+    args_given = ("--metrics", "--trace", "--manifest", "--fsck")
     parser.add_argument("--min-counters", type=int, default=10)
     parser.add_argument("--min-depth", type=int, default=4)
     args = parser.parse_args()
-    if not args.metrics and not args.trace and not args.manifest:
-        parser.error("nothing to do: pass --metrics, --trace and/or "
-                     "--manifest")
+    if not args.metrics and not args.trace and not args.manifest \
+            and not args.fsck:
+        parser.error("nothing to do: pass " + ", ".join(args_given))
     if args.metrics:
         check_metrics(args.metrics, args.min_counters)
     if args.trace:
         check_trace(args.trace, args.min_depth)
     if args.manifest:
         check_manifest(args.manifest)
+    if args.fsck:
+        check_fsck(args.fsck)
     print("check_obs_json: OK")
 
 

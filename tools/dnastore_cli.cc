@@ -34,10 +34,12 @@
 #include <string>
 
 #include "archive/archive.hh"
+#include "archive/fsck.hh"
 #include "codec/matrix_codec.hh"
 #include "core/pipeline.hh"
 #include "core/run_report.hh"
 #include "core/text_io.hh"
+#include "obs/report.hh"
 #include "obs/span.hh"
 #include "obs/trace_export.hh"
 #include "reconstruction/bma.hh"
@@ -494,6 +496,52 @@ cmdArchiveStat(const ArgParser &args)
     return 0;
 }
 
+/**
+ * Scrub (and with --repair, fix) an archive directory.  Exit code 0
+ * when the archive is healthy after the run (warnings such as swept
+ * staging files or dropped orphan records still exit 0 — the archive
+ * is usable); 1 on Error-severity findings or an unusable archive.
+ */
+int
+cmdArchiveFsck(const ArgParser &args)
+{
+    const std::string dir = requireOption(args, "dir");
+    archive::FsckOptions options;
+    options.repair = args.getBool("repair", false);
+    options.deep = args.getBool("deep", false);
+    options.retrieval = retrievalConfig(args);
+
+    const archive::FsckReport report = archive::fsckArchive(dir, options);
+    for (const auto &finding : report.findings) {
+        std::cout << archive::fsckSeverityName(finding.severity) << ": "
+                  << archive::fsckFindingKindName(finding.kind) << " ["
+                  << finding.path << "] " << finding.detail;
+        if (finding.repaired)
+            std::cout << " (repaired)";
+        else if (finding.repairable && !options.repair)
+            std::cout << " (repairable; rerun with --repair)";
+        std::cout << "\n";
+    }
+    std::cout << "fsck " << dir << ": " << report.objects << " object(s), "
+              << report.shards << " shard(s), " << report.pool_records
+              << " pool record(s); " << report.findings.size()
+              << " finding(s), " << report.repaired_count
+              << " repaired -> "
+              << (report.clean()     ? "clean"
+                  : report.healthy() ? "healthy"
+                                     : "UNHEALTHY")
+              << "\n";
+    const std::string json_path = args.get("json", "");
+    if (!json_path.empty()) {
+        if (!obs::writeTextFile(
+                json_path, archive::fsckReportJson(report, dir, options)))
+            std::cerr << "warning: could not write " << json_path << "\n";
+        else
+            std::cout << "report: " << json_path << "\n";
+    }
+    return report.healthy() ? 0 : 1;
+}
+
 void archiveUsage();
 
 int
@@ -513,6 +561,8 @@ cmdArchive(int argc, char **argv)
         return cmdArchiveLs(args);
     if (verb == "stat")
         return cmdArchiveStat(args);
+    if (verb == "fsck")
+        return cmdArchiveFsck(args);
     archiveUsage();
     return 2;
 }
@@ -528,7 +578,15 @@ archiveUsage()
            "  get   --name NAME --out FILE [--channel iid|wetlab "
            "--error-rate R --coverage C --seed S --threads N --retries N]\n"
            "  ls\n"
-           "  stat  --name NAME\n";
+           "  stat  --name NAME\n"
+           "  fsck  [--repair] [--deep] [--json PATH] [get options for "
+           "--deep decode runs]\n"
+           "        audits manifest<->pool consistency and sweeps stale "
+           "staging files;\n"
+           "        --repair drops orphaned pool records and deletes "
+           "stale temps,\n"
+           "        --deep decodes every shard and CRC-verifies every "
+           "object\n";
 }
 
 void
@@ -544,7 +602,7 @@ usage()
            "  decode      consensus -> file (--units, codec opts)\n"
            "  pipeline    file -> file end to end\n"
            "  archive     multi-object DNA archive "
-           "(put/get/ls/stat, see 'dnastore archive')\n"
+           "(put/get/ls/stat/fsck, see 'dnastore archive')\n"
            "observability (pipeline): --metrics-json PATH writes the run\n"
            "report JSON; --trace-json PATH writes a Chrome trace\n";
 }
