@@ -5,7 +5,6 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <system_error>
 
@@ -147,7 +146,7 @@ Archive::ensurePairs(std::size_t num_pairs, std::string &error) const
     // library_.  Readers that only call pairFor() afterwards are safe
     // without the lock — once a caller's ensurePairs returned, no
     // concurrent const operation can shrink or replace the library.
-    std::lock_guard<std::mutex> lock(*library_mutex_);
+    MutexLock lock(*library_mutex_);
     if (library_ && library_->numPairs() >= num_pairs)
         return true;
     try {
@@ -322,7 +321,8 @@ Archive::save(std::string &error)
         error = std::string("manifest DNA encoding failed: ") + e.what();
         return false;
     }
-    const PrimerPair manifest_pair = library_->pairFor(kManifestPairId);
+    const PrimerPair manifest_pair =
+        publishedLibrary().pairFor(kManifestPairId);
     for (Strand &payload : manifest_strands)
         payload = attachPrimers(manifest_pair, payload);
 
@@ -423,7 +423,7 @@ Archive::put(const std::string &name, const std::vector<std::uint8_t> &data,
             first_pair + static_cast<std::uint32_t>(s);
         try {
             std::vector<Strand> strands = encoder_->encode(shard_bytes);
-            const PrimerPair pair = library_->pairFor(pair_id);
+            const PrimerPair pair = publishedLibrary().pairFor(pair_id);
             for (Strand &payload : strands)
                 payload = attachPrimers(pair, payload);
 
@@ -503,7 +503,7 @@ Archive::decodeShard(const ShardEntry &shard, const RetrievalConfig &config,
     obs::Span span("archive/shard_decode");
     outcome.pair_id = shard.pair_id;
     try {
-        const PrimerPair pair = library_->pairFor(shard.pair_id);
+        const PrimerPair pair = publishedLibrary().pairFor(shard.pair_id);
         Rng rng(shardSeed(config.seed, shard.pair_id));
 
         // PCR selection: pull this shard's molecules out of the mixed
@@ -521,7 +521,7 @@ Archive::decodeShard(const ShardEntry &shard, const RetrievalConfig &config,
             // tell them apart from the shard's own product.
             for (std::size_t i = 0; i < pool_.size(); ++i) {
                 if (pool_pairs_[i] != shard.pair_id) {
-                    pool.addTagged(library_->pairFor(pool_pairs_[i]),
+                    pool.addTagged(publishedLibrary().pairFor(pool_pairs_[i]),
                                    {pool_[i]});
                 }
             }

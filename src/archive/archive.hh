@@ -35,7 +35,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -44,6 +43,8 @@
 #include "archive/manifest.hh"
 #include "core/fault.hh"
 #include "core/pipeline.hh"
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 
 namespace dnastore::archive
 {
@@ -231,6 +232,20 @@ class Archive
     /** Persist manifest.json + pool.fasta (incl. DNA manifest copy). */
     bool save(std::string &error);
 
+    /**
+     * Read access to the designed primer library after a successful
+     * ensurePairs() on this call path.  Safe without the mutex: once a
+     * caller's ensurePairs returned, no concurrent const operation can
+     * shrink or replace the library (designs only ever grow, prefix-
+     * stable), so the annotation is suppressed rather than taking the
+     * lock on every pairFor lookup.
+     */
+    const PrimerLibrary &
+    publishedLibrary() const DNASTORE_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return *library_;
+    }
+
     /** Decode one shard out of the pool; returns its payload bytes. */
     [[nodiscard]] std::vector<std::uint8_t>
     decodeShard(const ShardEntry &shard, const RetrievalConfig &config,
@@ -242,12 +257,13 @@ class Archive
     std::vector<std::uint32_t> pool_pairs_; //!< Pair id per molecule.
     std::shared_ptr<MatrixEncoder> encoder_;
     std::shared_ptr<MatrixDecoder> decoder_;
-    /** Lazily (re)designed primer cache; see ensurePairs. */
-    mutable std::optional<PrimerLibrary> library_;
     /** Guards library_'s lazy design from concurrent const callers;
      *  heap-allocated so Archive stays movable. */
-    mutable std::unique_ptr<std::mutex> library_mutex_ =
-        std::make_unique<std::mutex>();
+    mutable std::unique_ptr<Mutex> library_mutex_ =
+        std::make_unique<Mutex>();
+    /** Lazily (re)designed primer cache; see ensurePairs. */
+    mutable std::optional<PrimerLibrary> library_
+        DNASTORE_GUARDED_BY(*library_mutex_);
 };
 
 /** No-throw factory result: the archive is set iff status == Ok. */

@@ -3,7 +3,9 @@
 #include <charconv>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 
 namespace dnastore::obs::crash
 {
@@ -29,9 +31,10 @@ struct PointState
     std::uint64_t hits = 0;     //!< Hits observed since configure.
 };
 
-std::mutex g_mutex;
-std::map<std::string, PointState, std::less<>> g_points;
-std::uint64_t g_seed = 0xc4a5ULL;
+Mutex g_mutex;
+std::map<std::string, PointState, std::less<>> g_points
+    DNASTORE_GUARDED_BY(g_mutex);
+std::uint64_t g_seed DNASTORE_GUARDED_BY(g_mutex) = 0xc4a5ULL;
 
 /** SplitMix64 step (local: the obs layer sits below util/random). */
 std::uint64_t
@@ -191,7 +194,7 @@ parseSpec(const std::string &spec,
 /** Install @p points; callers hold g_mutex. */
 void
 installLocked(std::map<std::string, PointState, std::less<>> &&points,
-              std::uint64_t seed)
+              std::uint64_t seed) DNASTORE_REQUIRES(g_mutex)
 {
     g_seed = seed;
     g_points = std::move(points);
@@ -204,7 +207,7 @@ installLocked(std::map<std::string, PointState, std::less<>> &&points,
 
 /** One-time env bootstrap; callers hold g_mutex. */
 void
-bootstrapFromEnvLocked()
+bootstrapFromEnvLocked() DNASTORE_REQUIRES(g_mutex)
 {
     std::map<std::string, PointState, std::less<>> points;
     std::uint64_t seed = g_seed;
@@ -228,7 +231,7 @@ std::atomic<int> g_state{kUnconfigured};
 Action
 evaluate(std::string_view point)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     if (g_state.load(std::memory_order_relaxed) == kUnconfigured)
         bootstrapFromEnvLocked();
     if (g_state.load(std::memory_order_relaxed) != kArmed)
@@ -292,7 +295,7 @@ bool
 configure(const std::string &spec, std::string *error)
 {
     std::map<std::string, PointState, std::less<>> points;
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     std::uint64_t seed = g_seed;
     if (!parseSpec(spec, points, seed, error)) {
         installLocked({}, seed);
@@ -307,7 +310,7 @@ configureFromEnv()
 {
     const char *env = std::getenv("DNASTORE_CRASHPOINTS");
     std::map<std::string, PointState, std::less<>> points;
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     std::uint64_t seed = g_seed;
     if (env != nullptr && env[0] != '\0' &&
         !parseSpec(env, points, seed, nullptr)) {
@@ -321,14 +324,14 @@ configureFromEnv()
 void
 reset()
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     installLocked({}, 0xc4a5ULL);
 }
 
 std::uint64_t
 hitCount(std::string_view point)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     const auto it = g_points.find(point);
     return it == g_points.end() ? 0 : it->second.hits;
 }

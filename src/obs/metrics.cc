@@ -82,7 +82,7 @@ MetricsSnapshot::delta(const MetricsSnapshot &before) const
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = counters_.find(name);
     if (it != counters_.end())
         return *it->second;
@@ -94,7 +94,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = gauges_.find(name);
     if (it != gauges_.end())
         return *it->second;
@@ -107,7 +107,7 @@ FixedHistogram &
 MetricsRegistry::histogram(std::string_view name,
                            std::vector<double> upper_bounds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = histograms_.find(name);
     if (it != histograms_.end())
         return *it->second;
@@ -119,7 +119,7 @@ MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     MetricsSnapshot out;
     for (const auto &[name, counter] : counters_)
         out.counters[name] = counter->value();
@@ -141,7 +141,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::resetAll()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto &[name, counter] : counters_)
         counter->reset();
     for (const auto &[name, gauge] : gauges_)

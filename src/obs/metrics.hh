@@ -22,10 +22,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 
 namespace dnastore::obs
 {
@@ -200,11 +202,13 @@ class MetricsRegistry
     void resetAll();
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+        DNASTORE_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+        DNASTORE_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<FixedHistogram>, std::less<>>
-        histograms_;
+        histograms_ DNASTORE_GUARDED_BY(mutex_);
 };
 
 /**

@@ -56,7 +56,7 @@ traceNowMicros()
 void
 TraceSink::append(const std::vector<TraceEvent> &events)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     events_.insert(events_.end(), events.begin(), events.end());
 }
 
@@ -65,7 +65,7 @@ TraceSink::events() const
 {
     std::vector<TraceEvent> out;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         out = events_;
     }
     std::stable_sort(out.begin(), out.end(),
@@ -82,7 +82,7 @@ TraceSink::events() const
 std::size_t
 TraceSink::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return events_.size();
 }
 

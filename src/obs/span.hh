@@ -20,8 +20,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 
 namespace dnastore::obs
 {
@@ -53,8 +55,8 @@ class TraceSink
     std::size_t size() const;
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<TraceEvent> events_;
+    mutable Mutex mutex_;
+    std::vector<TraceEvent> events_ DNASTORE_GUARDED_BY(mutex_);
 };
 
 /**

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/sync.hh"
 
 namespace dnastore
 {
@@ -50,7 +51,10 @@ initialLevel()
 }
 
 std::atomic<LogLevel> global_level{initialLevel()};
-std::mutex output_mutex;
+/** Serialises line emission into std::cerr.  The guarded resource is
+ *  the external stream, not a data member, so R6 carries an allowlist
+ *  entry instead of a DNASTORE_GUARDED_BY peer. */
+Mutex output_mutex;
 
 } // namespace
 
@@ -79,7 +83,7 @@ logMessage(LogLevel level, const std::string &message)
     line += "] ";
     line += message;
     line += '\n';
-    std::lock_guard<std::mutex> lock(output_mutex);
+    MutexLock lock(output_mutex);
     std::cerr << line;
     std::cerr.flush();
 }

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis capability macros (dnalint R6).
+ *
+ * Wrappers over the `capability`/`guarded_by`/`acquire_capability`
+ * attribute family so every lock relationship in the codebase is
+ * machine-checked at compile time on Clang (-Wthread-safety, promoted
+ * to error under DNASTORE_STRICT) and compiles away to nothing on
+ * every other compiler.
+ *
+ * Usage pattern (see src/util/sync.hh for the annotated mutex types):
+ *
+ *   Mutex mutex_;
+ *   std::vector<int> items_ DNASTORE_GUARDED_BY(mutex_);
+ *
+ *   void drain() { MutexLock lock(mutex_); items_.clear(); }
+ *
+ * This header is deliberately dependency-free (macros only): together
+ * with util/sync.hh it forms the concurrency vocabulary that every
+ * layer, including the bottom obs library, may include — dnalint R8
+ * exempts exactly these two headers from the module layering DAG.
+ */
+
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DNASTORE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(DNASTORE_THREAD_ANNOTATION)
+#define DNASTORE_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define DNASTORE_CAPABILITY(x) DNASTORE_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires on construction, releases on
+ *  destruction (std::lock_guard shape). */
+#define DNASTORE_SCOPED_CAPABILITY                                           \
+    DNASTORE_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the capability. */
+#define DNASTORE_GUARDED_BY(x) DNASTORE_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by the capability. */
+#define DNASTORE_PT_GUARDED_BY(x)                                            \
+    DNASTORE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the capability held (and does not release it). */
+#define DNASTORE_REQUIRES(...)                                               \
+    DNASTORE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function requires the capability held shared (readers). */
+#define DNASTORE_REQUIRES_SHARED(...)                                        \
+    DNASTORE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability (must not already hold it). */
+#define DNASTORE_ACQUIRE(...)                                                \
+    DNASTORE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define DNASTORE_RELEASE(...)                                                \
+    DNASTORE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function tries to acquire; first arg is the success return value. */
+#define DNASTORE_TRY_ACQUIRE(...)                                            \
+    DNASTORE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Capability must NOT be held when calling (deadlock prevention). */
+#define DNASTORE_EXCLUDES(...)                                               \
+    DNASTORE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares lock acquisition order between two capabilities. */
+#define DNASTORE_ACQUIRED_BEFORE(...)                                        \
+    DNASTORE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DNASTORE_ACQUIRED_AFTER(...)                                         \
+    DNASTORE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function returns a reference to the capability. */
+#define DNASTORE_RETURN_CAPABILITY(x)                                        \
+    DNASTORE_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Opt a function out of the analysis.  Reserve for publication-safe
+ * lock-free reads the analysis cannot model; every use must carry a
+ * comment stating the happens-before argument that replaces the lock.
+ */
+#define DNASTORE_NO_THREAD_SAFETY_ANALYSIS                                   \
+    DNASTORE_THREAD_ANNOTATION(no_thread_safety_analysis)

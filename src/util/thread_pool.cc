@@ -67,10 +67,10 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         stopping = true;
     }
-    available.notify_all();
+    available.notifyAll();
     for (auto &worker : workers)
         worker.join();
 }
@@ -82,8 +82,12 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex);
-            available.wait(lock, [this] { return stopping || !tasks.empty(); });
+            // Manual predicate loop (not the lambda-predicate overload)
+            // so the thread-safety analysis sees the guarded reads of
+            // `stopping` and `tasks` happen with `mutex` held.
+            MutexLock lock(mutex);
+            while (!stopping && tasks.empty())
+                available.wait(mutex);
             if (tasks.empty())
                 return; // stopping and drained
             task = std::move(tasks.front());

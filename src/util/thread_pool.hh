@@ -7,16 +7,18 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/assert.hh"
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 
 namespace dnastore
 {
@@ -68,7 +70,10 @@ class ThreadPool
     std::size_t size() const { return workers.size(); }
 
     /**
-     * Enqueue a callable; returns a future for its result.
+     * Enqueue a callable; returns a future for its result.  Submitting
+     * while the pool is shutting down is a programmer error (the task
+     * could never run): it trips DNASTORE_ASSERT in dev builds and
+     * throws in builds with invariant checks compiled out.
      */
     template <typename F>
     auto
@@ -79,12 +84,16 @@ class ThreadPool
             std::forward<F>(fn));
         std::future<Result> future = task->get_future();
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            MutexLock lock(mutex);
+            DNASTORE_ASSERT(!stopping,
+                            "submit on a stopping ThreadPool: the task "
+                            "would never run");
             if (stopping)
-                throw std::runtime_error("submit on stopped ThreadPool");
+                throw std::runtime_error(
+                    "submit on a stopping ThreadPool");
             tasks.emplace([task] { (*task)(); });
         }
-        available.notify_one();
+        available.notifyOne();
         return future;
     }
 
@@ -110,10 +119,10 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers;
-    std::queue<std::function<void()>> tasks;
-    std::mutex mutex;
-    std::condition_variable available;
-    bool stopping = false;
+    Mutex mutex;
+    std::queue<std::function<void()>> tasks DNASTORE_GUARDED_BY(mutex);
+    CondVar available;
+    bool stopping DNASTORE_GUARDED_BY(mutex) = false;
 };
 
 } // namespace dnastore

@@ -12,10 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "archive/archive.hh"
 #include "clustering/clusterer.hh"
 #include "clustering/greedy_clusterer.hh"
 #include "codec/matrix_codec.hh"
@@ -123,6 +126,59 @@ TEST(TsanStress, RashtchianParallelSignaturePathMatchesSequential)
     // Merge order may differ across schedules, but the merged pairs are
     // identical, so the final partition must be too.
     EXPECT_EQ(actual.numClusters(), expected.numClusters());
+}
+
+TEST(TsanStress, ArchiveGetAndSaveShareOneThreadPool)
+{
+    // Concurrent const gets on archive A (racing on the lazy primer
+    // library design now serialised by the annotated Mutex) while
+    // archive B puts — and therefore saves — on the same shared pool.
+    // Mutating operations stay externally serialised per archive: all
+    // of B's puts run inside one task, in order.
+    namespace fs = std::filesystem;
+    const fs::path base = fs::path(::testing::TempDir()) / "tsan_archive";
+    fs::remove_all(base);
+
+    archive::ArchiveParams params;
+    params.codec.payload_nt = 120;
+    params.codec.index_nt = 12;
+    params.codec.rs_n = 60;
+    params.codec.rs_k = 40;
+    params.max_shard_bytes = 256;
+
+    Rng rng(90125);
+    std::vector<std::uint8_t> payload(300);
+    for (auto &b : payload)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    auto created_a = archive::Archive::create((base / "a").string(), params);
+    ASSERT_TRUE(created_a.ok()) << created_a.error;
+    archive::Archive &a = *created_a.archive;
+    ASSERT_TRUE(a.put("obj", payload).ok());
+
+    auto created_b = archive::Archive::create((base / "b").string(), params);
+    ASSERT_TRUE(created_b.ok()) << created_b.error;
+    archive::Archive &b = *created_b.archive;
+
+    {
+        ThreadPool pool(4);
+        std::vector<std::future<bool>> outcomes;
+        for (int reader = 0; reader < 4; ++reader) {
+            outcomes.push_back(pool.submit(
+                [&a, &payload] { return a.get("obj").data == payload; }));
+        }
+        outcomes.push_back(pool.submit([&b, &payload] {
+            for (int i = 0; i < 3; ++i) {
+                if (!b.put("obj" + std::to_string(i), payload).ok())
+                    return false;
+            }
+            return true;
+        }));
+        for (auto &outcome : outcomes)
+            EXPECT_TRUE(outcome.get());
+    }
+    EXPECT_EQ(b.objects().size(), 3u);
+    fs::remove_all(base);
 }
 
 TEST(TsanStress, ConcurrentPipelineRunInstances)

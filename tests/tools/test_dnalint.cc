@@ -20,6 +20,7 @@ using dnalint::AllRules;
 using dnalint::checkFile;
 using dnalint::checkProject;
 using dnalint::Finding;
+using dnalint::ProjectFacts;
 using dnalint::lex;
 using dnalint::LintContext;
 using dnalint::Token;
@@ -200,13 +201,59 @@ TEST(DnalintR2, StaleWhitelistEntriesAreFlagged)
     ctx.project_files = {"src/a.cc", "src/b.cc"};
     ctx.throw_allowlist = {"src/a.cc", "src/b.cc", "src/gone.cc"};
     // Only a.cc still throws.
-    const auto findings = checkProject(ctx, {"src/a.cc"});
+    ProjectFacts facts;
+    facts.throw_files = {"src/a.cc"};
+    const auto findings = checkProject(ctx, facts);
     // b.cc is stale (no throw), gone.cc is stale (missing).
     EXPECT_EQ(std::count_if(findings.begin(), findings.end(),
                             [](const Finding &f) {
                                 return f.rule == dnalint::R2_ThrowBoundary;
                             }),
               2);
+}
+
+TEST(DnalintR2, DuplicateWhitelistEntriesAreFlagged)
+{
+    LintContext ctx = emptyContext();
+    ctx.project_files = {"src/a.cc"};
+    // The ordered entry list preserves what the file actually said;
+    // the set view dedupes, so the duplicate is only visible here.
+    ctx.throw_allowlist_entries = {"src/a.cc", "src/a.cc", "src/a.cc"};
+    ctx.throw_allowlist = {"src/a.cc"};
+    ProjectFacts facts;
+    facts.throw_files = {"src/a.cc"};
+    const auto findings = checkProject(ctx, facts);
+    const auto dupes = std::count_if(
+        findings.begin(), findings.end(), [](const Finding &f) {
+            return f.rule == dnalint::R2_ThrowBoundary &&
+                   f.message.find("duplicate") != std::string::npos;
+        });
+    EXPECT_EQ(dupes, 2); // Two extra copies, one finding each.
+}
+
+TEST(DnalintR2, OverlappingWhitelistEntriesAreFlagged)
+{
+    LintContext ctx = emptyContext();
+    ctx.project_files = {"src/ecc/gf256.cc"};
+    ctx.throw_allowlist_entries = {"src/ecc", "src/ecc/gf256.cc"};
+    ctx.throw_allowlist = {"src/ecc", "src/ecc/gf256.cc"};
+    ProjectFacts facts;
+    facts.throw_files = {"src/ecc/gf256.cc"};
+    const auto findings = checkProject(ctx, facts);
+    EXPECT_TRUE(std::any_of(
+        findings.begin(), findings.end(), [](const Finding &f) {
+            return f.rule == dnalint::R2_ThrowBoundary &&
+                   f.message.find("overlapping") != std::string::npos;
+        }));
+    // A shared directory is not an overlap: sibling files coexist.
+    LintContext siblings = emptyContext();
+    siblings.project_files = {"src/ecc/a.cc", "src/ecc/ab.cc"};
+    siblings.throw_allowlist_entries = {"src/ecc/a.cc", "src/ecc/ab.cc"};
+    siblings.throw_allowlist = {"src/ecc/a.cc", "src/ecc/ab.cc"};
+    ProjectFacts sibling_facts;
+    sibling_facts.throw_files = {"src/ecc/a.cc", "src/ecc/ab.cc"};
+    EXPECT_FALSE(hasRule(checkProject(siblings, sibling_facts),
+                         dnalint::R2_ThrowBoundary));
 }
 
 // ------------------------------------------------ R3 self-containment
@@ -311,6 +358,254 @@ TEST(DnalintR5, RandomModuleAndLiteralsAreExempt)
     const std::string wrapper = "Strand random(Rng &rng, std::size_t n);\n";
     EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", wrapper, emptyContext()),
                          dnalint::R5_SeedAudit));
+}
+
+// ------------------------------------------------- R6 lock discipline
+
+TEST(DnalintR6, FlagsMutexWithoutGuardedByPeer)
+{
+    const std::string src = R"cpp(
+        class Registry {
+          private:
+            mutable Mutex mutex_;
+            int value_ = 0;
+        };
+    )cpp";
+    const auto findings = checkFile("src/x/y.hh", src, emptyContext(),
+                                    dnalint::R6_LockDiscipline);
+    ASSERT_TRUE(hasRule(findings, dnalint::R6_LockDiscipline));
+    EXPECT_NE(findings[0].message.find("mutex_"), std::string::npos);
+}
+
+TEST(DnalintR6, AcceptsMutexWithGuardedByPeer)
+{
+    const std::string src = R"cpp(
+        class Registry {
+          private:
+            mutable Mutex mutex_;
+            int value_ DNASTORE_GUARDED_BY(mutex_) = 0;
+        };
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.hh", src, emptyContext()),
+                         dnalint::R6_LockDiscipline));
+}
+
+TEST(DnalintR6, WrappedMutexDeclarationsAreAudited)
+{
+    // unique_ptr<Mutex> (the movable-class idiom) is still a mutex
+    // declaration; a *dereferencing* GUARDED_BY peer satisfies it.
+    const std::string src = R"cpp(
+        class Archive {
+          private:
+            mutable std::unique_ptr<Mutex> library_mutex_;
+            mutable std::optional<Library> library_
+                DNASTORE_GUARDED_BY(*library_mutex_);
+        };
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.hh", src, emptyContext()),
+                         dnalint::R6_LockDiscipline));
+}
+
+TEST(DnalintR6, AllowlistedMutexIsClean)
+{
+    const std::string src = "Mutex output_mutex;\n";
+    LintContext ctx = emptyContext();
+    ctx.lock_allowlist.insert("src/x/y.cc:output_mutex");
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", src, ctx),
+                         dnalint::R6_LockDiscipline));
+    // And the audit still records it for staleness tracking.
+    ProjectFacts facts;
+    checkFile("src/x/y.cc", src, ctx, AllRules, &facts);
+    EXPECT_EQ(facts.unguarded_mutexes.count("src/x/y.cc:output_mutex"), 1u);
+}
+
+TEST(DnalintR6, FlagsNakedLockCalls)
+{
+    const std::string src = R"cpp(
+        void f(Mutex &m) {
+            m.lock();
+            m.unlock();
+        }
+    )cpp";
+    const auto findings = checkFile("src/x/y.cc", src, emptyContext());
+    EXPECT_EQ(std::count_if(findings.begin(), findings.end(),
+                            [](const Finding &f) {
+                                return f.rule == dnalint::R6_LockDiscipline;
+                            }),
+              2);
+}
+
+TEST(DnalintR6, SyncVocabularyAndNonSrcAreExempt)
+{
+    // sync.hh is the sanctioned home of the raw std::mutex and of the
+    // naked lock()/unlock() forwarding calls.
+    const std::string src = R"cpp(
+        class Mutex {
+          public:
+            void lock() { raw_.lock(); }
+          private:
+            std::mutex raw_;
+        };
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/util/sync.hh", src, emptyContext()),
+                         dnalint::R6_LockDiscipline));
+    EXPECT_FALSE(hasRule(checkFile("tests/x/y.cc", src, emptyContext()),
+                         dnalint::R6_LockDiscipline));
+}
+
+TEST(DnalintR6, StaleLockAllowlistEntryIsFlagged)
+{
+    LintContext ctx = emptyContext();
+    ctx.lock_allowlist.insert("src/gone.cc:m");
+    ProjectFacts facts; // No unguarded mutex anywhere.
+    EXPECT_TRUE(
+        hasRule(checkProject(ctx, facts), dnalint::R6_LockDiscipline));
+    facts.unguarded_mutexes.insert("src/gone.cc:m");
+    EXPECT_FALSE(
+        hasRule(checkProject(ctx, facts), dnalint::R6_LockDiscipline));
+}
+
+// ---------------------------------------------- R7 atomic memory order
+
+TEST(DnalintR7, FlagsImplicitSeqCst)
+{
+    const std::string src = R"cpp(
+        void f(std::atomic<int> &a) {
+            a.store(1);
+            int v = a.load();
+            a.fetch_add(2);
+        }
+    )cpp";
+    const auto findings = checkFile("src/x/y.cc", src, emptyContext());
+    EXPECT_EQ(std::count_if(findings.begin(), findings.end(),
+                            [](const Finding &f) {
+                                return f.rule == dnalint::R7_AtomicOrder;
+                            }),
+              3);
+}
+
+TEST(DnalintR7, AcceptsExplicitOrder)
+{
+    const std::string src = R"cpp(
+        void f(std::atomic<int> &a) {
+            a.store(1, std::memory_order_release);
+            int v = a.load(std::memory_order_acquire);
+            int w = a.load(std::memory_order::seq_cst);
+        }
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", src, emptyContext()),
+                         dnalint::R7_AtomicOrder));
+}
+
+TEST(DnalintR7, RelaxedNeedsAllowlist)
+{
+    const std::string src = R"cpp(
+        void f(std::atomic<int> &a) {
+            a.fetch_add(1, std::memory_order_relaxed);
+        }
+    )cpp";
+    EXPECT_TRUE(hasRule(checkFile("src/x/y.cc", src, emptyContext()),
+                        dnalint::R7_AtomicOrder));
+    LintContext ctx = emptyContext();
+    ctx.relaxed_allowlist.insert("src/x/y.cc");
+    EXPECT_FALSE(
+        hasRule(checkFile("src/x/y.cc", src, ctx), dnalint::R7_AtomicOrder));
+    // C++20 scoped-enum spelling counts as relaxed too.
+    const std::string scoped = R"cpp(
+        void f(std::atomic<int> &a) {
+            a.fetch_add(1, std::memory_order::relaxed);
+        }
+    )cpp";
+    EXPECT_TRUE(hasRule(checkFile("src/x/y.cc", scoped, emptyContext()),
+                        dnalint::R7_AtomicOrder));
+}
+
+TEST(DnalintR7, FreeFunctionsAndNonSrcAreExempt)
+{
+    // std::exchange is not an atomic op: only member-call syntax counts.
+    const std::string src = R"cpp(
+        void f(int &x) {
+            int old = std::exchange(x, 7);
+            auto v = load();
+        }
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/x/y.cc", src, emptyContext()),
+                         dnalint::R7_AtomicOrder));
+    const std::string atomic_src = "void f(A &a) { a.store(1); }\n";
+    EXPECT_FALSE(hasRule(checkFile("tests/x/y.cc", atomic_src,
+                                   emptyContext()),
+                         dnalint::R7_AtomicOrder));
+}
+
+TEST(DnalintR7, StaleRelaxedAllowlistEntryIsFlagged)
+{
+    LintContext ctx = emptyContext();
+    ctx.relaxed_allowlist.insert("src/gone.cc");
+    ProjectFacts facts; // No relaxed use anywhere.
+    EXPECT_TRUE(hasRule(checkProject(ctx, facts), dnalint::R7_AtomicOrder));
+    facts.relaxed_files.insert("src/gone.cc");
+    EXPECT_FALSE(hasRule(checkProject(ctx, facts), dnalint::R7_AtomicOrder));
+}
+
+// ------------------------------------------------- R8 module layering
+
+TEST(DnalintR8, FlagsUpwardInclude)
+{
+    // obs (layer 0) must not reach up into core (layer 5).
+    const auto findings = checkFile(
+        "src/obs/metrics.cc", "#include \"core/pipeline.hh\"\n",
+        emptyContext(), dnalint::R8_Layering);
+    ASSERT_TRUE(hasRule(findings, dnalint::R8_Layering));
+    EXPECT_NE(findings[0].message.find("upward"), std::string::npos);
+}
+
+TEST(DnalintR8, FlagsSidewaysInclude)
+{
+    // codec and clustering share layer 3: neither may include the other.
+    const auto findings = checkFile(
+        "src/codec/matrix_codec.cc", "#include \"clustering/clusterer.hh\"\n",
+        emptyContext(), dnalint::R8_Layering);
+    ASSERT_TRUE(hasRule(findings, dnalint::R8_Layering));
+    EXPECT_NE(findings[0].message.find("sideways"), std::string::npos);
+}
+
+TEST(DnalintR8, AcceptsDownwardAndIntraModuleIncludes)
+{
+    const std::string src = R"cpp(
+        #include "archive/manifest.hh"
+        #include "core/pipeline.hh"
+        #include "util/crc32.hh"
+        #include "obs/metrics.hh"
+        #include <vector>
+    )cpp";
+    EXPECT_FALSE(hasRule(
+        checkFile("src/archive/archive.cc", src, emptyContext()),
+        dnalint::R8_Layering));
+}
+
+TEST(DnalintR8, UnknownTargetModuleIsFlagged)
+{
+    const auto findings = checkFile(
+        "src/core/pipeline.cc", "#include \"newmod/thing.hh\"\n",
+        emptyContext());
+    EXPECT_TRUE(hasRule(findings, dnalint::R8_Layering));
+}
+
+TEST(DnalintR8, VocabularyHeadersAndNonSrcAreExempt)
+{
+    // The annotation vocabulary is layer-free: even obs at the bottom
+    // may pull it in.
+    const std::string src = R"cpp(
+        #include "util/sync.hh"
+        #include "util/thread_annotations.hh"
+    )cpp";
+    EXPECT_FALSE(hasRule(checkFile("src/obs/metrics.hh", src, emptyContext()),
+                         dnalint::R8_Layering));
+    // Tests and tools may include anything.
+    EXPECT_FALSE(hasRule(checkFile("tests/obs/t.cc",
+                                   "#include \"core/pipeline.hh\"\n",
+                                   emptyContext()),
+                         dnalint::R8_Layering));
 }
 
 // ------------------------------------------------------------- output

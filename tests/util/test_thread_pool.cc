@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "util/thread_pool.hh"
 
@@ -146,6 +148,33 @@ TEST(ThreadPool, DefaultUsesAtLeastOneWorker)
     auto f = pool.submit([] { return 1; });
     EXPECT_EQ(f.get(), 1);
 }
+
+#if defined(DNASTORE_ENABLE_DCHECKS)
+TEST(ThreadPoolDeathTest, SubmitDuringShutdownTripsAssertNotDeadlock)
+{
+    // A worker task that keeps submitting while the pool is being
+    // destroyed must hit the DNASTORE_ASSERT in submit() (a loud,
+    // actionable abort), not hang the destructor's join forever.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            std::promise<void> running;
+            auto started = running.get_future();
+            ThreadPool pool(2);
+            auto chatter = pool.submit([&pool, &running] {
+                running.set_value();
+                for (;;) {
+                    pool.submit([] {});
+                    std::this_thread::yield();
+                }
+            });
+            started.wait();
+            // Scope exit destroys the pool: stopping flips under the
+            // mutex, and the chatter task's next submit asserts.
+        },
+        "stopping ThreadPool");
+}
+#endif
 
 } // namespace
 } // namespace dnastore

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <map>
 
 namespace dnalint
 {
@@ -207,6 +208,17 @@ ruleTable()
         {R5_SeedAudit, "R5",
          "no ad-hoc randomness (rand/srand/mt19937/random_device/"
          "time(NULL)) outside src/util/random"},
+        {R6_LockDiscipline, "R6",
+         "mutex members need a DNASTORE_GUARDED_BY peer (or an entry in "
+         "tools/dnalint_lock_allowlist.txt); no naked .lock()/.unlock() "
+         "outside the RAII guard types"},
+        {R7_AtomicOrder, "R7",
+         "atomic load/store/RMW must spell an explicit memory_order; "
+         "relaxed only in files on tools/dnalint_relaxed_allowlist.txt"},
+        {R8_Layering, "R8",
+         "src/ module includes must follow the declared layering DAG "
+         "(obs < util < dna/ecc < nn/codec/clustering/reconstruction < "
+         "simulator/wetlab < core < archive)"},
     };
     return kTable;
 }
@@ -387,7 +399,7 @@ checkNodiscard(const std::string &rel_path, const std::vector<Token> &tokens,
 void
 checkThrow(const std::string &rel_path, const std::vector<Token> &tokens,
            const LintContext &ctx, std::vector<Finding> &findings,
-           std::set<std::string> *throw_files)
+           ProjectFacts *facts)
 {
     if (!startsWith(rel_path, "src/"))
         return;
@@ -405,8 +417,8 @@ checkThrow(const std::string &rel_path, const std::vector<Token> &tokens,
                  "justification"});
         }
     }
-    if (has_throw && throw_files != nullptr)
-        throw_files->insert(rel_path);
+    if (has_throw && facts != nullptr)
+        facts->throw_files.insert(rel_path);
 }
 
 /** Trim and squeeze directive whitespace: "#  pragma  once" -> tokens. */
@@ -552,12 +564,273 @@ checkSeedAudit(const std::string &rel_path, const std::vector<Token> &tokens,
     }
 }
 
+/** The one sanctioned home of a bare std::mutex (R6) and the layer-free
+ *  concurrency vocabulary (R8). */
+bool
+isSyncVocabularyHeader(const std::string &rel_path)
+{
+    return rel_path == "src/util/sync.hh" ||
+           rel_path == "src/util/thread_annotations.hh";
+}
+
+/** Mutex-ish type names whose variable declarations R6 audits. */
+bool
+isMutexTypeName(const std::string &name)
+{
+    return name == "mutex" || name == "shared_mutex" ||
+           name == "recursive_mutex" || name == "timed_mutex" ||
+           name == "Mutex" || name == "SharedMutex";
+}
+
+void
+checkLockDiscipline(const std::string &rel_path,
+                    const std::vector<Token> &tokens, const LintContext &ctx,
+                    std::vector<Finding> &findings, ProjectFacts *facts)
+{
+    if (!startsWith(rel_path, "src/") || isSyncVocabularyHeader(rel_path))
+        return;
+
+    // Pass 1: every identifier that appears inside a
+    // DNASTORE_GUARDED_BY(...) / DNASTORE_PT_GUARDED_BY(...) argument
+    // list names a mutex some member is guarded by.
+    std::set<std::string> guarded_by_names;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Identifier ||
+            (tokens[i].text != "DNASTORE_GUARDED_BY" &&
+             tokens[i].text != "DNASTORE_PT_GUARDED_BY") ||
+            tokens[i + 1].text != "(")
+            continue;
+        std::size_t depth = 0;
+        for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+            if (tokens[j].text == "(") {
+                ++depth;
+            } else if (tokens[j].text == ")") {
+                if (--depth == 0)
+                    break;
+            } else if (tokens[j].kind == TokenKind::Identifier) {
+                guarded_by_names.insert(tokens[j].text);
+            }
+        }
+    }
+
+    // Pass 2: mutex variable declarations.  A declaration is the type
+    // name, optionally wrapped (unique_ptr<Mutex>, Mutex &, ...), then
+    // the variable name, then ';', '=' or '{' — parameters and template
+    // arguments (next token '(' ')' ',' '>') never match.
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Identifier ||
+            !isMutexTypeName(tokens[i].text))
+            continue;
+        std::size_t j = i + 1;
+        while (j < tokens.size() &&
+               (tokens[j].text == ">" || tokens[j].text == ">>" ||
+                tokens[j].text == "*" || tokens[j].text == "&"))
+            ++j;
+        if (j + 1 >= tokens.size() ||
+            tokens[j].kind != TokenKind::Identifier)
+            continue;
+        const std::string &name = tokens[j].text;
+        const std::string &after = tokens[j + 1].text;
+        if (after != ";" && after != "=" && after != "{")
+            continue;
+        if (guarded_by_names.count(name) != 0)
+            continue;
+        const std::string key = rel_path + ":" + name;
+        if (facts != nullptr)
+            facts->unguarded_mutexes.insert(key);
+        if (ctx.lock_allowlist.count(key) != 0)
+            continue;
+        findings.push_back(
+            {rel_path, tokens[j].line, R6_LockDiscipline,
+             "mutex '" + name +
+                 "' has no DNASTORE_GUARDED_BY peer; annotate the data "
+                 "it guards (util/thread_annotations.hh) or add '" + key +
+                 "' to tools/dnalint_lock_allowlist.txt with a "
+                 "justification"});
+    }
+
+    // Pass 3: naked .lock()/.unlock() calls.  RAII guard types
+    // (MutexLock, std::lock_guard, std::unique_lock) keep acquire and
+    // release paired on every path; a naked call does not.
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+        if (tokens[i].text != "." && tokens[i].text != "->")
+            continue;
+        const Token &member = tokens[i + 1];
+        if (member.kind != TokenKind::Identifier ||
+            (member.text != "lock" && member.text != "unlock") ||
+            tokens[i + 2].text != "(")
+            continue;
+        findings.push_back(
+            {rel_path, member.line, R6_LockDiscipline,
+             "naked ." + member.text +
+                 "() call; use a scoped guard (MutexLock) so acquire and "
+                 "release stay paired on every path"});
+    }
+}
+
+/** Atomic member operations whose memory_order R7 audits. */
+bool
+isAtomicOpName(const std::string &name)
+{
+    return name == "load" || name == "store" || name == "exchange" ||
+           name == "fetch_add" || name == "fetch_sub" ||
+           name == "fetch_and" || name == "fetch_or" ||
+           name == "fetch_xor" || name == "compare_exchange_weak" ||
+           name == "compare_exchange_strong" || name == "test_and_set";
+}
+
+void
+checkAtomicOrder(const std::string &rel_path,
+                 const std::vector<Token> &tokens, const LintContext &ctx,
+                 std::vector<Finding> &findings, ProjectFacts *facts)
+{
+    if (!startsWith(rel_path, "src/"))
+        return;
+
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+        // Member-call syntax only: std::exchange / free functions named
+        // like the ops are preceded by '::' or nothing, not '.'/'->'.
+        if (tokens[i].text != "." && tokens[i].text != "->")
+            continue;
+        const Token &op = tokens[i + 1];
+        if (op.kind != TokenKind::Identifier || !isAtomicOpName(op.text) ||
+            tokens[i + 2].text != "(")
+            continue;
+
+        bool has_order = false;
+        bool has_relaxed = false;
+        std::size_t depth = 0;
+        std::size_t relaxed_line = op.line;
+        for (std::size_t j = i + 2; j < tokens.size(); ++j) {
+            if (tokens[j].text == "(") {
+                ++depth;
+            } else if (tokens[j].text == ")") {
+                if (--depth == 0)
+                    break;
+            } else if (tokens[j].kind == TokenKind::Identifier &&
+                       tokens[j].text.rfind("memory_order", 0) == 0) {
+                has_order = true;
+                // memory_order_relaxed or memory_order::relaxed.
+                if (tokens[j].text == "memory_order_relaxed" ||
+                    (tokens[j].text == "memory_order" &&
+                     j + 2 < tokens.size() && tokens[j + 1].text == "::" &&
+                     tokens[j + 2].text == "relaxed")) {
+                    has_relaxed = true;
+                    relaxed_line = tokens[j].line;
+                }
+            }
+        }
+
+        if (!has_order) {
+            findings.push_back(
+                {rel_path, op.line, R7_AtomicOrder,
+                 "atomic ." + op.text +
+                     "() with implicit memory_order_seq_cst; spell the "
+                     "order explicitly (seq_cst costs a full fence on the "
+                     "hot path — relaxed/acquire/release is usually what "
+                     "is meant)"});
+            continue;
+        }
+        if (has_relaxed) {
+            if (facts != nullptr)
+                facts->relaxed_files.insert(rel_path);
+            if (ctx.relaxed_allowlist.count(rel_path) == 0) {
+                findings.push_back(
+                    {rel_path, relaxed_line, R7_AtomicOrder,
+                     "memory_order_relaxed outside the reviewed "
+                     "allowlist; add '" + rel_path +
+                         "' to tools/dnalint_relaxed_allowlist.txt with "
+                         "a justification for why no ordering is "
+                         "needed"});
+            }
+        }
+    }
+}
+
+/**
+ * R8: the declared module layering DAG.  An include may only point at a
+ * strictly lower rank (or stay within the including module); equal-rank
+ * cross-module includes are the "sideways-illegal" cycle seeds the rule
+ * exists to stop.  Mirrors the real dependency structure: obs is the
+ * bottom library (links only Threads), util builds on it, the data
+ * layers stack above, core's Pipeline orchestrates the codec/clustering
+ * stages, and archive sits on top of everything.
+ */
+int
+moduleRank(const std::string &module)
+{
+    static const std::map<std::string, int> kRanks = {
+        {"obs", 0},     {"util", 1},           {"dna", 2},
+        {"ecc", 2},     {"nn", 3},             {"codec", 3},
+        {"clustering", 3}, {"reconstruction", 3}, {"simulator", 4},
+        {"wetlab", 4},  {"core", 5},           {"archive", 6},
+    };
+    const auto it = kRanks.find(module);
+    return it == kRanks.end() ? -1 : it->second;
+}
+
+void
+checkLayering(const std::string &rel_path, const std::vector<Token> &tokens,
+              std::vector<Finding> &findings)
+{
+    if (!startsWith(rel_path, "src/"))
+        return;
+    // rel_path is "src/<module>/...".
+    const std::string below = rel_path.substr(4);
+    const std::string self = topDir(below);
+    const int self_rank = moduleRank(self);
+    if (self_rank < 0)
+        return; // Unknown module: R8 has no declared edges to enforce.
+
+    for (const Token &tok : tokens) {
+        if (tok.kind != TokenKind::Directive)
+            continue;
+        const std::vector<std::string> words = directiveWords(tok.text);
+        if (words.size() < 2 || words[0] != "#" || words[1] != "include")
+            continue;
+        const std::string inc = quotedIncludePath(tok.text);
+        if (inc.empty())
+            continue; // Angle include: system header, out of scope.
+        if (isSyncVocabularyHeader("src/" + inc))
+            continue; // Layer-free concurrency vocabulary.
+        const std::string target = topDir(inc);
+        if (target.empty() || target == self)
+            continue;
+        const int target_rank = moduleRank(target);
+        if (target_rank < 0) {
+            findings.push_back(
+                {rel_path, tok.line, R8_Layering,
+                 "include \"" + inc + "\" targets module '" + target +
+                     "', which is not in the declared layering DAG; add "
+                     "the module to dnalint's moduleRank table (and "
+                     "docs/CONCURRENCY.md) before depending on it"});
+            continue;
+        }
+        if (target_rank > self_rank) {
+            findings.push_back(
+                {rel_path, tok.line, R8_Layering,
+                 "upward include: '" + self + "' (layer " +
+                     std::to_string(self_rank) + ") must not include \"" +
+                     inc + "\" from '" + target + "' (layer " +
+                     std::to_string(target_rank) +
+                     "); invert the dependency or move the shared code "
+                     "down"});
+        } else if (target_rank == self_rank) {
+            findings.push_back(
+                {rel_path, tok.line, R8_Layering,
+                 "sideways include: '" + self + "' and '" + target +
+                     "' share layer " + std::to_string(self_rank) +
+                     "; same-layer modules must stay independent (this "
+                     "is how cycles start)"});
+        }
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
 checkFile(const std::string &rel_path, const std::string &content,
-          const LintContext &ctx, unsigned rules,
-          std::set<std::string> *throw_files)
+          const LintContext &ctx, unsigned rules, ProjectFacts *facts)
 {
     const std::vector<Token> tokens = lex(content);
     std::vector<Finding> findings;
@@ -566,11 +839,17 @@ checkFile(const std::string &rel_path, const std::string &content,
         isHeaderPath(rel_path))
         checkNodiscard(rel_path, tokens, findings);
     if ((rules & R2_ThrowBoundary) != 0)
-        checkThrow(rel_path, tokens, ctx, findings, throw_files);
+        checkThrow(rel_path, tokens, ctx, findings, facts);
     if ((rules & R4_IncludeHygiene) != 0)
         checkIncludeHygiene(rel_path, tokens, ctx, findings);
     if ((rules & R5_SeedAudit) != 0)
         checkSeedAudit(rel_path, tokens, findings);
+    if ((rules & R6_LockDiscipline) != 0)
+        checkLockDiscipline(rel_path, tokens, ctx, findings, facts);
+    if ((rules & R7_AtomicOrder) != 0)
+        checkAtomicOrder(rel_path, tokens, ctx, findings, facts);
+    if ((rules & R8_Layering) != 0)
+        checkLayering(rel_path, tokens, findings);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
@@ -580,7 +859,7 @@ checkFile(const std::string &rel_path, const std::string &content,
 }
 
 std::vector<Finding>
-checkProject(const LintContext &ctx, const std::set<std::string> &throw_files,
+checkProject(const LintContext &ctx, const ProjectFacts &facts,
              unsigned rules)
 {
     std::vector<Finding> findings;
@@ -593,12 +872,39 @@ checkProject(const LintContext &ctx, const std::set<std::string> &throw_files,
                      "throw whitelist entry '" + entry +
                          "' does not name a project file; remove the "
                          "stale entry"});
-            } else if (throw_files.count(entry) == 0) {
+            } else if (facts.throw_files.count(entry) == 0) {
                 findings.push_back(
                     {"", 0, R2_ThrowBoundary,
                      "throw whitelist entry '" + entry +
                          "' no longer contains `throw`; remove the stale "
                          "entry so the boundary stays tight"});
+            }
+        }
+        // Duplicate entries: dead weight that hides real churn in
+        // diffs.  Overlapping entries (one a directory prefix of
+        // another) would over-grant: the boundary is per-file, never
+        // per-tree.
+        std::set<std::string> seen;
+        for (const std::string &entry : ctx.throw_allowlist_entries) {
+            if (!seen.insert(entry).second) {
+                findings.push_back(
+                    {"", 0, R2_ThrowBoundary,
+                     "duplicate throw whitelist entry '" + entry +
+                         "'; keep exactly one line per boundary file"});
+            }
+        }
+        for (const std::string &outer : ctx.throw_allowlist) {
+            const std::string prefix = outer + "/";
+            for (const std::string &inner : ctx.throw_allowlist) {
+                if (inner.size() > prefix.size() &&
+                    inner.compare(0, prefix.size(), prefix) == 0) {
+                    findings.push_back(
+                        {"", 0, R2_ThrowBoundary,
+                         "overlapping throw whitelist entries: '" + outer +
+                             "' covers '" + inner +
+                             "'; the boundary is per-file, remove the "
+                             "directory-wide entry"});
+                }
             }
         }
     }
@@ -609,6 +915,30 @@ checkProject(const LintContext &ctx, const std::set<std::string> &throw_files,
              "header self-containment harness is not wired: "
              "cmake/HeaderSelfContainment.cmake must exist and be "
              "included from the top-level CMakeLists.txt"});
+    }
+
+    if ((rules & R6_LockDiscipline) != 0) {
+        for (const std::string &entry : ctx.lock_allowlist) {
+            if (facts.unguarded_mutexes.count(entry) == 0) {
+                findings.push_back(
+                    {"", 0, R6_LockDiscipline,
+                     "lock allowlist entry '" + entry +
+                         "' is stale (mutex gone or now annotated); "
+                         "remove it so the allowlist stays tight"});
+            }
+        }
+    }
+
+    if ((rules & R7_AtomicOrder) != 0) {
+        for (const std::string &entry : ctx.relaxed_allowlist) {
+            if (facts.relaxed_files.count(entry) == 0) {
+                findings.push_back(
+                    {"", 0, R7_AtomicOrder,
+                     "relaxed allowlist entry '" + entry +
+                         "' is stale (file gone or no longer uses "
+                         "memory_order_relaxed); remove it"});
+            }
+        }
     }
 
     return findings;

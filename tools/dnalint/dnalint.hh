@@ -24,7 +24,25 @@
  *   R5  seeded-randomness audit: no ad-hoc randomness (std::rand,
  *       srand, mt19937, random_device, time(NULL), ...) outside
  *       src/util/random, across src/, tools/, bench/, examples/,
- *       tests/ and fuzz/.
+ *       tests/ and fuzz/;
+ *   R6  lock discipline: every mutex data member under src/ must have
+ *       at least one DNASTORE_GUARDED_BY/DNASTORE_PT_GUARDED_BY peer
+ *       annotation naming it (or an allowlisted justification in
+ *       tools/dnalint_lock_allowlist.txt), and naked .lock()/.unlock()
+ *       calls outside the RAII guard types are findings
+ *       (src/util/sync.hh, the annotated wrapper, is the one exempt
+ *       home of a bare std::mutex);
+ *   R7  atomic memory-order audit: every std::atomic load/store/RMW
+ *       under src/ must spell an explicit memory_order; relaxed is
+ *       allowed only in files on the reviewed allowlist
+ *       (tools/dnalint_relaxed_allowlist.txt), and an implicitly
+ *       seq_cst operation is a finding pointing at hot-path cost;
+ *   R8  module layering: src/ modules form a declared dependency DAG
+ *       (obs < util < dna/ecc < nn/codec/clustering/reconstruction <
+ *       simulator/wetlab < core < archive); any #include that points
+ *       upward or sideways across the DAG is a finding, with
+ *       util/thread_annotations.hh + util/sync.hh exempt as the
+ *       layer-free concurrency vocabulary.
  *
  * The library operates on (repo-relative path, file content) pairs plus
  * a LintContext describing the project, so every rule is unit-testable
@@ -73,8 +91,12 @@ enum Rule : unsigned
     R3_SelfContainment = 1U << 2,
     R4_IncludeHygiene = 1U << 3,
     R5_SeedAudit = 1U << 4,
+    R6_LockDiscipline = 1U << 5,
+    R7_AtomicOrder = 1U << 6,
+    R8_Layering = 1U << 7,
     AllRules = R1_Nodiscard | R2_ThrowBoundary | R3_SelfContainment |
-               R4_IncludeHygiene | R5_SeedAudit,
+               R4_IncludeHygiene | R5_SeedAudit | R6_LockDiscipline |
+               R7_AtomicOrder | R8_Layering,
 };
 
 /** Short name ("R1") and one-line description for --list-rules. */
@@ -104,32 +126,55 @@ struct LintContext
     std::set<std::string> project_files;
     /** Files under src/ allowed to contain `throw` (repo-relative). */
     std::set<std::string> throw_allowlist;
+    /** The throw allowlist exactly as loaded, in file order and with
+     *  duplicates preserved, so R2 can flag duplicate and overlapping
+     *  entries the deduplicated set above would hide. */
+    std::vector<std::string> throw_allowlist_entries;
+    /** R6: "file:mutex_name" entries justified to stay unannotated
+     *  (tools/dnalint_lock_allowlist.txt). */
+    std::set<std::string> lock_allowlist;
+    /** R7: files reviewed to use memory_order_relaxed
+     *  (tools/dnalint_relaxed_allowlist.txt). */
+    std::set<std::string> relaxed_allowlist;
     /** True when cmake/HeaderSelfContainment.cmake exists and the
      *  top-level CMakeLists.txt includes it. */
     bool selfcontain_harness_wired = false;
 };
 
 /**
- * Run the per-file rules (R1, R2, R4, R5) selected in @p rules over one
- * file.  @p rel_path must be repo-relative with forward slashes.
+ * Per-file facts the project-level checks aggregate: which files still
+ * contain `throw` (R2 staleness), which use memory_order_relaxed (R7
+ * staleness) and which mutex members remain unannotated (R6 staleness).
+ */
+struct ProjectFacts
+{
+    std::set<std::string> throw_files;
+    std::set<std::string> relaxed_files;
+    std::set<std::string> unguarded_mutexes; //!< "file:mutex_name".
+};
+
+/**
+ * Run the per-file rules (R1, R2, R4, R5, R6, R7, R8) selected in
+ * @p rules over one file.  @p rel_path must be repo-relative with
+ * forward slashes.  @p facts, when given, accumulates the per-file
+ * facts checkProject needs for its staleness checks.
  */
 std::vector<Finding> checkFile(const std::string &rel_path,
                                const std::string &content,
                                const LintContext &ctx,
                                unsigned rules = AllRules,
-                               std::set<std::string> *throw_files = nullptr);
+                               ProjectFacts *facts = nullptr);
 
 /**
- * Run the project-level rules: R2 stale-whitelist entries (an entry
- * whose file is missing or no longer contains `throw`) and R3 harness
- * wiring.  @p throw_files is the set of files actually containing a
- * `throw` token, as accumulated by checkFile calls.
+ * Run the project-level rules: R2 stale/duplicate/overlapping whitelist
+ * entries, R3 harness wiring, and R6/R7 stale allowlist entries.
+ * @p facts is the aggregate produced by the checkFile calls.
  */
 std::vector<Finding> checkProject(const LintContext &ctx,
-                                  const std::set<std::string> &throw_files,
+                                  const ProjectFacts &facts,
                                   unsigned rules = AllRules);
 
-/** "R1".."R5" for a rule bit. */
+/** "R1".."R8" for a rule bit. */
 const char *ruleName(Rule rule);
 
 /** Render a finding as "path:line: [R#] message". */

@@ -104,10 +104,11 @@ compileCommandsFiles(const fs::path &json_path)
     return files;
 }
 
-std::set<std::string>
+/** Entries in file order, duplicates preserved (R2 flags those). */
+std::vector<std::string>
 loadAllowlist(const fs::path &path, bool &ok)
 {
-    std::set<std::string> allow;
+    std::vector<std::string> allow;
     std::ifstream in(path);
     ok = static_cast<bool>(in);
     std::string line;
@@ -123,7 +124,7 @@ loadAllowlist(const fs::path &path, bool &ok)
                (line[begin] == ' ' || line[begin] == '\t'))
             ++begin;
         if (begin < line.size())
-            allow.insert(line.substr(begin));
+            allow.push_back(line.substr(begin));
     }
     return allow;
 }
@@ -274,11 +275,26 @@ main(int argc, char **argv)
     if (allowlist_path.empty())
         allowlist_path = root / "tools" / "dnalint_throw_allowlist.txt";
     bool allow_ok = false;
-    ctx.throw_allowlist = loadAllowlist(allowlist_path, allow_ok);
+    ctx.throw_allowlist_entries = loadAllowlist(allowlist_path, allow_ok);
+    ctx.throw_allowlist.insert(ctx.throw_allowlist_entries.begin(),
+                               ctx.throw_allowlist_entries.end());
     if (!allow_ok && (rules & dnalint::R2_ThrowBoundary) != 0) {
         std::cerr << "dnalint: note: no throw whitelist at '"
                   << allowlist_path.string()
                   << "'; every `throw` under src/ will be flagged\n";
+    }
+
+    // R6/R7 allowlists are optional: absent files mean empty lists, so
+    // every unannotated mutex / relaxed atomic is flagged.
+    {
+        bool ok = false;
+        const std::vector<std::string> lock_entries = loadAllowlist(
+            root / "tools" / "dnalint_lock_allowlist.txt", ok);
+        ctx.lock_allowlist.insert(lock_entries.begin(), lock_entries.end());
+        const std::vector<std::string> relaxed_entries = loadAllowlist(
+            root / "tools" / "dnalint_relaxed_allowlist.txt", ok);
+        ctx.relaxed_allowlist.insert(relaxed_entries.begin(),
+                                     relaxed_entries.end());
     }
 
     {
@@ -292,7 +308,7 @@ main(int argc, char **argv)
     }
 
     std::vector<dnalint::Finding> findings;
-    std::set<std::string> throw_files;
+    dnalint::ProjectFacts facts;
     for (const auto &[rel, abs] : to_check) {
         bool ok = false;
         const std::string content = readFile(abs, ok);
@@ -301,7 +317,7 @@ main(int argc, char **argv)
             return 2;
         }
         std::vector<dnalint::Finding> file_findings =
-            dnalint::checkFile(rel, content, ctx, rules, &throw_files);
+            dnalint::checkFile(rel, content, ctx, rules, &facts);
         findings.insert(findings.end(), file_findings.begin(),
                         file_findings.end());
     }
@@ -309,7 +325,7 @@ main(int argc, char **argv)
     // Project-level checks only make sense over the full file set.
     if (explicit_files.empty()) {
         std::vector<dnalint::Finding> project =
-            dnalint::checkProject(ctx, throw_files, rules);
+            dnalint::checkProject(ctx, facts, rules);
         findings.insert(findings.end(), project.begin(), project.end());
     }
 

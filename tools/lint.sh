@@ -13,9 +13,11 @@
 #                                                 examples, tests, fuzz)
 #   tools/lint.sh --dnalint [--strict]            build and run the
 #                                                 project-contract checker
-#                                                 (rules R1-R5) plus the
+#                                                 (rules R1-R8) plus the
 #                                                 header self-containment
-#                                                 target
+#                                                 target; findings are
+#                                                 also written to
+#                                                 BUILD_DIR/dnalint-findings.txt
 #
 # clang-tidy needs a compile_commands.json; the script configures one in
 # BUILD_DIR (default build-tidy; --dnalint uses build-dnalint).
@@ -108,7 +110,7 @@ fi
 
 case "$MODE" in
     dnalint)
-        # Project-contract checker (R1-R5) plus the generated header
+        # Project-contract checker (R1-R8) plus the generated header
         # self-containment target (R3's enforcement mechanism).  Only
         # needs CMake and the C++ toolchain, so it runs everywhere.
         cmake -B "$BUILD_DIR" -S . \
@@ -126,7 +128,12 @@ case "$MODE" in
             echo "lint.sh: [R3] header self-containment build FAILED" >&2
             exit 1
         fi
-        if "$BUILD_DIR/tools/dnalint" --root . -p "$BUILD_DIR"; then
+        # Keep a copy of the findings so CI can attach them as an
+        # artifact when the job fails (pipefail preserves dnalint's
+        # exit status through the tee).
+        set -o pipefail
+        if "$BUILD_DIR/tools/dnalint" --root . -p "$BUILD_DIR" 2>&1 |
+            tee "$BUILD_DIR/dnalint-findings.txt"; then
             echo "lint.sh: dnalint OK"
             exit 0
         fi
