@@ -8,6 +8,7 @@
 #include "dna/distance.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "util/hot.hh"
 #include "util/sync.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
@@ -74,7 +75,7 @@ RashtchianClusterer::name() const
     return std::string("rashtchian/") + signatureKindName(cfg.signature);
 }
 
-Clustering
+DNASTORE_HOT Clustering
 RashtchianClusterer::cluster(const std::vector<Strand> &reads)
 {
     last_stats = Stats{};

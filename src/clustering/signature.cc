@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "dna/qgram.hh"
+#include "util/hot.hh"
 
 namespace dnastore
 {
@@ -31,7 +32,7 @@ SignatureScheme::SignatureScheme(SignatureKind kind,
         throw std::invalid_argument("SignatureScheme: empty probe set");
 }
 
-Signature
+DNASTORE_HOT Signature
 SignatureScheme::compute(const std::string &read) const
 {
     Signature sig;
@@ -68,7 +69,7 @@ SignatureScheme::compute(const std::string &read) const
     return sig;
 }
 
-std::int64_t
+DNASTORE_HOT std::int64_t
 SignatureScheme::distance(const Signature &a, const Signature &b) const
 {
     if (a.values.size() != b.values.size())

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/hot.hh"
+
 namespace dnastore
 {
 
@@ -47,7 +49,7 @@ levenshtein(const std::string &a, const std::string &b)
     return prev[m];
 }
 
-std::size_t
+DNASTORE_HOT std::size_t
 boundedLevenshtein(const std::string &a, const std::string &b,
                    std::size_t max_distance)
 {
@@ -178,7 +180,7 @@ myersLevenshtein(const std::string &a, const std::string &b)
     return score;
 }
 
-bool
+DNASTORE_HOT bool
 withinEditDistance(const std::string &a, const std::string &b,
                    std::size_t max_distance)
 {

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/hot.hh"
 #include "util/sync.hh"
 #include "util/thread_annotations.hh"
 
@@ -36,8 +37,9 @@ namespace dnastore::obs
 class Counter
 {
   public:
-    /** Add @p n to the counter. */
-    void
+    /** Add @p n to the counter.  Called from clusterer/decoder inner
+     *  loops, so the R10 ratchet pins it at zero allocations. */
+    DNASTORE_HOT void
     add(std::uint64_t n = 1)
     {
         value_.fetch_add(n, std::memory_order_relaxed);

@@ -5,6 +5,7 @@
 
 #include "dna/base.hh"
 #include "obs/metrics.hh"
+#include "util/hot.hh"
 
 namespace dnastore
 {
@@ -24,7 +25,7 @@ disagreementHistogram()
 
 } // namespace
 
-Strand
+DNASTORE_HOT Strand
 NwConsensusReconstructor::reconstruct(const std::vector<Strand> &reads,
                                       std::size_t expected_length) const
 {

@@ -2,12 +2,13 @@
 
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "util/hot.hh"
 #include "util/thread_pool.hh"
 
 namespace dnastore
 {
 
-std::vector<Strand>
+DNASTORE_HOT std::vector<Strand>
 reconstructAll(const Reconstructor &algo,
                const std::vector<std::vector<Strand>> &clusters,
                std::size_t expected_length, std::size_t num_threads)

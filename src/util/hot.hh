@@ -1,0 +1,32 @@
+/**
+ * @file
+ * DNASTORE_HOT: the hot-path marker for dnalint's R10 allocation
+ * ratchet (tools/dnalint/callgraph.hh).
+ *
+ * Marking a function definition DNASTORE_HOT does two things:
+ *
+ *  - dnalint counts the function's transitive allocation sites (`new`,
+ *    unreserved push_back, std::string temporaries, std::function) and
+ *    pins the count in tools/dnalint_alloc_ratchet.txt — CI fails if it
+ *    ever increases, so per-read heap churn can only ratchet down
+ *    toward the arena/SIMD decode goal (ROADMAP.md);
+ *  - the compiler is told the function is hot (GCC/Clang
+ *    __attribute__((hot))), biasing block placement and inlining.
+ *
+ * Like src/util/thread_annotations.hh and src/util/sync.hh, this is a
+ * layer-free vocabulary header: any module may include it without
+ * creating an R8 layering edge.
+ *
+ * Usage (definition site, before the return type):
+ *
+ *   DNASTORE_HOT std::string
+ *   Reconstructor::reconstruct(const Cluster &cluster) { ... }
+ */
+
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DNASTORE_HOT __attribute__((hot))
+#else
+#define DNASTORE_HOT
+#endif

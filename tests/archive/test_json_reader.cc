@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -142,6 +143,52 @@ TEST(JsonReader, ParsesSignedExponents)
     v = tryParseJson("1E-2");
     ASSERT_TRUE(v.has_value());
     EXPECT_DOUBLE_EQ(v->asDouble().value(), 0.01);
+}
+
+TEST(JsonReader, OverflowingExponentsAreRejected)
+{
+    // from_chars reports result_out_of_range; the parser must reject
+    // rather than saturate to infinity.
+    EXPECT_FALSE(tryParseJson("1e999").has_value());
+    EXPECT_FALSE(tryParseJson("-1e999").has_value());
+    EXPECT_FALSE(tryParseJson("1e-999").has_value());
+    // The largest finite double still parses.
+    const auto v = tryParseJson("1.7976931348623157e308");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->asDouble().has_value());
+}
+
+TEST(JsonReader, NegativeZeroIsDoubleOnly)
+{
+    const auto v = tryParseJson("-0");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(v->asUint().has_value()); // sign excludes the uint view
+    ASSERT_TRUE(v->asDouble().has_value());
+    EXPECT_TRUE(std::signbit(v->asDouble().value()));
+
+    const auto plain = tryParseJson("0");
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->asUint(), std::uint64_t{0});
+}
+
+TEST(JsonReader, LeadingPlusIsRejected)
+{
+    // JSON grammar admits only `-` as a sign on the integer part.
+    EXPECT_FALSE(tryParseJson("+1").has_value());
+    EXPECT_FALSE(tryParseJson("+0.5").has_value());
+    EXPECT_FALSE(tryParseJson("[+1]").has_value());
+}
+
+TEST(JsonReader, LoneSurrogateEscapesAreRejected)
+{
+    // Both halves of the surrogate range, alone and reversed.
+    EXPECT_FALSE(tryParseJson("\"\\ud800\"").has_value());
+    EXPECT_FALSE(tryParseJson("\"\\udbff\"").has_value());
+    EXPECT_FALSE(tryParseJson("\"\\udc00\\ud800\"").has_value());
+    EXPECT_FALSE(tryParseJson("\"\\udfff x\"").has_value());
+    // A well-formed pair still decodes.
+    const auto v = tryParseJson("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(v.has_value());
 }
 
 TEST(JsonReader, RejectsMalformedInput)

@@ -1,0 +1,661 @@
+/**
+ * @file
+ * Unit tests for dnalint's interprocedural call-graph engine
+ * (tools/dnalint/callgraph.hh): the function extractor, call
+ * resolution, and the R9/R10/R11 rules, plus the SARIF writer —
+ * all driven by fixture sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dnalint/callgraph.hh"
+#include "dnalint/dnalint.hh"
+#include "dnalint/sarif.hh"
+
+namespace
+{
+
+using dnalint::buildCallGraph;
+using dnalint::CallGraph;
+using dnalint::checkCallGraph;
+using dnalint::computeAllocCounts;
+using dnalint::extractFunctions;
+using dnalint::FileFunctions;
+using dnalint::Finding;
+using dnalint::FunctionInfo;
+using dnalint::lex;
+using dnalint::LintContext;
+
+FileFunctions
+extract(const std::string &path, const std::string &src)
+{
+    return extractFunctions(path, lex(src));
+}
+
+const FunctionInfo *
+findFn(const FileFunctions &file, const std::string &qualified)
+{
+    for (const FunctionInfo &fn : file.functions) {
+        if (fn.qualified == qualified)
+            return &fn;
+    }
+    return nullptr;
+}
+
+std::size_t
+countRule(const std::vector<Finding> &findings, dnalint::Rule rule)
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [rule](const Finding &f) { return f.rule == rule; }));
+}
+
+/** First finding message for @p rule ("" if none). */
+std::string
+messageFor(const std::vector<Finding> &findings, dnalint::Rule rule)
+{
+    for (const Finding &f : findings) {
+        if (f.rule == rule)
+            return f.message;
+    }
+    return "";
+}
+
+// ------------------------------------------------------------ extractor
+
+TEST(CallgraphExtract, FreeFunctionAndNamespaceQualification)
+{
+    const auto file = extract("src/core/x.cc", R"cpp(
+        namespace dnastore {
+        namespace detail {
+        int helper(int a) { return a + 1; }
+        } // namespace detail
+        int outer() { return detail::helper(1); }
+        } // namespace dnastore
+    )cpp");
+    ASSERT_EQ(file.functions.size(), 2U);
+    EXPECT_NE(findFn(file, "dnastore::detail::helper"), nullptr);
+    const FunctionInfo *outer = findFn(file, "dnastore::outer");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_EQ(outer->calls.size(), 1U);
+    EXPECT_EQ(outer->calls[0].written, "detail::helper");
+    EXPECT_EQ(outer->calls[0].name, "helper");
+}
+
+TEST(CallgraphExtract, OutOfLineMethodsCtorInitListAndDtor)
+{
+    const auto file = extract("src/core/x.cc", R"cpp(
+        namespace dnastore {
+        Pipeline::Pipeline(Config cfg) : cfg_(std::move(cfg)), n_(0) {
+            setup();
+        }
+        Pipeline::~Pipeline() { teardown(); }
+        int Pipeline::run(int x) const noexcept { return step(x); }
+        } // namespace dnastore
+    )cpp");
+    ASSERT_EQ(file.functions.size(), 3U);
+    const FunctionInfo *ctor = findFn(file, "dnastore::Pipeline::Pipeline");
+    ASSERT_NE(ctor, nullptr);
+    EXPECT_EQ(ctor->class_name, "Pipeline");
+    const FunctionInfo *run = findFn(file, "dnastore::Pipeline::run");
+    ASSERT_NE(run, nullptr);
+    EXPECT_TRUE(run->is_noexcept);
+    ASSERT_EQ(run->calls.size(), 1U);
+    EXPECT_EQ(run->calls[0].name, "step");
+    EXPECT_NE(findFn(file, "dnastore::Pipeline::~Pipeline"), nullptr);
+}
+
+TEST(CallgraphExtract, InClassDefinitionsAndAccessLevels)
+{
+    const auto file = extract("src/archive/a.hh", R"cpp(
+        namespace dnastore {
+        class Archive {
+          public:
+            int get(int k) { return fetch(k); }
+            static Archive open();
+          private:
+            int fetch(int k);
+        };
+        } // namespace dnastore
+    )cpp");
+    const FunctionInfo *get = findFn(file, "dnastore::Archive::get");
+    ASSERT_NE(get, nullptr);
+    EXPECT_EQ(get->class_name, "Archive");
+
+    bool saw_public_open = false;
+    bool saw_private_fetch = false;
+    for (const auto &decl : file.method_decls) {
+        if (decl.class_name == "Archive" && decl.name == "open")
+            saw_public_open = decl.is_public;
+        if (decl.class_name == "Archive" && decl.name == "fetch")
+            saw_private_fetch = !decl.is_public;
+    }
+    EXPECT_TRUE(saw_public_open);
+    EXPECT_TRUE(saw_private_fetch);
+}
+
+TEST(CallgraphExtract, TemplatesAndTrailingReturnTypes)
+{
+    const auto file = extract("src/util/x.hh", R"cpp(
+        namespace dnastore {
+        template <typename F>
+        auto submitTask(F &&f) -> std::future<int> {
+            return pool().submit(std::forward<F>(f));
+        }
+        } // namespace dnastore
+    )cpp");
+    const FunctionInfo *fn = findFn(file, "dnastore::submitTask");
+    ASSERT_NE(fn, nullptr);
+    bool calls_submit = false;
+    for (const auto &call : fn->calls)
+        calls_submit = calls_submit || call.name == "submit";
+    EXPECT_TRUE(calls_submit);
+}
+
+TEST(CallgraphExtract, HotMarkerThrowsAllocationsAndLockScopes)
+{
+    const auto file = extract("src/util/x.cc", R"cpp(
+        namespace dnastore {
+        DNASTORE_HOT int hotPath(std::vector<int> &v) {
+            auto *p = new int(3);
+            v.push_back(*p);
+            return std::string("x").size();
+        }
+        void locked() {
+            MutexLock lock(mu);
+            mu2.lock();
+        }
+        void thrower(bool b) {
+            if (b)
+                throw std::runtime_error("boom");
+            try {
+                mayThrow();
+            } catch (...) {
+            }
+        }
+        } // namespace dnastore
+    )cpp");
+    const FunctionInfo *hot = findFn(file, "dnastore::hotPath");
+    ASSERT_NE(hot, nullptr);
+    EXPECT_TRUE(hot->is_hot);
+    // new + unreserved push_back + std::string temporary.
+    EXPECT_EQ(hot->alloc_sites.size(), 3U);
+
+    const FunctionInfo *locked = findFn(file, "dnastore::locked");
+    ASSERT_NE(locked, nullptr);
+    ASSERT_EQ(locked->lock_sites.size(), 2U);
+    EXPECT_FALSE(locked->lock_sites[0].under_lock); // the MutexLock
+    EXPECT_TRUE(locked->lock_sites[1].under_lock);  // .lock() under it
+
+    const FunctionInfo *thrower = findFn(file, "dnastore::thrower");
+    ASSERT_NE(thrower, nullptr);
+    ASSERT_EQ(thrower->throw_sites.size(), 1U);
+    EXPECT_FALSE(thrower->throw_sites[0].in_try);
+    ASSERT_EQ(thrower->calls.size(), 1U);
+    EXPECT_TRUE(thrower->calls[0].in_try);
+}
+
+TEST(CallgraphExtract, ReservedPushBackIsNotAnAllocation)
+{
+    const auto file = extract("src/util/x.cc", R"cpp(
+        namespace dnastore {
+        void fill(std::vector<int> &v, std::vector<int> &w) {
+            v.reserve(16);
+            v.push_back(1);
+            w.push_back(2);
+        }
+        } // namespace dnastore
+    )cpp");
+    const FunctionInfo *fn = findFn(file, "dnastore::fill");
+    ASSERT_NE(fn, nullptr);
+    // Only the unreserved receiver counts.
+    EXPECT_EQ(fn->alloc_sites.size(), 1U);
+}
+
+// ----------------------------------------------------------- resolution
+
+TEST(CallgraphBuild, MemberCallsNeverAliasStdlibNames)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/archive/a.cc", R"cpp(
+        namespace dnastore {
+        int Archive::get(int k) { return k; }
+        int Archive::use(std::unique_ptr<int> &p) { return *p.get(); }
+        } // namespace dnastore
+    )cpp"));
+    const CallGraph graph = buildCallGraph(files);
+    const auto use = graph.findBySuffix("Archive::use");
+    ASSERT_EQ(use.size(), 1U);
+    // p.get() must NOT resolve to Archive::get.
+    for (const auto &targets : graph.targets[use[0]])
+        EXPECT_TRUE(targets.empty());
+}
+
+TEST(CallgraphBuild, QualifiedSuffixMatchIsComponentwise)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/core/a.cc", R"cpp(
+        namespace dnastore {
+        int Pipeline::run() { return 1; }
+        int DryRunPipeline::run() { return 2; }
+        } // namespace dnastore
+    )cpp"));
+    const CallGraph graph = buildCallGraph(files);
+    // "Pipeline::run" matches only the exact component suffix, not
+    // DryRunPipeline::run.
+    EXPECT_EQ(graph.findBySuffix("Pipeline::run").size(), 1U);
+}
+
+// ------------------------------------------------------------------ R9
+
+/** The acceptance-criteria fixture: a vector::at three calls deep below
+ *  Pipeline::run must be caught, with the full chain printed. */
+TEST(CallgraphR9, CatchesSeededAtThreeCallsDeep)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/core/pipeline.cc", R"cpp(
+        namespace dnastore {
+        int stepThree(const std::vector<int> &v) { return v.at(9); }
+        int stepTwo(const std::vector<int> &v) { return stepThree(v); }
+        int stepOne(const std::vector<int> &v) { return stepTwo(v); }
+        int Pipeline::run(const std::vector<int> &v) {
+            return stepOne(v);
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R9_NoThrowReach);
+    ASSERT_EQ(countRule(findings, dnalint::R9_NoThrowReach), 1U);
+    const std::string msg =
+        messageFor(findings, dnalint::R9_NoThrowReach);
+    // The full chain, in order, entry first.
+    const std::size_t run = msg.find("dnastore::Pipeline::run");
+    const std::size_t one = msg.find("dnastore::stepOne");
+    const std::size_t two = msg.find("dnastore::stepTwo");
+    const std::size_t three = msg.find("dnastore::stepThree");
+    ASSERT_NE(run, std::string::npos);
+    ASSERT_NE(one, std::string::npos);
+    ASSERT_NE(two, std::string::npos);
+    ASSERT_NE(three, std::string::npos);
+    EXPECT_LT(run, one);
+    EXPECT_LT(one, two);
+    EXPECT_LT(two, three);
+}
+
+TEST(CallgraphR9, PublicArchiveMethodsAreEntryPointsPrivateAreNot)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/archive/archive.hh", R"cpp(
+        namespace dnastore {
+        class Archive {
+          public:
+            int get(int k);
+          private:
+            int helperOnly(int k);
+        };
+        } // namespace dnastore
+    )cpp"));
+    files.push_back(extract("src/archive/archive.cc", R"cpp(
+        namespace dnastore {
+        int Archive::get(int k) { return parse(k); }
+        int Archive::helperOnly(int k) { return orphanParse(k); }
+        int parse(int k) { return std::stoi("x"); }
+        int orphanParse(int k) { return std::stoi("y"); }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R9_NoThrowReach);
+    // parse (below public get) is flagged; orphanParse (below the
+    // private helper, which is not an entry point and is not called
+    // from one) is not.
+    ASSERT_EQ(countRule(findings, dnalint::R9_NoThrowReach), 1U);
+    EXPECT_NE(messageFor(findings, dnalint::R9_NoThrowReach)
+                  .find("dnastore::parse"),
+              std::string::npos);
+}
+
+TEST(CallgraphR9, TryBlockSwallowsTheSubtree)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/core/pipeline.cc", R"cpp(
+        namespace dnastore {
+        int risky(const std::string &s) { return std::stoi(s); }
+        int Pipeline::run(const std::string &s) {
+            try {
+                return risky(s);
+            } catch (...) {
+                return -1;
+            }
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R9_NoThrowReach);
+    EXPECT_EQ(countRule(findings, dnalint::R9_NoThrowReach), 0U);
+}
+
+TEST(CallgraphR9, SubstrWithZeroStartIsSafe)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/core/pipeline.cc", R"cpp(
+        namespace dnastore {
+        std::string Pipeline::run(const std::string &s) {
+            return s.substr(0, 5);
+        }
+        std::string Pipeline::runFromReads(const std::string &s) {
+            return s.substr(3);
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R9_NoThrowReach);
+    // substr(0, n) can never throw; substr(3) can.
+    ASSERT_EQ(countRule(findings, dnalint::R9_NoThrowReach), 1U);
+    EXPECT_EQ(findings[0].file, "src/core/pipeline.cc");
+}
+
+TEST(CallgraphR9, AllowlistCutsTheSubtreeAndStaleEntriesAreFlagged)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/core/pipeline.cc", R"cpp(
+        namespace dnastore {
+        int parseBounded(const std::string &s) { return std::stoi(s); }
+        int Pipeline::run(const std::string &s) {
+            return parseBounded(s);
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    ctx.nothrow_allowlist.insert(
+        "src/core/pipeline.cc:dnastore::parseBounded");
+    EXPECT_EQ(countRule(checkCallGraph(ctx, files,
+                                       dnalint::R9_NoThrowReach),
+                        dnalint::R9_NoThrowReach),
+              0U);
+
+    // A stale entry (function gone) is itself a finding.
+    ctx.nothrow_allowlist.insert("src/core/gone.cc:dnastore::vanished");
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R9_NoThrowReach);
+    ASSERT_EQ(countRule(findings, dnalint::R9_NoThrowReach), 1U);
+    EXPECT_NE(messageFor(findings, dnalint::R9_NoThrowReach)
+                  .find("stale"),
+              std::string::npos);
+}
+
+TEST(CallgraphR9, ThrowInR2BoundaryFileIsExempt)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/util/args.cc", R"cpp(
+        namespace dnastore {
+        int parseArgs(int n) {
+            if (n < 0)
+                throw std::runtime_error("bad");
+            return n;
+        }
+        } // namespace dnastore
+    )cpp"));
+    files.push_back(extract("src/core/pipeline.cc", R"cpp(
+        namespace dnastore {
+        int Pipeline::run(int n) { return parseArgs(n); }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    const auto unlisted =
+        checkCallGraph(ctx, files, dnalint::R9_NoThrowReach);
+    EXPECT_EQ(countRule(unlisted, dnalint::R9_NoThrowReach), 1U);
+
+    ctx.throw_allowlist.insert("src/util/args.cc");
+    const auto listed =
+        checkCallGraph(ctx, files, dnalint::R9_NoThrowReach);
+    EXPECT_EQ(countRule(listed, dnalint::R9_NoThrowReach), 0U);
+}
+
+// ----------------------------------------------------------------- R10
+
+namespace
+{
+
+std::vector<FileFunctions>
+hotFixture()
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/clustering/c.cc", R"cpp(
+        namespace dnastore {
+        int helper(std::vector<int> &v) {
+            v.push_back(1);
+            return new int(2) != nullptr;
+        }
+        DNASTORE_HOT int hotEntry(std::vector<int> &v) {
+            v.push_back(3);
+            return helper(v);
+        }
+        } // namespace dnastore
+    )cpp"));
+    return files;
+}
+
+} // namespace
+
+TEST(CallgraphR10, TransitiveCountsAndMissingEntry)
+{
+    const auto files = hotFixture();
+    const auto counts = computeAllocCounts(buildCallGraph(files));
+    ASSERT_EQ(counts.size(), 1U);
+    // hotEntry's own push_back + helper's push_back + helper's new.
+    EXPECT_EQ(counts.at("dnastore::hotEntry"), 3U);
+
+    LintContext ctx; // no ratchet entry
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R10_AllocRatchet);
+    ASSERT_EQ(countRule(findings, dnalint::R10_AllocRatchet), 1U);
+    EXPECT_NE(messageFor(findings, dnalint::R10_AllocRatchet)
+                  .find("no ratchet entry"),
+              std::string::npos);
+}
+
+TEST(CallgraphR10, IncreaseDecreaseMatchAndStale)
+{
+    const auto files = hotFixture();
+
+    LintContext match;
+    match.alloc_ratchet["dnastore::hotEntry"] = 3;
+    EXPECT_EQ(countRule(checkCallGraph(match, files,
+                                       dnalint::R10_AllocRatchet),
+                        dnalint::R10_AllocRatchet),
+              0U);
+
+    LintContext increase;
+    increase.alloc_ratchet["dnastore::hotEntry"] = 2;
+    const auto inc_findings =
+        checkCallGraph(increase, files, dnalint::R10_AllocRatchet);
+    ASSERT_EQ(countRule(inc_findings, dnalint::R10_AllocRatchet), 1U);
+    EXPECT_NE(messageFor(inc_findings, dnalint::R10_AllocRatchet)
+                  .find("rose to 3"),
+              std::string::npos);
+
+    LintContext decrease;
+    decrease.alloc_ratchet["dnastore::hotEntry"] = 5;
+    const auto dec_findings =
+        checkCallGraph(decrease, files, dnalint::R10_AllocRatchet);
+    ASSERT_EQ(countRule(dec_findings, dnalint::R10_AllocRatchet), 1U);
+    EXPECT_NE(messageFor(dec_findings, dnalint::R10_AllocRatchet)
+                  .find("tighten"),
+              std::string::npos);
+
+    LintContext stale;
+    stale.alloc_ratchet["dnastore::hotEntry"] = 3;
+    stale.alloc_ratchet["dnastore::removedFunction"] = 1;
+    const auto stale_findings =
+        checkCallGraph(stale, files, dnalint::R10_AllocRatchet);
+    ASSERT_EQ(countRule(stale_findings, dnalint::R10_AllocRatchet), 1U);
+    EXPECT_NE(messageFor(stale_findings, dnalint::R10_AllocRatchet)
+                  .find("stale"),
+              std::string::npos);
+}
+
+// ----------------------------------------------------------------- R11
+
+TEST(CallgraphR11, IoUnderLockDirectAndTransitive)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/archive/a.cc", R"cpp(
+        namespace dnastore {
+        void writeState(const std::string &path) {
+            std::ofstream out(path);
+        }
+        void Archive::saveLocked() {
+            MutexLock lock(mu);
+            writeState("x");
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R11_BlockingUnderLock);
+    ASSERT_EQ(countRule(findings, dnalint::R11_BlockingUnderLock), 1U);
+    const std::string msg =
+        messageFor(findings, dnalint::R11_BlockingUnderLock);
+    EXPECT_NE(msg.find("file I/O"), std::string::npos);
+    EXPECT_NE(msg.find("writeState"), std::string::npos);
+}
+
+TEST(CallgraphR11, SubmitUnderLock)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/core/p.cc", R"cpp(
+        namespace dnastore {
+        void Pipeline::dispatch() {
+            MutexLock lock(mu);
+            pool.submit(task);
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R11_BlockingUnderLock);
+    ASSERT_EQ(countRule(findings, dnalint::R11_BlockingUnderLock), 1U);
+    EXPECT_NE(messageFor(findings, dnalint::R11_BlockingUnderLock)
+                  .find("submit"),
+              std::string::npos);
+}
+
+TEST(CallgraphR11, NestedMutexAcquisition)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/clustering/c.cc", R"cpp(
+        namespace dnastore {
+        void mergeLocked() {
+            MutexLock outer(dsu_mutex);
+            MutexLock inner(stats_mutex);
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R11_BlockingUnderLock);
+    ASSERT_EQ(countRule(findings, dnalint::R11_BlockingUnderLock), 1U);
+    EXPECT_NE(messageFor(findings, dnalint::R11_BlockingUnderLock)
+                  .find("nested mutex"),
+              std::string::npos);
+}
+
+TEST(CallgraphR11, LockReleasedBeforeBlockingIsClean)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/archive/a.cc", R"cpp(
+        namespace dnastore {
+        void Archive::saveUnlocked(const std::string &path) {
+            {
+                MutexLock lock(mu);
+                state = 1;
+            }
+            std::ofstream out(path);
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    EXPECT_EQ(countRule(checkCallGraph(ctx, files,
+                                       dnalint::R11_BlockingUnderLock),
+                        dnalint::R11_BlockingUnderLock),
+              0U);
+}
+
+TEST(CallgraphR11, AllowlistedAndStaleEntries)
+{
+    std::vector<FileFunctions> files;
+    files.push_back(extract("src/util/logging.cc", R"cpp(
+        namespace dnastore {
+        void logMessage(const std::string &line) {
+            MutexLock lock(output_mutex);
+            std::cerr << line;
+        }
+        } // namespace dnastore
+    )cpp"));
+    LintContext ctx;
+    EXPECT_EQ(countRule(checkCallGraph(ctx, files,
+                                       dnalint::R11_BlockingUnderLock),
+                        dnalint::R11_BlockingUnderLock),
+              1U);
+
+    ctx.blocking_allowlist.insert(
+        "src/util/logging.cc:dnastore::logMessage");
+    EXPECT_EQ(countRule(checkCallGraph(ctx, files,
+                                       dnalint::R11_BlockingUnderLock),
+                        dnalint::R11_BlockingUnderLock),
+              0U);
+
+    ctx.blocking_allowlist.insert("src/gone.cc:dnastore::vanished");
+    const auto findings =
+        checkCallGraph(ctx, files, dnalint::R11_BlockingUnderLock);
+    ASSERT_EQ(countRule(findings, dnalint::R11_BlockingUnderLock), 1U);
+    EXPECT_NE(messageFor(findings, dnalint::R11_BlockingUnderLock)
+                  .find("stale"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------- SARIF
+
+TEST(Sarif, StructureRulesAndLocations)
+{
+    std::vector<Finding> findings;
+    findings.push_back({"src/core/pipeline.cc", 42,
+                        dnalint::R9_NoThrowReach,
+                        "chain with \"quotes\" and\nnewline"});
+    findings.push_back({"", 0, dnalint::R10_AllocRatchet,
+                        "project-level finding"});
+    const std::string sarif = dnalint::toSarif(findings);
+
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"dnalint\""), std::string::npos);
+    // Every rule is declared.
+    for (const auto &info : dnalint::ruleTable()) {
+        EXPECT_NE(sarif.find("\"id\": \"" + std::string(info.name) + "\""),
+                  std::string::npos);
+    }
+    EXPECT_NE(sarif.find("\"ruleId\": \"R9\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 42"), std::string::npos);
+    // Escapes applied; no raw newline inside the message string.
+    EXPECT_NE(sarif.find("\\\"quotes\\\" and\\nnewline"),
+              std::string::npos);
+    // The project-level finding has no locations array.
+    EXPECT_NE(sarif.find("\"ruleId\": \"R10\""), std::string::npos);
+}
+
+TEST(Sarif, EmptyFindingsIsStillAValidRun)
+{
+    const std::string sarif = dnalint::toSarif({});
+    EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+} // namespace

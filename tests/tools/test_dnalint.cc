@@ -95,6 +95,49 @@ TEST(DnalintLexer, TracksLineNumbers)
     EXPECT_EQ(tokens[3].line, 3u);
 }
 
+TEST(DnalintLexer, BracketDigraphsLexAsBrackets)
+{
+    // <% %> <: :> are phase-3 spellings of { } [ ].
+    const auto texts = tokenTexts("int a<:3:> <% %>");
+    const std::vector<std::string> expected = {"int", "a", "[", "3",
+                                               "]",   "{", "}"};
+    EXPECT_EQ(texts, expected);
+}
+
+TEST(DnalintLexer, DigraphCarveOutForTemplateScope)
+{
+    // C++11 carve-out: `<::` not followed by ':' or '>' is `<` `::`,
+    // NOT the digraph `[` + `:`.  `Foo<::Bar>` must stay a template.
+    const auto texts = tokenTexts("Foo<::Bar> x;");
+    const std::vector<std::string> expected = {"Foo", "<", "::", "Bar",
+                                               ">",   "x", ";"};
+    EXPECT_EQ(texts, expected);
+    // But `<::>` and `<:::` keep the digraph reading.
+    EXPECT_EQ(tokenTexts("a<::>b")[1], "[");
+}
+
+TEST(DnalintLexer, LineSplicesJoinTokensAndComments)
+{
+    // A backslash-newline splices mid-identifier...
+    const auto texts = tokenTexts("int thro\\\nwaway;");
+    const std::vector<std::string> expected = {"int", "throwaway", ";"};
+    EXPECT_EQ(texts, expected);
+    // ...continues a // comment onto the next line...
+    const auto commented = tokenTexts("// comment \\\n throw\nint a;");
+    const std::vector<std::string> after = {"int", "a", ";"};
+    EXPECT_EQ(commented, after);
+    // ...and splices between tokens (CRLF form too).
+    EXPECT_EQ(tokenTexts("int \\\r\n b;"),
+              (std::vector<std::string>{"int", "b", ";"}));
+}
+
+TEST(DnalintLexer, SplicedNumberStaysOneToken)
+{
+    const auto texts = tokenTexts("int a = 12\\\n34;");
+    ASSERT_EQ(texts.size(), 5u);
+    EXPECT_EQ(texts[3], "1234");
+}
+
 // ------------------------------------------------------- R1 nodiscard
 
 TEST(DnalintR1, FlagsUnannotatedFallibleApi)
@@ -606,6 +649,68 @@ TEST(DnalintR8, VocabularyHeadersAndNonSrcAreExempt)
                                    "#include \"core/pipeline.hh\"\n",
                                    emptyContext()),
                          dnalint::R8_Layering));
+}
+
+TEST(DnalintR8, ExemptionStalenessFlagsMissingAndNeverCrossing)
+{
+    LintContext ctx = emptyContext();
+    ProjectFacts facts;
+    // Every exempt header exists and is seen crossing a layer boundary:
+    // the exemption earns its keep, no findings.
+    ctx.project_files.insert("src/core/pipeline.cc");
+    for (const std::string &header : dnalint::layeringExemptHeaders()) {
+        ctx.project_files.insert(header);
+        facts.exempt_headers_crossing.insert(header);
+    }
+    EXPECT_FALSE(
+        hasRule(checkProject(ctx, facts), dnalint::R8_Layering));
+
+    // A header that never crosses any more is a stale exemption.
+    ProjectFacts none_crossing;
+    const auto stale = checkProject(ctx, none_crossing);
+    ASSERT_TRUE(hasRule(stale, dnalint::R8_Layering));
+    bool mentions_stale = false;
+    for (const Finding &f : stale)
+        mentions_stale = mentions_stale ||
+                         f.message.find("stale") != std::string::npos;
+    EXPECT_TRUE(mentions_stale);
+
+    // A header that no longer exists must be dropped from the list.
+    LintContext missing = emptyContext();
+    missing.project_files.insert("src/core/pipeline.cc");
+    const auto gone = checkProject(missing, facts);
+    ASSERT_TRUE(hasRule(gone, dnalint::R8_Layering));
+    bool mentions_remove = false;
+    for (const Finding &f : gone)
+        mentions_remove =
+            mentions_remove ||
+            f.message.find("layeringExemptHeaders") != std::string::npos;
+    EXPECT_TRUE(mentions_remove);
+}
+
+TEST(DnalintR8, ExemptionStalenessIsQuietWithoutSrcContext)
+{
+    // Fixture-driven checkProject calls with no src/ files (every other
+    // rule's tests) must not trip the staleness checks.
+    EXPECT_FALSE(hasRule(checkProject(emptyContext(), ProjectFacts{}),
+                         dnalint::R8_Layering));
+}
+
+TEST(DnalintR8, CheckFileRecordsExemptCrossings)
+{
+    ProjectFacts facts;
+    // obs (rank 0) pulling in util/hot.hh (rank 1) crosses upward: the
+    // exemption is what makes it legal, so the crossing is recorded.
+    checkFile("src/obs/metrics.hh", "#include \"util/hot.hh\"\n",
+              emptyContext(), AllRules, &facts);
+    EXPECT_EQ(facts.exempt_headers_crossing.count("src/util/hot.hh"),
+              1U);
+    // core (rank 5) including it is a plain downward include — no
+    // exemption needed, nothing recorded.
+    ProjectFacts downward;
+    checkFile("src/core/pipeline.cc", "#include \"util/hot.hh\"\n",
+              emptyContext(), AllRules, &downward);
+    EXPECT_TRUE(downward.exempt_headers_crossing.empty());
 }
 
 // ------------------------------------------------------------- output

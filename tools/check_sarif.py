@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Structural validator for dnalint's SARIF 2.1.0 output.
+
+The container has no `jsonschema` package and CI must not hit the
+network, so this checks the invariants GitHub code scanning actually
+relies on instead of validating against the full schema:
+
+  * top level: $schema pointing at sarif-schema-2.1.0, version "2.1.0",
+    a non-empty `runs` array;
+  * each run: tool.driver.name, a rules array of {id, shortDescription};
+  * each result: ruleId (declared in the driver's rules), level,
+    message.text, and — when locations are present — a physicalLocation
+    with a relative artifactLocation.uri and a positive startLine.
+
+Usage: check_sarif.py <file.sarif>     (exit 0 = valid, 1 = not)
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_sarif: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond: bool, msg: str) -> None:
+    if not cond:
+        fail(msg)
+
+
+def check_run(run: dict) -> None:
+    driver = run.get("tool", {}).get("driver", {})
+    expect(driver.get("name") == "dnalint",
+           f"tool.driver.name is {driver.get('name')!r}, want 'dnalint'")
+    rules = driver.get("rules")
+    expect(isinstance(rules, list) and rules,
+           "tool.driver.rules missing or empty")
+    rule_ids = set()
+    for rule in rules:
+        expect(isinstance(rule.get("id"), str) and rule["id"],
+               "rule without a string id")
+        expect(rule["id"] not in rule_ids,
+               f"duplicate rule id {rule['id']!r}")
+        rule_ids.add(rule["id"])
+        expect(isinstance(rule.get("shortDescription", {}).get("text"),
+                          str),
+               f"rule {rule['id']!r} lacks shortDescription.text")
+
+    results = run.get("results")
+    expect(isinstance(results, list),
+           "run.results missing (must be [] even when clean)")
+    for i, result in enumerate(results):
+        where = f"results[{i}]"
+        expect(result.get("ruleId") in rule_ids,
+               f"{where}.ruleId {result.get('ruleId')!r} not declared "
+               "in tool.driver.rules")
+        expect(result.get("level") in ("error", "warning", "note"),
+               f"{where}.level {result.get('level')!r} invalid")
+        expect(isinstance(result.get("message", {}).get("text"), str)
+               and result["message"]["text"],
+               f"{where}.message.text missing or empty")
+        for loc in result.get("locations", []):
+            phys = loc.get("physicalLocation", {})
+            uri = phys.get("artifactLocation", {}).get("uri")
+            expect(isinstance(uri, str) and uri,
+                   f"{where} location lacks artifactLocation.uri")
+            expect(not uri.startswith("/") and "://" not in uri,
+                   f"{where} uri {uri!r} must be repo-relative")
+            region = phys.get("region", {})
+            expect(isinstance(region.get("startLine"), int)
+                   and region["startLine"] >= 1,
+                   f"{where} region.startLine must be a positive int")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_sarif.py <file.sarif>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {sys.argv[1]}: {err}")
+
+    expect("sarif-schema-2.1.0" in doc.get("$schema", ""),
+           f"$schema {doc.get('$schema')!r} is not the 2.1.0 schema")
+    expect(doc.get("version") == "2.1.0",
+           f"version {doc.get('version')!r}, want '2.1.0'")
+    runs = doc.get("runs")
+    expect(isinstance(runs, list) and runs, "runs missing or empty")
+    for run in runs:
+        check_run(run)
+
+    n_results = sum(len(run.get("results", [])) for run in runs)
+    print(f"check_sarif: OK ({len(runs)} run(s), {n_results} result(s))")
+
+
+if __name__ == "__main__":
+    main()

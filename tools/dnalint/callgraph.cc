@@ -1,0 +1,1471 @@
+#include "dnalint/callgraph.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <set>
+
+namespace dnalint
+{
+
+namespace
+{
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/** Split "a::b::c" into components. */
+std::vector<std::string>
+splitQualified(const std::string &written)
+{
+    std::vector<std::string> parts;
+    std::size_t begin = 0;
+    for (;;) {
+        const std::size_t sep = written.find("::", begin);
+        if (sep == std::string::npos) {
+            parts.push_back(written.substr(begin));
+            return parts;
+        }
+        parts.push_back(written.substr(begin, sep - begin));
+        begin = sep + 2;
+    }
+}
+
+/** Keywords and cast/control constructs that look like `name(` but are
+ *  never call sites. */
+bool
+isNotACall(const std::string &name)
+{
+    static const std::set<std::string> kNotCalls = {
+        "if",       "for",         "while",     "switch",  "return",
+        "sizeof",   "alignof",     "alignas",   "decltype", "catch",
+        "noexcept", "static_cast", "dynamic_cast", "const_cast",
+        "reinterpret_cast", "typeid", "throw",   "new",     "delete",
+        "assert",   "static_assert", "defined", "co_await", "co_return"};
+    return kNotCalls.count(name) != 0;
+}
+
+/** Statement keywords that may directly precede a call expression:
+ *  `return foo(x)` lexes as `ident ident (` yet foo is a call, not a
+ *  declarator. */
+bool
+isStmtKeyword(const std::string &name)
+{
+    static const std::set<std::string> kStmt = {
+        "return", "co_return", "co_yield", "else", "do",
+        "case",   "goto",      "default"};
+    return kStmt.count(name) != 0;
+}
+
+/**
+ * Member names owned by the standard library: a member call with one of
+ * these names is never linked to a project function, so `ptr.get()`
+ * cannot alias Archive::get.  Qualified calls ("Archive::get") resolve
+ * regardless.
+ */
+bool
+isStdMemberName(const std::string &name)
+{
+    static const std::set<std::string> kStd = {
+        "at",        "substr",    "get",       "reset",    "release",
+        "c_str",     "data",      "str",       "value",    "value_or",
+        "size",      "empty",     "begin",     "end",      "rbegin",
+        "rend",      "cbegin",    "cend",      "front",    "back",
+        "push_back", "pop_back",  "emplace_back", "emplace", "insert",
+        "erase",     "clear",     "find",      "count",    "contains",
+        "reserve",   "resize",    "shrink_to_fit", "capacity", "swap",
+        "load",      "store",     "exchange",  "fetch_add", "fetch_sub",
+        "fetch_and", "fetch_or",  "fetch_xor", "compare_exchange_weak",
+        "compare_exchange_strong", "lock",     "unlock",   "try_lock",
+        "wait",      "wait_for",  "notify_one", "notify_all", "append",
+        "length",    "push",      "pop",       "top",      "first",
+        "second",    "has_value", "string",    "what",     "good",
+        "fail",      "eof",       "is_open",   "open",     "close",
+        "rdbuf",     "tellg",     "seekg",     "write",    "read"};
+    return kStd.count(name) != 0;
+}
+
+/** Stdlib calls R9 treats as throwing when they survive resolution. */
+bool
+isThrowingStdCall(const CallSite &call)
+{
+    static const std::set<std::string> kThrowing = {
+        "at",   "stoi", "stol", "stoll", "stoul", "stoull", "stof",
+        "stod", "stold"};
+    if (kThrowing.count(call.name) != 0)
+        return true;
+    // substr(pos, n) throws std::out_of_range iff pos > size();
+    // substr(0, n) is provably safe and stays exempt.
+    return call.name == "substr" && !call.first_arg_zero;
+}
+
+/** What a throwing stdlib call may raise (finding text). */
+std::string
+throwingStdWhat(const CallSite &call)
+{
+    if (call.name == "at")
+        return "std::out_of_range from ." + call.name + "()";
+    if (call.name == "substr")
+        return "std::out_of_range from .substr(pos != 0, ...)";
+    return "std::invalid_argument/std::out_of_range from " + call.name +
+           "()";
+}
+
+/** Direct I/O primitives (R11): stream types, the C FILE API and the
+ *  std console streams.  std::filesystem calls are matched separately
+ *  by their qualifier. */
+bool
+isIoPrimitive(const std::string &name)
+{
+    static const std::set<std::string> kIo = {
+        "ofstream", "ifstream", "fstream", "fopen",  "fclose", "fwrite",
+        "fread",    "fprintf",  "fputs",   "fgets",  "fflush", "fsync",
+        "cout",     "cerr",     "clog",    "getline"};
+    return kIo.count(name) != 0;
+}
+
+/** RAII lock guard type names opening a MutexLock scope. */
+bool
+isLockGuardType(const std::string &name)
+{
+    return name == "MutexLock" || name == "lock_guard" ||
+           name == "unique_lock" || name == "scoped_lock" ||
+           name == "shared_lock";
+}
+
+// ------------------------------------------------------------ extractor
+
+/** One entry of the lexical scope stack. */
+struct Scope
+{
+    enum class Kind : std::uint8_t
+    {
+        Namespace,
+        Class,
+        Block, //!< enum/extern/initializer braces at decl scope
+    };
+    Kind kind = Scope::Kind::Block;
+    std::string name;         //!< Namespace or class name ("" for anon).
+    bool is_public = true;    //!< Current access (Class scopes).
+};
+
+class Extractor
+{
+  public:
+    Extractor(std::string rel_path, const std::vector<Token> &tokens)
+        : file_(std::move(rel_path)), toks_(tokens)
+    {
+    }
+
+    FileFunctions
+    run()
+    {
+        std::size_t i = 0;
+        while (i < toks_.size())
+            i = declStep(i);
+        return std::move(out_);
+    }
+
+  private:
+    const Token &
+    tok(std::size_t i) const
+    {
+        return toks_[i];
+    }
+
+    bool
+    is(std::size_t i, const char *text) const
+    {
+        return i < toks_.size() && toks_[i].text == text;
+    }
+
+    bool
+    isIdent(std::size_t i) const
+    {
+        return i < toks_.size() && toks_[i].kind == TokenKind::Identifier;
+    }
+
+    /** Index just past the matching closer for the opener at @p i. */
+    std::size_t
+    skipBalanced(std::size_t i, const char *open, const char *close) const
+    {
+        std::size_t depth = 0;
+        for (; i < toks_.size(); ++i) {
+            if (toks_[i].text == open) {
+                ++depth;
+            } else if (toks_[i].text == close) {
+                if (--depth == 0)
+                    return i + 1;
+            }
+        }
+        return i;
+    }
+
+    /** Scope-joined qualified name for @p last. */
+    std::string
+    qualify(const std::vector<std::string> &name_parts) const
+    {
+        std::string out;
+        for (const Scope &scope : scopes_) {
+            if (scope.name.empty())
+                continue; // anonymous namespace: omitted
+            out += scope.name;
+            out += "::";
+        }
+        for (std::size_t p = 0; p < name_parts.size(); ++p) {
+            out += name_parts[p];
+            if (p + 1 < name_parts.size())
+                out += "::";
+        }
+        return out;
+    }
+
+    /** Innermost class scope name ("" when at namespace scope). */
+    std::string
+    innerClass() const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            if (it->kind == Scope::Kind::Class)
+                return it->name;
+        }
+        return "";
+    }
+
+    /**
+     * One step at declaration scope (namespace / class / top level).
+     * Recognises namespace/class/enum openers, access labels, function
+     * definitions and plain declarations; returns the next index.
+     */
+    std::size_t
+    declStep(std::size_t i)
+    {
+        const Token &t = tok(i);
+        if (t.kind == TokenKind::Directive)
+            return i + 1;
+
+        if (t.text == "template" && is(i + 1, "<"))
+            return skipAngles(i + 1);
+
+        if (t.text == "namespace") {
+            std::size_t j = i + 1;
+            std::string name;
+            while (isIdent(j) || is(j, "::")) {
+                if (isIdent(j))
+                    name = name.empty() ? toks_[j].text
+                                        : name + "::" + toks_[j].text;
+                ++j;
+            }
+            if (is(j, "{")) {
+                scopes_.push_back(
+                    {Scope::Kind::Namespace, name, true});
+                open_depths_.push_back(brace_depth_);
+                ++brace_depth_;
+                return j + 1;
+            }
+            return j; // namespace alias etc.
+        }
+
+        if (t.text == "class" || t.text == "struct" || t.text == "union") {
+            // enum class is handled by the "enum" branch below.
+            std::size_t j = i + 1;
+            // Skip attributes and macros before the name.
+            while (is(j, "[[")) {
+                while (j < toks_.size() && !is(j, "]]"))
+                    ++j;
+                ++j;
+            }
+            std::string name;
+            while (isIdent(j)) {
+                name = toks_[j].text;
+                ++j;
+                if (is(j, "<"))
+                    j = skipAngles(j); // explicit specialisation
+            }
+            if (is(j, "final"))
+                ++j;
+            // Base clause: skip to the opening brace or a ';'.
+            while (j < toks_.size() && !is(j, "{") && !is(j, ";") &&
+                   tok(j).kind != TokenKind::Directive)
+                ++j;
+            if (is(j, "{")) {
+                scopes_.push_back({Scope::Kind::Class, name,
+                                   t.text != "class"});
+                open_depths_.push_back(brace_depth_);
+                ++brace_depth_;
+                return j + 1;
+            }
+            return j; // forward declaration
+        }
+
+        if (t.text == "enum") {
+            std::size_t j = i + 1;
+            while (j < toks_.size() && !is(j, "{") && !is(j, ";"))
+                ++j;
+            if (is(j, "{"))
+                return skipBalanced(j, "{", "}");
+            return j;
+        }
+
+        if (t.text == "extern" && i + 1 < toks_.size() &&
+            is(i + 2, "{")) // extern "C" { — the literal was stripped
+            return i + 1;
+
+        if (t.text == "public" || t.text == "private" ||
+            t.text == "protected") {
+            if (!scopes_.empty() &&
+                scopes_.back().kind == Scope::Kind::Class)
+                scopes_.back().is_public = t.text == "public";
+            return is(i + 1, ":") ? i + 2 : i + 1;
+        }
+
+        if (t.text == "using" || t.text == "typedef" ||
+            t.text == "friend" || t.text == "static_assert") {
+            while (i < toks_.size() && !is(i, ";"))
+                i = is(i, "{") ? skipBalanced(i, "{", "}") : i + 1;
+            return i + 1;
+        }
+
+        if (t.text == "}") {
+            --brace_depth_;
+            if (!open_depths_.empty() &&
+                open_depths_.back() == brace_depth_) {
+                open_depths_.pop_back();
+                scopes_.pop_back();
+            }
+            return i + 1;
+        }
+        if (t.text == "{") { // stray initializer braces at decl scope
+            return skipBalanced(i, "{", "}");
+        }
+
+        // Anything else: try to parse one declaration / definition.
+        return parseDeclaration(i);
+    }
+
+    /** Skip a balanced <...> run starting at the '<' at @p i. */
+    std::size_t
+    skipAngles(std::size_t i) const
+    {
+        std::size_t depth = 0;
+        for (; i < toks_.size(); ++i) {
+            if (toks_[i].text == "<") {
+                ++depth;
+            } else if (toks_[i].text == ">") {
+                if (--depth == 0)
+                    return i + 1;
+            } else if (toks_[i].text == ">>") {
+                if (depth <= 2)
+                    return i + 1;
+                depth -= 2;
+            } else if (toks_[i].text == ";" || toks_[i].text == "{") {
+                return i; // not template args after all; bail out
+            }
+        }
+        return i;
+    }
+
+    /**
+     * Parse one declaration starting at @p i: scan for a declarator
+     * `qualified-id (`; when the parameter list is followed (after
+     * modifiers / init list) by `{`, record a function definition and
+     * walk its body.  Everything else is consumed up to the next `;`.
+     */
+    std::size_t
+    parseDeclaration(std::size_t i)
+    {
+        bool saw_hot = false;
+        std::vector<std::string> name; // qualified declarator components
+        std::size_t name_line = 0;
+        std::size_t j = i;
+
+        while (j < toks_.size()) {
+            const Token &t = tok(j);
+            if (t.kind == TokenKind::Directive)
+                return j; // let declStep handle it
+            if (t.text == ";")
+                return j + 1;
+            if (t.text == "}" ||
+                (t.text == "{" && name.empty())) // give up; resync
+                return j;
+            if (t.text == "DNASTORE_HOT") {
+                saw_hot = true;
+                ++j;
+                continue;
+            }
+            if (t.text == "[[") {
+                while (j < toks_.size() && !is(j, "]]"))
+                    ++j;
+                ++j;
+                continue;
+            }
+            if (t.text == "operator") {
+                // operator+ / operator() / operator"" — collect symbol.
+                std::string op = "operator";
+                ++j;
+                while (j < toks_.size() && !is(j, "(") &&
+                       tok(j).kind == TokenKind::Punct) {
+                    op += toks_[j].text;
+                    ++j;
+                }
+                // operator() is followed by the *call* parens next.
+                if (op == "operator" && is(j, "(") && is(j + 1, ")")) {
+                    op += "()";
+                    j += 2;
+                }
+                name = {op};
+                name_line = tok(j > 0 ? j - 1 : 0).line;
+                if (is(j, "("))
+                    return parseAfterParams(j, name, name_line, saw_hot);
+                ++j;
+                continue;
+            }
+            if ((t.kind == TokenKind::Identifier &&
+                 !isNotACall(t.text)) ||
+                (t.text == "~" && isIdent(j + 1))) {
+                // Collect a (possibly qualified, possibly ~dtor) id.
+                std::vector<std::string> candidate;
+                std::size_t k = j;
+                for (;;) {
+                    std::string part;
+                    if (is(k, "~")) {
+                        part = "~";
+                        ++k;
+                    }
+                    if (!isIdent(k))
+                        break;
+                    part += toks_[k].text;
+                    candidate.push_back(part);
+                    ++k;
+                    if (is(k, "<")) {
+                        const std::size_t after = skipAngles(k);
+                        if (after == k)
+                            break;
+                        k = after;
+                    }
+                    if (is(k, "::")) {
+                        ++k;
+                        continue;
+                    }
+                    break;
+                }
+                if (!candidate.empty() && is(k, "(")) {
+                    name = std::move(candidate);
+                    name_line = tok(j).line;
+                    return parseAfterParams(k, name, name_line, saw_hot);
+                }
+                if (!candidate.empty()) {
+                    j = k;
+                    continue;
+                }
+            }
+            ++j;
+        }
+        return j;
+    }
+
+    /**
+     * @p i points at the declarator's opening '('.  Skip the parameter
+     * list, then modifiers (const/noexcept/override/trailing return /
+     * ctor init list); on `{` record the definition and walk the body;
+     * on `;` / `=` record a method declaration (class scope) only.
+     */
+    std::size_t
+    parseAfterParams(std::size_t i, const std::vector<std::string> &name,
+                     std::size_t name_line, bool saw_hot)
+    {
+        std::size_t j = skipBalanced(i, "(", ")");
+        bool is_noexcept = false;
+
+        for (;;) {
+            if (j >= toks_.size())
+                return j;
+            const Token &t = tok(j);
+            if (t.text == "const" || t.text == "override" ||
+                t.text == "final" || t.text == "&" || t.text == "&&" ||
+                t.text == "mutable" || t.text == "volatile" ||
+                t.text == "DNASTORE_HOT") {
+                saw_hot = saw_hot || t.text == "DNASTORE_HOT";
+                ++j;
+                continue;
+            }
+            if (t.text == "noexcept") {
+                is_noexcept = true;
+                ++j;
+                if (is(j, "(")) {
+                    const std::size_t close = skipBalanced(j, "(", ")");
+                    for (std::size_t p = j; p < close; ++p) {
+                        if (toks_[p].text == "false")
+                            is_noexcept = false;
+                    }
+                    j = close;
+                }
+                continue;
+            }
+            if (t.text == "[[") {
+                while (j < toks_.size() && !is(j, "]]"))
+                    ++j;
+                ++j;
+                continue;
+            }
+            if (t.kind == TokenKind::Identifier &&
+                startsWith(t.text, "DNASTORE_")) {
+                ++j; // thread-safety annotation macro
+                if (is(j, "("))
+                    j = skipBalanced(j, "(", ")");
+                continue;
+            }
+            if (t.text == "->") {
+                // Trailing return type: skip to the body/terminator.
+                ++j;
+                while (j < toks_.size() && !is(j, "{") && !is(j, ";") &&
+                       !is(j, "=")) {
+                    ++j;
+                }
+                continue;
+            }
+            if (t.text == ":") {
+                // Constructor initializer list.
+                ++j;
+                while (j < toks_.size()) {
+                    while (isIdent(j) || is(j, "::") || is(j, "~"))
+                        ++j;
+                    if (is(j, "<"))
+                        j = skipAngles(j);
+                    if (is(j, "("))
+                        j = skipBalanced(j, "(", ")");
+                    else if (is(j, "{"))
+                        j = skipBalanced(j, "{", "}");
+                    if (is(j, ",")) {
+                        ++j;
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            if (t.text == "=") {
+                // = default / = delete / = 0, or a variable initializer.
+                recordDecl(name);
+                while (j < toks_.size() && !is(j, ";"))
+                    j = is(j, "{") ? skipBalanced(j, "{", "}") : j + 1;
+                return j + 1;
+            }
+            if (t.text == ";") {
+                recordDecl(name);
+                return j + 1;
+            }
+            if (t.text == "{") {
+                FunctionInfo fn;
+                fn.qualified = qualify(name);
+                fn.name = name.back();
+                fn.file = file_;
+                fn.line = name_line;
+                fn.is_noexcept = is_noexcept;
+                fn.is_hot = saw_hot;
+                fn.class_name = name.size() > 1
+                                    ? name[name.size() - 2]
+                                    : innerClass();
+                const std::size_t end = skipBalanced(j, "{", "}");
+                walkBody(j + 1, end > 0 ? end - 1 : end, fn);
+                recordDecl(name);
+                out_.functions.push_back(std::move(fn));
+                return end;
+            }
+            // Unexpected token (e.g. this was a call in an initializer,
+            // not a declarator): consume until the statement ends.
+            while (j < toks_.size() && !is(j, ";"))
+                j = is(j, "{") ? skipBalanced(j, "{", "}") : j + 1;
+            return j + 1;
+        }
+    }
+
+    /** Record a method declaration with its access level (class scope). */
+    void
+    recordDecl(const std::vector<std::string> &name)
+    {
+        if (scopes_.empty() ||
+            scopes_.back().kind != Scope::Kind::Class || name.size() != 1)
+            return;
+        out_.method_decls.push_back(
+            {scopes_.back().name, name.back(), scopes_.back().is_public});
+    }
+
+    /** An active lexical region inside a function body. */
+    struct BodyFrame
+    {
+        std::size_t depth = 0;
+        bool is_try = false;
+        bool opens_lock = false; //!< A lock guard lives in this frame.
+    };
+
+    /**
+     * Walk one function body: tokens [begin, end) between the outer
+     * braces.  Records call sites, throw statements, allocation
+     * expressions, direct I/O and lock scopes into @p fn.
+     */
+    void
+    walkBody(std::size_t begin, std::size_t end, FunctionInfo &fn)
+    {
+        // Pre-scan: receivers that had .reserve() called anywhere in the
+        // body are exempt from the unreserved-push_back count.
+        std::set<std::string> reserved;
+        for (std::size_t i = begin; i + 2 < end; ++i) {
+            if ((toks_[i].text == "." || toks_[i].text == "->") &&
+                is(i + 1, "reserve") && is(i + 2, "(") && i > begin &&
+                isIdent(i - 1)) {
+                reserved.insert(toks_[i - 1].text);
+            }
+        }
+
+        std::vector<BodyFrame> frames;
+        std::size_t depth = 1; // the body's own braces
+        std::size_t try_depth = 0;
+        std::size_t lock_depth = 0;
+        bool pending_try = false;
+
+        auto underLock = [&]() { return lock_depth > 0; };
+        auto inTry = [&]() { return try_depth > 0; };
+
+        for (std::size_t i = begin; i < end; ++i) {
+            const Token &t = toks_[i];
+            if (t.kind == TokenKind::Directive)
+                continue;
+
+            if (t.text == "{") {
+                BodyFrame frame;
+                frame.depth = depth;
+                frame.is_try = pending_try;
+                pending_try = false;
+                if (frame.is_try)
+                    ++try_depth;
+                frames.push_back(frame);
+                ++depth;
+                continue;
+            }
+            if (t.text == "}") {
+                --depth;
+                if (!frames.empty() && frames.back().depth == depth) {
+                    if (frames.back().is_try)
+                        --try_depth;
+                    if (frames.back().opens_lock)
+                        --lock_depth;
+                    frames.pop_back();
+                }
+                continue;
+            }
+            if (t.text == "try") {
+                pending_try = true;
+                continue;
+            }
+
+            if (t.kind != TokenKind::Identifier)
+                continue;
+
+            // ---- throw statements -------------------------------------
+            if (t.text == "throw") {
+                fn.throw_sites.push_back({t.line, inTry()});
+                continue;
+            }
+
+            // ---- allocation expressions (R10) -------------------------
+            if (t.text == "new") {
+                fn.alloc_sites.push_back({AllocKind::New, t.line});
+                continue;
+            }
+            if (t.text == "std" && is(i + 1, "::")) {
+                if (is(i + 2, "string") &&
+                    (is(i + 3, "(") || is(i + 3, "{"))) {
+                    fn.alloc_sites.push_back(
+                        {AllocKind::StringTemp, t.line});
+                } else if (is(i + 2, "function")) {
+                    fn.alloc_sites.push_back(
+                        {AllocKind::StdFunction, t.line});
+                }
+                // fall through: std::f(...) is also a call site below
+            }
+
+            // ---- lock guard scopes (R11) ------------------------------
+            if (isLockGuardType(t.text) &&
+                (isIdent(i + 1) || is(i + 1, "<"))) {
+                std::size_t k = i + 1;
+                if (is(k, "<"))
+                    k = skipAngles(k);
+                if (isIdent(k) && (is(k + 1, "(") || is(k + 1, "{"))) {
+                    fn.lock_sites.push_back(
+                        {t.line, underLock(), t.text});
+                    if (frames.empty()) {
+                        // Guard declared directly at body scope: locked
+                        // until the function returns.
+                        ++lock_depth;
+                        // Re-use a synthetic frame at depth 0 so the
+                        // count balances on body exit (never popped).
+                    } else if (!frames.back().opens_lock) {
+                        frames.back().opens_lock = true;
+                        ++lock_depth;
+                    }
+                    i = k + 1;
+                    continue;
+                }
+            }
+
+            // ---- blocking stream declarations (R11) -------------------
+            // `std::ofstream out(path)` opens a file with declaration
+            // syntax, not call syntax; the declarator is the blocking
+            // site.  (Temporaries like `std::ofstream(path)` have call
+            // syntax and are caught by isIoPrimitive below.)
+            if ((t.text == "ofstream" || t.text == "ifstream" ||
+                 t.text == "fstream") &&
+                isIdent(i + 1) && (is(i + 2, "(") || is(i + 2, "{"))) {
+                fn.io_sites.push_back(
+                    {t.line, underLock(), "std::" + t.text});
+                i += 2;
+                continue;
+            }
+
+            // ---- call sites -------------------------------------------
+            const bool member_call =
+                i > begin && (toks_[i - 1].text == "." ||
+                              toks_[i - 1].text == "->");
+
+            // Collect the longest a::b::c chain starting here.
+            std::vector<std::string> parts;
+            std::size_t k = i;
+            while (isIdent(k)) {
+                parts.push_back(toks_[k].text);
+                if (is(k + 1, "::") && isIdent(k + 2)) {
+                    k += 2;
+                    continue;
+                }
+                break;
+            }
+            if (parts.empty() || !is(k + 1, "("))
+                continue;
+            const std::string &simple = parts.back();
+            if (isNotACall(simple) || isLockGuardType(simple)) {
+                i = k;
+                continue;
+            }
+            // `throw Exc(...)` constructs the exception object; the
+            // throw site itself is already recorded, and the ctor name
+            // must not alias a project function.
+            if (i > begin && toks_[i - 1].text == "throw") {
+                i = k;
+                continue;
+            }
+            // A declaration like `Foo bar(...)` is not a call: the
+            // token before the chain being an identifier (a type name)
+            // and the chain having a following identifier… declarator
+            // shapes at body scope are `Type name(args)`; a call never
+            // has two adjacent identifiers.  Detect `ident ident (`,
+            // excluding statement keywords (`return foo(x)` is a call).
+            if (!member_call && parts.size() == 1 && i > begin &&
+                isIdent(i - 1) && !isStmtKeyword(toks_[i - 1].text)) {
+                i = k;
+                continue;
+            }
+
+            CallSite call;
+            call.name = simple;
+            for (std::size_t p = 0; p < parts.size(); ++p) {
+                call.written += parts[p];
+                if (p + 1 < parts.size())
+                    call.written += "::";
+            }
+            call.line = toks_[k].line;
+            call.member = member_call;
+            call.in_try = inTry();
+            call.under_lock = underLock();
+            call.first_arg_zero = is(k + 2, "0") &&
+                                  (is(k + 3, ",") || is(k + 3, ")"));
+
+            // ---- unreserved push_back (R10) ---------------------------
+            if (member_call &&
+                (simple == "push_back" || simple == "emplace_back")) {
+                const bool receiver_reserved =
+                    i >= begin + 2 && isIdent(i - 2) &&
+                    reserved.count(toks_[i - 2].text) != 0;
+                if (!receiver_reserved) {
+                    fn.alloc_sites.push_back(
+                        {AllocKind::PushBack, call.line});
+                }
+            }
+
+            // ---- direct blocking primitives (R11) ---------------------
+            if (isIoPrimitive(simple) ||
+                (parts.size() > 1 &&
+                 (parts[parts.size() - 2] == "filesystem" ||
+                  parts[parts.size() - 2] == "fs"))) {
+                fn.io_sites.push_back({call.line, call.under_lock,
+                                       call.written});
+            }
+            if (member_call &&
+                (simple == "lock" || simple == "try_lock")) {
+                fn.lock_sites.push_back(
+                    {call.line, call.under_lock, "." + simple + "()"});
+            }
+
+            fn.calls.push_back(std::move(call));
+            i = k;
+        }
+
+        // std::cout/std::cerr stream writes have no call syntax; scan
+        // for the bare identifiers too.
+        const std::size_t precisely_tracked = fn.io_sites.size();
+        for (std::size_t i = begin; i < end; ++i) {
+            const Token &t = toks_[i];
+            if (t.kind == TokenKind::Identifier &&
+                (t.text == "cout" || t.text == "cerr" ||
+                 t.text == "clog") &&
+                (i + 1 >= end || toks_[i + 1].text != "(")) {
+                fn.io_sites.push_back({t.line, false, "std::" + t.text});
+            }
+        }
+        // The loop above cannot know lock scopes; recover the flag from
+        // recorded guard lines: a stream write between a guard's line
+        // and the body end is conservatively treated as under-lock only
+        // when the function has exactly one guard covering the rest of
+        // the body.  Precise per-token tracking happens in the main
+        // walk; this fallback only affects `os << x` style writes.
+        if (fn.lock_sites.size() == 1) {
+            for (std::size_t s = precisely_tracked;
+                 s < fn.io_sites.size(); ++s) {
+                BlockSite &io = fn.io_sites[s];
+                if (!io.under_lock && io.line >= fn.lock_sites[0].line)
+                    io.under_lock = true;
+            }
+        }
+    }
+
+    std::string file_;
+    const std::vector<Token> &toks_;
+    std::vector<Scope> scopes_;
+    std::vector<std::size_t> open_depths_; //!< Brace depth per scope.
+    std::size_t brace_depth_ = 0;
+    FileFunctions out_;
+};
+
+/** Component-suffix match: written "Pipeline::run" matches qualified
+ *  "dnastore::Pipeline::run" but not "dnastore::DryRunPipeline::run". */
+bool
+suffixMatches(const std::string &qualified, const std::string &written)
+{
+    const std::vector<std::string> q = splitQualified(qualified);
+    const std::vector<std::string> w = splitQualified(written);
+    if (w.empty() || w.size() > q.size())
+        return false;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        if (q[q.size() - w.size() + i] != w[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+allocKindName(AllocKind kind)
+{
+    switch (kind) {
+    case AllocKind::New:
+        return "new";
+    case AllocKind::PushBack:
+        return "unreserved push_back";
+    case AllocKind::StringTemp:
+        return "std::string temporary";
+    case AllocKind::StdFunction:
+        return "std::function";
+    }
+    return "?";
+}
+
+FileFunctions
+extractFunctions(const std::string &rel_path,
+                 const std::vector<Token> &tokens)
+{
+    return Extractor(rel_path, tokens).run();
+}
+
+std::vector<std::size_t>
+CallGraph::findBySuffix(const std::string &written) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+        if (suffixMatches(functions[i].qualified, written))
+            out.push_back(i);
+    }
+    return out;
+}
+
+CallGraph
+buildCallGraph(const std::vector<FileFunctions> &files)
+{
+    CallGraph graph;
+    for (const FileFunctions &file : files) {
+        graph.functions.insert(graph.functions.end(),
+                               file.functions.begin(),
+                               file.functions.end());
+        graph.method_decls.insert(graph.method_decls.end(),
+                                  file.method_decls.begin(),
+                                  file.method_decls.end());
+    }
+
+    std::map<std::string, std::vector<std::size_t>> by_name;
+    for (std::size_t i = 0; i < graph.functions.size(); ++i)
+        by_name[graph.functions[i].name].push_back(i);
+
+    graph.targets.resize(graph.functions.size());
+    for (std::size_t f = 0; f < graph.functions.size(); ++f) {
+        const FunctionInfo &fn = graph.functions[f];
+        graph.targets[f].resize(fn.calls.size());
+        for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+            const CallSite &call = fn.calls[c];
+            std::vector<std::size_t> &out = graph.targets[f][c];
+
+            const auto candidates = by_name.find(call.name);
+            if (candidates == by_name.end())
+                continue;
+
+            if (call.written.find("::") != std::string::npos) {
+                // Qualified call: precise component-suffix match.
+                for (const std::size_t idx : candidates->second) {
+                    if (suffixMatches(graph.functions[idx].qualified,
+                                      call.written))
+                        out.push_back(idx);
+                }
+                continue;
+            }
+            if (call.member) {
+                // Member call: over-approximate virtual dispatch by
+                // name, but never alias stdlib member names.
+                if (isStdMemberName(call.name))
+                    continue;
+                for (const std::size_t idx : candidates->second) {
+                    if (!graph.functions[idx].class_name.empty())
+                        out.push_back(idx);
+                }
+                continue;
+            }
+            // Unqualified free call: prefer methods of the caller's own
+            // class (implicit this->), else every match.
+            std::vector<std::size_t> same_class;
+            for (const std::size_t idx : candidates->second) {
+                if (!fn.class_name.empty() &&
+                    graph.functions[idx].class_name == fn.class_name)
+                    same_class.push_back(idx);
+            }
+            out = same_class.empty() ? candidates->second : same_class;
+        }
+    }
+    return graph;
+}
+
+namespace
+{
+
+/** Per-function transitive facts, computed by iterating to fixpoint. */
+struct ReachFacts
+{
+    bool does_io = false;
+    bool acquires_lock = false;
+    bool does_submit = false;
+};
+
+std::vector<ReachFacts>
+computeReachFacts(const CallGraph &graph)
+{
+    const std::size_t n = graph.functions.size();
+    std::vector<ReachFacts> facts(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const FunctionInfo &fn = graph.functions[i];
+        facts[i].does_io = !fn.io_sites.empty();
+        facts[i].acquires_lock = !fn.lock_sites.empty();
+        for (const CallSite &call : fn.calls) {
+            if (call.name == "submit")
+                facts[i].does_submit = true;
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < n; ++f) {
+            for (const auto &callees : graph.targets[f]) {
+                for (const std::size_t t : callees) {
+                    if (facts[t].does_io && !facts[f].does_io) {
+                        facts[f].does_io = true;
+                        changed = true;
+                    }
+                    if (facts[t].acquires_lock &&
+                        !facts[f].acquires_lock) {
+                        facts[f].acquires_lock = true;
+                        changed = true;
+                    }
+                    if (facts[t].does_submit && !facts[f].does_submit) {
+                        facts[f].does_submit = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    return facts;
+}
+
+/** "file:Qualified::Name" allowlist key of a function. */
+std::string
+allowKey(const FunctionInfo &fn)
+{
+    return fn.file + ":" + fn.qualified;
+}
+
+/**
+ * Shortest call chain from @p from down to a function satisfying
+ * @p pred, rendered as "A -> B -> C".  Returns "" when none exists.
+ */
+template <typename Pred>
+std::string
+chainTo(const CallGraph &graph, std::size_t from, Pred pred)
+{
+    std::vector<std::ptrdiff_t> parent(graph.functions.size(), -2);
+    std::deque<std::size_t> queue;
+    parent[from] = -1;
+    queue.push_back(from);
+    std::ptrdiff_t found = -1;
+    while (!queue.empty()) {
+        const std::size_t f = queue.front();
+        queue.pop_front();
+        if (pred(f)) {
+            found = static_cast<std::ptrdiff_t>(f);
+            break;
+        }
+        for (const auto &callees : graph.targets[f]) {
+            for (const std::size_t t : callees) {
+                if (parent[t] == -2) {
+                    parent[t] = static_cast<std::ptrdiff_t>(f);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    if (found < 0)
+        return "";
+    std::vector<std::string> names;
+    for (std::ptrdiff_t f = found; f >= 0;
+         f = parent[static_cast<std::size_t>(f)]) {
+        const FunctionInfo &fn = graph.functions[static_cast<std::size_t>(f)];
+        std::string label = fn.qualified;
+        if (fn.is_noexcept)
+            label += " [noexcept]";
+        names.push_back(label);
+    }
+    std::string out;
+    for (auto it = names.rbegin(); it != names.rend(); ++it) {
+        if (!out.empty())
+            out += " -> ";
+        out += *it;
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------ R9
+
+/** Entry points of the no-throw contract. */
+std::vector<std::size_t>
+noThrowEntryPoints(const CallGraph &graph)
+{
+    std::vector<std::size_t> entries;
+    std::set<std::size_t> seen;
+    auto add = [&](const std::vector<std::size_t> &idx) {
+        for (const std::size_t i : idx) {
+            if (seen.insert(i).second)
+                entries.push_back(i);
+        }
+    };
+    add(graph.findBySuffix("Pipeline::run"));
+    add(graph.findBySuffix("Pipeline::runFromReads"));
+
+    // Every public Archive method (access harvested from the class
+    // body in archive.hh; out-of-line definitions match by name).
+    std::set<std::string> public_archive;
+    for (const MethodDecl &decl : graph.method_decls) {
+        if (decl.class_name == "Archive" && decl.is_public)
+            public_archive.insert(decl.name);
+    }
+    for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+        const FunctionInfo &fn = graph.functions[i];
+        if (fn.class_name == "Archive" &&
+            public_archive.count(fn.name) != 0)
+            add({i});
+    }
+    return entries;
+}
+
+void
+checkNoThrowReach(const LintContext &ctx, const CallGraph &graph,
+                  std::vector<Finding> &findings)
+{
+    const std::vector<std::size_t> entries = noThrowEntryPoints(graph);
+    std::set<std::string> used_allowlist;
+
+    // BFS from every entry, cutting at allowlisted functions and at
+    // call sites wrapped in try blocks.
+    std::vector<std::ptrdiff_t> parent(graph.functions.size(), -2);
+    std::deque<std::size_t> queue;
+    std::vector<std::string> entry_of(graph.functions.size());
+    for (const std::size_t e : entries) {
+        if (parent[e] != -2)
+            continue;
+        parent[e] = -1;
+        entry_of[e] = graph.functions[e].qualified;
+        queue.push_back(e);
+    }
+    while (!queue.empty()) {
+        const std::size_t f = queue.front();
+        queue.pop_front();
+        const FunctionInfo &fn = graph.functions[f];
+        if (ctx.nothrow_allowlist.count(allowKey(fn)) != 0) {
+            used_allowlist.insert(allowKey(fn));
+            continue; // reviewed: subtree vouched for
+        }
+        for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+            if (fn.calls[c].in_try)
+                continue; // handled by the enclosing catch
+            for (const std::size_t t : graph.targets[f][c]) {
+                if (parent[t] == -2) {
+                    parent[t] = static_cast<std::ptrdiff_t>(f);
+                    entry_of[t] = entry_of[f];
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    auto renderChain = [&](std::size_t f) {
+        std::vector<std::string> names;
+        for (std::ptrdiff_t p = static_cast<std::ptrdiff_t>(f); p >= 0;
+             p = parent[static_cast<std::size_t>(p)]) {
+            const FunctionInfo &fn =
+                graph.functions[static_cast<std::size_t>(p)];
+            std::string label = fn.qualified;
+            if (fn.is_noexcept)
+                label += " [noexcept]";
+            names.push_back(label);
+        }
+        std::string out;
+        for (auto it = names.rbegin(); it != names.rend(); ++it) {
+            if (!out.empty())
+                out += " -> ";
+            out += *it;
+        }
+        return out;
+    };
+
+    for (std::size_t f = 0; f < graph.functions.size(); ++f) {
+        if (parent[f] == -2)
+            continue; // unreachable from the no-throw entry points
+        const FunctionInfo &fn = graph.functions[f];
+
+        // Direct `throw` statements: the R2 boundary whitelist owns
+        // files allowed to throw; anything else reachable is a finding.
+        for (const ThrowSite &site : fn.throw_sites) {
+            if (site.in_try ||
+                ctx.throw_allowlist.count(fn.file) != 0)
+                continue;
+            findings.push_back(
+                {fn.file, site.line, R9_NoThrowReach,
+                 "`throw` reachable from the no-throw entry point '" +
+                     entry_of[f] + "' via " + renderChain(f) +
+                     "; return a StageStatus/optional failure or move "
+                     "the throw behind the R2 boundary"});
+        }
+
+        // An allowlisted function's own stdlib calls are part of the
+        // reviewed subtree (the BFS above already marked the entry
+        // used when it reached the function).
+        if (ctx.nothrow_allowlist.count(allowKey(fn)) != 0)
+            continue;
+
+        // Known-throwing stdlib calls that resolved to no project
+        // function.
+        for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+            const CallSite &call = fn.calls[c];
+            if (call.in_try || !graph.targets[f][c].empty() ||
+                !isThrowingStdCall(call))
+                continue;
+            findings.push_back(
+                {fn.file, call.line, R9_NoThrowReach,
+                 "call chain " + renderChain(f) + " reaches '" +
+                     call.written + "' (" + throwingStdWhat(call) +
+                     "), reachable from no-throw entry point '" +
+                     entry_of[f] +
+                     "'; bound the access (DNASTORE_ASSERT + "
+                     "operator[]) or add '" + allowKey(fn) +
+                     "' to tools/dnalint_nothrow_allowlist.txt with a "
+                     "justification"});
+        }
+    }
+
+    // Stale allowlist entries (mirrors R2/R6/R7): an entry must both
+    // name a known function and be reached from an entry point.
+    for (const std::string &entry : ctx.nothrow_allowlist) {
+        if (used_allowlist.count(entry) != 0)
+            continue;
+        findings.push_back(
+            {"", 0, R9_NoThrowReach,
+             "nothrow allowlist entry '" + entry +
+                 "' is stale (function gone, renamed, or no longer "
+                 "reachable from a no-throw entry point); remove it so "
+                 "the allowlist stays tight"});
+    }
+}
+
+// ----------------------------------------------------------------- R10
+
+void
+checkAllocRatchet(const LintContext &ctx, const CallGraph &graph,
+                  std::vector<Finding> &findings)
+{
+    const std::map<std::string, std::size_t> counts =
+        computeAllocCounts(graph);
+
+    std::map<std::string, const FunctionInfo *> hot;
+    for (const FunctionInfo &fn : graph.functions) {
+        if (fn.is_hot)
+            hot.emplace(fn.qualified, &fn);
+    }
+
+    for (const auto &[name, count] : counts) {
+        const auto it = ctx.alloc_ratchet.find(name);
+        const FunctionInfo &fn = *hot.at(name);
+        if (it == ctx.alloc_ratchet.end()) {
+            findings.push_back(
+                {fn.file, fn.line, R10_AllocRatchet,
+                 "DNASTORE_HOT function '" + name +
+                     "' has no ratchet entry; add '" + name + " " +
+                     std::to_string(count) +
+                     "' to tools/dnalint_alloc_ratchet.txt"});
+            continue;
+        }
+        if (count > it->second) {
+            findings.push_back(
+                {fn.file, fn.line, R10_AllocRatchet,
+                 "hot-path allocation count of '" + name + "' rose to " +
+                     std::to_string(count) + " (ratchet: " +
+                     std::to_string(it->second) +
+                     "); remove the new allocation (reserve, reuse a "
+                     "buffer, or hoist the temporary) — the ratchet "
+                     "only goes down"});
+        } else if (count < it->second) {
+            findings.push_back(
+                {fn.file, fn.line, R10_AllocRatchet,
+                 "hot-path allocation count of '" + name +
+                     "' dropped to " + std::to_string(count) +
+                     " (ratchet: " + std::to_string(it->second) +
+                     "); tighten the entry in "
+                     "tools/dnalint_alloc_ratchet.txt to " +
+                     std::to_string(count) +
+                     " so the win cannot regress"});
+        }
+    }
+
+    for (const auto &[name, ceiling] : ctx.alloc_ratchet) {
+        (void)ceiling;
+        if (counts.count(name) == 0) {
+            findings.push_back(
+                {"", 0, R10_AllocRatchet,
+                 "alloc ratchet entry '" + name +
+                     "' is stale (function gone or no longer "
+                     "DNASTORE_HOT); remove it"});
+        }
+    }
+}
+
+// ----------------------------------------------------------------- R11
+
+void
+checkBlockingUnderLock(const LintContext &ctx, const CallGraph &graph,
+                       std::vector<Finding> &findings)
+{
+    const std::vector<ReachFacts> facts = computeReachFacts(graph);
+    std::set<std::string> used_allowlist;
+    std::vector<Finding> raw;
+
+    for (std::size_t f = 0; f < graph.functions.size(); ++f) {
+        const FunctionInfo &fn = graph.functions[f];
+        std::vector<Finding> local;
+
+        // Direct I/O inside a lock scope.
+        for (const BlockSite &io : fn.io_sites) {
+            if (!io.under_lock)
+                continue;
+            local.push_back(
+                {fn.file, io.line, R11_BlockingUnderLock,
+                 "file I/O (" + io.what +
+                     ") inside a MutexLock scope in '" + fn.qualified +
+                     "'; stage the data and write after unlock, or "
+                     "justify '" + allowKey(fn) +
+                     "' in tools/dnalint_blocking_allowlist.txt"});
+        }
+        // A second guard opened while one is held.
+        for (const BlockSite &lock : fn.lock_sites) {
+            if (!lock.under_lock)
+                continue;
+            local.push_back(
+                {fn.file, lock.line, R11_BlockingUnderLock,
+                 "nested mutex acquisition (" + lock.what +
+                     ") while already inside a MutexLock scope in '" +
+                     fn.qualified +
+                     "'; lock ordering bugs start here — narrow the "
+                     "outer scope or justify '" + allowKey(fn) + "'"});
+        }
+
+        for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+            const CallSite &call = fn.calls[c];
+            if (!call.under_lock)
+                continue;
+            if (call.name == "submit") {
+                local.push_back(
+                    {fn.file, call.line, R11_BlockingUnderLock,
+                     "ThreadPool::submit called inside a MutexLock "
+                     "scope in '" + fn.qualified +
+                     "'; the pool's own queue lock nests under yours "
+                     "and a full queue stalls every holder — submit "
+                     "after unlock"});
+                continue;
+            }
+            for (const std::size_t t : graph.targets[f][c]) {
+                const FunctionInfo &callee = graph.functions[t];
+                if (facts[t].does_io) {
+                    local.push_back(
+                        {fn.file, call.line, R11_BlockingUnderLock,
+                         "call to '" + call.written +
+                             "' inside a MutexLock scope in '" +
+                             fn.qualified +
+                             "' transitively reaches file I/O (" +
+                             chainTo(graph, t,
+                                     [&](std::size_t x) {
+                                         return !graph.functions[x]
+                                                     .io_sites.empty();
+                                     }) +
+                             "); move the I/O out of the critical "
+                             "section"});
+                    break;
+                }
+                if (facts[t].does_submit) {
+                    local.push_back(
+                        {fn.file, call.line, R11_BlockingUnderLock,
+                         "call to '" + call.written +
+                             "' inside a MutexLock scope in '" +
+                             fn.qualified +
+                             "' transitively reaches "
+                             "ThreadPool::submit; submitting under a "
+                             "lock invites deadlock with pool workers"});
+                    break;
+                }
+                if (facts[t].acquires_lock) {
+                    local.push_back(
+                        {fn.file, call.line, R11_BlockingUnderLock,
+                         "call to '" + call.written +
+                             "' inside a MutexLock scope in '" +
+                             fn.qualified +
+                             "' transitively acquires another mutex (" +
+                             chainTo(graph, t,
+                                     [&](std::size_t x) {
+                                         return !graph.functions[x]
+                                                     .lock_sites.empty();
+                                     }) +
+                             "); nested acquisition needs a declared "
+                             "lock order"});
+                    break;
+                }
+                (void)callee;
+            }
+        }
+
+        if (local.empty())
+            continue;
+        if (ctx.blocking_allowlist.count(allowKey(fn)) != 0) {
+            used_allowlist.insert(allowKey(fn));
+            continue; // reviewed and justified
+        }
+        raw.insert(raw.end(), local.begin(), local.end());
+    }
+
+    findings.insert(findings.end(), raw.begin(), raw.end());
+
+    for (const std::string &entry : ctx.blocking_allowlist) {
+        if (used_allowlist.count(entry) != 0)
+            continue;
+        findings.push_back(
+            {"", 0, R11_BlockingUnderLock,
+             "blocking allowlist entry '" + entry +
+                 "' is stale (function gone or no longer blocking "
+                 "under a lock); remove it"});
+    }
+}
+
+} // namespace
+
+std::map<std::string, std::size_t>
+computeAllocCounts(const CallGraph &graph)
+{
+    std::map<std::string, std::size_t> counts;
+    for (std::size_t h = 0; h < graph.functions.size(); ++h) {
+        if (!graph.functions[h].is_hot)
+            continue;
+        // Reachable set (including the hot function itself); each
+        // function's direct allocation sites count exactly once.
+        std::set<std::size_t> seen;
+        std::deque<std::size_t> queue;
+        seen.insert(h);
+        queue.push_back(h);
+        std::size_t total = 0;
+        while (!queue.empty()) {
+            const std::size_t f = queue.front();
+            queue.pop_front();
+            total += graph.functions[f].alloc_sites.size();
+            for (const auto &callees : graph.targets[f]) {
+                for (const std::size_t t : callees) {
+                    if (seen.insert(t).second)
+                        queue.push_back(t);
+                }
+            }
+        }
+        // Two hot functions may share a qualified name only via
+        // overloads; keep the larger bound so the ratchet stays sound.
+        auto [it, inserted] =
+            counts.emplace(graph.functions[h].qualified, total);
+        if (!inserted)
+            it->second = std::max(it->second, total);
+    }
+    return counts;
+}
+
+std::vector<Finding>
+checkCallGraph(const LintContext &ctx,
+               const std::vector<FileFunctions> &files, unsigned rules)
+{
+    std::vector<Finding> findings;
+    if ((rules & GraphRules) == 0)
+        return findings;
+
+    const CallGraph graph = buildCallGraph(files);
+    if ((rules & R9_NoThrowReach) != 0)
+        checkNoThrowReach(ctx, graph, findings);
+    if ((rules & R10_AllocRatchet) != 0)
+        checkAllocRatchet(ctx, graph, findings);
+    if ((rules & R11_BlockingUnderLock) != 0)
+        checkBlockingUnderLock(ctx, graph, findings);
+
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         return a.line < b.line;
+                     });
+    return findings;
+}
+
+} // namespace dnalint

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * dnalint interprocedural call-graph engine (rules R9-R11).
+ *
+ * A lightweight function extractor built on the dnalint lexer
+ * (tools/dnalint/dnalint.hh): it recognises function definitions
+ * (free functions, in-class and out-of-line methods, templates with
+ * trailing return types, constructors with init lists), records each
+ * body's qualified call sites, `throw` statements, allocation
+ * expressions, direct I/O primitives and MutexLock scopes, and links
+ * everything into a whole-src/ call graph.  Three interprocedural
+ * rules run on top:
+ *
+ *   R9  no-throw reachability — from the no-throw entry points
+ *       (Pipeline::run, Pipeline::runFromReads, every public Archive
+ *       method) no call path may reach a `throw` statement outside the
+ *       R2 boundary whitelist or a known-throwing stdlib call
+ *       (vector::at, stoi/stod family, substr with a non-zero start)
+ *       outside tools/dnalint_nothrow_allowlist.txt; findings print
+ *       the full call chain;
+ *   R10 hot-path allocation ratchet — functions marked DNASTORE_HOT
+ *       (src/util/hot.hh) are scanned transitively for `new`,
+ *       unreserved push_back/emplace_back, std::string temporaries and
+ *       std::function uses; per-function counts are pinned in
+ *       tools/dnalint_alloc_ratchet.txt and may never increase;
+ *   R11 blocking-under-lock — inside a MutexLock scope, calls that
+ *       transitively reach file I/O, ThreadPool::submit or another
+ *       mutex acquisition are findings unless the enclosing function
+ *       is justified in tools/dnalint_blocking_allowlist.txt.
+ *
+ * Known limitations (see docs/STATIC_ANALYSIS.md): virtual and
+ * function-pointer dispatch is over-approximated by name (a member
+ * call `x.reconstruct(...)` links to every method named reconstruct),
+ * calls through std::function values are invisible, and a catch block
+ * is assumed to handle everything thrown below it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dnalint/dnalint.hh"
+
+namespace dnalint
+{
+
+/** Allocation-expression flavours the R10 ratchet counts. */
+enum class AllocKind : std::uint8_t
+{
+    New,        //!< `new` expression.
+    PushBack,   //!< push_back/emplace_back with no prior reserve().
+    StringTemp, //!< std::string(...) temporary construction.
+    StdFunction //!< std::function declaration or temporary (captures).
+};
+
+/** Human name of an allocation kind ("new", "push_back", ...). */
+const char *allocKindName(AllocKind kind);
+
+/** One call expression inside a function body. */
+struct CallSite
+{
+    std::string written;  //!< As written: "strand::tryToBytes" or "f".
+    std::string name;     //!< Last component ("tryToBytes").
+    std::size_t line = 0;
+    bool member = false;  //!< Via `.` or `->` (virtual-ish dispatch).
+    bool in_try = false;  //!< Lexically inside a try block.
+    bool under_lock = false; //!< Inside an active MutexLock scope.
+    /** True when the first argument is the literal 0 (substr(0, n) can
+     *  never throw: pos == 0 <= size() always holds). */
+    bool first_arg_zero = false;
+};
+
+/** One direct `throw` statement. */
+struct ThrowSite
+{
+    std::size_t line = 0;
+    bool in_try = false;
+};
+
+/** One allocation expression (R10). */
+struct AllocSite
+{
+    AllocKind kind = AllocKind::New;
+    std::size_t line = 0;
+};
+
+/** One direct blocking primitive: I/O or a mutex acquisition (R11). */
+struct BlockSite
+{
+    std::size_t line = 0;
+    bool under_lock = false;
+    std::string what; //!< "std::ofstream", "MutexLock", ".lock()", ...
+};
+
+/** One extracted function definition. */
+struct FunctionInfo
+{
+    std::string qualified;  //!< Scope-joined ("dnastore::Archive::get").
+    std::string name;       //!< Last component ("get").
+    std::string file;       //!< Repo-relative path of the definition.
+    std::size_t line = 0;
+    bool is_noexcept = false; //!< Carries a noexcept spec (not (false)).
+    bool is_hot = false;      //!< Declared DNASTORE_HOT.
+    std::string class_name;   //!< Innermost class scope ("" for free).
+    std::vector<CallSite> calls;
+    std::vector<ThrowSite> throw_sites;
+    std::vector<AllocSite> alloc_sites;
+    std::vector<BlockSite> io_sites;   //!< Direct stream/FILE/fs I/O.
+    std::vector<BlockSite> lock_sites; //!< MutexLock scopes, .lock().
+};
+
+/** A method declaration harvested from a class body (access audit). */
+struct MethodDecl
+{
+    std::string class_name;
+    std::string name;
+    bool is_public = false;
+};
+
+/** Everything extracted from one file. */
+struct FileFunctions
+{
+    std::vector<FunctionInfo> functions;
+    std::vector<MethodDecl> method_decls;
+};
+
+/**
+ * Extract function definitions and method declarations from lexed
+ * source.  @p rel_path is recorded on every function (repo-relative,
+ * forward slashes).  src/util/sync.hh is skipped by callers: its
+ * Mutex/MutexLock forwarding shims would pollute the graph with the
+ * primitives the rules look for.
+ */
+FileFunctions extractFunctions(const std::string &rel_path,
+                               const std::vector<Token> &tokens);
+
+/** The whole-project call graph. */
+struct CallGraph
+{
+    std::vector<FunctionInfo> functions;
+    std::vector<MethodDecl> method_decls;
+    /** Resolved callee indices per function per call site:
+     *  targets[f][c] lists functions call site c of function f may
+     *  reach (empty for stdlib / unresolved calls). */
+    std::vector<std::vector<std::vector<std::size_t>>> targets;
+
+    /** Indices of functions matching a component-suffix qualified name
+     *  ("Pipeline::run" matches "dnastore::Pipeline::run"). */
+    std::vector<std::size_t> findBySuffix(const std::string &written) const;
+};
+
+/** Link extracted files into a call graph (name-based resolution). */
+CallGraph buildCallGraph(const std::vector<FileFunctions> &files);
+
+/**
+ * Transitive R10 allocation-site counts, one entry per DNASTORE_HOT
+ * function (keyed by qualified name): direct allocation expressions of
+ * the hot function plus those of every project function it can reach.
+ */
+std::map<std::string, std::size_t>
+computeAllocCounts(const CallGraph &graph);
+
+/**
+ * Run the interprocedural rules selected in @p rules (R9, R10, R11)
+ * over the extracted file set.  Uses ctx.throw_allowlist (R2 boundary
+ * files own their `throw` statements), ctx.nothrow_allowlist,
+ * ctx.alloc_ratchet and ctx.blocking_allowlist; reports stale
+ * allowlist/ratchet entries like R2/R6/R7 do.
+ */
+std::vector<Finding> checkCallGraph(const LintContext &ctx,
+                                    const std::vector<FileFunctions> &files,
+                                    unsigned rules);
+
+} // namespace dnalint

@@ -65,6 +65,22 @@ lex(const std::string &content)
         return i + ahead < n ? content[i + ahead] : '\0';
     };
 
+    // Phase-2 line splice: backslash-newline disappears before
+    // tokenisation, so an identifier (or anything else) may be split
+    // across physical lines.  Used at token boundaries and inside
+    // identifier/number scans.
+    auto atSplice = [&](std::size_t pos) {
+        if (pos + 1 < n && content[pos] == '\\' && content[pos + 1] == '\n')
+            return true;
+        // Tolerate CRLF sources: backslash, CR, LF.
+        return pos + 2 < n && content[pos] == '\\' &&
+               content[pos + 1] == '\r' && content[pos + 2] == '\n';
+    };
+    auto skipSplice = [&](std::size_t pos) {
+        ++line;
+        return content[pos + 1] == '\r' ? pos + 3 : pos + 2;
+    };
+
     while (i < n) {
         const char c = content[i];
         if (c == '\n') {
@@ -72,14 +88,23 @@ lex(const std::string &content)
             ++i;
             continue;
         }
+        if (atSplice(i)) {
+            i = skipSplice(i);
+            continue;
+        }
         if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
             ++i;
             continue;
         }
-        // Line comment.
+        // Line comment (a splice continues it onto the next line).
         if (c == '/' && peek(1) == '/') {
-            while (i < n && content[i] != '\n')
+            while (i < n && content[i] != '\n') {
+                if (atSplice(i)) {
+                    i = skipSplice(i);
+                    continue;
+                }
                 ++i;
+            }
             continue;
         }
         // Block comment.
@@ -154,16 +179,29 @@ lex(const std::string &content)
         }
         if (isIdentStart(c)) {
             Token tok{TokenKind::Identifier, "", line};
-            while (i < n && isIdentChar(content[i]))
+            while (i < n) {
+                if (atSplice(i)) {
+                    // thr\<newline>ow is one identifier after phase 2.
+                    i = skipSplice(i);
+                    continue;
+                }
+                if (!isIdentChar(content[i]))
+                    break;
                 tok.text += content[i++];
+            }
             tokens.push_back(std::move(tok));
             continue;
         }
         if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
             Token tok{TokenKind::Number, "", line};
-            while (i < n &&
-                   (isIdentChar(content[i]) || content[i] == '.' ||
-                    content[i] == '\'')) {
+            while (i < n) {
+                if (atSplice(i)) {
+                    i = skipSplice(i);
+                    continue;
+                }
+                if (!(isIdentChar(content[i]) || content[i] == '.' ||
+                      content[i] == '\''))
+                    break;
                 const char d = content[i];
                 tok.text += d;
                 ++i;
@@ -172,6 +210,35 @@ lex(const std::string &content)
                     tok.text += content[i++];
             }
             tokens.push_back(std::move(tok));
+            continue;
+        }
+        // Digraphs translate in phase 3, before token formation:
+        // <% %> <: :> are { } [ ].  The C++11 carve-out keeps
+        // `vector<::std::string>` working: <:: followed by anything but
+        // ':' or '>' lexes as `<` `::`, not `[:`.
+        if (c == '<' && peek(1) == '%') {
+            tokens.push_back({TokenKind::Punct, "{", line});
+            i += 2;
+            continue;
+        }
+        if (c == '%' && peek(1) == '>') {
+            tokens.push_back({TokenKind::Punct, "}", line});
+            i += 2;
+            continue;
+        }
+        if (c == '<' && peek(1) == ':') {
+            if (peek(2) == ':' && peek(3) != ':' && peek(3) != '>') {
+                tokens.push_back({TokenKind::Punct, "<", line});
+                ++i;
+                continue;
+            }
+            tokens.push_back({TokenKind::Punct, "[", line});
+            i += 2;
+            continue;
+        }
+        if (c == ':' && peek(1) == '>') {
+            tokens.push_back({TokenKind::Punct, "]", line});
+            i += 2;
             continue;
         }
         // Punctuation.
@@ -218,7 +285,22 @@ ruleTable()
         {R8_Layering, "R8",
          "src/ module includes must follow the declared layering DAG "
          "(obs < util < dna/ecc < nn/codec/clustering/reconstruction < "
-         "simulator/wetlab < core < archive)"},
+         "simulator/wetlab < core < archive); stale exemptions flagged"},
+        {R9_NoThrowReach, "R9",
+         "no call path from Pipeline::run/runFromReads or a public "
+         "Archive method may reach a `throw` or a known-throwing stdlib "
+         "call (at/stoi/stod/substr) outside the allowlists; the "
+         "offending call chain is printed"},
+        {R10_AllocRatchet, "R10",
+         "transitive allocation-site counts of DNASTORE_HOT functions "
+         "(new, unreserved push_back, std::string temporaries, "
+         "std::function) are pinned in tools/dnalint_alloc_ratchet.txt "
+         "and may never increase"},
+        {R11_BlockingUnderLock, "R11",
+         "inside a MutexLock scope no call may transitively reach file "
+         "I/O, ThreadPool::submit or another mutex acquisition "
+         "(tools/dnalint_blocking_allowlist.txt holds the reviewed "
+         "exceptions)"},
     };
     return kTable;
 }
@@ -244,6 +326,21 @@ format(const Finding &finding)
     out += "] ";
     out += finding.message;
     return out;
+}
+
+const std::vector<std::string> &
+layeringExemptHeaders()
+{
+    // The layer-free annotation vocabulary: pure macro/vocabulary
+    // headers any module may include without creating a dependency
+    // edge.  Keep this list tiny — every entry must keep earning its
+    // exemption (checkProject flags entries that stop crossing layers).
+    static const std::vector<std::string> kExempt = {
+        "src/util/sync.hh",
+        "src/util/thread_annotations.hh",
+        "src/util/hot.hh",
+    };
+    return kExempt;
 }
 
 namespace
@@ -564,13 +661,21 @@ checkSeedAudit(const std::string &rel_path, const std::vector<Token> &tokens,
     }
 }
 
-/** The one sanctioned home of a bare std::mutex (R6) and the layer-free
- *  concurrency vocabulary (R8). */
+/** The one sanctioned home of a bare std::mutex (R6). */
 bool
 isSyncVocabularyHeader(const std::string &rel_path)
 {
     return rel_path == "src/util/sync.hh" ||
            rel_path == "src/util/thread_annotations.hh";
+}
+
+/** True when @p rel_path is an R8 layer-free vocabulary header. */
+bool
+isLayeringExempt(const std::string &rel_path)
+{
+    const std::vector<std::string> &exempt = layeringExemptHeaders();
+    return std::find(exempt.begin(), exempt.end(), rel_path) !=
+           exempt.end();
 }
 
 /** Mutex-ish type names whose variable declarations R6 audits. */
@@ -771,7 +876,7 @@ moduleRank(const std::string &module)
 
 void
 checkLayering(const std::string &rel_path, const std::vector<Token> &tokens,
-              std::vector<Finding> &findings)
+              std::vector<Finding> &findings, ProjectFacts *facts)
 {
     if (!startsWith(rel_path, "src/"))
         return;
@@ -791,8 +896,16 @@ checkLayering(const std::string &rel_path, const std::vector<Token> &tokens,
         const std::string inc = quotedIncludePath(tok.text);
         if (inc.empty())
             continue; // Angle include: system header, out of scope.
-        if (isSyncVocabularyHeader("src/" + inc))
-            continue; // Layer-free concurrency vocabulary.
+        if (isLayeringExempt("src/" + inc)) {
+            // Layer-free vocabulary.  Record when the exemption did
+            // real work (the include would otherwise cross the DAG) so
+            // checkProject can flag exemptions that have gone stale.
+            const std::string target = topDir(inc);
+            if (facts != nullptr && !target.empty() && target != self &&
+                moduleRank(target) >= self_rank)
+                facts->exempt_headers_crossing.insert("src/" + inc);
+            continue;
+        }
         const std::string target = topDir(inc);
         if (target.empty() || target == self)
             continue;
@@ -849,7 +962,7 @@ checkFile(const std::string &rel_path, const std::string &content,
     if ((rules & R7_AtomicOrder) != 0)
         checkAtomicOrder(rel_path, tokens, ctx, findings, facts);
     if ((rules & R8_Layering) != 0)
-        checkLayering(rel_path, tokens, findings);
+        checkLayering(rel_path, tokens, findings, facts);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
@@ -937,6 +1050,34 @@ checkProject(const LintContext &ctx, const ProjectFacts &facts,
                      "relaxed allowlist entry '" + entry +
                          "' is stale (file gone or no longer uses "
                          "memory_order_relaxed); remove it"});
+            }
+        }
+    }
+
+    // R8 exemption staleness (mirrors R2/R6/R7): only meaningful on a
+    // full-project run — with no src/ files in the context there is
+    // nothing for an exemption to be stale against.
+    const bool has_src_files =
+        std::any_of(ctx.project_files.begin(), ctx.project_files.end(),
+                    [](const std::string &f) {
+                        return f.rfind("src/", 0) == 0;
+                    });
+    if ((rules & R8_Layering) != 0 && has_src_files) {
+        for (const std::string &header : layeringExemptHeaders()) {
+            if (ctx.project_files.count(header) == 0) {
+                findings.push_back(
+                    {"", 0, R8_Layering,
+                     "layering-exempt header '" + header +
+                         "' no longer exists; remove it from "
+                         "layeringExemptHeaders() so the exemption "
+                         "list stays tight"});
+            } else if (facts.exempt_headers_crossing.count(header) == 0) {
+                findings.push_back(
+                    {"", 0, R8_Layering,
+                     "layering exemption for '" + header +
+                         "' is stale: no include of it crosses a layer "
+                         "boundary any more; drop the exemption (it "
+                         "now only widens the escape hatch)"});
             }
         }
     }

@@ -41,8 +41,22 @@
  *       (obs < util < dna/ecc < nn/codec/clustering/reconstruction <
  *       simulator/wetlab < core < archive); any #include that points
  *       upward or sideways across the DAG is a finding, with
- *       util/thread_annotations.hh + util/sync.hh exempt as the
- *       layer-free concurrency vocabulary.
+ *       util/thread_annotations.hh + util/sync.hh + util/hot.hh exempt
+ *       as the layer-free annotation vocabulary — and an exemption that
+ *       has gone stale (header deleted, or never included across a
+ *       layer boundary any more) is itself a finding;
+ *   R9  no-throw reachability (interprocedural, callgraph.hh): no call
+ *       path from Pipeline::run/runFromReads or a public Archive
+ *       method may reach a `throw` outside the R2 boundary whitelist
+ *       or a known-throwing stdlib call outside
+ *       tools/dnalint_nothrow_allowlist.txt;
+ *   R10 hot-path allocation ratchet (interprocedural): transitive
+ *       allocation-site counts of DNASTORE_HOT functions are pinned in
+ *       tools/dnalint_alloc_ratchet.txt and may never increase;
+ *   R11 blocking-under-lock (interprocedural): calls inside a
+ *       MutexLock scope must not transitively reach file I/O,
+ *       ThreadPool::submit or another mutex acquisition unless
+ *       justified in tools/dnalint_blocking_allowlist.txt.
  *
  * The library operates on (repo-relative path, file content) pairs plus
  * a LintContext describing the project, so every rule is unit-testable
@@ -52,6 +66,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -94,9 +109,14 @@ enum Rule : unsigned
     R6_LockDiscipline = 1U << 5,
     R7_AtomicOrder = 1U << 6,
     R8_Layering = 1U << 7,
+    R9_NoThrowReach = 1U << 8,
+    R10_AllocRatchet = 1U << 9,
+    R11_BlockingUnderLock = 1U << 10,
+    /** The interprocedural rules needing the call graph (callgraph.hh). */
+    GraphRules = R9_NoThrowReach | R10_AllocRatchet | R11_BlockingUnderLock,
     AllRules = R1_Nodiscard | R2_ThrowBoundary | R3_SelfContainment |
                R4_IncludeHygiene | R5_SeedAudit | R6_LockDiscipline |
-               R7_AtomicOrder | R8_Layering,
+               R7_AtomicOrder | R8_Layering | GraphRules,
 };
 
 /** Short name ("R1") and one-line description for --list-rules. */
@@ -136,6 +156,16 @@ struct LintContext
     /** R7: files reviewed to use memory_order_relaxed
      *  (tools/dnalint_relaxed_allowlist.txt). */
     std::set<std::string> relaxed_allowlist;
+    /** R9: "file:Qualified::Function" entries whose throwing stdlib
+     *  calls were reviewed as bounds-safe
+     *  (tools/dnalint_nothrow_allowlist.txt). */
+    std::set<std::string> nothrow_allowlist;
+    /** R11: "file:Qualified::Function" entries justified to block while
+     *  holding a lock (tools/dnalint_blocking_allowlist.txt). */
+    std::set<std::string> blocking_allowlist;
+    /** R10: checked-in per-hot-function allocation-site ceilings
+     *  (tools/dnalint_alloc_ratchet.txt). */
+    std::map<std::string, std::size_t> alloc_ratchet;
     /** True when cmake/HeaderSelfContainment.cmake exists and the
      *  top-level CMakeLists.txt includes it. */
     bool selfcontain_harness_wired = false;
@@ -151,7 +181,13 @@ struct ProjectFacts
     std::set<std::string> throw_files;
     std::set<std::string> relaxed_files;
     std::set<std::string> unguarded_mutexes; //!< "file:mutex_name".
+    /** R8: exempt vocabulary headers whose inclusion actually crossed a
+     *  layer boundary somewhere (exemption-staleness detection). */
+    std::set<std::string> exempt_headers_crossing;
 };
+
+/** The R8 layer-free vocabulary headers (exempt from the DAG). */
+const std::vector<std::string> &layeringExemptHeaders();
 
 /**
  * Run the per-file rules (R1, R2, R4, R5, R6, R7, R8) selected in

@@ -7,7 +7,9 @@
  * Exit status: 0 clean, 1 findings, 2 usage/environment error.
  */
 
+#include "dnalint/callgraph.hh"
 #include "dnalint/dnalint.hh"
+#include "dnalint/sarif.hh"
 
 #include <cstring>
 #include <filesystem>
@@ -25,14 +27,20 @@ namespace
 
 constexpr const char *kUsage =
     "usage: dnalint [--root DIR] [-p BUILD_DIR] [--allowlist FILE]\n"
-    "               [--rules R1,R2,...] [--list-rules] [FILE...]\n"
+    "               [--rules R1,R2,...] [--sarif FILE]\n"
+    "               [--alloc-baseline] [--list-rules] [FILE...]\n"
     "\n"
     "Project-contract static analysis for the DNA storage toolkit.\n"
     "With no FILE arguments, walks src/ tools/ bench/ examples/ tests/\n"
     "fuzz/ under --root (default: the current directory, ascending to\n"
     "the nearest directory containing tools/dnalint_throw_allowlist.txt\n"
     "or .git).  -p adds every 'file' entry of BUILD_DIR/\n"
-    "compile_commands.json that lies inside the root.\n";
+    "compile_commands.json that lies inside the root.\n"
+    "\n"
+    "--sarif FILE     also write findings as SARIF 2.1.0\n"
+    "--alloc-baseline print the computed DNASTORE_HOT allocation counts\n"
+    "                 in tools/dnalint_alloc_ratchet.txt format and exit\n"
+    "--rule is accepted as an alias for --rules.\n";
 
 /** Scanned trees, mirroring tools/lint.sh. */
 constexpr const char *kScanDirs[] = {"src",      "tools", "bench",
@@ -129,6 +137,32 @@ loadAllowlist(const fs::path &path, bool &ok)
     return allow;
 }
 
+/** "QualifiedName count" per line, comments and blanks as elsewhere. */
+std::map<std::string, std::size_t>
+loadRatchet(const fs::path &path)
+{
+    std::map<std::string, std::size_t> ratchet;
+    bool ok = false;
+    for (const std::string &entry : loadAllowlist(path, ok)) {
+        const std::size_t space = entry.find_last_of(" \t");
+        if (space == std::string::npos)
+            continue;
+        std::size_t name_end = space;
+        while (name_end > 0 && (entry[name_end - 1] == ' ' ||
+                                entry[name_end - 1] == '\t'))
+            --name_end;
+        try {
+            ratchet[entry.substr(0, name_end)] =
+                static_cast<std::size_t>(
+                    std::stoull(entry.substr(space + 1)));
+        } catch (const std::exception &) {
+            std::cerr << "dnalint: bad ratchet line '" << entry
+                      << "' in " << path.string() << "\n";
+        }
+    }
+    return ratchet;
+}
+
 unsigned
 parseRules(const std::string &spec, bool &ok)
 {
@@ -176,6 +210,8 @@ main(int argc, char **argv)
     fs::path root;
     fs::path build_dir;
     fs::path allowlist_path;
+    fs::path sarif_path;
+    bool alloc_baseline = false;
     unsigned rules = dnalint::AllRules;
     std::vector<std::string> explicit_files;
 
@@ -194,11 +230,15 @@ main(int argc, char **argv)
             build_dir = next();
         } else if (arg == "--allowlist") {
             allowlist_path = next();
-        } else if (arg == "--rules") {
+        } else if (arg == "--rules" || arg == "--rule") {
             bool ok = false;
             rules = parseRules(next(), ok);
             if (!ok)
                 return 2;
+        } else if (arg == "--sarif") {
+            sarif_path = next();
+        } else if (arg == "--alloc-baseline") {
+            alloc_baseline = true;
         } else if (arg == "--list-rules") {
             for (const dnalint::RuleInfo &info : dnalint::ruleTable())
                 std::cout << info.name << "  " << info.summary << "\n";
@@ -284,8 +324,8 @@ main(int argc, char **argv)
                   << "'; every `throw` under src/ will be flagged\n";
     }
 
-    // R6/R7 allowlists are optional: absent files mean empty lists, so
-    // every unannotated mutex / relaxed atomic is flagged.
+    // R6/R7/R9/R11 allowlists and the R10 ratchet are optional: absent
+    // files mean empty lists, so every violation is flagged.
     {
         bool ok = false;
         const std::vector<std::string> lock_entries = loadAllowlist(
@@ -295,6 +335,16 @@ main(int argc, char **argv)
             root / "tools" / "dnalint_relaxed_allowlist.txt", ok);
         ctx.relaxed_allowlist.insert(relaxed_entries.begin(),
                                      relaxed_entries.end());
+        const std::vector<std::string> nothrow_entries = loadAllowlist(
+            root / "tools" / "dnalint_nothrow_allowlist.txt", ok);
+        ctx.nothrow_allowlist.insert(nothrow_entries.begin(),
+                                     nothrow_entries.end());
+        const std::vector<std::string> blocking_entries = loadAllowlist(
+            root / "tools" / "dnalint_blocking_allowlist.txt", ok);
+        ctx.blocking_allowlist.insert(blocking_entries.begin(),
+                                      blocking_entries.end());
+        ctx.alloc_ratchet =
+            loadRatchet(root / "tools" / "dnalint_alloc_ratchet.txt");
     }
 
     {
@@ -309,6 +359,9 @@ main(int argc, char **argv)
 
     std::vector<dnalint::Finding> findings;
     dnalint::ProjectFacts facts;
+    std::vector<dnalint::FileFunctions> extracted;
+    const bool need_graph =
+        (rules & dnalint::GraphRules) != 0 || alloc_baseline;
     for (const auto &[rel, abs] : to_check) {
         bool ok = false;
         const std::string content = readFile(abs, ok);
@@ -320,6 +373,22 @@ main(int argc, char **argv)
             dnalint::checkFile(rel, content, ctx, rules, &facts);
         findings.insert(findings.end(), file_findings.begin(),
                         file_findings.end());
+        // The call graph covers src/ only: tools/tests/bench TUs have
+        // their own entry points and would drown the no-throw contract
+        // in CLI throw sites.  sync.hh is the lock vocabulary itself.
+        if (need_graph && rel.rfind("src/", 0) == 0 &&
+            rel != "src/util/sync.hh") {
+            extracted.push_back(
+                dnalint::extractFunctions(rel, dnalint::lex(content)));
+        }
+    }
+
+    if (alloc_baseline) {
+        const dnalint::CallGraph graph = dnalint::buildCallGraph(extracted);
+        for (const auto &[name, count] :
+             dnalint::computeAllocCounts(graph))
+            std::cout << name << " " << count << "\n";
+        return 0;
     }
 
     // Project-level checks only make sense over the full file set.
@@ -327,10 +396,24 @@ main(int argc, char **argv)
         std::vector<dnalint::Finding> project =
             dnalint::checkProject(ctx, facts, rules);
         findings.insert(findings.end(), project.begin(), project.end());
+        std::vector<dnalint::Finding> graph_findings =
+            dnalint::checkCallGraph(ctx, extracted, rules);
+        findings.insert(findings.end(), graph_findings.begin(),
+                        graph_findings.end());
     }
 
     for (const dnalint::Finding &finding : findings)
         std::cout << dnalint::format(finding) << "\n";
+
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path);
+        if (!out) {
+            std::cerr << "dnalint: cannot write SARIF to '"
+                      << sarif_path.string() << "'\n";
+            return 2;
+        }
+        out << dnalint::toSarif(findings);
+    }
 
     if (findings.empty()) {
         std::cout << "dnalint: OK (" << to_check.size() << " files, rules";

@@ -1,0 +1,133 @@
+#include "dnalint/sarif.hh"
+
+namespace dnalint
+{
+
+namespace
+{
+
+/** JSON string escape (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char *kHex = "0123456789abcdef";
+                out += "\\u00";
+                out += kHex[(c >> 4) & 0xF];
+                out += kHex[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Map a rule to the SARIF problem severity. */
+const char *
+sarifLevel(Rule rule)
+{
+    // Every dnalint finding gates CI, so everything is an error; the
+    // distinction SARIF consumers care about is error vs note, and a
+    // ratcheted count that *dropped* (R10 instructs an update) is the
+    // only advisory shape — but it still fails CI, so keep it error.
+    (void)rule;
+    return "error";
+}
+
+} // namespace
+
+std::string
+toSarif(const std::vector<Finding> &findings)
+{
+    std::string out;
+    out +=
+        "{\n"
+        "  \"$schema\": "
+        "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+        "Schemata/sarif-schema-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"dnalint\",\n"
+        "          \"informationUri\": "
+        "\"https://github.com/dnastore/dnastore\",\n"
+        "          \"rules\": [\n";
+
+    const std::vector<RuleInfo> &rules = ruleTable();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out += "            {\n";
+        out += "              \"id\": \"" +
+               jsonEscape(rules[i].name) + "\",\n";
+        out += "              \"shortDescription\": { \"text\": \"" +
+               jsonEscape(rules[i].summary) + "\" }\n";
+        out += "            }";
+        out += i + 1 < rules.size() ? ",\n" : "\n";
+    }
+    out +=
+        "          ]\n"
+        "        }\n"
+        "      },\n"
+        "      \"results\": [\n";
+
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out += "        {\n";
+        out += "          \"ruleId\": \"" +
+               jsonEscape(ruleName(f.rule)) + "\",\n";
+        out += "          \"level\": \"" +
+               std::string(sarifLevel(f.rule)) + "\",\n";
+        out += "          \"message\": { \"text\": \"" +
+               jsonEscape(f.message) + "\" }";
+        if (!f.file.empty()) {
+            out += ",\n          \"locations\": [\n";
+            out += "            {\n";
+            out += "              \"physicalLocation\": {\n";
+            out += "                \"artifactLocation\": { \"uri\": \"" +
+                   jsonEscape(f.file) + "\" }";
+            if (f.line > 0) {
+                out += ",\n                \"region\": { \"startLine\": " +
+                       std::to_string(f.line) + " }";
+            }
+            out += "\n              }\n";
+            out += "            }\n";
+            out += "          ]\n";
+        } else {
+            out += "\n";
+        }
+        out += "        }";
+        out += i + 1 < findings.size() ? ",\n" : "\n";
+    }
+
+    out +=
+        "      ],\n"
+        "      \"columnKind\": \"utf16CodeUnits\"\n"
+        "    }\n"
+        "  ]\n"
+        "}\n";
+    return out;
+}
+
+} // namespace dnalint

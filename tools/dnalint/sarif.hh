@@ -1,0 +1,26 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering of dnalint findings.
+ *
+ * One run, one tool ("dnalint"), every rule from ruleTable() listed as
+ * a reportingDescriptor, one result per finding with a physicalLocation
+ * (project-level findings carry no location).  The output validates
+ * against the sarif-2.1.0 schema; tools/check_sarif.py asserts the
+ * structural constraints in CI and github/codeql-action/upload-sarif
+ * turns the results into inline PR annotations.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnalint/dnalint.hh"
+
+namespace dnalint
+{
+
+/** Render findings as a complete SARIF 2.1.0 log (pretty-printed). */
+std::string toSarif(const std::vector<Finding> &findings);
+
+} // namespace dnalint

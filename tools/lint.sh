@@ -13,11 +13,15 @@
 #                                                 examples, tests, fuzz)
 #   tools/lint.sh --dnalint [--strict]            build and run the
 #                                                 project-contract checker
-#                                                 (rules R1-R8) plus the
+#                                                 (rules R1-R11) plus the
 #                                                 header self-containment
 #                                                 target; findings are
 #                                                 also written to
 #                                                 BUILD_DIR/dnalint-findings.txt
+#                                                 and, as SARIF 2.1.0, to
+#                                                 BUILD_DIR/dnalint.sarif
+#                                                 (validated with
+#                                                 tools/check_sarif.py)
 #
 # clang-tidy needs a compile_commands.json; the script configures one in
 # BUILD_DIR (default build-tidy; --dnalint uses build-dnalint).
@@ -110,14 +114,21 @@ fi
 
 case "$MODE" in
     dnalint)
-        # Project-contract checker (R1-R8) plus the generated header
+        # Project-contract checker (R1-R11) plus the generated header
         # self-containment target (R3's enforcement mechanism).  Only
         # needs CMake and the C++ toolchain, so it runs everywhere.
-        cmake -B "$BUILD_DIR" -S . \
-            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-            -DDNASTORE_BUILD_TESTS=OFF \
-            -DDNASTORE_BUILD_BENCH=OFF \
-            -DDNASTORE_BUILD_EXAMPLES=OFF > /dev/null || exit 1
+        # Bench TUs stay ON so the call-graph rules see every
+        # first-party translation unit CI compiles.  The configure step
+        # is skipped when a compile database already exists (CI caches
+        # BUILD_DIR keyed on the CMake files; incremental builds below
+        # stay correct either way).
+        if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+            cmake -B "$BUILD_DIR" -S . \
+                -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+                -DDNASTORE_BUILD_TESTS=OFF \
+                -DDNASTORE_BUILD_BENCH=ON \
+                -DDNASTORE_BUILD_EXAMPLES=OFF > /dev/null || exit 1
+        fi
         if ! cmake --build "$BUILD_DIR" --target dnalint \
             -j "$(nproc)" > /dev/null; then
             echo "lint.sh: dnalint failed to build" >&2
@@ -130,10 +141,18 @@ case "$MODE" in
         fi
         # Keep a copy of the findings so CI can attach them as an
         # artifact when the job fails (pipefail preserves dnalint's
-        # exit status through the tee).
+        # exit status through the tee), and a SARIF mirror for code
+        # scanning upload.
         set -o pipefail
-        if "$BUILD_DIR/tools/dnalint" --root . -p "$BUILD_DIR" 2>&1 |
-            tee "$BUILD_DIR/dnalint-findings.txt"; then
+        "$BUILD_DIR/tools/dnalint" --root . -p "$BUILD_DIR" \
+            --sarif "$BUILD_DIR/dnalint.sarif" 2>&1 |
+            tee "$BUILD_DIR/dnalint-findings.txt"
+        lint_status=$?
+        if ! python3 tools/check_sarif.py "$BUILD_DIR/dnalint.sarif"; then
+            echo "lint.sh: dnalint SARIF output failed validation" >&2
+            exit 1
+        fi
+        if [ "$lint_status" -eq 0 ]; then
             echo "lint.sh: dnalint OK"
             exit 0
         fi
