@@ -58,10 +58,52 @@ struct ModeResult
     bool ok = false;
 };
 
+/**
+ * Thread-pool attribution extracted from the retrieval metrics delta:
+ * how busy the workers were and how long tasks sat queued.  This is
+ * what turns a disappointing speedup number into a diagnosis (workers
+ * starved vs queue backed up vs pool never used).
+ */
+struct PoolAttribution
+{
+    double busy_fraction = 0.0;          //!< busy / (busy + idle).
+    double queue_wait_p99_seconds = 0.0; //!< enqueue -> dequeue p99.
+    std::uint64_t tasks = 0;
+    double utilization_max = 0.0; //!< Peak pool-utilization gauge.
+};
+
+PoolAttribution
+poolAttribution(const obs::MetricsSnapshot &delta)
+{
+    PoolAttribution out;
+    const auto counter = [&delta](const char *name) -> std::uint64_t {
+        const auto it = delta.counters.find(name);
+        return it == delta.counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t busy =
+        counter("util.thread_pool.busy_micros_total");
+    const std::uint64_t idle =
+        counter("util.thread_pool.idle_micros_total");
+    if (busy + idle > 0)
+        out.busy_fraction = static_cast<double>(busy) /
+                            static_cast<double>(busy + idle);
+    out.tasks = counter("util.thread_pool.tasks_total");
+    const auto hist =
+        delta.histograms.find("util.thread_pool.queue_wait_seconds");
+    if (hist != delta.histograms.end())
+        out.queue_wait_p99_seconds =
+            obs::histogramQuantile(hist->second, 0.99);
+    const auto gauge = delta.gauges.find("util.thread_pool.utilization");
+    if (gauge != delta.gauges.end())
+        out.utilization_max = gauge->second.max;
+    return out;
+}
+
 std::string
 benchJson(const std::vector<ModeResult> &modes, std::size_t object_bytes,
           std::size_t shards, double speedup,
-          const obs::MetricsSnapshot &metrics)
+          const obs::MetricsSnapshot &metrics,
+          const PoolAttribution &attribution)
 {
     obs::JsonWriter json;
     json.beginObject();
@@ -90,6 +132,17 @@ benchJson(const std::vector<ModeResult> &modes, std::size_t object_bytes,
     json.endArray();
     json.key("speedup");
     json.value(speedup);
+    json.key("attribution");
+    json.beginObject();
+    json.key("busy_fraction");
+    json.value(attribution.busy_fraction);
+    json.key("queue_wait_p99_seconds");
+    json.value(attribution.queue_wait_p99_seconds);
+    json.key("tasks");
+    json.value(std::uint64_t{attribution.tasks});
+    json.key("utilization_max");
+    json.value(attribution.utilization_max);
+    json.endObject();
     json.key("metrics");
     obs::writeMetricsValue(json, metrics);
     json.endObject();
@@ -178,6 +231,7 @@ main(int argc, char **argv)
     }
     const obs::MetricsSnapshot delta =
         obs::metrics().snapshot().delta(before);
+    const PoolAttribution attribution = poolAttribution(delta);
 
     const double speedup =
         modes[1].best_seconds > 0.0
@@ -196,7 +250,8 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         if (obs::writeTextFile(
                 json_path,
-                benchJson(modes, object_bytes, put.shards, speedup, delta)))
+                benchJson(modes, object_bytes, put.shards, speedup, delta,
+                          attribution)))
             std::cout << "wrote " << json_path << "\n";
         else
             std::cerr << "could not write " << json_path << "\n";
@@ -210,7 +265,12 @@ main(int argc, char **argv)
         speedup <= 1.5) {
         std::cerr << "FAIL: expected >1.5x speedup with " << threads
                   << " threads over " << put.shards << " shards on "
-                  << cores << " cores, got " << speedup << "x\n";
+                  << cores << " cores, got " << speedup << "x\n"
+                  << "attribution: workers busy "
+                  << Table::fmt(100.0 * attribution.busy_fraction, 1)
+                  << "% of pool time, queue-wait p99 <= "
+                  << attribution.queue_wait_p99_seconds << "s over "
+                  << attribution.tasks << " tasks\n";
         return 1;
     }
     if (cores < 2)

@@ -81,18 +81,39 @@ benchJson(const std::vector<ComboResult> &combos, std::size_t file_bytes)
         json.beginObject();
         json.key("encoding_seconds");
         json.value(combo.result.latency.encoding);
+        json.key("encoding_cpu_seconds");
+        json.value(combo.result.cpu.encoding);
         json.key("simulation_seconds");
         json.value(combo.result.latency.simulation);
+        json.key("simulation_cpu_seconds");
+        json.value(combo.result.cpu.simulation);
         json.key("clustering_seconds");
         json.value(combo.result.latency.clustering);
+        json.key("clustering_cpu_seconds");
+        json.value(combo.result.cpu.clustering);
         json.key("reconstruction_seconds");
         json.value(combo.result.latency.reconstruction);
+        json.key("reconstruction_cpu_seconds");
+        json.value(combo.result.cpu.reconstruction);
         json.key("decoding_seconds");
         json.value(combo.result.latency.decoding);
+        json.key("decoding_cpu_seconds");
+        json.value(combo.result.cpu.decoding);
         json.key("total_seconds");
         json.value(combo.result.latency.total() -
                    combo.result.latency.simulation);
+        json.key("total_cpu_seconds");
+        json.value(combo.result.cpu.total() -
+                   combo.result.cpu.simulation);
         json.endObject();
+        // Driving-thread CPU over wall for the paper-comparable total;
+        // < 1 means the run waited (I/O, scheduling, pool hand-offs).
+        const double wall_total = combo.result.latency.total() -
+                                  combo.result.latency.simulation;
+        const double cpu_total =
+            combo.result.cpu.total() - combo.result.cpu.simulation;
+        json.key("utilization");
+        json.value(wall_total > 0.0 ? cpu_total / wall_total : 0.0);
         json.key("dropped_clusters");
         json.value(std::uint64_t{combo.result.dropped_clusters});
         json.key("round_trip_ok");

@@ -16,6 +16,7 @@
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/span.hh"
+#include "obs/stage_tag.hh"
 #include "reconstruction/bma.hh"
 #include "reconstruction/nw_consensus.hh"
 #include "simulator/iid_channel.hh"
@@ -373,6 +374,7 @@ Archive::put(const std::string &name, const std::vector<std::uint8_t> &data,
              std::size_t num_threads)
 {
     obs::Span span("archive/put");
+    obs::StageTagScope tag("archive.put");
     PutResult result;
     if (name.empty()) {
         result.status = ArchiveStatus::InvalidArgument;
@@ -501,6 +503,7 @@ Archive::decodeShard(const ShardEntry &shard, const RetrievalConfig &config,
                      ShardOutcome &outcome) const
 {
     obs::Span span("archive/shard_decode");
+    obs::StageTagScope tag("archive.shard_decode");
     outcome.pair_id = shard.pair_id;
     try {
         const PrimerPair pair = publishedLibrary().pairFor(shard.pair_id);
@@ -608,6 +611,7 @@ GetResult
 Archive::get(const std::string &name, const RetrievalConfig &config) const
 {
     obs::Span span("archive/get");
+    obs::StageTagScope tag("archive.get");
     GetResult result;
     const ObjectEntry *object = manifest_.findObject(name);
     if (object == nullptr) {

@@ -260,7 +260,7 @@ class Archive
     /** Guards library_'s lazy design from concurrent const callers;
      *  heap-allocated so Archive stays movable. */
     mutable std::unique_ptr<Mutex> library_mutex_ =
-        std::make_unique<Mutex>();
+        std::make_unique<Mutex>("archive.library");
     /** Lazily (re)designed primer cache; see ensurePairs. */
     mutable std::optional<PrimerLibrary> library_
         DNASTORE_GUARDED_BY(*library_mutex_);

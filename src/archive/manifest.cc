@@ -4,7 +4,6 @@
 
 #include "archive/json_reader.hh"
 #include "obs/json.hh"
-#include "obs/report.hh"
 #include "util/crc32.hh"
 
 namespace dnastore::archive
@@ -334,7 +333,7 @@ manifestJson(const ArchiveManifest &m)
     out += ",\"payload\":";
     out += payload;
     out += ",\"schema\":\"dnastore.archive_manifest\",\"schema_version\":";
-    out += std::to_string(obs::kSchemaVersion);
+    out += std::to_string(kManifestSchemaVersion);
     out += "}";
     return out;
 }
@@ -357,7 +356,7 @@ tryParseManifest(std::string_view text)
     std::uint64_t version = 0;
     if (!readUint(*doc, "schema_version", version, result.error))
         return result;
-    if (version != static_cast<std::uint64_t>(obs::kSchemaVersion)) {
+    if (version != std::uint64_t{kManifestSchemaVersion}) {
         result.error =
             "unsupported schema_version " + std::to_string(version);
         return result;

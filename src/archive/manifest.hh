@@ -34,6 +34,14 @@ namespace dnastore::archive
 /** Primer pair id reserved for the DNA-encoded manifest object. */
 inline constexpr std::uint32_t kManifestPairId = 0;
 
+/**
+ * On-disk manifest format version.  Deliberately independent of
+ * obs::kSchemaVersion: report documents may evolve freely, but bumping
+ * this invalidates every stored archive, so it moves only when the
+ * manifest payload layout itself changes.
+ */
+inline constexpr std::uint32_t kManifestSchemaVersion = 1;
+
 /** One shard of an object: an independent codec run under its own pair. */
 struct ShardEntry
 {

@@ -125,7 +125,7 @@ RashtchianClusterer::cluster(const std::vector<Strand> &reads)
     UnionFind dsu(reads.size());
     // Guards the shared UnionFind across bucket workers.  A local can
     // carry no DNASTORE_GUARDED_BY peer, so R6 allowlists this one.
-    Mutex dsu_mutex;
+    Mutex dsu_mutex{"clustering.dsu"};
     std::atomic<std::size_t> sig_comparisons{0};
     std::atomic<std::size_t> edit_calls{0};
     std::atomic<std::size_t> merges{0};

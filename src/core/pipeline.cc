@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "clustering/accuracy.hh"
+#include "obs/cpu_time.hh"
 #include "obs/span.hh"
+#include "obs/stage_tag.hh"
 #include "simulator/sequencing_run.hh"
 #include "util/assert.hh"
 #include "util/timer.hh"
@@ -211,6 +213,9 @@ Pipeline::run(const std::vector<std::uint8_t> &data)
 {
     PipelineResult result;
     const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    const obs::locktime::ContentionSnapshot contention_before =
+        obs::locktime::contentionSnapshot();
+    const obs::alloc::AllocSnapshot alloc_before = obs::alloc::allocSnapshot();
     {
         obs::Span run_span("pipeline/run");
         try {
@@ -225,6 +230,9 @@ Pipeline::run(const std::vector<std::uint8_t> &data)
         result.faults = mods.fault_injector->counters();
     publishRunMetrics(result);
     result.metrics = obs::metrics().snapshot().delta(before);
+    result.contention =
+        obs::locktime::contentionSnapshot().delta(contention_before);
+    result.alloc = obs::alloc::allocSnapshot().delta(alloc_before);
     return result;
 }
 
@@ -251,12 +259,15 @@ Pipeline::runImpl(const std::vector<std::uint8_t> &data,
     }
 
     WallTimer timer;
+    obs::ThreadCpuTimer cpu_timer;
 
     // Stage 1: encoding (+ ECC).
     timer.reset();
+    cpu_timer.reset();
     std::vector<Strand> encoded;
     try {
         obs::Span span("pipeline/encoding");
+        obs::StageTagScope tag("encoding");
         encoded = mods.encoder->encode(data);
         result.status.encoding = StageStatus::Ok;
     } catch (const std::exception &error) {
@@ -269,6 +280,7 @@ Pipeline::runImpl(const std::vector<std::uint8_t> &data,
         return;
     }
     result.latency.encoding = timer.seconds();
+    result.cpu.encoding = cpu_timer.seconds();
     result.encoded_strands = encoded.size();
     if (encoded.empty())
         return;
@@ -283,9 +295,11 @@ Pipeline::runImpl(const std::vector<std::uint8_t> &data,
 
     // Stage 2: wetlab simulation (synthesis, storage, sequencing).
     timer.reset();
+    cpu_timer.reset();
     SequencingRun run;
     try {
         obs::Span span("pipeline/simulation");
+        obs::StageTagScope tag("simulation");
         run = simulateSequencing(encoded, *mods.channel, cfg.coverage, rng);
         result.status.simulation = StageStatus::Ok;
     } catch (const std::exception &error) {
@@ -297,6 +311,7 @@ Pipeline::runImpl(const std::vector<std::uint8_t> &data,
         result.status.simulation = StageStatus::Failed;
     }
     result.latency.simulation = timer.seconds();
+    result.cpu.simulation = cpu_timer.seconds();
     result.dropped_strands = run.dropped_strands;
 
     // Sequencing faults: truncation, elongation, corrupt indices, junk.
@@ -318,6 +333,9 @@ Pipeline::runFromReads(const std::vector<Strand> &reads,
 {
     PipelineResult result;
     const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    const obs::locktime::ContentionSnapshot contention_before =
+        obs::locktime::contentionSnapshot();
+    const obs::alloc::AllocSnapshot alloc_before = obs::alloc::allocSnapshot();
     obs::Span run_span("pipeline/run_from_reads");
     try {
         bool missing = false;
@@ -357,6 +375,9 @@ Pipeline::runFromReads(const std::vector<Strand> &reads,
         result.faults = mods.fault_injector->counters();
     publishRunMetrics(result);
     result.metrics = obs::metrics().snapshot().delta(before);
+    result.contention =
+        obs::locktime::contentionSnapshot().delta(contention_before);
+    result.alloc = obs::alloc::allocSnapshot().delta(alloc_before);
     return result;
 }
 
@@ -368,6 +389,7 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
                    PipelineResult &result)
 {
     WallTimer timer;
+    obs::ThreadCpuTimer cpu_timer;
 
     // Pre-clustering sanitation: wetlab data (and the garbage-read
     // fault) contains empty or non-ACGT reads that the similarity
@@ -399,9 +421,11 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
 
     // Stage 3: clustering.
     timer.reset();
+    cpu_timer.reset();
     Clustering clustering;
     try {
         obs::Span span("pipeline/clustering");
+        obs::StageTagScope tag("clustering");
         clustering = mods.clusterer->cluster(*use_reads);
         result.status.clustering = StageStatus::Ok;
     } catch (const std::exception &error) {
@@ -422,6 +446,7 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
         }
     }
     result.latency.clustering = timer.seconds();
+    result.cpu.clustering = cpu_timer.seconds();
     result.clusters = clustering.numClusters();
     if (result.malformed_reads > 0)
         degradeTo(result.status.clustering, StageStatus::Degraded);
@@ -439,6 +464,7 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
     // Materialise every non-empty cluster; size filtering happens per
     // decode attempt so the recovery policy can relax it.
     timer.reset();
+    cpu_timer.reset();
     std::vector<std::vector<Strand>> groups;
     std::vector<std::vector<std::uint32_t>> group_origins;
     groups.reserve(clustering.clusters.size());
@@ -488,10 +514,12 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
     result.status.reconstruction = StageStatus::Ok;
     auto [reconstructed, kept] = [&] {
         obs::Span span("pipeline/reconstruction");
+        obs::StageTagScope tag("reconstruction");
         return reconstructSalvaging(*mods.reconstructor, groups, selection,
                                     strand_length, cfg.num_threads, result);
     }();
     result.latency.reconstruction = timer.seconds();
+    result.cpu.reconstruction = cpu_timer.seconds();
 
     // Ground-truth reconstruction quality: a cluster reconstructs
     // "perfectly" when its consensus equals the encoded strand that a
@@ -525,29 +553,37 @@ Pipeline::retrieve(const std::vector<Strand> &reads,
 
     // Stage 5: decoding and error correction.
     timer.reset();
+    cpu_timer.reset();
     result.status.decoding = StageStatus::Ok;
     {
         obs::Span span("pipeline/decoding");
+        obs::StageTagScope tag("decoding");
         result.report = decodeGuarded(*mods.decoder, reconstructed,
                                       expected_units, result);
     }
     result.latency.decoding = timer.seconds();
+    result.cpu.decoding = cpu_timer.seconds();
 
     // Recovery policy: bounded retries with degraded settings.
     std::size_t budget = cfg.max_decode_retries;
     const auto attempt = [&](const std::string &description,
                              const Reconstructor &algo, std::size_t min) {
         obs::Span span("pipeline/recovery_attempt");
+        obs::StageTagScope stage_tag("recovery");
         WallTimer retry_timer;
+        obs::ThreadCpuTimer retry_cpu_timer;
         auto [consensus, retry_kept] = reconstructSalvaging(
             algo, groups, select(min), strand_length, cfg.num_threads,
             result);
         (void)retry_kept;
         result.latency.reconstruction += retry_timer.seconds();
+        result.cpu.reconstruction += retry_cpu_timer.seconds();
         retry_timer.reset();
+        retry_cpu_timer.reset();
         DecodeReport report =
             decodeGuarded(*mods.decoder, consensus, expected_units, result);
         result.latency.decoding += retry_timer.seconds();
+        result.cpu.decoding += retry_cpu_timer.seconds();
         result.recovery_attempts.push_back(RecoveryAttempt{
             description, report.ok, report.failed_rows});
         if (report.ok) {

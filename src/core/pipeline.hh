@@ -23,6 +23,8 @@
 #include "clustering/clusterer.hh"
 #include "codec/codec.hh"
 #include "core/fault.hh"
+#include "obs/alloc_profiler.hh"
+#include "obs/lock_timing.hh"
 #include "obs/metrics.hh"
 #include "reconstruction/reconstructor.hh"
 #include "simulator/channel.hh"
@@ -95,6 +97,14 @@ struct PipelineResult
 {
     DecodeReport report;       //!< Final decode outcome.
     StageLatency latency;
+    /**
+     * Per-stage thread-CPU time (CLOCK_THREAD_CPUTIME_ID) of the thread
+     * driving the stage.  cpu/wall is the stage's utilization: near 1.0
+     * means compute-bound on the driving thread, near 0.0 means the
+     * thread mostly waited — worker CPU shows up in the
+     * `util.thread_pool.task_cpu_seconds` histogram instead.
+     */
+    StageLatency cpu;
     StageStatusSet status;     //!< Per-stage outcome taxonomy.
     std::vector<PipelineError> errors; //!< Caught module failures.
 
@@ -127,6 +137,18 @@ struct PipelineResult
      * the machine-readable run report (core/run_report.hh).
      */
     obs::MetricsSnapshot metrics;
+
+    /**
+     * Per-run delta of the lock-contention registry (empty unless
+     * contention profiling is armed, obs/lock_timing.hh).
+     */
+    obs::locktime::ContentionSnapshot contention;
+
+    /**
+     * Per-run delta of the allocation-attribution table (empty unless
+     * allocation profiling is armed, obs/alloc_profiler.hh).
+     */
+    obs::alloc::AllocSnapshot alloc;
 };
 
 /** Module wiring for one pipeline instance. */

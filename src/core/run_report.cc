@@ -1,6 +1,8 @@
 #include "core/run_report.hh"
 
+#include "obs/alloc_profiler.hh"
 #include "obs/json.hh"
+#include "obs/lock_timing.hh"
 #include "obs/report.hh"
 
 namespace dnastore
@@ -11,14 +13,81 @@ namespace
 
 void
 writeStage(obs::JsonWriter &json, const char *name, StageStatus status,
-           double seconds)
+           double seconds, double cpu_seconds)
 {
     json.key(name);
     json.beginObject();
-    json.key("status");
-    json.value(stageStatusName(status));
+    json.key("cpu_seconds");
+    json.value(cpu_seconds);
     json.key("seconds");
     json.value(seconds);
+    json.key("status");
+    json.value(stageStatusName(status));
+    json.key("utilization");
+    // cpu/wall of the driving thread; sub-resolution stages report 0
+    // rather than a division-noise ratio.
+    json.value(seconds > 0.0 ? cpu_seconds / seconds : 0.0);
+    json.endObject();
+}
+
+void
+writeContention(obs::JsonWriter &json,
+                const obs::locktime::ContentionSnapshot &contention)
+{
+    json.beginObject();
+    json.key("enabled");
+    json.value(contention.enabled);
+    json.key("mutexes");
+    json.beginObject();
+    for (const obs::locktime::MutexWaitSnapshot &m : contention.mutexes) {
+        json.key(m.name);
+        json.beginObject();
+        json.key("count");
+        json.value(m.total_count);
+        json.key("counts");
+        json.beginArray();
+        for (const std::uint64_t c : m.counts)
+            json.value(c);
+        json.endArray();
+        json.key("sum_seconds");
+        json.value(m.sum_seconds);
+        json.key("upper_bounds");
+        json.beginArray();
+        for (const double bound : obs::locktime::waitBucketBoundsSeconds())
+            json.value(bound);
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+    json.key("sample_every");
+    json.value(std::uint64_t{contention.sample_every});
+    json.endObject();
+}
+
+void
+writeAlloc(obs::JsonWriter &json, const obs::alloc::AllocSnapshot &alloc)
+{
+    json.beginObject();
+    json.key("enabled");
+    json.value(alloc.enabled);
+    json.key("sample_every");
+    json.value(std::uint64_t{alloc.sample_every});
+    json.key("stages");
+    json.beginObject();
+    for (const obs::alloc::StageAllocSnapshot &s : alloc.stages) {
+        json.key(s.stage);
+        json.beginObject();
+        json.key("estimated_allocs");
+        json.value(s.estimated_allocs);
+        json.key("estimated_bytes");
+        json.value(s.estimated_bytes);
+        json.key("sampled_allocs");
+        json.value(s.sampled_allocs);
+        json.key("sampled_bytes");
+        json.value(s.sampled_bytes);
+        json.endObject();
+    }
+    json.endObject();
     json.endObject();
 }
 
@@ -46,12 +115,19 @@ runReportJson(const PipelineResult &result, const RunInfo &info)
     json.beginObject();
     const StageStatusSet &status = result.status;
     const StageLatency &latency = result.latency;
-    writeStage(json, "encoding", status.encoding, latency.encoding);
-    writeStage(json, "simulation", status.simulation, latency.simulation);
-    writeStage(json, "clustering", status.clustering, latency.clustering);
+    const StageLatency &cpu = result.cpu;
+    writeStage(json, "encoding", status.encoding, latency.encoding,
+               cpu.encoding);
+    writeStage(json, "simulation", status.simulation, latency.simulation,
+               cpu.simulation);
+    writeStage(json, "clustering", status.clustering, latency.clustering,
+               cpu.clustering);
     writeStage(json, "reconstruction", status.reconstruction,
-               latency.reconstruction);
-    writeStage(json, "decoding", status.decoding, latency.decoding);
+               latency.reconstruction, cpu.reconstruction);
+    writeStage(json, "decoding", status.decoding, latency.decoding,
+               cpu.decoding);
+    json.key("total_cpu_seconds");
+    json.value(cpu.total());
     json.key("total_seconds");
     json.value(latency.total());
     json.endObject();
@@ -145,6 +221,12 @@ runReportJson(const PipelineResult &result, const RunInfo &info)
 
     json.key("metrics");
     obs::writeMetricsValue(json, result.metrics);
+
+    json.key("contention");
+    writeContention(json, result.contention);
+
+    json.key("alloc");
+    writeAlloc(json, result.alloc);
 
     json.endObject();
     return json.text();

@@ -1,0 +1,369 @@
+#include "obs/alloc_profiler.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "obs/stage_tag.hh"
+
+namespace dnastore::obs::alloc
+{
+
+namespace detail
+{
+std::atomic<int> g_state{kUnconfigured};
+} // namespace detail
+
+namespace
+{
+
+constexpr std::size_t kMaxStages = 64;
+
+std::atomic<std::uint32_t> g_sample_every{1};
+
+/** One stage tag's attribution; claimed by CAS on `tag`. */
+struct Slot
+{
+    std::atomic<const char *> tag{nullptr};
+    std::atomic<std::uint64_t> allocs{0};
+    std::atomic<std::uint64_t> bytes{0};
+};
+
+Slot g_slots[kMaxStages];
+
+/** Samples attributed to tags beyond the slot table. */
+std::atomic<std::uint64_t> g_dropped{0};
+
+Slot *
+findOrClaim(const char *tag)
+{
+    for (Slot &slot : g_slots) {
+        const char *have = slot.tag.load(std::memory_order_acquire);
+        if (have == nullptr) {
+            const char *expected = nullptr;
+            if (slot.tag.compare_exchange_strong(
+                    expected, tag, std::memory_order_acq_rel))
+                return &slot;
+            have = expected;
+        }
+        if (have == tag || std::strcmp(have, tag) == 0)
+            return &slot;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+namespace detail
+{
+
+bool
+bootstrap()
+{
+    // Racing first calls may both parse the env; both write the same
+    // result, so the last store winning is benign.
+    const char *env = std::getenv("DNASTORE_PROFILE_ALLOC");
+    std::uint64_t every = 0;
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        every = std::strtoull(env, &end, 10);
+        if (end == nullptr || *end != '\0')
+            every = 0;
+    }
+    if (every == 0) {
+        g_state.store(kDisabled, std::memory_order_relaxed);
+        return false;
+    }
+    g_sample_every.store(static_cast<std::uint32_t>(
+                             std::min<std::uint64_t>(every, 1u << 20)),
+                         std::memory_order_relaxed);
+    g_state.store(kEnabled, std::memory_order_relaxed);
+    return true;
+}
+
+void
+record(std::size_t bytes)
+{
+    const std::uint32_t every =
+        g_sample_every.load(std::memory_order_relaxed);
+    if (every > 1) {
+        thread_local std::uint32_t tick = 0;
+        if (++tick % every != 0)
+            return;
+    }
+    const char *tag = currentStageTag();
+    if (*tag == '\0')
+        tag = "untagged";
+    Slot *slot = findOrClaim(tag);
+    if (slot == nullptr) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    slot->allocs.fetch_add(1, std::memory_order_relaxed);
+    slot->bytes.fetch_add(static_cast<std::uint64_t>(bytes),
+                          std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void
+enable(std::uint32_t sample_every)
+{
+    g_sample_every.store(sample_every == 0 ? 1 : sample_every,
+                         std::memory_order_relaxed);
+    detail::g_state.store(detail::kEnabled, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    detail::g_state.store(detail::kDisabled, std::memory_order_relaxed);
+}
+
+std::uint32_t
+sampleEvery()
+{
+    return g_sample_every.load(std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    detail::g_state.store(detail::kDisabled, std::memory_order_relaxed);
+    g_sample_every.store(1, std::memory_order_relaxed);
+    g_dropped.store(0, std::memory_order_relaxed);
+    for (Slot &slot : g_slots) {
+        slot.tag.store(nullptr, std::memory_order_release);
+        slot.allocs.store(0, std::memory_order_relaxed);
+        slot.bytes.store(0, std::memory_order_relaxed);
+    }
+}
+
+AllocSnapshot
+allocSnapshot()
+{
+    AllocSnapshot snapshot;
+    snapshot.enabled = enabled();
+    snapshot.sample_every = sampleEvery();
+    const std::uint64_t scale = snapshot.sample_every;
+    for (const Slot &slot : g_slots) {
+        const char *tag = slot.tag.load(std::memory_order_acquire);
+        if (tag == nullptr)
+            continue;
+        StageAllocSnapshot s;
+        s.stage = tag;
+        s.sampled_allocs = slot.allocs.load(std::memory_order_relaxed);
+        s.sampled_bytes = slot.bytes.load(std::memory_order_relaxed);
+        s.estimated_allocs = s.sampled_allocs * scale;
+        s.estimated_bytes = s.sampled_bytes * scale;
+        snapshot.stages.push_back(std::move(s));
+    }
+    std::sort(snapshot.stages.begin(), snapshot.stages.end(),
+              [](const StageAllocSnapshot &a, const StageAllocSnapshot &b) {
+                  return a.stage < b.stage;
+              });
+    return snapshot;
+}
+
+AllocSnapshot
+AllocSnapshot::delta(const AllocSnapshot &before) const
+{
+    AllocSnapshot out;
+    out.enabled = enabled;
+    out.sample_every = sample_every;
+    for (const StageAllocSnapshot &after : stages) {
+        const auto it = std::find_if(
+            before.stages.begin(), before.stages.end(),
+            [&after](const StageAllocSnapshot &s) {
+                return s.stage == after.stage;
+            });
+        StageAllocSnapshot d = after;
+        if (it != before.stages.end()) {
+            d.sampled_allocs = d.sampled_allocs > it->sampled_allocs
+                ? d.sampled_allocs - it->sampled_allocs
+                : 0;
+            d.sampled_bytes = d.sampled_bytes > it->sampled_bytes
+                ? d.sampled_bytes - it->sampled_bytes
+                : 0;
+            d.estimated_allocs = d.sampled_allocs * sample_every;
+            d.estimated_bytes = d.sampled_bytes * sample_every;
+        }
+        if (d.sampled_allocs > 0 || d.sampled_bytes > 0)
+            out.stages.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace dnastore::obs::alloc
+
+// ---------------------------------------------------------------------
+// Replacement global allocation functions.  The full matched set is
+// provided so profiled and unprofiled paths can never pair a custom
+// new with a default delete.  Frees are deliberately not tracked: a
+// free cannot be attributed to a size or stage without a per-block
+// header, and the profiler's question is "who allocates", not "who
+// leaks" (sanitizers own that).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void *
+profiledAlloc(std::size_t size)
+{
+    // malloc(0) may return nullptr legally; operator new must not.
+    void *p = std::malloc(size == 0 ? 1 : size);
+    if (p != nullptr)
+        dnastore::obs::alloc::noteAllocation(size);
+    return p;
+}
+
+void *
+profiledAlignedAlloc(std::size_t size, std::size_t align)
+{
+    void *p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void *) ? sizeof(void *) : align,
+                       size == 0 ? 1 : size) != 0)
+        return nullptr;
+    dnastore::obs::alloc::noteAllocation(size);
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    void *p = profiledAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = profiledAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return profiledAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return profiledAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = profiledAlignedAlloc(size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = profiledAlignedAlloc(size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return profiledAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return profiledAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}

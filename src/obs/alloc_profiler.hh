@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Sampling allocation profiler: attributes heap allocations (count and
+ * bytes) to the active thread-local stage tag (obs/stage_tag.hh), so a
+ * run report can say "reconstruction allocated 400 MB in 2M calls"
+ * before the arena work attacks it.
+ *
+ * The hook lives in the replacement global operator new (defined in
+ * alloc_profiler.cc); when profiling is disabled — the default — each
+ * allocation pays one relaxed atomic load, the crashpoint-style
+ * tri-state gate shared with obs/lock_timing.hh.  Enable with the
+ * DNASTORE_PROFILE_ALLOC environment variable (unset/0 = off, 1 =
+ * record every allocation, N = record every Nth per thread, scaling
+ * totals back up at snapshot time) or programmatically with enable().
+ *
+ * Recording is allocation free and lock free (fixed slot table, CAS
+ * claimed by tag pointer), so it is safe inside operator new itself.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnastore::obs::alloc
+{
+
+namespace detail
+{
+/** Tri-state gate: bootstrap pending / disabled / enabled. */
+inline constexpr int kUnconfigured = 0;
+inline constexpr int kDisabled = 1;
+inline constexpr int kEnabled = 2;
+extern std::atomic<int> g_state;
+
+/** One-time env bootstrap; returns the resulting enabled state. */
+bool bootstrap();
+
+/** Sample + attribute one allocation (enabled path only). */
+void record(std::size_t bytes);
+} // namespace detail
+
+/**
+ * True when allocation profiling is armed.  Disabled cost: one relaxed
+ * atomic load (after the one-time env bootstrap on the first call).
+ */
+inline bool
+enabled()
+{
+    const int state = detail::g_state.load(std::memory_order_relaxed);
+    if (state == detail::kDisabled)
+        return false;
+    if (state == detail::kEnabled)
+        return true;
+    return detail::bootstrap();
+}
+
+/**
+ * The operator-new hook.  Inlined so the disabled path is branch +
+ * relaxed load with no function call.
+ */
+inline void
+noteAllocation(std::size_t bytes)
+{
+    if (enabled())
+        detail::record(bytes);
+}
+
+/** Arm profiling, recording every @p sample_every-th allocation per
+ *  thread (1 = every allocation; 0 is treated as 1). */
+void enable(std::uint32_t sample_every = 1);
+
+/** Disarm profiling (recorded attribution is kept). */
+void disable();
+
+/** Current per-thread sampling interval. */
+std::uint32_t sampleEvery();
+
+/** Disarm and zero all recorded attribution (tests and benchmarks). */
+void reset();
+
+/** Attribution for one stage tag ("untagged" collects unscoped work). */
+struct StageAllocSnapshot
+{
+    std::string stage;
+    std::uint64_t sampled_allocs = 0;
+    std::uint64_t sampled_bytes = 0;
+    std::uint64_t estimated_allocs = 0; //!< sampled * sample_every.
+    std::uint64_t estimated_bytes = 0;  //!< sampled * sample_every.
+};
+
+/** Point-in-time copy of the whole allocation-attribution table. */
+struct AllocSnapshot
+{
+    bool enabled = false;
+    std::uint32_t sample_every = 1;
+    std::vector<StageAllocSnapshot> stages; //!< Sorted by stage.
+
+    /**
+     * Per-run delta: sampled and estimated totals become (this -
+     * before), clamped at zero; stages whose delta is all-zero are
+     * dropped.
+     */
+    [[nodiscard]] AllocSnapshot delta(const AllocSnapshot &before) const;
+};
+
+/** Copy the current attribution table (sorted by stage tag). */
+[[nodiscard]] AllocSnapshot allocSnapshot();
+
+} // namespace dnastore::obs::alloc

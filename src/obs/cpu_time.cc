@@ -1,0 +1,33 @@
+#include "obs/cpu_time.hh"
+
+#include <ctime>
+
+namespace dnastore::obs
+{
+
+std::uint64_t
+threadCpuNanos()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+        static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+    return 0;
+#endif
+}
+
+bool
+threadCpuClockAvailable()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    return clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace dnastore::obs

@@ -31,7 +31,7 @@ struct PointState
     std::uint64_t hits = 0;     //!< Hits observed since configure.
 };
 
-Mutex g_mutex;
+Mutex g_mutex{"obs.crashpoint"};
 std::map<std::string, PointState, std::less<>> g_points
     DNASTORE_GUARDED_BY(g_mutex);
 std::uint64_t g_seed DNASTORE_GUARDED_BY(g_mutex) = 0xc4a5ULL;

@@ -1,0 +1,234 @@
+#include "obs/lock_timing.hh"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace dnastore::obs::locktime
+{
+
+namespace detail
+{
+std::atomic<int> g_state{kUnconfigured};
+} // namespace detail
+
+namespace
+{
+
+// Wait-time ladder in nanoseconds: 1us .. 1s, then overflow.
+constexpr std::array<std::uint64_t, 7> kBoundsNs = {
+    1000ull,       10000ull,      100000ull,    1000000ull,
+    10000000ull,   100000000ull,  1000000000ull,
+};
+constexpr std::size_t kNumBuckets = kBoundsNs.size() + 1;
+constexpr std::size_t kMaxMutexes = 32;
+
+std::atomic<std::uint32_t> g_sample_every{1};
+
+/** One named mutex's wait histogram; claimed by CAS on `name`. */
+struct Slot
+{
+    std::atomic<const char *> name{nullptr};
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> bins{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+};
+
+Slot g_slots[kMaxMutexes];
+
+/** Waits on mutexes beyond the slot table (never silently lost). */
+std::atomic<std::uint64_t> g_dropped{0};
+
+Slot *
+findOrClaim(const char *name)
+{
+    for (Slot &slot : g_slots) {
+        const char *have = slot.name.load(std::memory_order_acquire);
+        if (have == nullptr) {
+            const char *expected = nullptr;
+            if (slot.name.compare_exchange_strong(
+                    expected, name, std::memory_order_acq_rel))
+                return &slot;
+            have = expected;
+        }
+        if (have == name || std::strcmp(have, name) == 0)
+            return &slot;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+namespace detail
+{
+
+bool
+bootstrap()
+{
+    // Racing first calls may both parse the env; both write the same
+    // result, so the CAS-free store is benign.
+    const char *env = std::getenv("DNASTORE_PROFILE_LOCKS");
+    std::uint64_t every = 0;
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        every = std::strtoull(env, &end, 10);
+        if (end == nullptr || *end != '\0')
+            every = 0;
+    }
+    if (every == 0) {
+        g_state.store(kDisabled, std::memory_order_relaxed);
+        return false;
+    }
+    g_sample_every.store(static_cast<std::uint32_t>(
+                             std::min<std::uint64_t>(every, 1u << 20)),
+                         std::memory_order_relaxed);
+    g_state.store(kEnabled, std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace detail
+
+void
+enable(std::uint32_t sample_every)
+{
+    g_sample_every.store(sample_every == 0 ? 1 : sample_every,
+                         std::memory_order_relaxed);
+    detail::g_state.store(detail::kEnabled, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    detail::g_state.store(detail::kDisabled, std::memory_order_relaxed);
+}
+
+std::uint32_t
+sampleEvery()
+{
+    return g_sample_every.load(std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    detail::g_state.store(detail::kDisabled, std::memory_order_relaxed);
+    g_sample_every.store(1, std::memory_order_relaxed);
+    g_dropped.store(0, std::memory_order_relaxed);
+    for (Slot &slot : g_slots) {
+        slot.name.store(nullptr, std::memory_order_release);
+        for (auto &bin : slot.bins)
+            bin.store(0, std::memory_order_relaxed);
+        slot.count.store(0, std::memory_order_relaxed);
+        slot.sum_ns.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t
+monotonicNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+recordWait(const char *name, std::uint64_t wait_ns)
+{
+    const std::uint32_t every =
+        g_sample_every.load(std::memory_order_relaxed);
+    if (every > 1) {
+        thread_local std::uint32_t tick = 0;
+        if (++tick % every != 0)
+            return;
+    }
+    if (name == nullptr || *name == '\0')
+        name = "unnamed";
+    Slot *slot = findOrClaim(name);
+    if (slot == nullptr) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    std::size_t bucket = 0;
+    while (bucket < kBoundsNs.size() && wait_ns > kBoundsNs[bucket])
+        ++bucket;
+    slot->bins[bucket].fetch_add(1, std::memory_order_relaxed);
+    slot->count.fetch_add(1, std::memory_order_relaxed);
+    slot->sum_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+}
+
+std::vector<double>
+waitBucketBoundsSeconds()
+{
+    std::vector<double> bounds;
+    bounds.reserve(kBoundsNs.size());
+    for (const std::uint64_t ns : kBoundsNs)
+        bounds.push_back(static_cast<double>(ns) * 1e-9);
+    return bounds;
+}
+
+ContentionSnapshot
+contentionSnapshot()
+{
+    ContentionSnapshot snapshot;
+    snapshot.enabled = enabled();
+    snapshot.sample_every = sampleEvery();
+    for (const Slot &slot : g_slots) {
+        const char *name = slot.name.load(std::memory_order_acquire);
+        if (name == nullptr)
+            continue;
+        MutexWaitSnapshot m;
+        m.name = name;
+        m.counts.reserve(kNumBuckets);
+        for (const auto &bin : slot.bins)
+            m.counts.push_back(bin.load(std::memory_order_relaxed));
+        m.total_count = slot.count.load(std::memory_order_relaxed);
+        m.sum_seconds =
+            static_cast<double>(
+                slot.sum_ns.load(std::memory_order_relaxed)) *
+            1e-9;
+        snapshot.mutexes.push_back(std::move(m));
+    }
+    std::sort(snapshot.mutexes.begin(), snapshot.mutexes.end(),
+              [](const MutexWaitSnapshot &a, const MutexWaitSnapshot &b) {
+                  return a.name < b.name;
+              });
+    return snapshot;
+}
+
+ContentionSnapshot
+ContentionSnapshot::delta(const ContentionSnapshot &before) const
+{
+    ContentionSnapshot out;
+    out.enabled = enabled;
+    out.sample_every = sample_every;
+    for (const MutexWaitSnapshot &after : mutexes) {
+        const auto it = std::find_if(
+            before.mutexes.begin(), before.mutexes.end(),
+            [&after](const MutexWaitSnapshot &m) {
+                return m.name == after.name;
+            });
+        MutexWaitSnapshot d = after;
+        if (it != before.mutexes.end()) {
+            for (std::size_t i = 0;
+                 i < d.counts.size() && i < it->counts.size(); ++i) {
+                d.counts[i] = d.counts[i] > it->counts[i]
+                    ? d.counts[i] - it->counts[i]
+                    : 0;
+            }
+            d.total_count = d.total_count > it->total_count
+                ? d.total_count - it->total_count
+                : 0;
+            d.sum_seconds = d.sum_seconds > it->sum_seconds
+                ? d.sum_seconds - it->sum_seconds
+                : 0.0;
+        }
+        if (d.total_count > 0)
+            out.mutexes.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace dnastore::obs::locktime

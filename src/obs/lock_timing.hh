@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Sampled lock-contention timing for the annotated Mutex (util/sync.hh).
+ *
+ * When profiling is enabled, Mutex::lock() tries an uncontended
+ * try_lock first; only the contended path reads the clock, blocks, and
+ * records the wait here, keyed by the mutex's name.  When disabled the
+ * whole feature costs one relaxed atomic load per lock() — the same
+ * crashpoint-style tri-state gate as obs/crashpoint.hh, bootstrapped
+ * once from DNASTORE_PROFILE_LOCKS (unset/0 = off, 1 = every contended
+ * wait, N = every Nth per thread).
+ *
+ * The registry is a fixed, lock-free slot table rather than the metrics
+ * registry on purpose: MetricsRegistry registration takes a Mutex, so
+ * recording a wait through it could re-enter lock() on the very mutex
+ * being timed.  Here every record is a name-pointer CAS claim plus
+ * relaxed adds — safe from any locking context.
+ *
+ * Mutex names must be string literals (slots store the pointer).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnastore::obs::locktime
+{
+
+namespace detail
+{
+/** Tri-state gate: bootstrap pending / disabled / enabled. */
+inline constexpr int kUnconfigured = 0;
+inline constexpr int kDisabled = 1;
+inline constexpr int kEnabled = 2;
+extern std::atomic<int> g_state;
+
+/** One-time env bootstrap; returns the resulting enabled state. */
+bool bootstrap();
+} // namespace detail
+
+/**
+ * True when contention timing is armed.  Disabled cost: one relaxed
+ * atomic load (after the one-time env bootstrap on the first call).
+ */
+inline bool
+enabled()
+{
+    const int state = detail::g_state.load(std::memory_order_relaxed);
+    if (state == detail::kDisabled)
+        return false;
+    if (state == detail::kEnabled)
+        return true;
+    return detail::bootstrap();
+}
+
+/** Arm contention timing, recording every @p sample_every-th contended
+ *  wait per thread (1 = every wait; 0 is treated as 1). */
+void enable(std::uint32_t sample_every = 1);
+
+/** Disarm contention timing (recorded histograms are kept). */
+void disable();
+
+/** Current per-thread sampling interval (1 when recording every wait). */
+std::uint32_t sampleEvery();
+
+/** Disarm and zero every recorded histogram (tests and benchmarks). */
+void reset();
+
+/** Monotonic nanoseconds for timing a contended wait. */
+std::uint64_t monotonicNanos();
+
+/**
+ * Record a contended wait of @p wait_ns on the mutex named @p name
+ * (string literal).  Applies the sampling interval internally; lock
+ * free and allocation free.  Called by Mutex::lock() only on the
+ * contended path.
+ */
+void recordWait(const char *name, std::uint64_t wait_ns);
+
+/** Wait-time bucket upper bounds (seconds) shared by every mutex. */
+std::vector<double> waitBucketBoundsSeconds();
+
+/** Point-in-time copy of one named mutex's wait histogram. */
+struct MutexWaitSnapshot
+{
+    std::string name;
+    std::vector<std::uint64_t> counts; //!< bounds + 1 (overflow last).
+    std::uint64_t total_count = 0;     //!< Sampled contended waits.
+    double sum_seconds = 0.0;          //!< Sum of sampled wait times.
+};
+
+/** Point-in-time copy of the whole contention registry. */
+struct ContentionSnapshot
+{
+    bool enabled = false;
+    std::uint32_t sample_every = 1;
+    std::vector<MutexWaitSnapshot> mutexes; //!< Sorted by name.
+
+    /**
+     * Per-run delta: counts and sums become (this - before), clamped
+     * at zero; mutexes absent from @p before pass through unchanged,
+     * and mutexes whose delta is all-zero are dropped.
+     */
+    [[nodiscard]] ContentionSnapshot
+    delta(const ContentionSnapshot &before) const;
+};
+
+/** Copy every recorded histogram (sorted by mutex name). */
+[[nodiscard]] ContentionSnapshot contentionSnapshot();
+
+} // namespace dnastore::obs::locktime

@@ -157,6 +157,34 @@ metrics()
     return registry;
 }
 
+double
+histogramQuantile(const HistogramSnapshot &histogram, double q)
+{
+    if (histogram.total_count == 0 || histogram.counts.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target =
+        q * static_cast<double>(histogram.total_count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+        cumulative += histogram.counts[i];
+        if (static_cast<double>(cumulative) >= target) {
+            // The overflow bucket has no bound; report the last finite
+            // one as a floor.
+            return i < histogram.upper_bounds.size()
+                ? histogram.upper_bounds[i]
+                : (histogram.upper_bounds.empty()
+                       ? 0.0
+                       : histogram.upper_bounds.back());
+        }
+    }
+    return histogram.upper_bounds.empty() ? 0.0
+                                          : histogram.upper_bounds.back();
+}
+
 std::vector<double>
 latencyBucketsSeconds()
 {

@@ -204,7 +204,7 @@ class MetricsRegistry
     void resetAll();
 
   private:
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{"obs.metrics_registry"};
     std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
         DNASTORE_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
@@ -219,6 +219,16 @@ class MetricsRegistry
  * delta() isolates one run's metrics from the process totals.
  */
 MetricsRegistry &metrics();
+
+/**
+ * Approximate q-quantile (q in [0, 1]) of a histogram snapshot: the
+ * upper bound of the first bucket whose cumulative count reaches
+ * q * total.  Returns 0 for an empty histogram; observations in the
+ * overflow bucket report the last finite bound (a floor, not a lie —
+ * callers print it as ">= bound").
+ */
+[[nodiscard]] double histogramQuantile(const HistogramSnapshot &histogram,
+                                       double q);
 
 /** Convenient bucket ladder for latencies in seconds (1us .. 30s). */
 std::vector<double> latencyBucketsSeconds();

@@ -23,8 +23,22 @@
 namespace dnastore::obs
 {
 
-/** Current version of every JSON document this layer emits. */
-inline constexpr int kSchemaVersion = 1;
+/**
+ * Current version of every JSON *report* document this layer emits
+ * (run reports, metrics documents, fsck reports, bench documents).
+ *
+ * Version history:
+ *   1 — PR-4 shape: stages carry {status, seconds}; metrics value.
+ *   2 — performance attribution: stages gain cpu_seconds/utilization,
+ *       run reports gain "contention" and "alloc" sections, the thread
+ *       pool publishes queue-wait/busy/idle/utilization metrics.
+ *
+ * Consumers (tools/check_obs_json.py, `dnastore report diff`) accept
+ * both versions; on-disk archive manifests version independently
+ * (archive::kManifestSchemaVersion) so bumping this never invalidates
+ * stored archives.
+ */
+inline constexpr int kSchemaVersion = 2;
 
 /** Emit @p snapshot as a JSON value into @p json. */
 void writeMetricsValue(JsonWriter &json, const MetricsSnapshot &snapshot);

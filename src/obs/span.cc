@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/cpu_time.hh"
+
 namespace dnastore::obs
 {
 
@@ -105,6 +107,7 @@ Span::Span(const char *name)
         return;
     ++threadState().depth;
     start_us_ = traceNowMicros();
+    start_cpu_ns_ = threadCpuNanos();
 }
 
 Span::~Span()
@@ -120,9 +123,13 @@ Span::end()
     TraceSink *sink = sink_;
     sink_ = nullptr; // idempotence: a second end() is a no-op
     const std::uint64_t end_us = traceNowMicros();
+    const std::uint64_t end_cpu_ns = threadCpuNanos();
+    const std::uint64_t cpu_us = end_cpu_ns > start_cpu_ns_
+        ? (end_cpu_ns - start_cpu_ns_) / 1000
+        : 0;
     ThreadTraceState &state = threadState();
     state.buffer.push_back(TraceEvent{
-        name_, start_us_, end_us - start_us_, state.tid});
+        name_, start_us_, end_us - start_us_, cpu_us, state.tid});
     // Flush only when the outermost span on this thread closes, so
     // nested spans never contend on the sink mutex.
     if (--state.depth == 0) {

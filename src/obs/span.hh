@@ -13,6 +13,10 @@
  * into the sink (one mutex acquisition) only when the outermost span on
  * that thread closes, so the hot path never takes a lock.
  *
+ * Each event also records the thread-CPU time consumed inside the span
+ * (obs/cpu_time.hh): comparing cpu_us to dur_us tells a waiting span
+ * from a computing one straight from the trace.
+ *
  * Span names must be string literals (or otherwise outlive the sink):
  * events store the pointer, not a copy.
  */
@@ -34,6 +38,7 @@ struct TraceEvent
     const char *name = "";    //!< Span name, e.g. "clustering/round".
     std::uint64_t ts_us = 0;  //!< Start, microseconds since trace epoch.
     std::uint64_t dur_us = 0; //!< Duration in microseconds.
+    std::uint64_t cpu_us = 0; //!< Thread-CPU microseconds inside the span.
     std::uint32_t tid = 0;    //!< Small per-thread id (first-use order).
 };
 
@@ -55,7 +60,7 @@ class TraceSink
     std::size_t size() const;
 
   private:
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{"obs.trace_sink"};
     std::vector<TraceEvent> events_ DNASTORE_GUARDED_BY(mutex_);
 };
 
@@ -98,6 +103,7 @@ class Span
     TraceSink *sink_;
     const char *name_;
     std::uint64_t start_us_ = 0;
+    std::uint64_t start_cpu_ns_ = 0;
 };
 
 /** Microseconds since the process trace epoch (monotonic). */

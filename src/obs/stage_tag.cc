@@ -1,0 +1,31 @@
+#include "obs/stage_tag.hh"
+
+namespace dnastore::obs
+{
+
+namespace
+{
+
+// A plain pointer, not an atomic: only the owning thread reads or
+// writes its own slot.  Trivially destructible, so reading it stays
+// safe during thread teardown (the alloc profiler may run that late).
+thread_local const char *g_stage_tag = nullptr;
+
+} // namespace
+
+const char *
+currentStageTag()
+{
+    const char *tag = g_stage_tag;
+    return tag != nullptr ? tag : "";
+}
+
+const char *
+exchangeStageTag(const char *tag)
+{
+    const char *prev = g_stage_tag;
+    g_stage_tag = tag;
+    return prev;
+}
+
+} // namespace dnastore::obs

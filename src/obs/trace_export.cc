@@ -32,6 +32,11 @@ chromeTraceJson(const std::vector<TraceEvent> &events)
         json.value(std::uint64_t{1});
         json.key("tid");
         json.value(std::uint64_t{event.tid});
+        json.key("args");
+        json.beginObject();
+        json.key("cpu_us");
+        json.value(event.cpu_us);
+        json.endObject();
         json.endObject();
     }
     json.endArray();

@@ -8,6 +8,12 @@
  *
  *   Mutex      — std::mutex as a DNASTORE_CAPABILITY
  *   MutexLock  — std::lock_guard as a DNASTORE_SCOPED_CAPABILITY
+ *
+ * A Mutex may carry a name (string literal): when lock-contention
+ * profiling is armed (obs/lock_timing.hh), contended acquisitions are
+ * timed and recorded per name.  The profiling check costs one relaxed
+ * atomic load when disarmed, and the whole contended path lives inline
+ * in this header — the one place dnalint R6 sanctions raw lock calls.
  *   CondVar    — std::condition_variable_any over Mutex; wait(m) is
  *                annotated DNASTORE_REQUIRES(m), so the canonical
  *                pattern stays analysable:
@@ -28,8 +34,10 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
+#include "obs/lock_timing.hh"
 #include "util/thread_annotations.hh"
 
 namespace dnastore
@@ -40,10 +48,30 @@ class DNASTORE_CAPABILITY("mutex") Mutex
 {
   public:
     Mutex() = default;
+    /** @param name string literal keying this mutex's wait histogram. */
+    explicit Mutex(const char *name)
+        : name_(name)
+    {
+    }
     Mutex(const Mutex &) = delete;
     Mutex &operator=(const Mutex &) = delete;
 
-    void lock() DNASTORE_ACQUIRE() { raw_.lock(); }
+    void
+    lock() DNASTORE_ACQUIRE()
+    {
+        if (!obs::locktime::enabled()) {
+            raw_.lock();
+            return;
+        }
+        // Profiled path: an uncontended acquisition stays clock-free;
+        // only a failed try_lock reads the clock and blocks.
+        if (raw_.try_lock())
+            return;
+        const std::uint64_t begin_ns = obs::locktime::monotonicNanos();
+        raw_.lock();
+        obs::locktime::recordWait(
+            name_, obs::locktime::monotonicNanos() - begin_ns);
+    }
     void unlock() DNASTORE_RELEASE() { raw_.unlock(); }
     [[nodiscard]] bool
     tryLock() DNASTORE_TRY_ACQUIRE(true)
@@ -51,8 +79,12 @@ class DNASTORE_CAPABILITY("mutex") Mutex
         return raw_.try_lock();
     }
 
+    /** The contention-histogram name this mutex records under. */
+    const char *name() const { return name_; }
+
   private:
     std::mutex raw_;
+    const char *name_ = "unnamed";
 };
 
 /** RAII scope lock over Mutex (std::lock_guard shape, annotated). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/cpu_time.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "util/assert.hh"
@@ -29,6 +30,11 @@ struct PoolMetrics
     obs::Counter &tasks_total;
     obs::Gauge &queue_depth;
     obs::FixedHistogram &task_seconds;
+    obs::FixedHistogram &queue_wait_seconds;
+    obs::FixedHistogram &task_cpu_seconds;
+    obs::Counter &busy_micros_total;
+    obs::Counter &idle_micros_total;
+    obs::Gauge &utilization;
 };
 
 PoolMetrics &
@@ -39,6 +45,13 @@ poolMetrics()
         obs::metrics().gauge("util.thread_pool.queue_depth"),
         obs::metrics().histogram("util.thread_pool.task_seconds",
                                  obs::latencyBucketsSeconds()),
+        obs::metrics().histogram("util.thread_pool.queue_wait_seconds",
+                                 obs::latencyBucketsSeconds()),
+        obs::metrics().histogram("util.thread_pool.task_cpu_seconds",
+                                 obs::latencyBucketsSeconds()),
+        obs::metrics().counter("util.thread_pool.busy_micros_total"),
+        obs::metrics().counter("util.thread_pool.idle_micros_total"),
+        obs::metrics().gauge("util.thread_pool.utilization"),
     };
     return handles;
 }
@@ -80,7 +93,8 @@ ThreadPool::workerLoop()
 {
     PoolMetrics &pm = poolMetrics();
     for (;;) {
-        std::function<void()> task;
+        PendingTask task;
+        const std::uint64_t idle_begin_us = obs::traceNowMicros();
         {
             // Manual predicate loop (not the lambda-predicate overload)
             // so the thread-safety analysis sees the guarded reads of
@@ -89,16 +103,42 @@ ThreadPool::workerLoop()
             while (!stopping && tasks.empty())
                 available.wait(mutex);
             if (tasks.empty())
-                return; // stopping and drained
+                return; // stopping and drained; shutdown wait uncounted
             task = std::move(tasks.front());
             tasks.pop();
             pm.queue_depth.set(static_cast<double>(tasks.size()));
         }
-        pm.tasks_total.add();
         const std::uint64_t begin_us = obs::traceNowMicros();
-        task();
+        // Idle = waiting for work; queue wait = the task waiting for a
+        // worker.  Both end at the same dequeue instant.
+        pm.idle_micros_total.add(begin_us - idle_begin_us);
+        pm.queue_wait_seconds.observe(
+            begin_us > task.enqueue_us
+                ? static_cast<double>(begin_us - task.enqueue_us) * 1e-6
+                : 0.0);
+        pm.tasks_total.add();
+        const std::uint64_t cpu_begin_ns = obs::threadCpuNanos();
+        {
+            // Adopt the submitter's stage tag so allocation attribution
+            // follows the work onto the worker thread.
+            obs::StageTagScope tag(task.stage_tag);
+            task.fn();
+        }
+        const std::uint64_t cpu_end_ns = obs::threadCpuNanos();
+        const std::uint64_t end_us = obs::traceNowMicros();
+        pm.busy_micros_total.add(end_us - begin_us);
         pm.task_seconds.observe(
-            static_cast<double>(obs::traceNowMicros() - begin_us) * 1e-6);
+            static_cast<double>(end_us - begin_us) * 1e-6);
+        pm.task_cpu_seconds.observe(
+            cpu_end_ns > cpu_begin_ns
+                ? static_cast<double>(cpu_end_ns - cpu_begin_ns) * 1e-9
+                : 0.0);
+        const double busy =
+            static_cast<double>(pm.busy_micros_total.value());
+        const double idle =
+            static_cast<double>(pm.idle_micros_total.value());
+        pm.utilization.set(busy + idle > 0.0 ? busy / (busy + idle)
+                                             : 0.0);
     }
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <queue>
@@ -16,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/span.hh"
+#include "obs/stage_tag.hh"
 #include "util/assert.hh"
 #include "util/sync.hh"
 #include "util/thread_annotations.hh"
@@ -91,7 +94,9 @@ class ThreadPool
             if (stopping)
                 throw std::runtime_error(
                     "submit on a stopping ThreadPool");
-            tasks.emplace([task] { (*task)(); });
+            tasks.emplace(PendingTask{[task] { (*task)(); },
+                                      obs::traceNowMicros(),
+                                      obs::currentStageTag()});
         }
         available.notifyOne();
         return future;
@@ -116,11 +121,23 @@ class ThreadPool
         const std::function<void(std::size_t, std::size_t)> &fn);
 
   private:
+    /**
+     * A queued task plus the attribution the worker needs: when it was
+     * enqueued (for the queue-wait histogram) and the submitter's stage
+     * tag (so pool work stays attributed to the scheduling stage).
+     */
+    struct PendingTask
+    {
+        std::function<void()> fn;
+        std::uint64_t enqueue_us = 0;
+        const char *stage_tag = nullptr;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers;
-    Mutex mutex;
-    std::queue<std::function<void()>> tasks DNASTORE_GUARDED_BY(mutex);
+    Mutex mutex{"util.thread_pool"};
+    std::queue<PendingTask> tasks DNASTORE_GUARDED_BY(mutex);
     CondVar available;
     bool stopping DNASTORE_GUARDED_BY(mutex) = false;
 };

@@ -23,6 +23,7 @@
 #include "archive/archive.hh"
 #include "obs/crashpoint.hh"
 #include "obs/report.hh"
+#include "obs/report.hh"
 #include "util/random.hh"
 
 using namespace dnastore;
@@ -382,7 +383,9 @@ TEST_F(FsckTest, ReportJsonCarriesSchemaAndFindings)
     const std::string json = fsckReportJson(report, dir(), options);
     EXPECT_NE(json.find("\"schema\":\"dnastore.fsck_report\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\":" +
+                        std::to_string(obs::kSchemaVersion)),
+              std::string::npos);
     EXPECT_NE(json.find("\"kind\":\"stale_temp_file\""),
               std::string::npos);
     EXPECT_NE(json.find("\"healthy\":true"), std::string::npos);

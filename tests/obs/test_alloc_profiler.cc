@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Sampling allocation profiler: stage-tag attribution through the
+ * replacement operator new, sampling scale-up, delta semantics, and
+ * the disabled default.  Every test restores the disabled state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "obs/alloc_profiler.hh"
+#include "obs/stage_tag.hh"
+
+namespace
+{
+
+namespace alloc = dnastore::obs::alloc;
+using dnastore::obs::StageTagScope;
+using dnastore::obs::currentStageTag;
+
+/** RAII guard: every test leaves the profiler disarmed and zeroed. */
+struct AllocProfilerReset
+{
+    AllocProfilerReset() { alloc::reset(); }
+    ~AllocProfilerReset() { alloc::reset(); }
+};
+
+/** Snapshot entry for @p stage, nullptr when absent. */
+const alloc::StageAllocSnapshot *
+findStage(const alloc::AllocSnapshot &snapshot, const char *stage)
+{
+    for (const alloc::StageAllocSnapshot &s : snapshot.stages)
+        if (s.stage == stage)
+            return &s;
+    return nullptr;
+}
+
+/** Heap-allocate @p count blocks of @p bytes, defeating elision. */
+void
+churn(std::size_t count, std::size_t bytes)
+{
+    std::vector<std::unique_ptr<char[]>> blocks;
+    blocks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        blocks.push_back(std::make_unique<char[]>(bytes));
+}
+
+TEST(AllocProfiler, DisabledByDefaultRecordsNothing)
+{
+    const AllocProfilerReset guard;
+    EXPECT_FALSE(alloc::enabled());
+    {
+        StageTagScope tag("test.alloc_disabled");
+        churn(16, 1024);
+    }
+    const alloc::AllocSnapshot snapshot = alloc::allocSnapshot();
+    EXPECT_FALSE(snapshot.enabled);
+    EXPECT_EQ(findStage(snapshot, "test.alloc_disabled"), nullptr);
+}
+
+TEST(AllocProfiler, AttributesBytesToActiveStageTag)
+{
+    const AllocProfilerReset guard;
+    alloc::enable(1);
+    ASSERT_TRUE(alloc::enabled());
+    {
+        StageTagScope tag("test.alloc_stage");
+        churn(32, 4096);
+    }
+    alloc::disable();
+
+    const alloc::AllocSnapshot snapshot = alloc::allocSnapshot();
+    const alloc::StageAllocSnapshot *s =
+        findStage(snapshot, "test.alloc_stage");
+    ASSERT_NE(s, nullptr);
+    // At least the 32 payload blocks (the vector's buffer and libc
+    // internals may add more).
+    EXPECT_GE(s->sampled_allocs, 32u);
+    EXPECT_GE(s->sampled_bytes, 32u * 4096u);
+    // sample_every == 1: estimates equal samples.
+    EXPECT_EQ(s->estimated_allocs, s->sampled_allocs);
+    EXPECT_EQ(s->estimated_bytes, s->sampled_bytes);
+}
+
+TEST(AllocProfiler, UntaggedAllocationsCollectUnderUntagged)
+{
+    const AllocProfilerReset guard;
+    ASSERT_STREQ(currentStageTag(), "");
+    alloc::enable(1);
+    churn(8, 512);
+    alloc::disable();
+
+    const alloc::AllocSnapshot snapshot = alloc::allocSnapshot();
+    const alloc::StageAllocSnapshot *s = findStage(snapshot, "untagged");
+    ASSERT_NE(s, nullptr);
+    EXPECT_GE(s->sampled_allocs, 8u);
+}
+
+TEST(AllocProfiler, SamplingScalesEstimatesUp)
+{
+    const AllocProfilerReset guard;
+    alloc::enable(4);
+    {
+        StageTagScope tag("test.alloc_sampled");
+        churn(400, 256);
+    }
+    alloc::disable();
+
+    const alloc::AllocSnapshot snapshot = alloc::allocSnapshot();
+    EXPECT_EQ(snapshot.sample_every, 4u);
+    const alloc::StageAllocSnapshot *s =
+        findStage(snapshot, "test.alloc_sampled");
+    ASSERT_NE(s, nullptr);
+    // Every 4th allocation recorded: ~100 samples for 400+ allocs.
+    EXPECT_GE(s->sampled_allocs, 50u);
+    EXPECT_LT(s->sampled_allocs, 400u);
+    EXPECT_EQ(s->estimated_allocs, s->sampled_allocs * 4);
+    EXPECT_EQ(s->estimated_bytes, s->sampled_bytes * 4);
+}
+
+TEST(AllocProfiler, DeltaIsolatesARegionOfInterest)
+{
+    const AllocProfilerReset guard;
+    alloc::enable(1);
+    {
+        StageTagScope tag("test.alloc_delta");
+        churn(10, 128);
+    }
+    const alloc::AllocSnapshot before = alloc::allocSnapshot();
+    const alloc::AllocSnapshot quiet =
+        alloc::allocSnapshot().delta(before);
+    EXPECT_EQ(findStage(quiet, "test.alloc_delta"), nullptr);
+
+    {
+        StageTagScope tag("test.alloc_delta");
+        churn(20, 128);
+    }
+    alloc::disable();
+    const alloc::AllocSnapshot active =
+        alloc::allocSnapshot().delta(before);
+    const alloc::StageAllocSnapshot *s =
+        findStage(active, "test.alloc_delta");
+    ASSERT_NE(s, nullptr);
+    EXPECT_GE(s->sampled_allocs, 20u);
+    EXPECT_LT(s->sampled_allocs, 100u);
+}
+
+TEST(AllocProfiler, StageTagScopeRestoresOuterTag)
+{
+    ASSERT_STREQ(currentStageTag(), "");
+    {
+        StageTagScope outer("test.outer");
+        EXPECT_STREQ(currentStageTag(), "test.outer");
+        {
+            StageTagScope inner("test.inner");
+            EXPECT_STREQ(currentStageTag(), "test.inner");
+        }
+        EXPECT_STREQ(currentStageTag(), "test.outer");
+    }
+    EXPECT_STREQ(currentStageTag(), "");
+}
+
+} // namespace

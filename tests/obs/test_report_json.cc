@@ -94,17 +94,24 @@ TEST(RunReportJson, ContainsEverySection)
 
     EXPECT_NE(json.find("\"schema\":\"dnastore.run_report\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
     EXPECT_NE(json.find("\"run\":{\"seed\":\"7\",\"tool\":\"test\"}"),
               std::string::npos);
     for (const char *section :
          {"\"stages\":", "\"pipeline\":", "\"faults\":",
-          "\"recovery_attempts\":", "\"errors\":", "\"metrics\":"})
+          "\"recovery_attempts\":", "\"errors\":", "\"metrics\":",
+          "\"contention\":", "\"alloc\":"})
         EXPECT_NE(json.find(section), std::string::npos) << section;
     for (const char *stage :
          {"\"encoding\":", "\"simulation\":", "\"clustering\":",
-          "\"reconstruction\":", "\"decoding\":", "\"total_seconds\":"})
+          "\"reconstruction\":", "\"decoding\":", "\"total_seconds\":",
+          "\"total_cpu_seconds\":"})
         EXPECT_NE(json.find(stage), std::string::npos) << stage;
+    // schema_version 2: every stage object carries CPU attribution.
+    for (const char *field :
+         {"\"cpu_seconds\":", "\"utilization\":", "\"sample_every\":",
+          "\"mutexes\":"})
+        EXPECT_NE(json.find(field), std::string::npos) << field;
     EXPECT_NE(json.find("\"encoded_strands\":42"), std::string::npos);
     EXPECT_NE(json.find("\"decode_ok\":true"), std::string::npos);
 }

@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.hh"
+#include "obs/stage_tag.hh"
 #include "util/thread_pool.hh"
 
 namespace dnastore
@@ -147,6 +151,71 @@ TEST(ThreadPool, DefaultUsesAtLeastOneWorker)
     EXPECT_GE(pool.size(), 1u);
     auto f = pool.submit([] { return 1; });
     EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPool, PublishesQueueWaitAndBusyAccounting)
+{
+    const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    {
+        ThreadPool pool(2);
+        pool.parallelFor(0, 64, [](std::size_t) {});
+        // One task with measurable wall time so busy_micros must move.
+        pool.submit([] {
+              std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }).get();
+    } // destructor joins: busy/idle totals are final
+    const obs::MetricsSnapshot delta =
+        obs::metrics().snapshot().delta(before);
+
+    const auto tasks =
+        delta.counters.find("util.thread_pool.tasks_total");
+    ASSERT_NE(tasks, delta.counters.end());
+    EXPECT_GT(tasks->second, 0u);
+
+    // Every dequeued task recorded exactly one enqueue->dequeue wait.
+    const auto wait =
+        delta.histograms.find("util.thread_pool.queue_wait_seconds");
+    ASSERT_NE(wait, delta.histograms.end());
+    EXPECT_EQ(wait->second.total_count, tasks->second);
+    EXPECT_GE(wait->second.sum, 0.0);
+
+    const auto cpu =
+        delta.histograms.find("util.thread_pool.task_cpu_seconds");
+    ASSERT_NE(cpu, delta.histograms.end());
+    EXPECT_EQ(cpu->second.total_count, tasks->second);
+
+    // The sleeping task makes >= ~10ms of busy wall time; idle is
+    // whatever the other worker accumulated waiting for work.
+    const auto busy =
+        delta.counters.find("util.thread_pool.busy_micros_total");
+    ASSERT_NE(busy, delta.counters.end());
+    EXPECT_GE(busy->second, 5000u);
+
+    const auto utilization =
+        delta.gauges.find("util.thread_pool.utilization");
+    ASSERT_NE(utilization, delta.gauges.end());
+    EXPECT_GE(utilization->second.value, 0.0);
+    EXPECT_LE(utilization->second.value, 1.0);
+}
+
+TEST(ThreadPool, PropagatesSubmitterStageTagIntoWorkers)
+{
+    ThreadPool pool(2);
+    std::string observed;
+    {
+        obs::StageTagScope tag("test.pool_stage");
+        observed = pool.submit([] {
+                           return std::string(obs::currentStageTag());
+                       })
+                       .get();
+    }
+    EXPECT_EQ(observed, "test.pool_stage");
+    // Outside any scope, submitted work runs untagged.
+    EXPECT_EQ(pool.submit([] {
+                      return std::string(obs::currentStageTag());
+                  })
+                  .get(),
+              "");
 }
 
 #if defined(DNASTORE_ENABLE_DCHECKS)

@@ -12,6 +12,13 @@ Checks, without any third-party dependency:
     known schema_version, and contains every required section
     (run, stages with per-stage latency, pipeline, faults,
     recovery_attempts, errors, metrics);
+  * schema_version >= 2 reports additionally carry the attribution
+    layer: per-stage cpu_seconds + utilization, stages.total_cpu_seconds,
+    a contention section (per-mutex wait histograms with consistent
+    buckets) and an alloc section (per-stage sampled/estimated byte and
+    allocation counts); when the thread pool ran tasks, the queue-wait
+    histogram must be present.  Version 1 documents skip these checks,
+    so old reports keep validating;
   * the metrics section holds at least --min-counters distinct module
     counters/histograms and every fault counter;
   * the trace file is a well-formed Chrome trace_event document whose
@@ -70,6 +77,75 @@ def fail(message):
     sys.exit(1)
 
 
+def check_metrics_v2(path, doc):
+    """Attribution checks for schema_version >= 2 run reports."""
+    stages = doc["stages"]
+    for stage in REQUIRED_STAGES:
+        entry = stages[stage]
+        for field in ("cpu_seconds", "utilization"):
+            value = entry.get(field)
+            if not isinstance(value, (int, float)):
+                fail(f"{path}: stage {stage!r} lacks numeric {field} "
+                     "(required at schema_version >= 2)")
+            if value < 0:
+                fail(f"{path}: stage {stage!r} {field} is negative")
+    if not isinstance(stages.get("total_cpu_seconds"), (int, float)):
+        fail(f"{path}: stages.total_cpu_seconds missing (v2)")
+
+    contention = doc.get("contention")
+    if not isinstance(contention, dict):
+        fail(f"{path}: contention section missing (v2)")
+    if not isinstance(contention.get("enabled"), bool):
+        fail(f"{path}: contention.enabled missing or not a boolean")
+    sample = contention.get("sample_every")
+    if not isinstance(sample, int) or sample < 1:
+        fail(f"{path}: contention.sample_every must be an integer >= 1")
+    mutexes = contention.get("mutexes")
+    if not isinstance(mutexes, dict):
+        fail(f"{path}: contention.mutexes missing or not an object")
+    for name, mutex in mutexes.items():
+        counts = mutex.get("counts")
+        bounds = mutex.get("upper_bounds")
+        if not isinstance(counts, list) or not isinstance(bounds, list) \
+                or len(counts) != len(bounds) + 1:
+            fail(f"{path}: contention mutex {name!r} bucket/bound "
+                 "count mismatch")
+        if sum(counts) != mutex.get("count"):
+            fail(f"{path}: contention mutex {name!r} counts do not "
+                 "sum to count")
+        if not isinstance(mutex.get("sum_seconds"), (int, float)):
+            fail(f"{path}: contention mutex {name!r} lacks sum_seconds")
+
+    alloc = doc.get("alloc")
+    if not isinstance(alloc, dict):
+        fail(f"{path}: alloc section missing (v2)")
+    if not isinstance(alloc.get("enabled"), bool):
+        fail(f"{path}: alloc.enabled missing or not a boolean")
+    sample = alloc.get("sample_every")
+    if not isinstance(sample, int) or sample < 1:
+        fail(f"{path}: alloc.sample_every must be an integer >= 1")
+    alloc_stages = alloc.get("stages")
+    if not isinstance(alloc_stages, dict):
+        fail(f"{path}: alloc.stages missing or not an object")
+    for tag, entry in alloc_stages.items():
+        for field in ("estimated_allocs", "estimated_bytes",
+                      "sampled_allocs", "sampled_bytes"):
+            if not isinstance(entry.get(field), int):
+                fail(f"{path}: alloc stage {tag!r} lacks integer {field}")
+        if entry["sampled_allocs"] > entry["estimated_allocs"]:
+            fail(f"{path}: alloc stage {tag!r} sampled_allocs exceeds "
+                 "estimated_allocs")
+
+    # If the thread pool executed work during this run, its queue-wait
+    # attribution must have been recorded alongside.
+    counters = doc["metrics"]["counters"]
+    if counters.get("util.thread_pool.tasks_total", 0) > 0 and \
+            "util.thread_pool.queue_wait_seconds" \
+            not in doc["metrics"]["histograms"]:
+        fail(f"{path}: thread pool ran tasks but "
+             "util.thread_pool.queue_wait_seconds histogram is absent")
+
+
 def check_metrics(path, min_counters):
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
@@ -117,8 +193,11 @@ def check_metrics(path, min_counters):
             fail(f"{path}: histogram bucket/bound count mismatch")
         if sum(hist["counts"]) != hist["count"]:
             fail(f"{path}: histogram counts do not sum to count")
+    if doc["schema_version"] >= 2:
+        check_metrics_v2(path, doc)
     print(f"check_obs_json: {path}: {len(names)} counters/histograms "
-          f"across modules {sorted(modules)}")
+          f"across modules {sorted(modules)}, "
+          f"schema_version {doc['schema_version']}")
 
 
 def trace_depth(events):

@@ -28,6 +28,7 @@
  * file loadable in chrome://tracing or Perfetto.
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -39,6 +40,7 @@
 #include "core/pipeline.hh"
 #include "core/run_report.hh"
 #include "core/text_io.hh"
+#include "obs/lock_timing.hh"
 #include "obs/report.hh"
 #include "obs/span.hh"
 #include "obs/trace_export.hh"
@@ -49,6 +51,8 @@
 #include "simulator/solqc_channel.hh"
 #include "simulator/virtual_wetlab.hh"
 #include "util/args.hh"
+
+#include "report_diff.hh"
 
 using namespace dnastore;
 
@@ -291,6 +295,13 @@ cmdPipeline(const ArgParser &args)
 
     const std::string metrics_path = args.get("metrics-json", "");
     const std::string trace_path = args.get("trace-json", "");
+    // A run report without contention data answers "what" but not
+    // "why"; arm lock-wait sampling whenever a report was asked for,
+    // unless DNASTORE_PROFILE_LOCKS was set explicitly (env wins either
+    // way, including an explicit 0).
+    if (!metrics_path.empty() &&
+        std::getenv("DNASTORE_PROFILE_LOCKS") == nullptr)
+        obs::locktime::enable();
     obs::TraceSink trace_sink;
     if (!trace_path.empty())
         obs::installTraceSink(&trace_sink);
@@ -603,6 +614,8 @@ usage()
            "  pipeline    file -> file end to end\n"
            "  archive     multi-object DNA archive "
            "(put/get/ls/stat/fsck, see 'dnastore archive')\n"
+           "  report      diff two report/bench JSONs "
+           "(perf-regression gate, see 'dnastore report diff')\n"
            "observability (pipeline): --metrics-json PATH writes the run\n"
            "report JSON; --trace-json PATH writes a Chrome trace\n";
 }
@@ -633,6 +646,8 @@ main(int argc, char **argv)
             return cmdPipeline(args);
         if (command == "archive")
             return cmdArchive(argc, argv);
+        if (command == "report")
+            return tools::cmdReport(argc, argv);
         usage();
         return 2;
     } catch (const std::exception &error) {
