@@ -1,0 +1,337 @@
+/**
+ * @file
+ * dnastored load generator: N concurrent clients hammer an in-process
+ * server with a seeded Zipfian get workload over a small multi-object
+ * archive (docs/SERVER.md).
+ *
+ * The Zipf skew concentrates traffic on a few hot objects — the shape
+ * that makes the scheduler's get-coalescing and pool-batching earn
+ * their keep: concurrent gets for the same hot object share one
+ * decode, and distinct queued objects batch into one fetchMany pass.
+ * The bench asserts ZERO failed requests and byte-exact payloads, then
+ * reports client-observed latency quantiles (p50/p99), throughput and
+ * the scheduler's coalescing/batching counters.
+ *
+ * Usage:
+ *   server_load [--clients=N] [--requests-per-client=N] [--objects=N]
+ *               [--object-bytes=N] [--zipf-skew=S] [--seed=S]
+ *               [--error-rate=P] [--coverage=C] [--threads=N]
+ *               [--batch-max=N] [--max-batches=N] [--json=path]
+ *
+ * --json writes a schema dnastore.bench_server_load document; the
+ * checked-in baseline lives at bench/baselines/BENCH_server_load.json
+ * and is diffed by the perf-regression CI job.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "server/archive_backend.hh"
+#include "server/client.hh"
+#include "server/server.hh"
+#include "util/args.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+using namespace dnastore;
+
+namespace
+{
+
+struct ClientStats
+{
+    std::vector<double> latencies_seconds;
+    std::uint64_t failures = 0;
+    std::string first_error;
+};
+
+double
+quantile(std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(pos);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::string
+benchJson(std::size_t clients, std::size_t objects,
+          std::size_t object_bytes, std::uint64_t requests,
+          std::uint64_t failures, double zipf_skew, double wall_seconds,
+          double mean_s, double p50_s, double p99_s, double max_s,
+          const server::SchedulerCounters &sched,
+          const obs::MetricsSnapshot &metrics)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.key("schema");
+    json.value("dnastore.bench_server_load");
+    json.key("schema_version");
+    json.value(std::int64_t{obs::kSchemaVersion});
+    json.key("clients");
+    json.value(std::uint64_t{clients});
+    json.key("objects");
+    json.value(std::uint64_t{objects});
+    json.key("object_bytes");
+    json.value(std::uint64_t{object_bytes});
+    json.key("requests");
+    json.value(requests);
+    json.key("failures");
+    json.value(failures);
+    json.key("zipf_skew");
+    json.value(zipf_skew);
+    json.key("latency");
+    json.beginObject();
+    json.key("mean_seconds");
+    json.value(mean_s);
+    json.key("p50_seconds");
+    json.value(p50_s);
+    json.key("p99_seconds");
+    json.value(p99_s);
+    json.key("max_seconds");
+    json.value(max_s);
+    json.endObject();
+    json.key("throughput_rps");
+    json.value(wall_seconds > 0.0
+                   ? static_cast<double>(requests) / wall_seconds
+                   : 0.0);
+    json.key("wall_seconds");
+    json.value(wall_seconds);
+    json.key("scheduler");
+    json.beginObject();
+    json.key("batched_gets");
+    json.value(sched.batched_gets);
+    json.key("batches");
+    json.value(sched.batches);
+    json.key("coalesced_gets");
+    json.value(sched.coalesced_gets);
+    json.key("rejected_draining");
+    json.value(sched.rejected_draining);
+    json.key("rejected_overload");
+    json.value(sched.rejected_overload);
+    json.key("rejected_quota");
+    json.value(sched.rejected_quota);
+    json.key("requests");
+    json.value(sched.requests);
+    json.endObject();
+    json.key("metrics");
+    obs::writeMetricsValue(json, metrics);
+    json.endObject();
+    return json.text();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ArgParser args(argc, argv);
+    const std::size_t clients =
+        static_cast<std::size_t>(args.getInt("clients", 32));
+    const std::size_t per_client =
+        static_cast<std::size_t>(args.getInt("requests-per-client", 6));
+    const std::size_t objects =
+        static_cast<std::size_t>(args.getInt("objects", 10));
+    const std::size_t object_bytes =
+        static_cast<std::size_t>(args.getInt("object-bytes", 192));
+    const double zipf_skew = args.getDouble("zipf-skew", 1.0);
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        args.getInt("seed", 0x10adULL));
+    const std::string json_path = args.get("json", "");
+
+    // Small objects + gentle channel keep one fetch sub-second while
+    // still exercising the full retrieval path (PCR select, simulate,
+    // cluster, consensus, decode).
+    archive::ArchiveParams params;
+    params.codec.payload_nt = 120;
+    params.codec.index_nt = 12;
+    params.codec.rs_n = 60;
+    params.codec.rs_k = 40;
+    params.max_shard_bytes = 2048;
+
+    const std::string dir = "/tmp/dnastore_bench_server_load";
+    std::filesystem::remove_all(dir);
+    auto opened = archive::Archive::create(dir, params);
+    if (!opened.ok()) {
+        std::cerr << "cannot create archive: " << opened.error << "\n";
+        return 1;
+    }
+    archive::Archive &tube = *opened.archive;
+
+    std::vector<std::vector<std::uint8_t>> payloads(objects);
+    std::vector<std::string> names(objects);
+    for (std::size_t i = 0; i < objects; ++i) {
+        Rng rng(seed ^ (0x0b1ec7ULL + i));
+        payloads[i].resize(object_bytes);
+        for (auto &b : payloads[i])
+            b = static_cast<std::uint8_t>(rng.below(256));
+        names[i] = "obj" + std::to_string(i);
+        const auto put = tube.put(names[i], payloads[i], 2);
+        if (!put.ok()) {
+            std::cerr << "put " << names[i] << " failed: " << put.error
+                      << "\n";
+            return 1;
+        }
+    }
+
+    archive::RetrievalConfig retrieval;
+    retrieval.error_rate = args.getDouble("error-rate", 0.02);
+    retrieval.coverage = args.getDouble("coverage", 10.0);
+    retrieval.seed = seed ^ 0x5eedULL;
+    retrieval.num_threads =
+        static_cast<std::size_t>(args.getInt("threads", 4));
+
+    server::ServerConfig config;
+    config.port = 0;
+    config.scheduler.num_threads =
+        static_cast<std::size_t>(args.getInt("threads", 4));
+    // Admission must clear the offered load: clients issue one request
+    // at a time, so `clients` is the peak inflight.
+    config.scheduler.max_inflight = clients * 2;
+    config.scheduler.per_client_inflight = 4;
+    config.scheduler.batch_max =
+        static_cast<std::size_t>(args.getInt("batch-max", 4));
+    config.scheduler.max_concurrent_batches =
+        static_cast<std::size_t>(args.getInt("max-batches", 2));
+
+    server::ArchiveBackend backend(tube, retrieval, 2);
+    server::Server server(backend, config);
+    const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    if (server.start() != server::ServerStatus::Ok) {
+        std::cerr << "server start failed\n";
+        return 1;
+    }
+    std::thread serve_thread([&server] { server.serve(); });
+
+    std::cout << "=== dnastored load generator ===\n"
+              << clients << " clients x " << per_client
+              << " Zipf(s=" << zipf_skew << ") gets over " << objects
+              << " objects of " << object_bytes << " bytes (port "
+              << server.port() << ")\n\n";
+
+    std::vector<ClientStats> stats(clients);
+    const auto wall_start = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> workers;
+        workers.reserve(clients);
+        for (std::size_t c = 0; c < clients; ++c) {
+            workers.emplace_back([&, c] {
+                ClientStats &my = stats[c];
+                ZipfSampler zipf(objects, zipf_skew,
+                                 seed ^ (0xc11e47ULL * (c + 1)));
+                server::Client client;
+                if (!client.connectTo(server.port(), 120000)) {
+                    my.failures = per_client;
+                    my.first_error = client.error();
+                    return;
+                }
+                for (std::size_t r = 0; r < per_client; ++r) {
+                    const std::size_t pick = zipf.next();
+                    const auto start = std::chrono::steady_clock::now();
+                    const server::ClientReply reply =
+                        client.get(names[pick]);
+                    const auto stop = std::chrono::steady_clock::now();
+                    if (!reply.ok() || reply.data != payloads[pick]) {
+                        ++my.failures;
+                        if (my.first_error.empty())
+                            my.first_error =
+                                reply.error.empty()
+                                    ? server::serverStatusName(
+                                          reply.status)
+                                    : reply.error;
+                        continue;
+                    }
+                    my.latencies_seconds.push_back(
+                        std::chrono::duration<double>(stop - start)
+                            .count());
+                }
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+    }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    server.requestDrain();
+    serve_thread.join();
+
+    std::vector<double> latencies;
+    std::uint64_t failures = 0;
+    std::string first_error;
+    for (const ClientStats &s : stats) {
+        latencies.insert(latencies.end(), s.latencies_seconds.begin(),
+                         s.latencies_seconds.end());
+        failures += s.failures;
+        if (first_error.empty())
+            first_error = s.first_error;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    double mean = 0.0;
+    for (const double v : latencies)
+        mean += v;
+    if (!latencies.empty())
+        mean /= static_cast<double>(latencies.size());
+    const double p50 = quantile(latencies, 0.50);
+    const double p99 = quantile(latencies, 0.99);
+    const double max_s =
+        latencies.empty() ? 0.0 : latencies.back();
+    const std::uint64_t requests =
+        static_cast<std::uint64_t>(clients) * per_client;
+
+    const server::SchedulerCounters sched = server.counters();
+    const obs::MetricsSnapshot delta =
+        obs::metrics().snapshot().delta(before);
+
+    Table table;
+    table.header({"metric", "value"});
+    table.row({"requests", std::to_string(requests)});
+    table.row({"failures", std::to_string(failures)});
+    table.row({"coalesced gets", std::to_string(sched.coalesced_gets)});
+    table.row({"fetch batches", std::to_string(sched.batches)});
+    table.row({"latency p50 (s)", Table::fmt(p50, 3)});
+    table.row({"latency p99 (s)", Table::fmt(p99, 3)});
+    table.row({"throughput (req/s)",
+               Table::fmt(wall_seconds > 0.0
+                              ? static_cast<double>(requests) /
+                                    wall_seconds
+                              : 0.0,
+                          2)});
+    std::cout << table.text() << "\n";
+
+    if (!json_path.empty()) {
+        if (obs::writeTextFile(
+                json_path,
+                benchJson(clients, objects, object_bytes, requests,
+                          failures, zipf_skew, wall_seconds, mean, p50,
+                          p99, max_s, sched, delta)))
+            std::cout << "wrote " << json_path << "\n";
+        else
+            std::cerr << "could not write " << json_path << "\n";
+    }
+
+    std::filesystem::remove_all(dir);
+    if (failures != 0) {
+        std::cerr << "FAIL: " << failures << " of " << requests
+                  << " requests failed (first: " << first_error
+                  << ")\n";
+        return 1;
+    }
+    std::cout << "all " << requests << " requests succeeded byte-exact ("
+              << sched.coalesced_gets << " coalesced, " << sched.batches
+              << " batches)\n";
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include "core/pool.hh"
 #include "dna/fastx.hh"
 #include "obs/crashpoint.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/span.hh"
@@ -690,6 +691,198 @@ Archive::get(const std::string &name, const RetrievalConfig &config) const
         return result;
     }
     return result;
+}
+
+std::vector<GetResult>
+Archive::getMany(const std::vector<std::string> &names,
+                 const RetrievalConfig &config) const
+{
+    obs::Span span("archive/get_many");
+    obs::StageTagScope tag("archive.get_many");
+    std::vector<GetResult> results(names.size());
+    if (names.empty())
+        return results;
+
+    std::string pair_error;
+    const bool pairs_ok = ensurePairs(manifest_.nextPairId(), pair_error);
+
+    // Flatten every requested object's shards into one work list so a
+    // multi-object batch saturates the pool even when each object has
+    // only a shard or two.
+    struct Work
+    {
+        std::size_t object; //!< Index into names/results.
+        std::size_t shard;  //!< Shard index within that object.
+    };
+    std::vector<const ObjectEntry *> objects(names.size(), nullptr);
+    std::vector<std::vector<std::vector<std::uint8_t>>> payloads(
+        names.size());
+    std::vector<Work> work;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        GetResult &res = results[i];
+        const ObjectEntry *object = manifest_.findObject(names[i]);
+        if (object == nullptr) {
+            res.status = ArchiveStatus::NotFound;
+            res.error = "no object named '" + names[i] + "'";
+            continue;
+        }
+        if (object->shards.empty()) {
+            res.status = ArchiveStatus::CorruptManifest;
+            res.error = "object '" + names[i] + "' has no shards";
+            continue;
+        }
+        if (!pairs_ok) {
+            res.status = ArchiveStatus::CorruptManifest;
+            res.error = pair_error;
+            continue;
+        }
+        objects[i] = object;
+        res.shards.resize(object->shards.size());
+        payloads[i].resize(object->shards.size());
+        for (std::size_t s = 0; s < object->shards.size(); ++s)
+            work.push_back({i, s});
+    }
+
+    const auto decode_one = [&](std::size_t w) {
+        const Work &item = work[w];
+        payloads[item.object][item.shard] =
+            decodeShard(objects[item.object]->shards[item.shard], config,
+                        results[item.object].shards[item.shard]);
+    };
+    const bool parallel = config.num_threads > 1 && work.size() > 1 &&
+                          config.fault_injector == nullptr;
+    if (parallel) {
+        try {
+            ThreadPool pool(config.num_threads);
+            pool.parallelFor(0, work.size(), decode_one);
+        } catch (const std::exception &e) {
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                if (objects[i] == nullptr)
+                    continue;
+                results[i].status = ArchiveStatus::DecodeFailed;
+                results[i].error =
+                    std::string("shard decode batch failed: ") + e.what();
+            }
+            return results;
+        }
+    } else {
+        for (std::size_t w = 0; w < work.size(); ++w)
+            decode_one(w);
+    }
+
+    std::size_t shards_decoded = 0;
+    std::size_t objects_fetched = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (objects[i] == nullptr)
+            continue;
+        ++objects_fetched;
+        GetResult &res = results[i];
+        std::string failed_list;
+        std::size_t decoded = 0;
+        for (std::size_t s = 0; s < res.shards.size(); ++s) {
+            if (res.shards[s].ok) {
+                ++decoded;
+            } else {
+                if (!failed_list.empty())
+                    failed_list += ", ";
+                failed_list += std::to_string(s);
+            }
+        }
+        shards_decoded += decoded;
+        if (decoded != res.shards.size()) {
+            res.status = ArchiveStatus::DecodeFailed;
+            res.error = "object '" + names[i] + "': shard(s) " +
+                        failed_list + " failed to decode";
+            continue;
+        }
+        for (std::vector<std::uint8_t> &payload : payloads[i])
+            res.data.insert(res.data.end(), payload.begin(),
+                            payload.end());
+        if (res.data.size() != objects[i]->size_bytes ||
+            crc32({res.data.data(), res.data.size()}) !=
+                objects[i]->crc32_value) {
+            res.status = ArchiveStatus::DecodeFailed;
+            res.error = "object '" + names[i] +
+                        "': reassembled payload failed CRC check";
+            res.data.clear();
+        }
+    }
+    obs::metrics()
+        .counter("archive.shards_decoded_total")
+        .add(shards_decoded);
+    obs::metrics().counter("archive.gets_total").add(objects_fetched);
+    obs::metrics().counter("archive.get_batches_total").add(1);
+    return results;
+}
+
+std::string
+lsJson(const Archive &archive)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.key("schema");
+    json.value("dnastore.archive_ls");
+    json.key("schema_version");
+    json.value(static_cast<std::uint64_t>(obs::kSchemaVersion));
+    json.key("num_objects");
+    json.value(static_cast<std::uint64_t>(archive.objects().size()));
+    json.key("pool_strands");
+    json.value(static_cast<std::uint64_t>(archive.poolSize()));
+    json.key("objects");
+    json.beginArray();
+    for (const ObjectEntry &object : archive.objects()) {
+        json.beginObject();
+        json.key("name");
+        json.value(object.name);
+        json.key("id");
+        json.value(static_cast<std::uint64_t>(object.id));
+        json.key("size_bytes");
+        json.value(static_cast<std::uint64_t>(object.size_bytes));
+        json.key("crc32");
+        json.value(static_cast<std::uint64_t>(object.crc32_value));
+        json.key("shards");
+        json.value(static_cast<std::uint64_t>(object.shards.size()));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.text();
+}
+
+std::string
+statJson(const ObjectEntry &object)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.key("schema");
+    json.value("dnastore.archive_stat");
+    json.key("schema_version");
+    json.value(static_cast<std::uint64_t>(obs::kSchemaVersion));
+    json.key("name");
+    json.value(object.name);
+    json.key("id");
+    json.value(static_cast<std::uint64_t>(object.id));
+    json.key("size_bytes");
+    json.value(static_cast<std::uint64_t>(object.size_bytes));
+    json.key("crc32");
+    json.value(static_cast<std::uint64_t>(object.crc32_value));
+    json.key("shards");
+    json.beginArray();
+    for (const ShardEntry &shard : object.shards) {
+        json.beginObject();
+        json.key("pair_id");
+        json.value(static_cast<std::uint64_t>(shard.pair_id));
+        json.key("size_bytes");
+        json.value(static_cast<std::uint64_t>(shard.size_bytes));
+        json.key("strands");
+        json.value(static_cast<std::uint64_t>(shard.strands));
+        json.key("units");
+        json.value(static_cast<std::uint64_t>(shard.units));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.text();
 }
 
 ManifestParseResult

@@ -187,6 +187,18 @@ class Archive
     [[nodiscard]] GetResult get(const std::string &name,
                                 const RetrievalConfig &config = {}) const;
 
+    /**
+     * Retrieve several objects in ONE batched shard-decode pass: all
+     * shards of all requested objects flatten into a single ThreadPool
+     * batch, so a multi-object read amortises pool scans and keeps the
+     * workers saturated even when individual objects have few shards
+     * (the `dnastored` scheduler's batching hook).  Results align with
+     * @p names index-for-index; per-object failures are independent.
+     */
+    [[nodiscard]] std::vector<GetResult>
+    getMany(const std::vector<std::string> &names,
+            const RetrievalConfig &config = {}) const;
+
     /** Objects in store order. */
     const std::vector<ObjectEntry> &objects() const
     {
@@ -275,5 +287,22 @@ struct OpenResult
 
     bool ok() const { return status == ArchiveStatus::Ok; }
 };
+
+/**
+ * Canonical machine-readable listing of @p archive (schema
+ * `dnastore.archive_ls`, obs::JsonWriter): every object with its id,
+ * sizes, CRC and shard count, plus pool totals.  Consumed by
+ * `dnastore archive ls --json`, the server's LsOk reply and the load
+ * generator.
+ */
+[[nodiscard]] std::string lsJson(const Archive &archive);
+
+/**
+ * Canonical machine-readable metadata of one object (schema
+ * `dnastore.archive_stat`): sizes, CRC and the per-shard primer-pair
+ * address table.  Consumed by `dnastore archive stat --json` and the
+ * server's StatOk reply.
+ */
+[[nodiscard]] std::string statJson(const ObjectEntry &object);
 
 } // namespace dnastore::archive

@@ -1,0 +1,97 @@
+#include "server/archive_backend.hh"
+
+#include "obs/json.hh"
+#include "obs/report.hh"
+
+namespace dnastore::server
+{
+
+ServerStatus
+serverStatusFromArchive(archive::ArchiveStatus status)
+{
+    switch (status) {
+    case archive::ArchiveStatus::Ok:
+        return ServerStatus::Ok;
+    case archive::ArchiveStatus::NotFound:
+        return ServerStatus::NotFound;
+    case archive::ArchiveStatus::AlreadyExists:
+        return ServerStatus::AlreadyExists;
+    case archive::ArchiveStatus::InvalidArgument:
+        return ServerStatus::InvalidRequest;
+    case archive::ArchiveStatus::DecodeFailed:
+        return ServerStatus::DecodeFailed;
+    case archive::ArchiveStatus::IoError:
+    case archive::ArchiveStatus::CorruptManifest:
+    case archive::ArchiveStatus::CorruptPool:
+    case archive::ArchiveStatus::EncodeFailed:
+        return ServerStatus::ArchiveError;
+    }
+    return ServerStatus::Internal;
+}
+
+std::vector<FetchResult>
+ArchiveBackend::fetchMany(const std::vector<std::string> &names)
+{
+    std::vector<archive::GetResult> gets =
+        archive_.getMany(names, config_);
+    std::vector<FetchResult> results(names.size());
+    for (std::size_t i = 0; i < gets.size() && i < results.size(); ++i) {
+        results[i].status = serverStatusFromArchive(gets[i].status);
+        results[i].error = std::move(gets[i].error);
+        results[i].data = std::move(gets[i].data);
+    }
+    return results;
+}
+
+StoreResult
+ArchiveBackend::storeObject(const std::string &name,
+                            const std::vector<std::uint8_t> &data)
+{
+    StoreResult result;
+    archive::PutResult put = archive_.put(name, data, put_threads_);
+    result.status = serverStatusFromArchive(put.status);
+    result.error = std::move(put.error);
+    if (result.ok()) {
+        obs::JsonWriter json;
+        json.beginObject();
+        json.key("name");
+        json.value(name);
+        json.key("object_id");
+        json.value(static_cast<std::uint64_t>(put.object_id));
+        json.key("shards");
+        json.value(static_cast<std::uint64_t>(put.shards));
+        json.key("size_bytes");
+        json.value(static_cast<std::uint64_t>(data.size()));
+        json.key("strands");
+        json.value(static_cast<std::uint64_t>(put.strands));
+        json.endObject();
+        result.receipt_json = json.text();
+    }
+    return result;
+}
+
+MetaResult
+ArchiveBackend::list()
+{
+    MetaResult result;
+    result.status = ServerStatus::Ok;
+    result.json = archive::lsJson(archive_);
+    return result;
+}
+
+MetaResult
+ArchiveBackend::statObject(const std::string &name)
+{
+    MetaResult result;
+    const archive::ObjectEntry *object = archive_.stat(name);
+    if (object == nullptr) {
+        result.status = ServerStatus::NotFound;
+        result.error = "no object named '" + name + "'";
+        return result;
+    }
+    result.status = ServerStatus::Ok;
+    result.json = archive::statJson(*object);
+    return result;
+}
+
+} // namespace dnastore::server

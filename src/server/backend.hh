@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Storage backend interface of the request scheduler.  The scheduler's
+ * interesting behaviour — coalescing, batching, admission, drain — is
+ * independent of what a fetch actually costs, so it talks to storage
+ * through this narrow seam: production wires ArchiveBackend (a real
+ * DNA archive), tests wire a blocking fake to make races and batching
+ * windows deterministic.
+ *
+ * Contract: every method is thread-safe to the extent documented,
+ * never throws, and reports failures through ServerStatus.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hh"
+
+namespace dnastore::server
+{
+
+/** One object of a fetchMany batch. */
+struct FetchResult
+{
+    ServerStatus status = ServerStatus::Internal;
+    std::string error;               //!< Detail when status != Ok.
+    std::vector<std::uint8_t> data;  //!< Object bytes when status == Ok.
+
+    bool ok() const { return status == ServerStatus::Ok; }
+};
+
+/** Outcome of a store (put). */
+struct StoreResult
+{
+    ServerStatus status = ServerStatus::Internal;
+    std::string error;
+    std::string receipt_json; //!< PutOk body when status == Ok.
+
+    bool ok() const { return status == ServerStatus::Ok; }
+};
+
+/** Outcome of a metadata read (ls/stat). */
+struct MetaResult
+{
+    ServerStatus status = ServerStatus::Internal;
+    std::string error;
+    std::string json; //!< Canonical document when status == Ok.
+
+    bool ok() const { return status == ServerStatus::Ok; }
+};
+
+/**
+ * The scheduler's view of storage.  fetchMany/list/statObject may run
+ * concurrently with each other; store requires exclusive access (the
+ * scheduler serialises puts against all other work, mirroring
+ * Archive's const-vs-mutating contract).
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Fetch all @p names in one batched pass (results align by index). */
+    [[nodiscard]] virtual std::vector<FetchResult>
+    fetchMany(const std::vector<std::string> &names) = 0;
+
+    /** Store one object.  Exclusive: no concurrent backend calls. */
+    [[nodiscard]] virtual StoreResult
+    storeObject(const std::string &name,
+                const std::vector<std::uint8_t> &data) = 0;
+
+    /** Canonical listing document (dnastore.archive_ls). */
+    [[nodiscard]] virtual MetaResult list() = 0;
+
+    /** Canonical metadata document for one object (dnastore.archive_stat). */
+    [[nodiscard]] virtual MetaResult
+    statObject(const std::string &name) = 0;
+};
+
+} // namespace dnastore::server

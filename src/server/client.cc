@@ -1,0 +1,239 @@
+#include "server/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dnastore::server
+{
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connectTo(std::uint16_t port, int timeout_ms)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error_ = "socket() failed";
+        return false;
+    }
+    if (timeout_ms > 0) {
+        timeval tv;
+        tv.tv_sec = timeout_ms / 1000;
+        tv.tv_usec = (timeout_ms % 1000) * 1000;
+        (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    const int one = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    for (;;) {
+        if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return true;
+        if (errno == EINTR)
+            continue;
+        error_ = std::string("connect() failed: ") +
+                 std::strerror(errno);
+        close();
+        return false;
+    }
+}
+
+bool
+Client::sendFrame(MsgType type, std::uint64_t request_id,
+                  const std::vector<std::uint8_t> &body,
+                  std::string &error)
+{
+    Frame frame;
+    frame.type = static_cast<std::uint8_t>(type);
+    frame.request_id = request_id;
+    frame.body = body;
+    std::vector<std::uint8_t> bytes;
+    if (!encodeFrame(frame, bytes)) {
+        error = "request body exceeds frame limit";
+        return false;
+    }
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        error = std::string("send() failed: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+ClientReply
+Client::readReply(std::uint64_t request_id)
+{
+    ClientReply reply;
+    std::uint8_t chunk[16 * 1024];
+    for (;;) {
+        Frame frame;
+        const FrameDecoder::Result parsed = decoder_.next(frame);
+        if (parsed == FrameDecoder::Result::Corrupt) {
+            reply.status = ServerStatus::ProtocolError;
+            reply.error = std::string("reply stream corrupt: ") +
+                          frameErrorName(decoder_.lastError());
+            return reply;
+        }
+        if (parsed == FrameDecoder::Result::NeedMore) {
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n > 0) {
+                decoder_.feed(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            reply.status = ServerStatus::Internal;
+            reply.error = n == 0 ? "server closed the connection"
+                                 : std::string("recv() failed: ") +
+                                       std::strerror(errno);
+            return reply;
+        }
+        // A frame for another request id on a synchronous connection
+        // means the stream is out of step; give up rather than guess.
+        if (frame.request_id != request_id) {
+            reply.status = ServerStatus::ProtocolError;
+            reply.error = "reply for unexpected request id";
+            return reply;
+        }
+        switch (static_cast<MsgType>(frame.type)) {
+        case MsgType::Error: {
+            ErrorBody error;
+            if (!tryParseErrorBody(frame.body, error)) {
+                reply.status = ServerStatus::ProtocolError;
+                reply.error = "malformed error frame";
+                return reply;
+            }
+            reply.status = error.status == ServerStatus::Ok
+                               ? ServerStatus::ProtocolError
+                               : error.status;
+            reply.error = std::move(error.message);
+            return reply;
+        }
+        case MsgType::Data:
+            reply.data.insert(reply.data.end(), frame.body.begin(),
+                              frame.body.end());
+            if (frame.more())
+                continue; // Streamed body: more chunks follow.
+            reply.status = ServerStatus::Ok;
+            return reply;
+        case MsgType::Pong:
+            reply.data = std::move(frame.body);
+            reply.status = ServerStatus::Ok;
+            return reply;
+        case MsgType::PutOk:
+        case MsgType::LsOk:
+        case MsgType::StatOk:
+            reply.json.assign(frame.body.begin(), frame.body.end());
+            reply.status = ServerStatus::Ok;
+            return reply;
+        default:
+            reply.status = ServerStatus::ProtocolError;
+            reply.error = "unexpected reply type";
+            return reply;
+        }
+    }
+}
+
+ClientReply
+Client::ping(const std::vector<std::uint8_t> &echo)
+{
+    ClientReply reply;
+    const std::uint64_t rid = next_request_id_++;
+    if (!sendFrame(MsgType::Ping, rid, echo, reply.error))
+        return reply;
+    return readReply(rid);
+}
+
+ClientReply
+Client::put(const std::string &name,
+            const std::vector<std::uint8_t> &data)
+{
+    ClientReply reply;
+    if (name.empty() || name.size() > kMaxNameLen) {
+        reply.status = ServerStatus::InvalidRequest;
+        reply.error = "bad object name";
+        return reply;
+    }
+    const std::uint64_t rid = next_request_id_++;
+    if (!sendFrame(MsgType::Put, rid, makePutBody(name, data),
+                   reply.error))
+        return reply;
+    return readReply(rid);
+}
+
+ClientReply
+Client::get(const std::string &name)
+{
+    ClientReply reply;
+    if (name.empty() || name.size() > kMaxNameLen) {
+        reply.status = ServerStatus::InvalidRequest;
+        reply.error = "bad object name";
+        return reply;
+    }
+    const std::uint64_t rid = next_request_id_++;
+    const std::vector<std::uint8_t> body(name.begin(), name.end());
+    if (!sendFrame(MsgType::Get, rid, body, reply.error))
+        return reply;
+    return readReply(rid);
+}
+
+ClientReply
+Client::ls()
+{
+    ClientReply reply;
+    const std::uint64_t rid = next_request_id_++;
+    if (!sendFrame(MsgType::Ls, rid, {}, reply.error))
+        return reply;
+    return readReply(rid);
+}
+
+ClientReply
+Client::stat(const std::string &name)
+{
+    ClientReply reply;
+    if (name.empty() || name.size() > kMaxNameLen) {
+        reply.status = ServerStatus::InvalidRequest;
+        reply.error = "bad object name";
+        return reply;
+    }
+    const std::uint64_t rid = next_request_id_++;
+    const std::vector<std::uint8_t> body(name.begin(), name.end());
+    if (!sendFrame(MsgType::Stat, rid, body, reply.error))
+        return reply;
+    return readReply(rid);
+}
+
+} // namespace dnastore::server

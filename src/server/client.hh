@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Blocking client for the dnastored wire protocol: one TCP connection,
+ * synchronous request/reply.  Used by `dnastore client ...`, the
+ * server-load generator and the socket e2e tests.
+ *
+ * Error handling mirrors the server: nothing throws, every operation
+ * returns a ServerStatus — server-side rejections arrive as typed
+ * Error frames and are surfaced verbatim; local socket/framing
+ * failures map onto Internal/ProtocolError with a message.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hh"
+
+namespace dnastore::server
+{
+
+/** Outcome of one client call. */
+struct ClientReply
+{
+    ServerStatus status = ServerStatus::Internal;
+    std::string error;              //!< Detail when status != Ok.
+    std::vector<std::uint8_t> data; //!< get: object bytes; ping: echo.
+    std::string json; //!< put: receipt; ls/stat: canonical document.
+
+    bool ok() const { return status == ServerStatus::Ok; }
+};
+
+/** One blocking connection to a dnastored instance. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect to 127.0.0.1:@p port.  @p timeout_ms bounds every later
+     * socket wait (0 = no timeout).  False on failure (see error()).
+     */
+    [[nodiscard]] bool connectTo(std::uint16_t port, int timeout_ms);
+
+    /** Last connect error. */
+    const std::string &error() const { return error_; }
+
+    [[nodiscard]] ClientReply ping(const std::vector<std::uint8_t> &echo);
+    [[nodiscard]] ClientReply put(const std::string &name,
+                                  const std::vector<std::uint8_t> &data);
+    [[nodiscard]] ClientReply get(const std::string &name);
+    [[nodiscard]] ClientReply ls();
+    [[nodiscard]] ClientReply stat(const std::string &name);
+
+    void close();
+
+  private:
+    /** Send one request frame; false on socket failure. */
+    [[nodiscard]] bool sendFrame(MsgType type, std::uint64_t request_id,
+                                 const std::vector<std::uint8_t> &body,
+                                 std::string &error);
+
+    /** Read frames for @p request_id until a terminal one arrives. */
+    [[nodiscard]] ClientReply readReply(std::uint64_t request_id);
+
+    int fd_ = -1;
+    std::uint64_t next_request_id_ = 1;
+    FrameDecoder decoder_;
+    std::string error_;
+};
+
+} // namespace dnastore::server

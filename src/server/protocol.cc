@@ -1,0 +1,288 @@
+#include "server/protocol.hh"
+
+#include "util/crc32.hh"
+
+namespace dnastore::server
+{
+
+namespace
+{
+
+void
+put16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+}
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFu));
+}
+
+void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFu));
+}
+
+std::uint16_t
+get16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(p[0]) |
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** CRC-32 over the first 20 header bytes plus the body. */
+std::uint32_t
+frameCrc(const std::uint8_t *header20, const std::uint8_t *body,
+         std::size_t body_len)
+{
+    // Two-piece CRC without concatenating: crc32 of header, then chain
+    // the body by re-running the polynomial over one joined buffer is
+    // the textbook approach, but util/crc32 exposes only single-shot
+    // hashing — so stage the 20 header bytes ahead of the body in one
+    // small buffer only when the body is small, and otherwise hash the
+    // header into a copy.  Frames are built in one buffer anyway, so
+    // encode/decode both call this with contiguous memory.
+    std::vector<std::uint8_t> joined;
+    joined.reserve(20 + body_len);
+    joined.insert(joined.end(), header20, header20 + 20);
+    if (body_len > 0)
+        joined.insert(joined.end(), body, body + body_len);
+    return crc32({joined.data(), joined.size()});
+}
+
+} // namespace
+
+const char *
+serverStatusName(ServerStatus status)
+{
+    switch (status) {
+    case ServerStatus::Ok:
+        return "ok";
+    case ServerStatus::InvalidRequest:
+        return "invalid-request";
+    case ServerStatus::UnknownOp:
+        return "unknown-op";
+    case ServerStatus::FrameTooLarge:
+        return "frame-too-large";
+    case ServerStatus::NotFound:
+        return "not-found";
+    case ServerStatus::AlreadyExists:
+        return "already-exists";
+    case ServerStatus::Overloaded:
+        return "overloaded";
+    case ServerStatus::QuotaExceeded:
+        return "quota-exceeded";
+    case ServerStatus::ShuttingDown:
+        return "shutting-down";
+    case ServerStatus::DecodeFailed:
+        return "decode-failed";
+    case ServerStatus::ArchiveError:
+        return "archive-error";
+    case ServerStatus::ProtocolError:
+        return "protocol-error";
+    case ServerStatus::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+const char *
+frameErrorName(FrameError error)
+{
+    switch (error) {
+    case FrameError::None:
+        return "none";
+    case FrameError::BadMagic:
+        return "bad-magic";
+    case FrameError::BadVersion:
+        return "bad-version";
+    case FrameError::Oversized:
+        return "oversized";
+    case FrameError::BadCrc:
+        return "bad-crc";
+    }
+    return "unknown";
+}
+
+bool
+encodeFrame(const Frame &frame, std::vector<std::uint8_t> &out)
+{
+    if (frame.body.size() > kMaxFrameBody)
+        return false;
+    const std::size_t start = out.size();
+    put32(out, kMagic);
+    put16(out, frame.version);
+    out.push_back(frame.type);
+    out.push_back(frame.flags);
+    put64(out, frame.request_id);
+    put32(out, static_cast<std::uint32_t>(frame.body.size()));
+    // CRC covers the 20 bytes just written plus the body; the body is
+    // appended after the CRC field, so hash it from the frame itself.
+    const std::uint32_t crc =
+        frameCrc(out.data() + start, frame.body.data(), frame.body.size());
+    put32(out, crc);
+    out.insert(out.end(), frame.body.begin(), frame.body.end());
+    return true;
+}
+
+void
+FrameDecoder::feed(const std::uint8_t *data, std::size_t size)
+{
+    if (error_ != FrameError::None || size == 0)
+        return;
+    // Reclaim the consumed prefix before growing, keeping the buffer
+    // bounded by one frame plus one read's worth of bytes.
+    if (consumed_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameDecoder::Result
+FrameDecoder::next(Frame &frame)
+{
+    if (error_ != FrameError::None)
+        return Result::Corrupt;
+    const std::size_t have = buffer_.size() - consumed_;
+    if (have < kHeaderSize)
+        return Result::NeedMore;
+    const std::uint8_t *head = buffer_.data() + consumed_;
+    if (get32(head) != kMagic) {
+        error_ = FrameError::BadMagic;
+        return Result::Corrupt;
+    }
+    const std::uint16_t version = get16(head + 4);
+    if (version != kProtocolVersion) {
+        error_ = FrameError::BadVersion;
+        return Result::Corrupt;
+    }
+    const std::uint32_t body_len = get32(head + 16);
+    // Length is validated before the body is ever buffered past the
+    // transport read size, so a hostile 4 GiB length cannot make the
+    // decoder allocate it.
+    if (body_len > kMaxFrameBody) {
+        error_ = FrameError::Oversized;
+        return Result::Corrupt;
+    }
+    if (have < kHeaderSize + body_len)
+        return Result::NeedMore;
+    const std::uint8_t *body = head + kHeaderSize;
+    const std::uint32_t stored_crc = get32(head + 20);
+    if (frameCrc(head, body, body_len) != stored_crc) {
+        error_ = FrameError::BadCrc;
+        return Result::Corrupt;
+    }
+    frame.version = version;
+    frame.type = head[6];
+    frame.flags = head[7];
+    frame.request_id = get64(head + 8);
+    frame.body.assign(body, body + body_len);
+    consumed_ += kHeaderSize + body_len;
+    return Result::Ready;
+}
+
+std::vector<std::uint8_t>
+makePutBody(std::string_view name, const std::vector<std::uint8_t> &data)
+{
+    std::vector<std::uint8_t> body;
+    const std::size_t name_len =
+        name.size() > kMaxNameLen ? kMaxNameLen : name.size();
+    body.reserve(2 + name_len + data.size());
+    put16(body, static_cast<std::uint16_t>(name_len));
+    body.insert(body.end(), name.begin(),
+                name.begin() + static_cast<std::ptrdiff_t>(name_len));
+    body.insert(body.end(), data.begin(), data.end());
+    return body;
+}
+
+bool
+tryParsePutBody(const std::vector<std::uint8_t> &body, PutBody &out)
+{
+    if (body.size() < 2)
+        return false;
+    const std::size_t name_len = get16(body.data());
+    if (name_len == 0 || name_len > kMaxNameLen ||
+        body.size() < 2 + name_len)
+        return false;
+    out.name.assign(reinterpret_cast<const char *>(body.data()) + 2,
+                    name_len);
+    out.data.assign(body.begin() + static_cast<std::ptrdiff_t>(2 + name_len),
+                    body.end());
+    return true;
+}
+
+std::vector<std::uint8_t>
+makeErrorBody(ServerStatus status, std::string_view message)
+{
+    std::vector<std::uint8_t> body;
+    body.reserve(2 + message.size());
+    put16(body, static_cast<std::uint16_t>(status));
+    body.insert(body.end(), message.begin(), message.end());
+    return body;
+}
+
+bool
+tryParseErrorBody(const std::vector<std::uint8_t> &body, ErrorBody &out)
+{
+    if (body.size() < 2)
+        return false;
+    out.status = static_cast<ServerStatus>(get16(body.data()));
+    out.message.assign(reinterpret_cast<const char *>(body.data()) + 2,
+                       body.size() - 2);
+    return true;
+}
+
+void
+appendDataFrames(std::vector<std::uint8_t> &out, std::uint64_t request_id,
+                 const std::vector<std::uint8_t> &payload, std::size_t chunk)
+{
+    if (chunk == 0)
+        chunk = 1;
+    if (chunk > kMaxFrameBody)
+        chunk = kMaxFrameBody;
+    std::size_t offset = 0;
+    do {
+        const std::size_t remaining = payload.size() - offset;
+        const std::size_t take = remaining < chunk ? remaining : chunk;
+        Frame frame;
+        frame.type = static_cast<std::uint8_t>(MsgType::Data);
+        frame.request_id = request_id;
+        frame.flags = offset + take < payload.size() ? kFlagMore : 0;
+        frame.body.assign(
+            payload.begin() + static_cast<std::ptrdiff_t>(offset),
+            payload.begin() + static_cast<std::ptrdiff_t>(offset + take));
+        // Body is chunk-bounded, so encodeFrame cannot fail here.
+        (void)encodeFrame(frame, out);
+        offset += take;
+    } while (offset < payload.size());
+}
+
+} // namespace dnastore::server

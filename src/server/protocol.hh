@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Wire protocol of `dnastored` (docs/SERVER.md): a length-prefixed
+ * binary framing with a versioned, CRC-guarded header.  Every message —
+ * request or response — is one frame:
+ *
+ *   offset size field
+ *   0      4    magic 0x444E4153 ("DNAS", little-endian on the wire)
+ *   4      2    protocol version (kProtocolVersion)
+ *   6      1    message type (MsgType)
+ *   7      1    flags (kFlagMore: another frame of this reply follows)
+ *   8      8    request id (client-chosen, echoed verbatim in replies)
+ *   16     4    body length (<= kMaxFrameBody)
+ *   20     4    CRC-32 over header bytes [0, 20) plus the whole body
+ *   24     ...  body
+ *
+ * All integers are little-endian.  Object bodies stream: a `get` reply
+ * is a sequence of Data frames sharing the request id, every frame but
+ * the last carrying kFlagMore, so neither side ever has to buffer more
+ * than one bounded frame per message.
+ *
+ * FrameDecoder is the single parsing boundary for untrusted bytes
+ * (fuzz/fuzz_frame.cc hammers it): it never throws, never reads past
+ * the fed buffer, rejects oversized lengths before buffering a body,
+ * and poisons itself on the first malformed frame — a transport error
+ * means the stream can no longer be trusted, so the session closes.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnastore::server
+{
+
+/** First four bytes of every frame ("DNAS" read as a LE u32). */
+inline constexpr std::uint32_t kMagic = 0x53414E44u;
+
+/** Wire protocol version this build speaks. */
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/** Fixed frame header size in bytes. */
+inline constexpr std::size_t kHeaderSize = 24;
+
+/** Upper bound on one frame's body; larger replies stream in chunks. */
+inline constexpr std::size_t kMaxFrameBody = 8u * 1024u * 1024u;
+
+/** Upper bound on an object name on the wire. */
+inline constexpr std::size_t kMaxNameLen = 4096;
+
+/** Frame flag: more frames of this reply follow (streaming bodies). */
+inline constexpr std::uint8_t kFlagMore = 0x01;
+
+/** Message types.  Requests are < 64, responses >= 64. */
+enum class MsgType : std::uint8_t
+{
+    // Requests.
+    Ping = 1, //!< Liveness probe; body echoed back in Pong.
+    Put = 2,  //!< Store an object: u16 name length, name, payload.
+    Get = 3,  //!< Retrieve an object: body is the name.
+    Ls = 4,   //!< List objects: empty body.
+    Stat = 5, //!< Object metadata: body is the name.
+
+    // Responses.
+    Pong = 65,   //!< Ping reply (body echoed).
+    PutOk = 66,  //!< Put reply: JSON receipt (object id, shards, ...).
+    Data = 67,   //!< Get reply chunk; kFlagMore on all but the last.
+    LsOk = 68,   //!< Ls reply: dnastore.archive_ls JSON document.
+    StatOk = 69, //!< Stat reply: dnastore.archive_stat JSON document.
+    Error = 70,  //!< Typed failure: u16 ServerStatus + message text.
+};
+
+/**
+ * Outcome taxonomy of server-side request handling (never thrown,
+ * returned — and carried on the wire inside Error frames).  Overloaded
+ * and QuotaExceeded are the admission controller shedding load instead
+ * of queueing unboundedly; ShuttingDown is the graceful-drain reply.
+ */
+enum class ServerStatus : std::uint16_t
+{
+    Ok = 0,
+    InvalidRequest = 1, //!< Malformed body (bad name, bad lengths).
+    UnknownOp = 2,      //!< Request type this server does not speak.
+    FrameTooLarge = 3,  //!< Body length beyond kMaxFrameBody.
+    NotFound = 4,       //!< No such object.
+    AlreadyExists = 5,  //!< Put of an existing object name.
+    Overloaded = 6,     //!< Global admission limit reached; retry later.
+    QuotaExceeded = 7,  //!< Per-client inflight quota reached.
+    ShuttingDown = 8,   //!< Server is draining; no new work accepted.
+    DecodeFailed = 9,   //!< Object retrieval failed to decode.
+    ArchiveError = 10,  //!< Underlying archive operation failed.
+    ProtocolError = 11, //!< Transport-level framing violation.
+    Internal = 12,      //!< Unexpected server-side failure.
+};
+
+/** Human-readable status name. */
+const char *serverStatusName(ServerStatus status);
+
+/** One parsed frame (header fields + owned body bytes). */
+struct Frame
+{
+    std::uint16_t version = kProtocolVersion;
+    std::uint8_t type = 0; //!< Raw MsgType value (may be unknown).
+    std::uint8_t flags = 0;
+    std::uint64_t request_id = 0;
+    std::vector<std::uint8_t> body;
+
+    bool more() const { return (flags & kFlagMore) != 0; }
+};
+
+/**
+ * Serialise @p frame (header, CRC and body) onto @p out.
+ * @return false when the body exceeds kMaxFrameBody (nothing emitted).
+ */
+[[nodiscard]] bool encodeFrame(const Frame &frame,
+                               std::vector<std::uint8_t> &out);
+
+/** Why FrameDecoder rejected the stream. */
+enum class FrameError : std::uint8_t
+{
+    None = 0,
+    BadMagic,   //!< Header does not start with kMagic.
+    BadVersion, //!< Protocol version this build does not speak.
+    Oversized,  //!< Declared body length exceeds kMaxFrameBody.
+    BadCrc,     //!< Header+body CRC mismatch (corrupt or tampered).
+};
+
+/** Human-readable decoder-error name. */
+const char *frameErrorName(FrameError error);
+
+/**
+ * Incremental frame parser over an untrusted byte stream.  feed() bytes
+ * as they arrive, then call next() until it stops returning Frame.
+ * After the first Error result the decoder stays poisoned: the stream
+ * boundary is lost, so the only safe reaction is closing the transport.
+ */
+class FrameDecoder
+{
+  public:
+    enum class Result : std::uint8_t
+    {
+        NeedMore = 0, //!< No complete frame buffered yet.
+        Ready,        //!< A frame was produced.
+        Corrupt,      //!< Stream rejected; see lastError().
+    };
+
+    /** Append raw bytes from the transport. */
+    void feed(const std::uint8_t *data, std::size_t size);
+
+    /** Extract the next complete frame into @p frame. */
+    [[nodiscard]] Result next(Frame &frame);
+
+    /** The reason for the Corrupt result (None before any error). */
+    FrameError lastError() const { return error_; }
+
+    /** Bytes currently buffered (bounded by header + kMaxFrameBody). */
+    std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    std::size_t consumed_ = 0; //!< Prefix of buffer_ already parsed.
+    FrameError error_ = FrameError::None;
+};
+
+// --- request/response body codecs (all bounds-checked, none throw) ---
+
+/** Build a Put request body: u16 name length, name bytes, payload. */
+[[nodiscard]] std::vector<std::uint8_t>
+makePutBody(std::string_view name, const std::vector<std::uint8_t> &data);
+
+/** Parsed Put body. */
+struct PutBody
+{
+    std::string name;
+    std::vector<std::uint8_t> data;
+};
+
+/** Parse a Put body; false on malformed lengths or oversized name. */
+[[nodiscard]] bool tryParsePutBody(const std::vector<std::uint8_t> &body,
+                                   PutBody &out);
+
+/** Build an Error response body: u16 status then message text. */
+[[nodiscard]] std::vector<std::uint8_t>
+makeErrorBody(ServerStatus status, std::string_view message);
+
+/** Parsed Error body. */
+struct ErrorBody
+{
+    ServerStatus status = ServerStatus::Internal;
+    std::string message;
+};
+
+/** Parse an Error body; false when shorter than the status field. */
+[[nodiscard]] bool tryParseErrorBody(const std::vector<std::uint8_t> &body,
+                                     ErrorBody &out);
+
+/**
+ * Serialise @p payload as one or more Data frames for @p request_id,
+ * chunked at @p chunk bytes (clamped to [1, kMaxFrameBody]); every
+ * frame but the last carries kFlagMore.  An empty payload emits one
+ * empty terminal Data frame so the receiver always sees a reply.
+ */
+void appendDataFrames(std::vector<std::uint8_t> &out,
+                      std::uint64_t request_id,
+                      const std::vector<std::uint8_t> &payload,
+                      std::size_t chunk);
+
+} // namespace dnastore::server

@@ -1,0 +1,503 @@
+#include "server/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/json.hh"
+#include "obs/report.hh"
+
+namespace dnastore::server
+{
+
+namespace
+{
+
+/** Wakeup-pipe bytes: worker completion vs drain request. */
+constexpr char kWakeCompletion = 'w';
+constexpr char kWakeDrain = 'q';
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+/** Encode one single-body reply frame. */
+std::vector<std::uint8_t>
+frameBytes(MsgType type, std::uint64_t request_id,
+           std::vector<std::uint8_t> body)
+{
+    Frame frame;
+    frame.type = static_cast<std::uint8_t>(type);
+    frame.request_id = request_id;
+    frame.body = std::move(body);
+    std::vector<std::uint8_t> out;
+    if (!encodeFrame(frame, out)) {
+        out.clear();
+        Frame error;
+        error.type = static_cast<std::uint8_t>(MsgType::Error);
+        error.request_id = request_id;
+        error.body = makeErrorBody(ServerStatus::FrameTooLarge,
+                                   "reply exceeds frame limit");
+        (void)encodeFrame(error, out);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+errorBytes(std::uint64_t request_id, ServerStatus status,
+           std::string_view message)
+{
+    return frameBytes(MsgType::Error, request_id,
+                      makeErrorBody(status, message));
+}
+
+std::vector<std::uint8_t>
+textBody(std::string_view text)
+{
+    return {text.begin(), text.end()};
+}
+
+} // namespace
+
+Server::Server(Backend &backend, const ServerConfig &config)
+    : backend_(backend)
+    , config_(config)
+    , scheduler_(backend, config.scheduler)
+{
+}
+
+Server::~Server()
+{
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+    if (wake_rd_ >= 0)
+        ::close(wake_rd_);
+    if (wake_wr_ >= 0)
+        ::close(wake_wr_);
+    // sessions_ close their own fds; scheduler_ (declared last) drains
+    // first, so no worker can post a completion past this point.
+}
+
+ServerStatus
+Server::start()
+{
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0)
+        return ServerStatus::Internal;
+    wake_rd_ = pipe_fds[0];
+    wake_wr_ = pipe_fds[1];
+    if (!setNonBlocking(wake_rd_) || !setNonBlocking(wake_wr_))
+        return ServerStatus::Internal;
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        return ServerStatus::Internal;
+    const int one = 1;
+    (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return ServerStatus::Internal;
+
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &addr_len) != 0)
+        return ServerStatus::Internal;
+    port_ = ntohs(addr.sin_port);
+
+    if (!setNonBlocking(listen_fd_) || ::listen(listen_fd_, 64) != 0)
+        return ServerStatus::Internal;
+    return ServerStatus::Ok;
+}
+
+void
+Server::requestDrain()
+{
+    if (wake_wr_ < 0)
+        return;
+    const char byte = kWakeDrain;
+    for (;;) {
+        const ssize_t n = ::write(wake_wr_, &byte, 1);
+        if (n == 1 || (n < 0 && errno != EINTR))
+            break;
+    }
+}
+
+void
+Server::postCompletion(std::uint64_t session_id,
+                       std::vector<std::uint8_t> bytes)
+{
+    {
+        MutexLock lock(completions_mu_);
+        completions_.push_back({session_id, std::move(bytes)});
+    }
+    // Poke the loop AFTER unlocking (R11: no blocking I/O under a
+    // mutex).  A full pipe is fine: the loop is already due to wake.
+    if (wake_wr_ >= 0) {
+        const char byte = kWakeCompletion;
+        for (;;) {
+            const ssize_t n = ::write(wake_wr_, &byte, 1);
+            if (n == 1 || (n < 0 && errno != EINTR))
+                break;
+        }
+    }
+}
+
+void
+Server::drainCompletions()
+{
+    std::deque<Completion> batch;
+    {
+        MutexLock lock(completions_mu_);
+        batch.swap(completions_);
+    }
+    for (Completion &completion : batch) {
+        auto it = sessions_.find(completion.session_id);
+        if (it == sessions_.end())
+            continue; // Client disconnected mid-request; drop.
+        it->second->enqueue(std::move(completion.bytes));
+    }
+}
+
+bool
+Server::drainWakePipe()
+{
+    bool drain_requested = false;
+    char buf[256];
+    for (;;) {
+        const ssize_t n = ::read(wake_rd_, buf, sizeof(buf));
+        if (n <= 0)
+            break;
+        for (ssize_t i = 0; i < n; ++i)
+            if (buf[i] == kWakeDrain)
+                drain_requested = true;
+    }
+    return drain_requested;
+}
+
+void
+Server::beginDrain()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    scheduler_.beginDrain();
+}
+
+void
+Server::acceptPending()
+{
+    while (listen_fd_ >= 0) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // EAGAIN or a transient accept failure.
+        }
+        if (sessions_.size() >= config_.max_sessions ||
+            !setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                           sizeof(one));
+        const std::uint64_t id = next_session_id_++;
+        sessions_.emplace(id, std::make_unique<Session>(fd, id));
+        ++sessions_accepted_;
+    }
+}
+
+void
+Server::closeSession(std::uint64_t session_id)
+{
+    sessions_.erase(session_id);
+}
+
+void
+Server::handleFrame(Session &session, Frame &frame)
+{
+    session.countRequest();
+    const std::uint64_t rid = frame.request_id;
+    const std::uint64_t sid = session.id();
+    const MsgType type = static_cast<MsgType>(frame.type);
+    const std::size_t chunk = config_.data_chunk;
+
+    switch (type) {
+    case MsgType::Ping: {
+        session.enqueue(frameBytes(MsgType::Pong, rid,
+                                   std::move(frame.body)));
+        return;
+    }
+    case MsgType::Get: {
+        if (frame.body.empty() || frame.body.size() > kMaxNameLen) {
+            session.enqueue(errorBytes(rid, ServerStatus::InvalidRequest,
+                                       "bad object name"));
+            return;
+        }
+        const std::string name(frame.body.begin(), frame.body.end());
+        const ServerStatus admitted = scheduler_.submitGet(
+            sid, name, [this, sid, rid, chunk](const FetchResult &r) {
+                std::vector<std::uint8_t> bytes;
+                if (r.ok())
+                    appendDataFrames(bytes, rid, r.data, chunk);
+                else
+                    bytes = errorBytes(rid, r.status, r.error);
+                postCompletion(sid, std::move(bytes));
+            });
+        if (admitted != ServerStatus::Ok)
+            session.enqueue(
+                errorBytes(rid, admitted, serverStatusName(admitted)));
+        return;
+    }
+    case MsgType::Put: {
+        PutBody put;
+        if (!tryParsePutBody(frame.body, put)) {
+            session.enqueue(errorBytes(rid, ServerStatus::InvalidRequest,
+                                       "malformed put body"));
+            return;
+        }
+        const ServerStatus admitted = scheduler_.submitPut(
+            sid, std::move(put.name), std::move(put.data),
+            [this, sid, rid](const StoreResult &r) {
+                std::vector<std::uint8_t> bytes;
+                if (r.ok())
+                    bytes = frameBytes(MsgType::PutOk, rid,
+                                       textBody(r.receipt_json));
+                else
+                    bytes = errorBytes(rid, r.status, r.error);
+                postCompletion(sid, std::move(bytes));
+            });
+        if (admitted != ServerStatus::Ok)
+            session.enqueue(
+                errorBytes(rid, admitted, serverStatusName(admitted)));
+        return;
+    }
+    case MsgType::Ls: {
+        const ServerStatus admitted = scheduler_.submitLs(
+            sid, [this, sid, rid](const MetaResult &r) {
+                std::vector<std::uint8_t> bytes;
+                if (r.ok())
+                    bytes = frameBytes(MsgType::LsOk, rid,
+                                       textBody(r.json));
+                else
+                    bytes = errorBytes(rid, r.status, r.error);
+                postCompletion(sid, std::move(bytes));
+            });
+        if (admitted != ServerStatus::Ok)
+            session.enqueue(
+                errorBytes(rid, admitted, serverStatusName(admitted)));
+        return;
+    }
+    case MsgType::Stat: {
+        if (frame.body.empty() || frame.body.size() > kMaxNameLen) {
+            session.enqueue(errorBytes(rid, ServerStatus::InvalidRequest,
+                                       "bad object name"));
+            return;
+        }
+        std::string name(frame.body.begin(), frame.body.end());
+        const ServerStatus admitted = scheduler_.submitStat(
+            sid, std::move(name),
+            [this, sid, rid](const MetaResult &r) {
+                std::vector<std::uint8_t> bytes;
+                if (r.ok())
+                    bytes = frameBytes(MsgType::StatOk, rid,
+                                       textBody(r.json));
+                else
+                    bytes = errorBytes(rid, r.status, r.error);
+                postCompletion(sid, std::move(bytes));
+            });
+        if (admitted != ServerStatus::Ok)
+            session.enqueue(
+                errorBytes(rid, admitted, serverStatusName(admitted)));
+        return;
+    }
+    default:
+        session.enqueue(errorBytes(rid, ServerStatus::UnknownOp,
+                                   "unknown request type"));
+        return;
+    }
+}
+
+void
+Server::serve()
+{
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_sessions; // Session id per pollfd.
+    std::vector<Frame> frames;
+    std::vector<std::uint64_t> closing;
+
+    for (;;) {
+        fds.clear();
+        fd_sessions.clear();
+        fds.push_back({wake_rd_, POLLIN, 0});
+        fd_sessions.push_back(0);
+        if (listen_fd_ >= 0) {
+            fds.push_back({listen_fd_, POLLIN, 0});
+            fd_sessions.push_back(0);
+        }
+        for (const auto &entry : sessions_) {
+            short events = POLLIN;
+            if (entry.second->wantsWrite())
+                events = static_cast<short>(events | POLLOUT);
+            fds.push_back({entry.second->fd(), events, 0});
+            fd_sessions.push_back(entry.first);
+        }
+
+        // Bounded timeout: the pipe is the fast path, the timeout the
+        // safety net (e.g. a wake byte lost to a full pipe).
+        const int n = ::poll(fds.data(),
+                             static_cast<nfds_t>(fds.size()), 250);
+        if (n < 0 && errno != EINTR && errno != EAGAIN)
+            break; // poll itself failed; nothing sane left to do.
+
+        bool drain_requested = false;
+        closing.clear();
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            const short revents = fds[i].revents;
+            if (revents == 0)
+                continue;
+            if (fds[i].fd == wake_rd_) {
+                if (drainWakePipe())
+                    drain_requested = true;
+                continue;
+            }
+            if (fds[i].fd == listen_fd_ && listen_fd_ >= 0) {
+                acceptPending();
+                continue;
+            }
+            const std::uint64_t sid = fd_sessions[i];
+            auto it = sessions_.find(sid);
+            if (it == sessions_.end())
+                continue;
+            Session &session = *it->second;
+            bool close_now = false;
+            if ((revents & (POLLERR | POLLNVAL)) != 0)
+                close_now = true;
+            if (!close_now && (revents & (POLLIN | POLLHUP)) != 0) {
+                frames.clear();
+                const Session::ReadOutcome outcome =
+                    session.readFrames(frames);
+                for (Frame &frame : frames)
+                    handleFrame(session, frame);
+                if (outcome == Session::ReadOutcome::Corrupt) {
+                    session.enqueue(errorBytes(
+                        0, ServerStatus::ProtocolError,
+                        frameErrorName(session.lastError())));
+                    session.closeAfterFlush();
+                } else if (outcome == Session::ReadOutcome::Eof) {
+                    close_now = true;
+                }
+            }
+            if (!close_now && !session.flush())
+                close_now = true;
+            if (close_now)
+                closing.push_back(sid);
+        }
+        for (const std::uint64_t sid : closing)
+            closeSession(sid);
+
+        // Apply completed replies, then give their sockets a chance to
+        // flush immediately instead of waiting a poll round.
+        drainCompletions();
+        closing.clear();
+        for (auto &entry : sessions_) {
+            Session &session = *entry.second;
+            if (session.wantsWrite() && !session.flush()) {
+                closing.push_back(entry.first);
+                continue;
+            }
+            if (session.closingAfterFlush() && !session.wantsWrite())
+                closing.push_back(entry.first);
+        }
+        for (const std::uint64_t sid : closing)
+            closeSession(sid);
+
+        if (drain_requested)
+            beginDrain();
+
+        if (draining_ && scheduler_.idle()) {
+            // All admitted work is done and its callbacks delivered;
+            // anything still queued lives in session write buffers.
+            bool pending_completions = false;
+            {
+                MutexLock lock(completions_mu_);
+                pending_completions = !completions_.empty();
+            }
+            if (pending_completions)
+                continue;
+            bool flushing = false;
+            for (const auto &entry : sessions_)
+                if (entry.second->wantsWrite())
+                    flushing = true;
+            if (!flushing) {
+                sessions_.clear();
+                break;
+            }
+        }
+    }
+}
+
+std::string
+serverReportJson(const SchedulerCounters &counters,
+                 const std::map<std::string, std::string> &info,
+                 const obs::MetricsSnapshot &metrics_delta)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.key("schema");
+    json.value("dnastore.server_report");
+    json.key("schema_version");
+    json.value(static_cast<std::int64_t>(obs::kSchemaVersion));
+    json.key("info");
+    json.beginObject();
+    for (const auto &entry : info) {
+        json.key(entry.first);
+        json.value(entry.second);
+    }
+    json.endObject();
+    json.key("counters");
+    json.beginObject();
+    json.key("batched_gets");
+    json.value(counters.batched_gets);
+    json.key("batches");
+    json.value(counters.batches);
+    json.key("coalesced_gets");
+    json.value(counters.coalesced_gets);
+    json.key("rejected_draining");
+    json.value(counters.rejected_draining);
+    json.key("rejected_overload");
+    json.value(counters.rejected_overload);
+    json.key("rejected_quota");
+    json.value(counters.rejected_quota);
+    json.key("requests");
+    json.value(counters.requests);
+    json.endObject();
+    json.key("metrics");
+    obs::writeMetricsValue(json, metrics_delta);
+    json.endObject();
+    return json.text();
+}
+
+} // namespace dnastore::server

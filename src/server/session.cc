@@ -1,0 +1,93 @@
+#include "server/session.hh"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dnastore::server
+{
+
+Session::~Session()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Session::ReadOutcome
+Session::readFrames(std::vector<Frame> &frames)
+{
+    std::uint8_t chunk[16 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            decoder_.feed(chunk, static_cast<std::size_t>(n));
+            if (static_cast<std::size_t>(n) < sizeof(chunk))
+                break; // Short read: the socket is drained.
+            continue;
+        }
+        if (n == 0)
+            return ReadOutcome::Eof;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return ReadOutcome::Eof;
+    }
+    for (;;) {
+        Frame frame;
+        const FrameDecoder::Result r = decoder_.next(frame);
+        if (r == FrameDecoder::Result::Ready) {
+            frames.push_back(std::move(frame));
+            continue;
+        }
+        if (r == FrameDecoder::Result::Corrupt)
+            return ReadOutcome::Corrupt;
+        break; // NeedMore.
+    }
+    return ReadOutcome::Ok;
+}
+
+void
+Session::enqueue(std::vector<std::uint8_t> bytes)
+{
+    if (bytes.empty())
+        return;
+    // Compact the sent prefix before growing so the buffer tracks the
+    // unflushed backlog, not the connection's lifetime traffic.
+    if (write_offset_ > 0) {
+        write_buf_.erase(write_buf_.begin(),
+                         write_buf_.begin() +
+                             static_cast<std::ptrdiff_t>(write_offset_));
+        write_offset_ = 0;
+    }
+    if (write_buf_.empty())
+        write_buf_ = std::move(bytes);
+    else
+        write_buf_.insert(write_buf_.end(), bytes.begin(), bytes.end());
+}
+
+bool
+Session::flush()
+{
+    while (write_offset_ < write_buf_.size()) {
+        const std::size_t remaining = write_buf_.size() - write_offset_;
+        const ssize_t n = ::send(fd_, write_buf_.data() + write_offset_,
+                                 remaining, MSG_NOSIGNAL);
+        if (n > 0) {
+            write_offset_ += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true; // Socket full; poll for POLLOUT.
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // Peer gone (EPIPE, reset, ...).
+    }
+    if (write_offset_ == write_buf_.size() && !write_buf_.empty()) {
+        write_buf_.clear();
+        write_offset_ = 0;
+    }
+    return true;
+}
+
+} // namespace dnastore::server

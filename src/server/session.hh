@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One client connection: a nonblocking socket plus its read/write state
+ * machines.  The read side feeds raw bytes through a FrameDecoder; the
+ * write side drains a byte queue as POLLOUT allows.
+ *
+ * Sessions are single-threaded by construction — only the server's
+ * event loop ever touches one.  Pool workers never see a Session;
+ * they post completed reply bytes to the server's completion queue,
+ * and the loop thread enqueues them here.  That confinement is what
+ * keeps this class lock-free.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "server/protocol.hh"
+
+namespace dnastore::server
+{
+
+/** One connected client (event-loop confined; see file comment). */
+class Session
+{
+  public:
+    /** Takes ownership of @p fd (closed on destruction). */
+    Session(int fd, std::uint64_t id)
+        : fd_(fd)
+        , id_(id)
+    {
+    }
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    int fd() const { return fd_; }
+    /** Session id; doubles as the scheduler's client id for quotas. */
+    std::uint64_t id() const { return id_; }
+
+    /** What readFrames observed on the socket. */
+    enum class ReadOutcome : std::uint8_t
+    {
+        Ok = 0,  //!< Stream healthy (frames may have been appended).
+        Eof,     //!< Peer closed or socket error: close the session.
+        Corrupt, //!< Framing violation: reply + close (see lastError).
+    };
+
+    /**
+     * Drain readable bytes and append every complete frame to
+     * @p frames.  Call when poll reports POLLIN.
+     */
+    [[nodiscard]] ReadOutcome readFrames(std::vector<Frame> &frames);
+
+    /** Decoder error behind a Corrupt outcome. */
+    FrameError lastError() const { return decoder_.lastError(); }
+
+    /** Queue reply bytes (already-encoded frames) for writing. */
+    void enqueue(std::vector<std::uint8_t> bytes);
+
+    /** Flush queued bytes as far as the socket allows; false = close. */
+    [[nodiscard]] bool flush();
+
+    /** True when bytes are still queued (poll for POLLOUT). */
+    bool wantsWrite() const { return write_offset_ < write_buf_.size(); }
+
+    /** Mark for closure once the write queue drains. */
+    void closeAfterFlush() { close_after_flush_ = true; }
+    bool closingAfterFlush() const { return close_after_flush_; }
+
+    /** Requests this session has submitted (admitted or rejected). */
+    std::uint64_t requestsSeen() const { return requests_seen_; }
+    void countRequest() { ++requests_seen_; }
+
+  private:
+    int fd_;
+    std::uint64_t id_;
+    FrameDecoder decoder_;
+    std::vector<std::uint8_t> write_buf_;
+    std::size_t write_offset_ = 0; //!< Prefix of write_buf_ sent.
+    bool close_after_flush_ = false;
+    std::uint64_t requests_seen_ = 0;
+};
+
+} // namespace dnastore::server

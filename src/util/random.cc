@@ -197,4 +197,47 @@ Rng::split()
     return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
 }
 
+ZipfSampler::ZipfSampler(std::size_t n, double skew, std::uint64_t seed)
+    : rng_(seed)
+{
+    if (n == 0)
+        n = 1;
+    if (skew < 0.0)
+        skew = 0.0;
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+        cdf_[k] = total;
+    }
+    for (double &c : cdf_)
+        c /= total;
+    cdf_.back() = 1.0; // Guard against accumulated rounding.
+}
+
+std::size_t
+ZipfSampler::next()
+{
+    const double u = rng_.uniform();
+    // First index whose cumulative mass exceeds u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (cdf_[mid] > u)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+double
+ZipfSampler::probability(std::size_t k) const
+{
+    if (k >= cdf_.size())
+        return 0.0;
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
 } // namespace dnastore

@@ -129,5 +129,36 @@ class Rng
     double cachedNormal = 0.0;
 };
 
+/**
+ * Seeded Zipfian index sampler over [0, n): item k is drawn with
+ * probability proportional to 1 / (k+1)^s.  Precomputes the CDF once
+ * and samples by binary search, so draws are O(log n) and the
+ * popularity skew is exactly reproducible from the seed — the shape of
+ * real object-store traffic the server-load generator and the
+ * coalescing tests rely on (a few hot objects, a long cold tail).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of items (>= 1; 0 is clamped to 1).
+     * @param skew Zipf exponent s (>= 0; 0 degenerates to uniform).
+     * @param seed RNG seed for the draw stream.
+     */
+    ZipfSampler(std::size_t n, double skew, std::uint64_t seed);
+
+    /** Draw one index in [0, n). */
+    std::size_t next();
+
+    /** Probability mass of item @p k (diagnostics/tests). */
+    double probability(std::size_t k) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_; //!< Inclusive cumulative masses, last = 1.
+    Rng rng_;
+};
+
 } // namespace dnastore
 

@@ -612,6 +612,30 @@ TEST(DnalintR8, FlagsSidewaysInclude)
     EXPECT_NE(findings[0].message.find("sideways"), std::string::npos);
 }
 
+TEST(DnalintR8, FlagsArchiveIncludingServer)
+{
+    // server (layer 7) sits on top of archive (layer 6): the archive
+    // must never reach up into the daemon's protocol or scheduler.
+    const auto findings = checkFile(
+        "src/archive/archive.cc", "#include \"server/protocol.hh\"\n",
+        emptyContext(), dnalint::R8_Layering);
+    ASSERT_TRUE(hasRule(findings, dnalint::R8_Layering));
+    EXPECT_NE(findings[0].message.find("upward"), std::string::npos);
+}
+
+TEST(DnalintR8, AcceptsServerIncludingArchive)
+{
+    const std::string src = R"cpp(
+        #include "server/backend.hh"
+        #include "archive/archive.hh"
+        #include "obs/metrics.hh"
+        #include "util/sync.hh"
+    )cpp";
+    EXPECT_FALSE(hasRule(
+        checkFile("src/server/archive_backend.cc", src, emptyContext()),
+        dnalint::R8_Layering));
+}
+
 TEST(DnalintR8, AcceptsDownwardAndIntraModuleIncludes)
 {
     const std::string src = R"cpp(

@@ -397,6 +397,76 @@ def check_fsck(path):
           f"{len(findings)} findings, {repaired} repaired")
 
 
+SERVER_COUNTER_KEYS = (
+    "batched_gets",
+    "batches",
+    "coalesced_gets",
+    "rejected_draining",
+    "rejected_overload",
+    "rejected_quota",
+    "requests",
+)
+
+
+def check_server(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema") != "dnastore.server_report":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'dnastore.server_report'")
+    if not isinstance(doc.get("schema_version"), int):
+        fail(f"{path}: schema_version missing or not an integer")
+    info = doc.get("info")
+    if not isinstance(info, dict):
+        fail(f"{path}: info section missing or not an object")
+    for key, value in info.items():
+        if not isinstance(value, str):
+            fail(f"{path}: info.{key} must be a string")
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: counters section missing or not an object")
+    for key in SERVER_COUNTER_KEYS:
+        value = counters.get(key)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counters.{key} missing or not a "
+                 "non-negative integer")
+    # Coalesced and batched gets are both subsets of admitted requests.
+    if counters["coalesced_gets"] > counters["requests"]:
+        fail(f"{path}: coalesced_gets exceeds requests")
+    if counters["batches"] > counters["batched_gets"] and \
+            counters["batched_gets"] > 0:
+        fail(f"{path}: more batches than batched gets")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: metrics section missing or not an object")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"{path}: metrics.{section} missing or not an object")
+    # Cross-check: the scheduler's lifetime counter and the obs counter
+    # delta describe the same stream of admitted requests.
+    obs_requests = metrics["counters"].get("server.requests_total")
+    if obs_requests is not None and obs_requests != counters["requests"]:
+        fail(f"{path}: server.requests_total={obs_requests} disagrees "
+             f"with counters.requests={counters['requests']}")
+    for name, gauge in metrics["gauges"].items():
+        if not isinstance(gauge, dict) or "value" not in gauge:
+            fail(f"{path}: gauge {name!r} lacks a value")
+    for name, hist in metrics["histograms"].items():
+        counts = hist.get("counts")
+        bounds = hist.get("upper_bounds")
+        if not isinstance(counts, list) or not isinstance(bounds, list) \
+                or len(counts) != len(bounds) + 1:
+            fail(f"{path}: histogram {name!r} bucket/bound mismatch")
+        if sum(counts) != hist.get("count"):
+            fail(f"{path}: histogram {name!r} counts do not sum")
+    print(f"check_obs_json: {path}: {counters['requests']} requests, "
+          f"{counters['coalesced_gets']} coalesced, "
+          f"{counters['batches']} batches")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", help="run report JSON to validate")
@@ -404,12 +474,15 @@ def main():
     parser.add_argument("--manifest",
                         help="archive manifest JSON to validate")
     parser.add_argument("--fsck", help="fsck report JSON to validate")
-    args_given = ("--metrics", "--trace", "--manifest", "--fsck")
+    parser.add_argument("--server",
+                        help="dnastored server report JSON to validate")
+    args_given = ("--metrics", "--trace", "--manifest", "--fsck",
+                  "--server")
     parser.add_argument("--min-counters", type=int, default=10)
     parser.add_argument("--min-depth", type=int, default=4)
     args = parser.parse_args()
     if not args.metrics and not args.trace and not args.manifest \
-            and not args.fsck:
+            and not args.fsck and not args.server:
         parser.error("nothing to do: pass " + ", ".join(args_given))
     if args.metrics:
         check_metrics(args.metrics, args.min_counters)
@@ -419,6 +492,8 @@ def main():
         check_manifest(args.manifest)
     if args.fsck:
         check_fsck(args.fsck)
+    if args.server:
+        check_server(args.server)
     print("check_obs_json: OK")
 
 

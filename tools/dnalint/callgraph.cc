@@ -1086,6 +1086,10 @@ noThrowEntryPoints(const CallGraph &graph)
     add(graph.findBySuffix("Pipeline::run"));
     add(graph.findBySuffix("Pipeline::runFromReads"));
 
+    // The daemon's accept loop: everything reachable from here handles
+    // untrusted network input and must be no-throw.
+    add(graph.findBySuffix("Server::serve"));
+
     // Every public Archive method (access harvested from the class
     // body in archive.hh; out-of-line definitions match by name).
     std::set<std::string> public_archive;

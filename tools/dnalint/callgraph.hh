@@ -12,8 +12,9 @@
  * rules run on top:
  *
  *   R9  no-throw reachability — from the no-throw entry points
- *       (Pipeline::run, Pipeline::runFromReads, every public Archive
- *       method) no call path may reach a `throw` statement outside the
+ *       (Pipeline::run, Pipeline::runFromReads, Server::serve, every
+ *       public Archive method) no call path may reach a `throw`
+ *       statement outside the
  *       R2 boundary whitelist or a known-throwing stdlib call
  *       (vector::at, stoi/stod family, substr with a non-zero start)
  *       outside tools/dnalint_nothrow_allowlist.txt; findings print

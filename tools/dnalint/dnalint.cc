@@ -285,12 +285,13 @@ ruleTable()
         {R8_Layering, "R8",
          "src/ module includes must follow the declared layering DAG "
          "(obs < util < dna/ecc < nn/codec/clustering/reconstruction < "
-         "simulator/wetlab < core < archive); stale exemptions flagged"},
+         "simulator/wetlab < core < archive < server); stale exemptions "
+         "flagged"},
         {R9_NoThrowReach, "R9",
-         "no call path from Pipeline::run/runFromReads or a public "
-         "Archive method may reach a `throw` or a known-throwing stdlib "
-         "call (at/stoi/stod/substr) outside the allowlists; the "
-         "offending call chain is printed"},
+         "no call path from Pipeline::run/runFromReads, Server::serve, "
+         "or a public Archive method may reach a `throw` or a "
+         "known-throwing stdlib call (at/stoi/stod/substr) outside the "
+         "allowlists; the offending call chain is printed"},
         {R10_AllocRatchet, "R10",
          "transitive allocation-site counts of DNASTORE_HOT functions "
          "(new, unreserved push_back, std::string temporaries, "
@@ -859,7 +860,9 @@ checkAtomicOrder(const std::string &rel_path,
  * exists to stop.  Mirrors the real dependency structure: obs is the
  * bottom library (links only Threads), util builds on it, the data
  * layers stack above, core's Pipeline orchestrates the codec/clustering
- * stages, and archive sits on top of everything.
+ * stages, archive sits on top of the pipeline, and server (the network
+ * daemon) sits on top of archive: archive code must never reach up into
+ * the wire protocol or the scheduler.
  */
 int
 moduleRank(const std::string &module)
@@ -869,6 +872,7 @@ moduleRank(const std::string &module)
         {"ecc", 2},     {"nn", 3},             {"codec", 3},
         {"clustering", 3}, {"reconstruction", 3}, {"simulator", 4},
         {"wetlab", 4},  {"core", 5},           {"archive", 6},
+        {"server", 7},
     };
     const auto it = kRanks.find(module);
     return it == kRanks.end() ? -1 : it->second;

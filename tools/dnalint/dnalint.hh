@@ -46,8 +46,9 @@
  *       has gone stale (header deleted, or never included across a
  *       layer boundary any more) is itself a finding;
  *   R9  no-throw reachability (interprocedural, callgraph.hh): no call
- *       path from Pipeline::run/runFromReads or a public Archive
- *       method may reach a `throw` outside the R2 boundary whitelist
+ *       path from Pipeline::run/runFromReads, Server::serve, or a
+ *       public Archive method may reach a `throw` outside the R2
+ *       boundary whitelist
  *       or a known-throwing stdlib call outside
  *       tools/dnalint_nothrow_allowlist.txt;
  *   R10 hot-path allocation ratchet (interprocedural): transitive

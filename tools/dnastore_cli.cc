@@ -48,6 +48,7 @@
 #include "reconstruction/nw_consensus.hh"
 #include "simulator/iid_channel.hh"
 #include "simulator/sequencing_run.hh"
+#include "server/client.hh"
 #include "simulator/solqc_channel.hh"
 #include "simulator/virtual_wetlab.hh"
 #include "util/args.hh"
@@ -474,6 +475,12 @@ cmdArchiveLs(const ArgParser &args)
         std::cerr << "dnastore archive ls: " << opened.error << "\n";
         return 1;
     }
+    if (args.getBool("json", false)) {
+        // Canonical dnastore.archive_ls document — the same emitter the
+        // server's LsOk reply uses, so scripts parse one schema.
+        std::cout << archive::lsJson(*opened.archive) << "\n";
+        return 0;
+    }
     for (const auto &object : opened.archive->objects())
         std::cout << object.name << "\t" << object.size_bytes
                   << " bytes\t" << object.shards.size() << " shard(s)\n";
@@ -496,6 +503,10 @@ cmdArchiveStat(const ArgParser &args)
         std::cerr << "dnastore archive stat: no object named '" << name
                   << "'\n";
         return 1;
+    }
+    if (args.getBool("json", false)) {
+        std::cout << archive::statJson(*object) << "\n";
+        return 0;
     }
     std::cout << "name: " << object->name << "\nid: " << object->id
               << "\nsize: " << object->size_bytes << " bytes\ncrc32: "
@@ -578,6 +589,95 @@ cmdArchive(int argc, char **argv)
     return 2;
 }
 
+void clientUsage();
+
+/**
+ * `dnastore client <verb>` — drive a running dnastored over its wire
+ * protocol (docs/SERVER.md).  Exit 0 on Ok, 1 on any typed failure
+ * (the status name is printed to stderr), 2 on usage errors.
+ */
+int
+cmdClient(int argc, char **argv)
+{
+    if (argc < 3) {
+        clientUsage();
+        return 2;
+    }
+    const std::string verb = argv[2];
+    const ArgParser args(argc - 2, argv + 2);
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(args.getInt("port", 0));
+    if (port == 0) {
+        std::cerr << "dnastore client: --port is required\n";
+        return 2;
+    }
+    const int timeout_ms =
+        static_cast<int>(args.getInt("timeout-ms", 30000));
+
+    server::Client client;
+    if (!client.connectTo(port, timeout_ms)) {
+        std::cerr << "dnastore client: " << client.error() << "\n";
+        return 1;
+    }
+
+    server::ClientReply reply;
+    if (verb == "ping") {
+        const std::string echo = args.get("echo", "dnastore");
+        reply = client.ping({echo.begin(), echo.end()});
+        if (reply.ok())
+            std::cout << "pong: "
+                      << std::string(reply.data.begin(),
+                                     reply.data.end())
+                      << "\n";
+    } else if (verb == "put") {
+        const auto data = readBinaryFile(requireOption(args, "in"));
+        reply = client.put(requireOption(args, "name"), data);
+        if (reply.ok())
+            std::cout << reply.json << "\n";
+    } else if (verb == "get") {
+        reply = client.get(requireOption(args, "name"));
+        if (reply.ok()) {
+            writeBinaryFile(requireOption(args, "out"), reply.data);
+            std::cout << "retrieved " << reply.data.size() << " bytes\n";
+        }
+    } else if (verb == "ls") {
+        reply = client.ls();
+        if (reply.ok())
+            std::cout << reply.json << "\n";
+    } else if (verb == "stat") {
+        reply = client.stat(requireOption(args, "name"));
+        if (reply.ok())
+            std::cout << reply.json << "\n";
+    } else {
+        clientUsage();
+        return 2;
+    }
+
+    if (!reply.ok()) {
+        std::cerr << "dnastore client " << verb << ": "
+                  << server::serverStatusName(reply.status)
+                  << (reply.error.empty() ? "" : ": " + reply.error)
+                  << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+void
+clientUsage()
+{
+    std::cerr
+        << "usage: dnastore client <verb> --port P [--timeout-ms N]\n"
+           "verbs:\n"
+           "  ping  [--echo TEXT]\n"
+           "  put   --name NAME --in FILE\n"
+           "  get   --name NAME --out FILE\n"
+           "  ls\n"
+           "  stat  --name NAME\n"
+           "talks to a running dnastored on 127.0.0.1:P "
+           "(see docs/SERVER.md)\n";
+}
+
 void
 archiveUsage()
 {
@@ -588,8 +688,8 @@ archiveUsage()
            "[--max-shard-bytes N, codec opts on first put]\n"
            "  get   --name NAME --out FILE [--channel iid|wetlab "
            "--error-rate R --coverage C --seed S --threads N --retries N]\n"
-           "  ls\n"
-           "  stat  --name NAME\n"
+           "  ls    [--json]    (canonical dnastore.archive_ls document)\n"
+           "  stat  --name NAME [--json]  (dnastore.archive_stat)\n"
            "  fsck  [--repair] [--deep] [--json PATH] [get options for "
            "--deep decode runs]\n"
            "        audits manifest<->pool consistency and sweeps stale "
@@ -614,6 +714,8 @@ usage()
            "  pipeline    file -> file end to end\n"
            "  archive     multi-object DNA archive "
            "(put/get/ls/stat/fsck, see 'dnastore archive')\n"
+           "  client      talk to a running dnastored "
+           "(ping/put/get/ls/stat, see 'dnastore client')\n"
            "  report      diff two report/bench JSONs "
            "(perf-regression gate, see 'dnastore report diff')\n"
            "observability (pipeline): --metrics-json PATH writes the run\n"
@@ -646,6 +748,8 @@ main(int argc, char **argv)
             return cmdPipeline(args);
         if (command == "archive")
             return cmdArchive(argc, argv);
+        if (command == "client")
+            return cmdClient(argc, argv);
         if (command == "report")
             return tools::cmdReport(argc, argv);
         usage();

@@ -138,6 +138,24 @@ extractArchiveThroughput(const JsonValue &doc, MetricMap &out)
         out["speedup"] = MetricValue{numberOf(*speedup), true};
 }
 
+/** dnastore.bench_server_load: client-observed latency + throughput. */
+void
+extractServerLoad(const JsonValue &doc, MetricMap &out)
+{
+    const JsonValue *latency = doc.find("latency");
+    const JsonValue::Object *members =
+        latency != nullptr ? latency->asObject() : nullptr;
+    if (members != nullptr) {
+        for (const auto &[name, value] : *members) {
+            if (value.asDouble().has_value())
+                out["latency." + name] =
+                    MetricValue{numberOf(value), false};
+        }
+    }
+    if (const JsonValue *rps = doc.find("throughput_rps"))
+        out["throughput_rps"] = MetricValue{numberOf(*rps), true};
+}
+
 /** Dispatch on the document's "schema" string; false when unsupported. */
 bool
 extractMetrics(const JsonValue &doc, const std::string &schema,
@@ -153,6 +171,10 @@ extractMetrics(const JsonValue &doc, const std::string &schema,
     }
     if (schema == "dnastore.bench_archive_throughput") {
         extractArchiveThroughput(doc, out);
+        return true;
+    }
+    if (schema == "dnastore.bench_server_load") {
+        extractServerLoad(doc, out);
         return true;
     }
     return false;
